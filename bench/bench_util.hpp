@@ -1,0 +1,58 @@
+// Shared option handling for the figure/table regeneration benches.
+//
+// Every bench accepts:
+//   --quick        4x shorter windows (smoke testing)
+//   --paper-scale  the paper's 10M-cycle profile + 10M-cycle measurement
+//   --seed N       trace seed (default 42)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+namespace bwpart::bench {
+
+struct Options {
+  harness::PhaseConfig phases;
+  bool quick = false;
+  bool paper_scale = false;
+};
+
+inline Options parse_options(int argc, char** argv,
+                             Cycle default_window = 1'500'000) {
+  Options opt;
+  opt.phases.warmup_cycles = default_window / 5;
+  opt.phases.profile_cycles = default_window;
+  opt.phases.measure_cycles = default_window;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      opt.paper_scale = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt.phases.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--paper-scale] [--seed N]\n",
+                   argv[0]);
+    }
+  }
+  if (opt.paper_scale) {
+    opt.phases = harness::PhaseConfig::paper_scale();
+  } else if (opt.quick) {
+    opt.phases.warmup_cycles /= 4;
+    opt.phases.profile_cycles /= 4;
+    opt.phases.measure_cycles /= 4;
+  }
+  return opt;
+}
+
+/// Percent change helper for "improvement over baseline" lines.
+inline double pct(double value, double baseline) {
+  return 100.0 * (value / baseline - 1.0);
+}
+
+}  // namespace bwpart::bench

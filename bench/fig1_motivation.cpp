@@ -1,0 +1,53 @@
+// Regenerates Fig. 1: the motivation study. Four SPEC2006 applications
+// (libquantum, milc, gromacs, gobmk) on a 4-core CMP with DDR2-400; five
+// partitioning schemes (Equal, Proportional, Square_root, Priority_API,
+// Priority_APC) compared on four system objectives, all normalized to
+// No_partitioning.
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "workload/mixes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bwpart;
+  const bench::Options opt = bench::parse_options(argc, argv, 2'000'000);
+  const harness::SystemConfig machine;
+
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  const harness::Experiment experiment(machine, apps, opt.phases);
+  const harness::RunResult base = experiment.run(core::Scheme::NoPartitioning);
+
+  const core::Scheme schemes[] = {
+      core::Scheme::Equal, core::Scheme::Proportional,
+      core::Scheme::SquareRoot, core::Scheme::PriorityApi,
+      core::Scheme::PriorityApc};
+
+  std::printf(
+      "Fig. 1: normalized performance (to No_partitioning) of "
+      "libquantum-milc-gromacs-gobmk\n\n");
+  TextTable table({"metric", "Equal", "Proportional", "Square_root",
+                   "Priority_API", "Priority_APC", "winner"});
+  std::map<core::Scheme, harness::RunResult> results;
+  for (core::Scheme s : schemes) results.emplace(s, experiment.run(s));
+
+  for (core::Metric m : core::kAllMetrics) {
+    std::vector<std::string> row{core::to_string(m)};
+    core::Scheme best = schemes[0];
+    for (core::Scheme s : schemes) {
+      const double norm = results.at(s).metric(m) / base.metric(m);
+      row.push_back(TextTable::num(norm));
+      if (results.at(s).metric(m) > results.at(best).metric(m)) best = s;
+    }
+    row.push_back(core::to_string(best));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected winners (paper): Hsp->Square_root, "
+      "MinFairness->Proportional,\nWsp->Priority_APC, "
+      "IPCsum->Priority_API; Equal improves most metrics but wins none.\n");
+  return 0;
+}

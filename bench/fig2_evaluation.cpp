@@ -1,0 +1,128 @@
+// Regenerates Fig. 2 (a)-(d): the main evaluation. All fourteen Table IV
+// mixes, six partitioning schemes, four system objectives; every value
+// normalized to No_partitioning, with per-group (hetero/homo) averages and
+// the paper's headline comparison (improvement of each optimal scheme over
+// No_partitioning and over Equal on heterogeneous workloads).
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace bwpart;
+
+constexpr core::Scheme kSchemes[] = {
+    core::Scheme::Equal,        core::Scheme::Proportional,
+    core::Scheme::SquareRoot,   core::Scheme::TwoThirdsPower,
+    core::Scheme::PriorityApc,  core::Scheme::PriorityApi};
+
+struct MixResults {
+  const workload::MixSpec* mix = nullptr;
+  harness::RunResult base;
+  std::map<core::Scheme, harness::RunResult> runs;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Options opt = bench::parse_options(argc, argv, 1'500'000);
+  const harness::SystemConfig machine;
+
+  // The 14 mixes are independent simulations; shard them across cores.
+  const auto mixes = workload::paper_mixes();
+  std::vector<MixResults> all(mixes.size());
+  parallel_for(mixes.size(), [&](std::size_t i) {
+    MixResults r;
+    r.mix = &mixes[i];
+    const auto apps = workload::resolve_mix(mixes[i]);
+    const harness::Experiment experiment(machine, apps, opt.phases);
+    r.base = experiment.run(core::Scheme::NoPartitioning);
+    for (core::Scheme s : kSchemes) r.runs.emplace(s, experiment.run(s));
+    all[i] = std::move(r);
+    std::fprintf(stderr, "  %s done\n", mixes[i].name.data());
+  });
+
+  // One table per metric, like the four panels of Fig. 2.
+  const char panel = 'a';
+  int panel_idx = 0;
+  for (core::Metric m : core::kAllMetrics) {
+    std::printf("\nFig. 2(%c): normalized %s (to No_partitioning)\n\n",
+                panel + panel_idx, core::to_string(m).c_str());
+    ++panel_idx;
+    TextTable table({"workload", "Equal", "Proportional", "Square_root",
+                     "2/3_power", "Priority_APC", "Priority_API"});
+    auto emit_group = [&](bool hetero) {
+      std::vector<double> group_sum(std::size(kSchemes), 0.0);
+      int count = 0;
+      for (const MixResults& r : all) {
+        if (r.mix->heterogeneous != hetero) continue;
+        std::vector<std::string> row{std::string(r.mix->name)};
+        std::size_t col = 0;
+        for (core::Scheme s : kSchemes) {
+          const double norm = r.runs.at(s).metric(m) / r.base.metric(m);
+          group_sum[col++] += norm;
+          row.push_back(TextTable::num(norm));
+        }
+        table.add_row(std::move(row));
+        ++count;
+      }
+      std::vector<std::string> avg{hetero ? "avg(hetero)" : "avg(homo)"};
+      for (double s : group_sum) {
+        avg.push_back(TextTable::num(s / count));
+      }
+      table.add_row(std::move(avg));
+    };
+    emit_group(true);
+    emit_group(false);
+    table.print(std::cout);
+  }
+
+  // Headline numbers: hetero-average improvement of each metric's optimal
+  // scheme over No_partitioning and over Equal.
+  struct Headline {
+    core::Metric metric;
+    core::Scheme optimal;
+    double paper_vs_nop;
+    double paper_vs_equal;
+  };
+  const Headline headlines[] = {
+      {core::Metric::HarmonicWeightedSpeedup, core::Scheme::SquareRoot, 20.3,
+       2.1},
+      {core::Metric::MinFairness, core::Scheme::Proportional, 49.8, 38.7},
+      {core::Metric::WeightedSpeedup, core::Scheme::PriorityApc, 32.8, 7.6},
+      {core::Metric::IpcSum, core::Scheme::PriorityApi, 64.2, 24.0},
+  };
+  std::printf(
+      "\nHeadline (heterogeneous average): optimal scheme vs "
+      "No_partitioning / Equal\n\n");
+  TextTable hl({"metric", "optimal scheme", "vs No_part (meas)",
+                "vs No_part (paper)", "vs Equal (meas)", "vs Equal (paper)"});
+  for (const Headline& h : headlines) {
+    double sum_opt = 0.0, sum_base = 0.0, sum_eq = 0.0;
+    int n = 0;
+    for (const MixResults& r : all) {
+      if (!r.mix->heterogeneous) continue;
+      sum_opt += r.runs.at(h.optimal).metric(h.metric) /
+                 r.base.metric(h.metric);
+      sum_base += 1.0;
+      sum_eq += r.runs.at(core::Scheme::Equal).metric(h.metric) /
+                r.base.metric(h.metric);
+      ++n;
+    }
+    const double vs_nop = bench::pct(sum_opt / n, sum_base / n);
+    const double vs_eq = bench::pct(sum_opt / n, sum_eq / n);
+    hl.add_row({core::to_string(h.metric), std::string(core::to_string(h.optimal)),
+                TextTable::num(vs_nop, 1) + "%",
+                TextTable::num(h.paper_vs_nop, 1) + "%",
+                TextTable::num(vs_eq, 1) + "%",
+                TextTable::num(h.paper_vs_equal, 1) + "%"});
+  }
+  hl.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark microbenchmarks of the simulator's building blocks:
+// DRAM engine tick rate, controller scheduling cost vs queue depth, cache
+// access throughput, trace generation, and whole-system simulation speed.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cpu/cache.hpp"
+#include "harness/system.hpp"
+#include "mem/controller.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace {
+
+using namespace bwpart;
+
+void BM_DramTickIdle(benchmark::State& state) {
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  dram::DramSystem d(cfg);
+  dram::Tick now = 0;
+  for (auto _ : state) {
+    d.tick(now);
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DramTickIdle);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cpu::Cache cache(cpu::CacheGeometry::l2_default());
+  const std::uint64_t footprint_lines =
+      static_cast<std::uint64_t>(state.range(0));
+  Addr line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access((line % footprint_lines) * 64, AccessType::Read));
+    ++line;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1024)->Arg(16384)->Arg(1 << 20);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto gen = workload::SyntheticTraceGenerator::from_benchmark(
+      workload::find_benchmark("lbm"), 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_ControllerTickUnderLoad(benchmark::State& state) {
+  const auto queue_depth = static_cast<std::size_t>(state.range(0));
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  mem::MemoryController mc(cfg, Frequency::from_ghz(5.0), 4,
+                           std::make_unique<mem::FcfsScheduler>(),
+                           queue_depth, dram::MapScheme::ChanRowColBankRank,
+                           queue_depth * 4, mem::AdmissionMode::PerApp);
+  mc.set_completion_callback([](const mem::MemRequest&, Cycle) {});
+  std::uint64_t line = 0;
+  Cycle t = 0;
+  for (auto _ : state) {
+    for (AppId app = 0; app < 4; ++app) {
+      if (mc.can_accept(app)) {
+        mc.enqueue(app, (line++ * 64) % (1ull << 30), AccessType::Read, t);
+      }
+    }
+    mc.tick(t);
+    ++t;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ControllerTickUnderLoad)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FullSystemCycle(benchmark::State& state) {
+  const auto copies = static_cast<std::uint32_t>(state.range(0));
+  harness::SystemConfig cfg;
+  const auto apps = workload::resolve_mix(workload::fig1_mix(), copies);
+  harness::CmpSystem sys(cfg, apps, 1);
+  sys.run(50'000);  // warm
+  for (auto _ : state) {
+    sys.run(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cores"] = static_cast<double>(apps.size());
+}
+BENCHMARK(BM_FullSystemCycle)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SchedulerOrderingCost(benchmark::State& state) {
+  // Cost of the policy comparator itself on a synthetic queue.
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  dram::DramSystem d(cfg);
+  mem::StartTimeFairScheduler sched(4);
+  std::vector<mem::MemRequest> reqs(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    reqs[i].id = i;
+    reqs[i].app = static_cast<AppId>(i % 4);
+    reqs[i].start_tag = static_cast<double>((i * 7919) % 1000);
+  }
+  std::size_t a = 0, b = reqs.size() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.before(reqs[a], reqs[b], d));
+    a = (a + 1) % reqs.size();
+    b = (b + 3) % reqs.size();
+  }
+}
+BENCHMARK(BM_SchedulerOrderingCost)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Regenerates Table III: per-benchmark standalone characteristics
+// (APKC_alone, APKI) and the high/middle/low intensity classification,
+// measured by running each synthetic benchmark alone on the DDR2-400
+// machine, side by side with the paper's published values.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "workload/spec_table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bwpart;
+  const bench::Options opt = bench::parse_options(argc, argv, 1'500'000);
+  const harness::SystemConfig machine;
+
+  std::printf("Table III: benchmark classification (DDR2-400, 3.2 GB/s)\n\n");
+  TextTable table({"Name", "Type", "APKC(meas)", "APKC(paper)", "APKI(meas)",
+                   "APKI(paper)", "IPC(meas)", "Intensity(meas)",
+                   "Intensity(paper)", "match"});
+  int matches = 0;
+  for (const auto& b : workload::spec2006_table()) {
+    const core::AppParams p =
+        harness::profile_standalone(machine, b, opt.phases);
+    const Intensity meas = classify_intensity(p.apc_alone * 1000.0);
+    const bool ok = meas == b.paper_intensity();
+    matches += ok ? 1 : 0;
+    table.add_row({std::string(b.name), b.is_fp ? "FP" : "INT",
+                   TextTable::num(p.apc_alone * 1000.0),
+                   TextTable::num(b.paper_apkc),
+                   TextTable::num(p.api * 1000.0),
+                   TextTable::num(b.paper_apki),
+                   TextTable::num(p.ipc_alone()), to_string(meas),
+                   to_string(b.paper_intensity()), ok ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::printf("\nIntensity classes matching the paper: %d/16\n", matches);
+  return 0;
+}

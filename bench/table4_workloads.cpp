@@ -1,0 +1,50 @@
+// Regenerates Table IV: the fourteen workload mixes with their
+// heterogeneity (relative standard deviation of the apps' APC_alone),
+// measured on our calibrated synthetic benchmarks vs the paper's values.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "workload/mixes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bwpart;
+  const bench::Options opt = bench::parse_options(argc, argv, 1'500'000);
+  const harness::SystemConfig machine;
+
+  // Profile each distinct benchmark once.
+  std::map<std::string, double> apc_alone;
+  for (const auto& b : workload::spec2006_table()) {
+    apc_alone[std::string(b.name)] =
+        harness::profile_standalone(machine, b, opt.phases).apc_alone;
+  }
+
+  std::printf("Table IV: workload construction\n\n");
+  TextTable table({"workload", "benchmarks", "RSD(meas)", "RSD(paper)",
+                   "class(meas)", "class(paper)"});
+  int matches = 0;
+  for (const auto& m : workload::paper_mixes()) {
+    std::vector<double> apcs;
+    std::string names;
+    for (const auto& name : m.benchmarks) {
+      apcs.push_back(apc_alone.at(std::string(name)));
+      if (!names.empty()) names += "-";
+      names += std::string(name);
+    }
+    const double rsd = relative_stddev_percent(apcs);
+    const bool hetero_meas = rsd > core::kHeterogeneousRsdThreshold;
+    const bool ok = hetero_meas == m.heterogeneous;
+    matches += ok ? 1 : 0;
+    table.add_row({std::string(m.name), names, TextTable::num(rsd, 2),
+                   TextTable::num(m.paper_rsd, 2),
+                   hetero_meas ? "hetero" : "homo",
+                   m.heterogeneous ? "hetero" : "homo"});
+  }
+  table.print(std::cout);
+  std::printf("\nHeterogeneity classes matching the paper: %d/14\n", matches);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// QoS guarantee scenario (paper Section III-G / Fig. 3): pin one
+// application's IPC at a target by reserving B_QoS = IPC_target * API of
+// the off-chip bandwidth, and maximize a chosen objective for the
+// best-effort group with the remainder.
+//
+//   ./examples/qos_guarantee [target-ipc] [mix:1|2]
+//   ./examples/qos_guarantee 0.6 1
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/qos.hpp"
+#include "harness/experiment.hpp"
+#include "workload/mixes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bwpart;
+
+  const double target = argc > 1 ? std::strtod(argv[1], nullptr) : 0.6;
+  const int which = argc > 2 ? std::atoi(argv[2]) : 1;
+  const workload::MixSpec& mix =
+      which == 2 ? workload::qos_mix2() : workload::qos_mix1();
+
+  harness::SystemConfig machine;
+  harness::PhaseConfig phases;
+  phases.warmup_cycles = 300'000;
+  phases.profile_cycles = 2'000'000;
+  phases.measure_cycles = 2'000'000;
+
+  const auto apps = workload::resolve_mix(mix);
+  const harness::Experiment experiment(machine, apps, phases);
+
+  // hmmer (index 3 in both Fig. 3 mixes) is the guaranteed application.
+  const core::QosRequirement req{3, target};
+  std::printf("Mix %s; guaranteeing %s at IPC %.2f\n", mix.name.data(),
+              apps[3].name.data(), target);
+
+  const harness::RunResult base = experiment.run(core::Scheme::NoPartitioning);
+  std::printf("\nNo_partitioning: %s runs at IPC %.3f (%s the target)\n",
+              apps[3].name.data(), base.ipc_shared[3],
+              base.ipc_shared[3] >= target ? "above" : "below");
+
+  for (core::Scheme be : {core::Scheme::SquareRoot, core::Scheme::PriorityApc,
+                          core::Scheme::PriorityApi}) {
+    const harness::RunResult r = experiment.run_qos(std::span(&req, 1), be);
+    double be_ipc_qos = 0.0, be_ipc_base = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      be_ipc_qos += r.ipc_shared[i];
+      be_ipc_base += base.ipc_shared[i];
+    }
+    std::printf(
+        "QoS + best-effort %-13s: %s IPC %.3f (target %.2f); best-effort "
+        "IPC sum %.3f (%+.1f%% vs No_partitioning)\n",
+        core::to_string(be).c_str(), apps[3].name.data(), r.ipc_shared[3],
+        target, be_ipc_qos, 100.0 * (be_ipc_qos / be_ipc_base - 1.0));
+  }
+
+  // Show infeasibility detection: a target above IPC_alone is rejected.
+  const harness::RunResult probe = experiment.run(core::Scheme::Equal);
+  const double ipc_alone = probe.params[3].ipc_alone();
+  const core::QosRequirement absurd{3, ipc_alone * 2.0};
+  const core::QosPlan plan = core::qos_allocate(
+      probe.params, std::span(&absurd, 1), probe.total_apc,
+      core::Scheme::SquareRoot);
+  std::printf(
+      "\nFeasibility check: target %.2f vs IPC_alone %.2f -> plan %s\n",
+      absurd.ipc_target, ipc_alone, plan.feasible ? "feasible" : "REJECTED");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: simulate a 4-core CMP running a heterogeneous SPEC2006 mix,
+// partition the off-chip bandwidth with the paper's Square_root scheme, and
+// compare the measurement against the analytical model's prediction.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/predict.hpp"
+#include "harness/experiment.hpp"
+#include "workload/mixes.hpp"
+
+int main() {
+  using namespace bwpart;
+
+  // The paper's baseline machine: 5 GHz cores, DDR2-400 (3.2 GB/s).
+  harness::SystemConfig machine;
+
+  // Four applications from Table III — the Fig. 1 motivation mix.
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  std::printf("Workload (%s):\n", workload::fig1_mix().name.data());
+  for (const auto& b : apps) {
+    std::printf("  %-12s APKC_alone=%6.2f  APKI=%6.2f  (%s intensity)\n",
+                b.name.data(), b.paper_apkc, b.paper_apki,
+                to_string(b.paper_intensity()));
+  }
+
+  // Warm up, profile APC_alone online (Eq. 12-13), then measure.
+  harness::PhaseConfig phases;
+  phases.warmup_cycles = 300'000;
+  phases.profile_cycles = 2'000'000;
+  phases.measure_cycles = 2'000'000;
+
+  const harness::Experiment experiment(machine, apps, phases);
+  const harness::RunResult base = experiment.run(core::Scheme::NoPartitioning);
+  const harness::RunResult sqrt_run = experiment.run(core::Scheme::SquareRoot);
+
+  std::printf("\nSquare_root partitioning vs No_partitioning:\n");
+  std::printf("  harmonic weighted speedup: %.3f -> %.3f (%+.1f%%)\n",
+              base.hsp, sqrt_run.hsp, 100.0 * (sqrt_run.hsp / base.hsp - 1.0));
+  std::printf("  min fairness:              %.3f -> %.3f (%+.1f%%)\n",
+              base.min_fairness, sqrt_run.min_fairness,
+              100.0 * (sqrt_run.min_fairness / base.min_fairness - 1.0));
+  std::printf("  weighted speedup:          %.3f -> %.3f (%+.1f%%)\n",
+              base.wsp, sqrt_run.wsp, 100.0 * (sqrt_run.wsp / base.wsp - 1.0));
+  std::printf("  sum of IPCs:               %.3f -> %.3f (%+.1f%%)\n",
+              base.ipcsum, sqrt_run.ipcsum,
+              100.0 * (sqrt_run.ipcsum / base.ipcsum - 1.0));
+
+  // The analytical model (Section III) predicts the same run from just
+  // (APC_alone, API) per app and the utilized bandwidth B.
+  const core::Prediction pred =
+      core::predict(core::Scheme::SquareRoot, sqrt_run.params,
+                    sqrt_run.total_apc);
+  std::printf("\nModel check (predicted vs simulated):\n");
+  std::printf("  Hsp  %.3f vs %.3f\n", pred.hsp, sqrt_run.hsp);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    std::printf("  %-12s APC predicted %.5f, simulated %.5f\n",
+                apps[i].name.data(), pred.apc_shared[i],
+                sqrt_run.apc_shared[i]);
+  }
+  std::printf("\nBus utilization: %.1f%% of %.1f GB/s\n",
+              100.0 * sqrt_run.bus_utilization, machine.dram.peak_gbps());
+  return 0;
+}

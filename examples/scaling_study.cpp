@@ -1,0 +1,69 @@
+// Scaling study (paper Section VI-C / Fig. 4): scale the memory bus from
+// 3.2 to 12.8 GB/s (latencies fixed in nanoseconds), the core count from 4
+// to 16, and the workload by replication — then measure how much each
+// optimal scheme gains over Equal partitioning.
+//
+//   ./examples/scaling_study [mix-name]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "workload/mixes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bwpart;
+
+  const std::string mix_name = argc > 1 ? argv[1] : "hetero-6";
+  const workload::MixSpec* mix = nullptr;
+  for (const auto& m : workload::paper_mixes()) {
+    if (m.name == mix_name) mix = &m;
+  }
+  if (mix == nullptr) {
+    std::fprintf(stderr, "unknown mix '%s'\n", mix_name.c_str());
+    return 1;
+  }
+
+  struct Point {
+    dram::DramConfig dram;
+    std::uint32_t copies;
+    const char* label;
+  };
+  const Point points[] = {
+      {dram::DramConfig::ddr2_400(), 1, "3.2 GB/s, 4 cores"},
+      {dram::DramConfig::ddr2_800(), 2, "6.4 GB/s, 8 cores"},
+      {dram::DramConfig::ddr2_1600(), 4, "12.8 GB/s, 16 cores"},
+  };
+
+  TextTable table({"configuration", "Hsp/Equal", "MinF/Equal", "Wsp/Equal",
+                   "IPCsum/Equal"});
+  for (const Point& pt : points) {
+    harness::SystemConfig machine;
+    machine.dram = pt.dram;
+    harness::PhaseConfig phases;
+    phases.warmup_cycles = 300'000;
+    phases.profile_cycles = 1'500'000;
+    phases.measure_cycles = 1'500'000;
+    const auto apps = workload::resolve_mix(*mix, pt.copies);
+    const harness::Experiment experiment(machine, apps, phases);
+    const harness::RunResult eq = experiment.run(core::Scheme::Equal);
+    // Each metric is evaluated under its own optimal scheme, normalized to
+    // Equal (the Fig. 4 methodology).
+    const double hsp = experiment.run(core::Scheme::SquareRoot).hsp / eq.hsp;
+    const double minf = experiment.run(core::Scheme::Proportional)
+                            .min_fairness / eq.min_fairness;
+    const double wsp = experiment.run(core::Scheme::PriorityApc).wsp / eq.wsp;
+    const double ipcsum =
+        experiment.run(core::Scheme::PriorityApi).ipcsum / eq.ipcsum;
+    table.add_row({pt.label, TextTable::num(hsp), TextTable::num(minf),
+                   TextTable::num(wsp), TextTable::num(ipcsum)});
+  }
+  std::printf("Fig. 4-style scaling on %s:\n\n", mix->name.data());
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape: improvements over Equal grow with bandwidth and "
+      "core count\nbecause the workload becomes more heterogeneous "
+      "(Section VI-C).\n");
+  return 0;
+}

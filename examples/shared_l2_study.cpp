@@ -1,0 +1,84 @@
+// Shared-L2 extension study (paper footnote 1): in a CMP with a shared,
+// way-partitioned L2, an application's memory intensity is no longer the
+// program constant API but API_shared — a function of its cache-capacity
+// share. The bandwidth model applies unchanged with API_shared substituted
+// for API. This example measures API_shared across way partitions and
+// feeds the measured values into the analytical model.
+//
+//   ./examples/shared_l2_study
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/predict.hpp"
+#include "cpu/shared_cache.hpp"
+#include "workload/synthetic_trace.hpp"
+
+int main() {
+  using namespace bwpart;
+
+  // Two applications sharing a 1 MiB 16-way L2: a cache-friendly app with
+  // a ~768 KiB working set and a streaming app that thrashes any capacity.
+  const cpu::CacheGeometry geom{1024 * 1024, 64, 16};
+  workload::AddressStreamGenerator::Params friendly;
+  friendly.mem_fraction = 0.2;
+  friendly.footprint_bytes = 768 * 1024;
+  friendly.sequential_prob = 0.6;
+  workload::AddressStreamGenerator::Params streaming;
+  streaming.mem_fraction = 0.3;
+  streaming.footprint_bytes = 64 * 1024 * 1024;
+  streaming.sequential_prob = 0.95;
+  streaming.region_base = 1ull << 32;
+
+  std::printf(
+      "Shared-L2 way partitioning and the resulting API_shared "
+      "(footnote 1)\n\n");
+  TextTable table({"ways app0:app1", "hit rate app0", "hit rate app1",
+                   "API_shared app0", "API_shared app1",
+                   "model beta0 (Square_root)"});
+  for (std::uint32_t ways0 : {2u, 4u, 8u, 12u, 14u}) {
+    cpu::SharedCache l2(geom, 2);
+    const std::array<std::uint32_t, 2> part{ways0, 16 - ways0};
+    l2.set_way_partition(part);
+    workload::AddressStreamGenerator gen0(friendly, 1);
+    workload::AddressStreamGenerator gen1(streaming, 2);
+
+    // Drive both apps through the shared cache; count instructions and
+    // off-chip misses to obtain API_shared.
+    std::uint64_t instructions[2] = {0, 0};
+    std::uint64_t offchip[2] = {0, 0};
+    const int kOps = 400'000;
+    for (int i = 0; i < kOps; ++i) {
+      const cpu::TraceOp op0 = gen0.next();
+      instructions[0] += op0.gap_nonmem + 1;
+      if (!l2.access(0, op0.addr, op0.type).hit) ++offchip[0];
+      const cpu::TraceOp op1 = gen1.next();
+      instructions[1] += op1.gap_nonmem + 1;
+      if (!l2.access(1, op1.addr, op1.type).hit) ++offchip[1];
+    }
+    const double api0 = static_cast<double>(offchip[0]) /
+                        static_cast<double>(instructions[0]);
+    const double api1 = static_cast<double>(offchip[1]) /
+                        static_cast<double>(instructions[1]);
+
+    // Feed the model: assume both apps are memory-bound at IPC_alone 1.0
+    // with these APIs, sharing B = 0.01 APC; Square_root shares follow.
+    const std::vector<core::AppParams> params{{api0 * 1.0, api0},
+                                              {api1 * 1.0, api1}};
+    const auto beta =
+        core::compute_shares(core::Scheme::SquareRoot, params, 0.01);
+    table.add_row({std::to_string(ways0) + ":" + std::to_string(16 - ways0),
+                   TextTable::num(l2.hit_rate(0)),
+                   TextTable::num(l2.hit_rate(1)),
+                   TextTable::num(api0 * 1000.0) + " APKI",
+                   TextTable::num(api1 * 1000.0) + " APKI",
+                   TextTable::num(beta[0])});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nAs app 0's capacity share grows its API_shared falls (more L2 "
+      "hits), so the\nbandwidth model assigns it a smaller off-chip share — "
+      "cache partitioning and\nbandwidth partitioning compose through "
+      "API_shared exactly as footnote 1 claims.\n");
+  return 0;
+}

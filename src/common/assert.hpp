@@ -1,0 +1,23 @@
+// Always-on invariant checking. Simulator state machines are cheap relative
+// to the cost of silently corrupting timing state, so these checks stay
+// enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bwpart::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "bwpart invariant violated: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg);
+  std::abort();
+}
+}  // namespace bwpart::detail
+
+#define BWPART_ASSERT(expr, msg)                                        \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::bwpart::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,75 @@
+// Exact clock-domain crossing between the CPU clock (the simulator's master
+// clock) and a slower device clock (DRAM bus). The paper's scalability study
+// (Fig. 4) changes only the memory bus frequency, producing non-integer
+// CPU:DRAM ratios (e.g. 5 GHz : 800 MHz = 6.25), so the alignment must be
+// exact rational arithmetic rather than a rounded integer divider.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace bwpart {
+
+/// Maps device ticks onto CPU cycles: device tick k fires at the first CPU
+/// cycle c with c * f_dev >= k * f_cpu (both clocks start aligned; tick 0
+/// fires at cycle 0).
+class ClockCrossing {
+ public:
+  ClockCrossing(Frequency cpu, Frequency device)
+      : cpu_hz_(cpu.hz), dev_hz_(device.hz) {
+    BWPART_ASSERT(cpu_hz_ > 0 && dev_hz_ > 0, "zero clock frequency");
+    BWPART_ASSERT(dev_hz_ <= cpu_hz_, "device clock faster than CPU clock");
+  }
+
+  /// Number of device ticks that have fired at or before CPU cycle
+  /// `cpu_cycle`, i.e. |{k : cpu_cycle_of_tick(k) <= cpu_cycle}|.
+  /// Callers drive the device with: while (ticks_done < device_ticks_at(c)).
+  std::uint64_t device_ticks_at(Cycle cpu_cycle) const {
+    return mul_div_floor(cpu_cycle, dev_hz_, cpu_hz_) + 1;
+  }
+
+  /// First CPU cycle at which device tick `k` fires: ceil(k * cpu / dev).
+  Cycle cpu_cycle_of_tick(std::uint64_t k) const {
+    return mul_div_ceil(k, cpu_hz_, dev_hz_);
+  }
+
+  /// Convert a duration in nanoseconds into whole device ticks, rounding up
+  /// (DRAM timing constraints are minimum separations).
+  std::uint64_t ns_to_device_ticks(double ns) const {
+    BWPART_ASSERT(ns >= 0.0, "negative duration");
+    const double ticks = ns * static_cast<double>(dev_hz_) / 1e9;
+    const auto whole = static_cast<std::uint64_t>(ticks);
+    return (static_cast<double>(whole) >= ticks) ? whole : whole + 1;
+  }
+
+  /// Duration of one device tick in CPU cycles, rounded up.
+  Cycle cpu_cycles_per_device_tick_ceil() const {
+    return mul_div_ceil(1, cpu_hz_, dev_hz_);
+  }
+
+  std::uint64_t cpu_hz() const { return cpu_hz_; }
+  std::uint64_t device_hz() const { return dev_hz_; }
+
+ private:
+  // 128-bit intermediate keeps cycle*hz products exact for any run length.
+  __extension__ using U128 = unsigned __int128;
+
+  static std::uint64_t mul_div_floor(std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t c) {
+    return static_cast<std::uint64_t>(static_cast<U128>(a) * b / c);
+  }
+
+  static std::uint64_t mul_div_ceil(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t c) {
+    const U128 prod = static_cast<U128>(a) * b;
+    return static_cast<std::uint64_t>((prod + c - 1) / c);
+  }
+
+  std::uint64_t cpu_hz_;
+  std::uint64_t dev_hz_;
+};
+
+}  // namespace bwpart

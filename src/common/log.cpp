@@ -1,0 +1,35 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+
+namespace bwpart {
+
+namespace {
+LogLevel g_level = LogLevel::Off;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "[error] ";
+    case LogLevel::Info: return "[info]  ";
+    case LogLevel::Debug: return "[debug] ";
+    default: return "";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fputs(prefix(level), stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace bwpart

@@ -1,0 +1,39 @@
+// Tiny leveled logger. Off by default so simulation inner loops stay clean;
+// benches/examples can raise the level for progress reporting.
+#pragma once
+
+#include <cstdio>
+#include <utility>
+
+namespace bwpart {
+
+enum class LogLevel : int { Off = 0, Error = 1, Info = 2, Debug = 3 };
+
+/// Process-wide log threshold.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+}  // namespace detail
+
+template <typename... Args>
+void log_error(const char* fmt, Args&&... args) {
+  detail::vlog(LogLevel::Error, fmt, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_info(const char* fmt, Args&&... args) {
+  detail::vlog(LogLevel::Info, fmt, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void log_debug(const char* fmt, Args&&... args) {
+  detail::vlog(LogLevel::Debug, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace bwpart

@@ -1,0 +1,13 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+namespace bwpart {
+
+std::size_t default_parallelism(std::size_t jobs) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cap = hw == 0 ? 1 : hw;
+  return std::max<std::size_t>(1, std::min(jobs, cap));
+}
+
+}  // namespace bwpart

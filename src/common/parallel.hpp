@@ -1,0 +1,45 @@
+// Minimal data-parallel executor for embarrassingly parallel experiment
+// sweeps (each CmpSystem instance is fully self-contained, so independent
+// runs shard perfectly across cores). Used by the Fig. 2 / Fig. 4 benches,
+// which run ~100 independent simulations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace bwpart {
+
+/// Number of worker threads to use for a sweep of `jobs` items.
+std::size_t default_parallelism(std::size_t jobs);
+
+/// Runs fn(i) for every i in [0, n) across up to `threads` workers using
+/// atomic work-stealing of indices. fn must not throw; items must be
+/// independent. Blocks until all items finish. With threads <= 1 the loop
+/// runs inline (deterministic debugging path).
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t threads = 0) {
+  if (threads == 0) threads = default_parallelism(n);
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::size_t workers = threads < n ? threads : n;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();  // this thread participates
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace bwpart

@@ -1,0 +1,16 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace bwpart {
+
+std::uint64_t Rng::next_geometric(double p) {
+  BWPART_ASSERT(p > 0.0 && p <= 1.0, "geometric parameter out of range");
+  if (p >= 1.0) return 0;
+  // Inverse-CDF sampling: floor(log(U) / log(1-p)).
+  const double u = 1.0 - next_double();  // (0, 1]
+  const double g = std::floor(std::log(u) / std::log1p(-p));
+  return g < 0.0 ? 0 : static_cast<std::uint64_t>(g);
+}
+
+}  // namespace bwpart

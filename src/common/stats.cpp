@@ -1,0 +1,78 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace bwpart {
+
+double mean(std::span<const double> xs) {
+  BWPART_ASSERT(!xs.empty(), "mean of empty sequence");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  BWPART_ASSERT(!xs.empty(), "stddev of empty sequence");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double relative_stddev_percent(std::span<const double> xs) {
+  const double m = mean(xs);
+  BWPART_ASSERT(m != 0.0, "RSD undefined for zero mean");
+  return 100.0 * stddev(xs) / m;
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  BWPART_ASSERT(!xs.empty(), "harmonic mean of empty sequence");
+  double inv = 0.0;
+  for (double x : xs) {
+    BWPART_ASSERT(x > 0.0, "harmonic mean requires positive values");
+    inv += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv;
+}
+
+double geometric_mean(std::span<const double> xs) {
+  BWPART_ASSERT(!xs.empty(), "geometric mean of empty sequence");
+  double log_sum = 0.0;
+  for (double x : xs) {
+    BWPART_ASSERT(x > 0.0, "geometric mean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double min_value(std::span<const double> xs) {
+  BWPART_ASSERT(!xs.empty(), "min of empty sequence");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+void StreamingStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace bwpart

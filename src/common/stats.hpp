@@ -1,0 +1,55 @@
+// Small statistics helpers used across the model and the experiment
+// harness: arithmetic/harmonic means, relative standard deviation (the
+// paper's workload-heterogeneity measure, Section V-C2), and a streaming
+// accumulator for per-run counters.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace bwpart {
+
+/// Arithmetic mean of a non-empty sequence.
+double mean(std::span<const double> xs);
+
+/// Population standard deviation of a non-empty sequence.
+double stddev(std::span<const double> xs);
+
+/// Relative Standard Deviation in percent: 100 * stddev / mean.
+/// The paper calls a 4-app mix heterogeneous when the RSD of the apps'
+/// APC_alone values exceeds 30.
+double relative_stddev_percent(std::span<const double> xs);
+
+/// Harmonic mean of a non-empty sequence of positive values.
+double harmonic_mean(std::span<const double> xs);
+
+/// Geometric mean of a non-empty sequence of positive values.
+double geometric_mean(std::span<const double> xs);
+
+/// Minimum element of a non-empty sequence.
+double min_value(std::span<const double> xs);
+
+/// Welford streaming mean/variance accumulator.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Population variance; zero when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace bwpart

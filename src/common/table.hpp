@@ -1,0 +1,32 @@
+// Minimal fixed-width table printer used by the bench harnesses to emit
+// paper-style tables (Table III/IV rows, Fig. 1-4 series) to stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bwpart {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing, a header separator, and two-space
+  /// column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision — the common cell type.
+  static std::string num(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bwpart

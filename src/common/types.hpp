@@ -1,0 +1,52 @@
+// Fundamental vocabulary types shared by every bwpart module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bwpart {
+
+/// A point in time or a duration, measured in CPU clock cycles.
+using Cycle = std::uint64_t;
+
+/// A physical byte address.
+using Addr = std::uint64_t;
+
+/// Index of an application (== core id; each core runs one application).
+using AppId = std::uint32_t;
+
+/// Sentinel for "no cycle" / "not scheduled yet".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel for an invalid application id.
+inline constexpr AppId kNoApp = std::numeric_limits<AppId>::max();
+
+/// Kind of a memory access as seen by the memory system.
+enum class AccessType : std::uint8_t { Read, Write };
+
+/// Memory intensity classes used by the paper's Table III
+/// (APKC_alone > 8: high; 4..8: middle; < 4: low).
+enum class Intensity : std::uint8_t { Low, Middle, High };
+
+/// Classify an application by its standalone accesses-per-kilo-cycle,
+/// exactly as Section V-C1 of the paper does.
+constexpr Intensity classify_intensity(double apkc_alone) {
+  if (apkc_alone > 8.0) return Intensity::High;
+  if (apkc_alone > 4.0) return Intensity::Middle;
+  return Intensity::Low;
+}
+
+constexpr const char* to_string(Intensity i) {
+  switch (i) {
+    case Intensity::Low: return "low";
+    case Intensity::Middle: return "middle";
+    case Intensity::High: return "high";
+  }
+  return "?";
+}
+
+constexpr const char* to_string(AccessType t) {
+  return t == AccessType::Read ? "read" : "write";
+}
+
+}  // namespace bwpart

@@ -1,0 +1,68 @@
+// Unit conversions between the paper's model-space bandwidth unit
+// (memory Accesses Per Cycle, APC) and physical units (GB/s), plus the
+// clock/geometry parameters the conversion depends on (Section III-A:
+// GB/s = APC * cache_line_size * cpu_frequency).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace bwpart {
+
+/// Clock frequency in hertz. Kept as a plain integer; all cross-clock
+/// arithmetic is exact rational math (see ClockCrossing).
+struct Frequency {
+  std::uint64_t hz = 0;
+
+  constexpr double ghz() const { return static_cast<double>(hz) / 1e9; }
+  constexpr double mhz() const { return static_cast<double>(hz) / 1e6; }
+
+  static constexpr Frequency from_ghz(double g) {
+    return Frequency{static_cast<std::uint64_t>(g * 1e9)};
+  }
+  static constexpr Frequency from_mhz(double m) {
+    return Frequency{static_cast<std::uint64_t>(m * 1e6)};
+  }
+
+  constexpr bool operator==(const Frequency&) const = default;
+};
+
+/// Parameters needed to convert between APC and bytes/second.
+struct BandwidthContext {
+  Frequency cpu_clock = Frequency::from_ghz(5.0);  // paper baseline: 5 GHz
+  std::uint32_t cache_line_bytes = 64;             // paper baseline: 64 B
+
+  /// Accesses-per-cpu-cycle -> bytes per second.
+  constexpr double apc_to_bytes_per_sec(double apc) const {
+    return apc * static_cast<double>(cache_line_bytes) *
+           static_cast<double>(cpu_clock.hz);
+  }
+
+  /// Accesses-per-cpu-cycle -> GB/s (decimal GB, as the paper uses:
+  /// 0.01 APC at 5 GHz / 64 B == 3.2 GB/s).
+  constexpr double apc_to_gbps(double apc) const {
+    return apc_to_bytes_per_sec(apc) / 1e9;
+  }
+
+  /// GB/s -> accesses per cpu cycle.
+  constexpr double gbps_to_apc(double gbps) const {
+    return gbps * 1e9 /
+           (static_cast<double>(cache_line_bytes) *
+            static_cast<double>(cpu_clock.hz));
+  }
+
+  /// Accesses per kilo cycle (Table III's unit) from APC.
+  static constexpr double apc_to_apkc(double apc) { return apc * 1000.0; }
+  static constexpr double apkc_to_apc(double apkc) { return apkc / 1000.0; }
+};
+
+/// Peak data-bus bandwidth of a DDR channel in bytes/second:
+/// bus_width bytes transferred on both clock edges.
+constexpr double ddr_peak_bytes_per_sec(Frequency bus_clock,
+                                        std::uint32_t bus_bytes) {
+  return 2.0 * static_cast<double>(bus_clock.hz) *
+         static_cast<double>(bus_bytes);
+}
+
+}  // namespace bwpart

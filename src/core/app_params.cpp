@@ -1,0 +1,19 @@
+#include "core/app_params.hpp"
+
+#include "common/stats.hpp"
+
+namespace bwpart::core {
+
+std::vector<double> apc_alone_of(std::span<const AppParams> apps) {
+  std::vector<double> out;
+  out.reserve(apps.size());
+  for (const AppParams& a : apps) out.push_back(a.apc_alone);
+  return out;
+}
+
+double heterogeneity_rsd(std::span<const AppParams> apps) {
+  const std::vector<double> apcs = apc_alone_of(apps);
+  return relative_stddev_percent(apcs);
+}
+
+}  // namespace bwpart::core

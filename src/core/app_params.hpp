@@ -1,0 +1,44 @@
+// The per-application quantities the analytical model operates on
+// (paper Table I).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace bwpart::core {
+
+/// Inherent (bandwidth-partitioning-invariant) parameters of one
+/// application: its standalone memory access frequency APC_alone and its
+/// memory accesses per instruction API. Everything else the model needs
+/// (IPC_alone, bandwidth sensitivity) derives from these two.
+struct AppParams {
+  double apc_alone = 0.0;  ///< accesses per CPU cycle, standalone
+  double api = 0.0;        ///< accesses per instruction
+
+  /// IPC_alone = APC_alone / API (Eq. 1 applied to the standalone run).
+  double ipc_alone() const {
+    BWPART_ASSERT(api > 0.0, "API must be positive");
+    return apc_alone / api;
+  }
+
+  /// IPC achieved when the application occupies `apc` bandwidth (Eq. 1).
+  double ipc_at(double apc) const {
+    BWPART_ASSERT(api > 0.0, "API must be positive");
+    return apc / api;
+  }
+};
+
+/// Extracts the APC_alone vector of a workload.
+std::vector<double> apc_alone_of(std::span<const AppParams> apps);
+
+/// The paper's workload heterogeneity: RSD (%) of the apps' APC_alone
+/// values; a mix is called heterogeneous when this exceeds 30 (Section
+/// V-C2).
+double heterogeneity_rsd(std::span<const AppParams> apps);
+
+inline constexpr double kHeterogeneousRsdThreshold = 30.0;
+
+}  // namespace bwpart::core

@@ -1,0 +1,81 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bwpart::core {
+
+namespace {
+void check_pair(std::span<const double> shared, std::span<const double> alone) {
+  BWPART_ASSERT(!shared.empty(), "metric over empty workload");
+  BWPART_ASSERT(shared.size() == alone.size(), "IPC vector arity mismatch");
+  for (double a : alone) BWPART_ASSERT(a > 0.0, "IPC_alone must be positive");
+}
+}  // namespace
+
+std::string to_string(Metric m) {
+  switch (m) {
+    case Metric::HarmonicWeightedSpeedup: return "Hsp";
+    case Metric::MinFairness: return "MinFairness";
+    case Metric::WeightedSpeedup: return "Wsp";
+    case Metric::IpcSum: return "IPCsum";
+  }
+  return "?";
+}
+
+double harmonic_weighted_speedup(std::span<const double> ipc_shared,
+                                 std::span<const double> ipc_alone) {
+  check_pair(ipc_shared, ipc_alone);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+    BWPART_ASSERT(ipc_shared[i] > 0.0, "Hsp needs positive shared IPCs");
+    acc += ipc_alone[i] / ipc_shared[i];
+  }
+  return static_cast<double>(ipc_shared.size()) / acc;
+}
+
+double weighted_speedup(std::span<const double> ipc_shared,
+                        std::span<const double> ipc_alone) {
+  check_pair(ipc_shared, ipc_alone);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+    acc += ipc_shared[i] / ipc_alone[i];
+  }
+  return acc / static_cast<double>(ipc_shared.size());
+}
+
+double ipc_sum(std::span<const double> ipc_shared) {
+  BWPART_ASSERT(!ipc_shared.empty(), "metric over empty workload");
+  double acc = 0.0;
+  for (double x : ipc_shared) acc += x;
+  return acc;
+}
+
+double min_fairness(std::span<const double> ipc_shared,
+                    std::span<const double> ipc_alone) {
+  check_pair(ipc_shared, ipc_alone);
+  double min_speedup = ipc_shared[0] / ipc_alone[0];
+  for (std::size_t i = 1; i < ipc_shared.size(); ++i) {
+    min_speedup = std::min(min_speedup, ipc_shared[i] / ipc_alone[i]);
+  }
+  return static_cast<double>(ipc_shared.size()) * min_speedup;
+}
+
+double evaluate_metric(Metric m, std::span<const double> ipc_shared,
+                       std::span<const double> ipc_alone) {
+  switch (m) {
+    case Metric::HarmonicWeightedSpeedup:
+      return harmonic_weighted_speedup(ipc_shared, ipc_alone);
+    case Metric::MinFairness:
+      return min_fairness(ipc_shared, ipc_alone);
+    case Metric::WeightedSpeedup:
+      return weighted_speedup(ipc_shared, ipc_alone);
+    case Metric::IpcSum:
+      return ipc_sum(ipc_shared);
+  }
+  BWPART_ASSERT(false, "unknown metric");
+  return 0.0;
+}
+
+}  // namespace bwpart::core

@@ -1,0 +1,44 @@
+// The four system performance objectives the paper studies, expressed over
+// per-application shared and standalone IPCs (Section V-A).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace bwpart::core {
+
+enum class Metric : std::uint8_t {
+  HarmonicWeightedSpeedup,  ///< Eq. 3 (Luo et al.)
+  MinFairness,              ///< Eq. 14 (Vandierendonck & Seznec)
+  WeightedSpeedup,          ///< Eq. 9 (Snavely & Tullsen)
+  IpcSum,                   ///< Eq. 10
+};
+
+inline constexpr Metric kAllMetrics[] = {
+    Metric::HarmonicWeightedSpeedup, Metric::MinFairness,
+    Metric::WeightedSpeedup, Metric::IpcSum};
+
+std::string to_string(Metric m);
+
+/// Hsp = N / sum_i(IPC_alone_i / IPC_shared_i): harmonic mean of speedups.
+double harmonic_weighted_speedup(std::span<const double> ipc_shared,
+                                 std::span<const double> ipc_alone);
+
+/// Wsp = sum_i(IPC_shared_i / IPC_alone_i) / N: arithmetic mean of speedups.
+double weighted_speedup(std::span<const double> ipc_shared,
+                        std::span<const double> ipc_alone);
+
+/// Sum of IPCs (plain throughput).
+double ipc_sum(std::span<const double> ipc_shared);
+
+/// MinF = N * min_i(IPC_shared_i / IPC_alone_i); the system "achieves
+/// minimum fairness" when MinF >= 1, i.e. every app gets >= 1/N speedup.
+double min_fairness(std::span<const double> ipc_shared,
+                    std::span<const double> ipc_alone);
+
+/// Dispatch on the Metric enum.
+double evaluate_metric(Metric m, std::span<const double> ipc_shared,
+                       std::span<const double> ipc_alone);
+
+}  // namespace bwpart::core

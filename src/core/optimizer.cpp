@@ -1,0 +1,124 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace bwpart::core {
+
+std::vector<double> project_capped_simplex(std::span<const double> y,
+                                           std::span<const double> caps,
+                                           double total) {
+  BWPART_ASSERT(y.size() == caps.size(), "projection arity mismatch");
+  const double cap_sum = std::accumulate(caps.begin(), caps.end(), 0.0);
+  BWPART_ASSERT(total <= cap_sum + 1e-12, "infeasible projection target");
+  // Find lambda with sum_i clamp(y_i - lambda, 0, cap_i) == total by
+  // bisection; the sum is continuous and non-increasing in lambda.
+  double lo = -1.0, hi = 1.0;
+  auto mass = [&](double lambda) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      s += std::clamp(y[i] - lambda, 0.0, caps[i]);
+    }
+    return s;
+  };
+  for (double v : y) {
+    lo = std::min(lo, v - cap_sum - 1.0);
+    hi = std::max(hi, v + 1.0);
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (mass(mid) > total) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double lambda = 0.5 * (lo + hi);
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = std::clamp(y[i] - lambda, 0.0, caps[i]);
+  }
+  return out;
+}
+
+std::vector<double> optimize_allocation(const AllocationObjective& objective,
+                                        std::span<const AppParams> apps,
+                                        double b,
+                                        const OptimizerConfig& cfg) {
+  BWPART_ASSERT(!apps.empty(), "empty workload");
+  BWPART_ASSERT(b > 0.0, "bandwidth must be positive");
+  const std::size_t n = apps.size();
+  std::vector<double> caps(n);
+  double cap_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    caps[i] = apps[i].apc_alone;
+    cap_sum += caps[i];
+  }
+  const double total = std::min(b, cap_sum);
+
+  // Start from the proportional allocation (always feasible).
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = caps[i] / cap_sum * total;
+
+  const double eps = cfg.gradient_epsilon_fraction * total;
+  double step = cfg.initial_step_fraction * total;
+  std::vector<double> grad(n), trial(n);
+  double best_value = objective(x);
+  std::vector<double> best = x;
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    // Central-difference gradient (projected after the step, so the raw
+    // gradient need not be feasibility-preserving).
+    for (std::size_t i = 0; i < n; ++i) {
+      const double saved = x[i];
+      x[i] = saved + eps;
+      const double up = objective(x);
+      x[i] = saved - eps;
+      const double down = objective(x);
+      x[i] = saved;
+      grad[i] = (up - down) / (2.0 * eps);
+    }
+    double norm = 0.0;
+    for (double g : grad) norm += g * g;
+    norm = std::sqrt(norm);
+    if (norm < 1e-18) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      trial[i] = x[i] + step * grad[i] / norm;
+    }
+    x = project_capped_simplex(trial, caps, total);
+    const double value = objective(x);
+    if (value > best_value) {
+      best_value = value;
+      best = x;
+    } else {
+      step *= 0.97;  // cool down when no longer improving
+      if (step < 1e-9 * total) break;
+    }
+  }
+  return best;
+}
+
+std::vector<double> optimize_metric(Metric m, std::span<const AppParams> apps,
+                                    double b, const OptimizerConfig& cfg) {
+  std::vector<double> ipc_alone;
+  ipc_alone.reserve(apps.size());
+  for (const AppParams& a : apps) ipc_alone.push_back(a.ipc_alone());
+  // Copy the app parameters: the returned lambda must not reference the
+  // caller's span after this function returns (it does not here, but the
+  // objective is also handed to optimize_allocation which stores nothing).
+  std::vector<AppParams> owned(apps.begin(), apps.end());
+  const AllocationObjective objective =
+      [owned, ipc_alone, m](std::span<const double> apc) {
+        std::vector<double> shared(apc.size());
+        for (std::size_t i = 0; i < apc.size(); ++i) {
+          shared[i] = owned[i].ipc_at(std::max(apc[i], 1e-15));
+        }
+        return evaluate_metric(m, shared, ipc_alone);
+      };
+  return optimize_allocation(objective, apps, b, cfg);
+}
+
+}  // namespace bwpart::core

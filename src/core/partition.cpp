@@ -1,0 +1,180 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace bwpart::core {
+
+std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::NoPartitioning: return "No_partitioning";
+    case Scheme::Equal: return "Equal";
+    case Scheme::Proportional: return "Proportional";
+    case Scheme::SquareRoot: return "Square_root";
+    case Scheme::TwoThirdsPower: return "2/3_power";
+    case Scheme::PriorityApc: return "Priority_APC";
+    case Scheme::PriorityApi: return "Priority_API";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<double> normalized(std::vector<double> w) {
+  const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  BWPART_ASSERT(sum > 0.0, "weights must have positive sum");
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+std::vector<double> scheme_weights(Scheme s, std::span<const AppParams> apps) {
+  std::vector<double> w;
+  w.reserve(apps.size());
+  for (const AppParams& a : apps) {
+    BWPART_ASSERT(a.apc_alone > 0.0, "APC_alone must be positive");
+    switch (s) {
+      case Scheme::Equal:
+        w.push_back(1.0);
+        break;
+      case Scheme::Proportional:
+      case Scheme::NoPartitioning:  // demand-proportional approximation
+        w.push_back(a.apc_alone);
+        break;
+      case Scheme::SquareRoot:
+        w.push_back(std::sqrt(a.apc_alone));
+        break;
+      case Scheme::TwoThirdsPower:
+        w.push_back(std::pow(a.apc_alone, 2.0 / 3.0));
+        break;
+      case Scheme::PriorityApc:
+      case Scheme::PriorityApi:
+        BWPART_ASSERT(false, "priority schemes have no weight vector");
+        break;
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> priority_ranks(Scheme s,
+                                          std::span<const AppParams> apps) {
+  BWPART_ASSERT(is_priority_scheme(s), "ranks only for priority schemes");
+  std::vector<std::uint32_t> order(apps.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     const double ka = s == Scheme::PriorityApc
+                                           ? apps[a].apc_alone
+                                           : apps[a].api;
+                     const double kb = s == Scheme::PriorityApc
+                                           ? apps[b].apc_alone
+                                           : apps[b].api;
+                     return ka < kb;
+                   });
+  // order[r] = app with rank r; invert to rank-per-app.
+  std::vector<std::uint32_t> rank(apps.size());
+  for (std::uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+  return rank;
+}
+
+std::vector<double> knapsack_allocate(std::span<const double> caps,
+                                      std::span<const std::uint32_t> ranks,
+                                      double b) {
+  BWPART_ASSERT(caps.size() == ranks.size(), "caps/ranks arity mismatch");
+  BWPART_ASSERT(b >= 0.0, "negative budget");
+  // Invert ranks back into serving order.
+  std::vector<std::uint32_t> order(caps.size());
+  for (std::uint32_t i = 0; i < caps.size(); ++i) {
+    BWPART_ASSERT(ranks[i] < caps.size(), "rank out of range");
+    order[ranks[i]] = i;
+  }
+  std::vector<double> alloc(caps.size(), 0.0);
+  double remaining = b;
+  for (std::uint32_t idx : order) {
+    const double take = std::min(caps[idx], remaining);
+    alloc[idx] = take;
+    remaining -= take;
+    if (remaining <= 0.0) break;
+  }
+  return alloc;
+}
+
+std::vector<double> waterfill(std::span<const double> weights,
+                              std::span<const double> caps, double b) {
+  BWPART_ASSERT(weights.size() == caps.size(), "weights/caps arity mismatch");
+  BWPART_ASSERT(b >= 0.0, "negative budget");
+  const std::size_t n = weights.size();
+  std::vector<double> alloc(n, 0.0);
+  std::vector<bool> capped(n, false);
+  double remaining = b;
+  // Each pass distributes the remaining budget proportionally among the
+  // uncapped apps; apps hitting their cap are frozen and the surplus
+  // redistributed. Terminates in at most n passes.
+  for (std::size_t pass = 0; pass < n && remaining > 1e-15; ++pass) {
+    double active_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!capped[i]) active_weight += weights[i];
+    }
+    if (active_weight <= 0.0) break;
+    bool newly_capped = false;
+    const double budget = remaining;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (capped[i]) continue;
+      const double offer = budget * weights[i] / active_weight;
+      const double headroom = caps[i] - alloc[i];
+      if (offer >= headroom) {
+        alloc[i] = caps[i];
+        remaining -= headroom;
+        capped[i] = true;
+        newly_capped = true;
+      }
+    }
+    if (!newly_capped) {
+      // Nobody capped: hand out the proportional offers and finish.
+      for (std::size_t i = 0; i < n; ++i) {
+        if (capped[i]) continue;
+        alloc[i] += budget * weights[i] / active_weight;
+        remaining -= budget * weights[i] / active_weight;
+      }
+      break;
+    }
+  }
+  return alloc;
+}
+
+std::vector<double> compute_shares(Scheme s, std::span<const AppParams> apps,
+                                   double b) {
+  BWPART_ASSERT(!apps.empty(), "empty workload");
+  if (is_priority_scheme(s)) {
+    BWPART_ASSERT(b > 0.0, "priority shares need the bandwidth budget");
+    const std::vector<double> alloc = analytic_allocation(s, apps, b);
+    const double sum = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    BWPART_ASSERT(sum > 0.0, "knapsack allocated nothing");
+    std::vector<double> beta(alloc.size());
+    for (std::size_t i = 0; i < alloc.size(); ++i) beta[i] = alloc[i] / sum;
+    return beta;
+  }
+  return normalized(scheme_weights(s, apps));
+}
+
+std::vector<double> analytic_allocation(Scheme s,
+                                        std::span<const AppParams> apps,
+                                        double b) {
+  BWPART_ASSERT(!apps.empty(), "empty workload");
+  BWPART_ASSERT(b > 0.0, "bandwidth must be positive");
+  std::vector<double> caps;
+  caps.reserve(apps.size());
+  for (const AppParams& a : apps) caps.push_back(a.apc_alone);
+  if (is_priority_scheme(s)) {
+    const std::vector<std::uint32_t> ranks = priority_ranks(s, apps);
+    return knapsack_allocate(caps, ranks, b);
+  }
+  const std::vector<double> w = scheme_weights(s, apps);
+  return waterfill(w, caps, b);
+}
+
+}  // namespace bwpart::core

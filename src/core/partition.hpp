@@ -1,0 +1,74 @@
+// The bandwidth partitioning schemes of Section V-D and the machinery to
+// turn each into (a) a share vector beta for the enforcement scheduler and
+// (b) an analytic per-application bandwidth allocation APC_shared.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/app_params.hpp"
+
+namespace bwpart::core {
+
+enum class Scheme : std::uint8_t {
+  NoPartitioning,  ///< FCFS, bandwidth falls where demand pushes it
+  Equal,           ///< beta_i = 1/N (Nesbit et al.)
+  Proportional,    ///< beta_i ~ APC_alone_i — optimal for fairness (Sec III-C)
+  SquareRoot,      ///< beta_i ~ sqrt(APC_alone_i) — optimal for Hsp (Sec III-B)
+  TwoThirdsPower,  ///< beta_i ~ APC_alone_i^(2/3) (Liu et al., HPCA'10)
+  PriorityApc,     ///< knapsack, low APC_alone first — optimal Wsp (Sec III-D)
+  PriorityApi,     ///< knapsack, low API first — optimal IPCsum (Sec III-E)
+};
+
+inline constexpr Scheme kAllSchemes[] = {
+    Scheme::NoPartitioning, Scheme::Equal,       Scheme::Proportional,
+    Scheme::SquareRoot,     Scheme::TwoThirdsPower, Scheme::PriorityApc,
+    Scheme::PriorityApi};
+
+std::string to_string(Scheme s);
+
+/// True for the strict-priority schemes, which are enforced by request
+/// priority rather than by a share vector.
+constexpr bool is_priority_scheme(Scheme s) {
+  return s == Scheme::PriorityApc || s == Scheme::PriorityApi;
+}
+
+/// Weight-proportional share vectors for the share-based schemes
+/// (Equal/Proportional/SquareRoot/TwoThirdsPower). `b` — the total utilized
+/// bandwidth in APC — is only needed by the priority schemes, for which the
+/// returned shares are the analytic knapsack allocation divided by `b`.
+/// For NoPartitioning, returns the demand-proportional approximation (the
+/// scheduler ignores shares in that mode anyway).
+std::vector<double> compute_shares(Scheme s, std::span<const AppParams> apps,
+                                   double b);
+
+/// Priority ranks (0 = served first) for the priority schemes:
+/// PriorityApc ranks by ascending APC_alone, PriorityApi by ascending API.
+std::vector<std::uint32_t> priority_ranks(Scheme s,
+                                          std::span<const AppParams> apps);
+
+/// Greedy fractional-knapsack allocation (Sections III-D/E): hand each
+/// application, in the given rank order, min(cap_i, remaining budget).
+/// `caps[i]` is the most bandwidth app i can consume (its APC_alone).
+/// Returns the APC allocation; allocations sum to min(b, sum(caps)).
+std::vector<double> knapsack_allocate(std::span<const double> caps,
+                                      std::span<const std::uint32_t> ranks,
+                                      double b);
+
+/// Analytic bandwidth allocation of a scheme: APC_shared per app such that
+/// the vector sums to min(B, sum APC_alone). Share-based schemes are
+/// water-filled — an app never receives more than its APC_alone (it cannot
+/// generate more traffic than it does standalone); surplus is redistributed
+/// among the remaining apps in proportion to their weights.
+std::vector<double> analytic_allocation(Scheme s,
+                                        std::span<const AppParams> apps,
+                                        double b);
+
+/// Water-fill helper: distribute `b` in proportion to `weights` with
+/// per-app caps, redistributing any capped surplus. Exposed for tests.
+std::vector<double> waterfill(std::span<const double> weights,
+                              std::span<const double> caps, double b);
+
+}  // namespace bwpart::core

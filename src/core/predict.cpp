@@ -1,0 +1,70 @@
+#include "core/predict.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace bwpart::core {
+
+double Prediction::metric(Metric m) const {
+  switch (m) {
+    case Metric::HarmonicWeightedSpeedup: return hsp;
+    case Metric::MinFairness: return min_fairness;
+    case Metric::WeightedSpeedup: return wsp;
+    case Metric::IpcSum: return ipcsum;
+  }
+  BWPART_ASSERT(false, "unknown metric");
+  return 0.0;
+}
+
+Prediction predict(Scheme s, std::span<const AppParams> apps, double b) {
+  Prediction p;
+  p.apc_shared = analytic_allocation(s, apps, b);
+  p.ipc_shared.reserve(apps.size());
+  std::vector<double> ipc_alone;
+  ipc_alone.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    p.ipc_shared.push_back(apps[i].ipc_at(p.apc_shared[i]));
+    ipc_alone.push_back(apps[i].ipc_alone());
+  }
+  // Priority schemes can hand an app literally zero bandwidth; the
+  // harmonic mean is then zero (complete starvation) by continuity.
+  bool starved = false;
+  for (double x : p.ipc_shared) {
+    if (x <= 0.0) starved = true;
+  }
+  p.hsp = starved ? 0.0
+                  : harmonic_weighted_speedup(p.ipc_shared, ipc_alone);
+  p.wsp = weighted_speedup(p.ipc_shared, ipc_alone);
+  p.ipcsum = ipc_sum(p.ipc_shared);
+  p.min_fairness = min_fairness(p.ipc_shared, ipc_alone);
+  return p;
+}
+
+double hsp_squareroot_closed_form(std::span<const AppParams> apps, double b) {
+  BWPART_ASSERT(!apps.empty(), "empty workload");
+  double sum_sqrt = 0.0;
+  for (const AppParams& a : apps) sum_sqrt += std::sqrt(a.apc_alone);
+  return static_cast<double>(apps.size()) * b / (sum_sqrt * sum_sqrt);
+}
+
+double wsp_squareroot_closed_form(std::span<const AppParams> apps, double b) {
+  BWPART_ASSERT(!apps.empty(), "empty workload");
+  double sum_inv_sqrt = 0.0;
+  double sum_sqrt = 0.0;
+  for (const AppParams& a : apps) {
+    sum_inv_sqrt += 1.0 / std::sqrt(a.apc_alone);
+    sum_sqrt += std::sqrt(a.apc_alone);
+  }
+  return b * sum_inv_sqrt / (static_cast<double>(apps.size()) * sum_sqrt);
+}
+
+double hsp_proportional_closed_form(std::span<const AppParams> apps,
+                                    double b) {
+  BWPART_ASSERT(!apps.empty(), "empty workload");
+  double sum_apc = 0.0;
+  for (const AppParams& a : apps) sum_apc += a.apc_alone;
+  return b / sum_apc;
+}
+
+}  // namespace bwpart::core

@@ -1,0 +1,50 @@
+// Analytic performance prediction (Section III-F): given a workload's
+// inherent parameters and a partitioning scheme, predict each app's
+// bandwidth share, its IPC via Eq. 1, and every system metric — plus the
+// closed forms the paper derives for Square_root and Proportional
+// (Eqs. 4, 6 and 8).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+
+namespace bwpart::core {
+
+struct Prediction {
+  std::vector<double> apc_shared;
+  std::vector<double> ipc_shared;
+  double hsp = 0.0;
+  double wsp = 0.0;
+  double ipcsum = 0.0;
+  double min_fairness = 0.0;
+
+  double metric(Metric m) const;
+};
+
+/// Full analytic prediction of a scheme on a workload with total utilized
+/// bandwidth `b` (in APC units).
+Prediction predict(Scheme s, std::span<const AppParams> apps, double b);
+
+/// Eq. 4: the maximum harmonic weighted speedup, achieved by Square_root:
+/// Hsp* = N * B / (sum_i sqrt(APC_alone_i))^2.
+double hsp_squareroot_closed_form(std::span<const AppParams> apps, double b);
+
+/// The weighted speedup delivered by Square_root:
+/// Wsp = B * (sum_i 1/sqrt(APC_alone_i)) / (N * sum_j sqrt(APC_alone_j)).
+///
+/// Note: the paper's Eq. 6 prints this as B/N * (sum 1/sqrt)^2, which is
+/// dimensionally inconsistent with its own Eq. 9 — for N identical apps it
+/// would give N^2 * B/(N*a) instead of B/(N*a) (the value Eq. 8 assigns to
+/// the then-identical Proportional scheme). We implement the form that
+/// follows from substituting Eq. 5's allocation into Eq. 9; it degenerates
+/// correctly and still dominates Eq. 8 by Cauchy's inequality.
+double wsp_squareroot_closed_form(std::span<const AppParams> apps, double b);
+
+/// Eq. 8: Hsp and Wsp of Proportional coincide: B / sum_i APC_alone_i.
+double hsp_proportional_closed_form(std::span<const AppParams> apps, double b);
+
+}  // namespace bwpart::core

@@ -1,0 +1,65 @@
+#include "core/qos.hpp"
+
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace bwpart::core {
+
+QosPlan qos_allocate(std::span<const AppParams> apps,
+                     std::span<const QosRequirement> requirements, double b,
+                     Scheme best_effort_scheme) {
+  BWPART_ASSERT(!apps.empty(), "empty workload");
+  BWPART_ASSERT(b > 0.0, "bandwidth must be positive");
+  BWPART_ASSERT(!is_priority_scheme(best_effort_scheme) ||
+                    best_effort_scheme == Scheme::PriorityApc ||
+                    best_effort_scheme == Scheme::PriorityApi,
+                "unexpected scheme");
+
+  QosPlan plan;
+  plan.apc_shared.assign(apps.size(), 0.0);
+
+  std::vector<bool> is_qos(apps.size(), false);
+  for (const QosRequirement& req : requirements) {
+    BWPART_ASSERT(req.app_index < apps.size(), "QoS index out of range");
+    BWPART_ASSERT(!is_qos[req.app_index], "duplicate QoS requirement");
+    is_qos[req.app_index] = true;
+    const AppParams& a = apps[req.app_index];
+    // Reservation per Section III-G: B_QoS = IPC_target * API.
+    const double reserve = req.ipc_target * a.api;
+    if (reserve > a.apc_alone) return plan;  // target unreachable
+    plan.apc_shared[req.app_index] = reserve;
+    plan.b_qos += reserve;
+  }
+  if (plan.b_qos > b) return plan;  // reservations exceed total bandwidth
+  plan.b_best_effort = b - plan.b_qos;
+
+  // Best-effort sub-workload allocation over the remaining bandwidth.
+  std::vector<AppParams> be_apps;
+  std::vector<std::size_t> be_index;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    if (!is_qos[i]) {
+      be_apps.push_back(apps[i]);
+      be_index.push_back(i);
+    }
+  }
+  if (!be_apps.empty() && plan.b_best_effort > 0.0) {
+    const std::vector<double> be_alloc =
+        analytic_allocation(best_effort_scheme, be_apps, plan.b_best_effort);
+    for (std::size_t k = 0; k < be_apps.size(); ++k) {
+      plan.apc_shared[be_index[k]] = be_alloc[k];
+    }
+  }
+
+  const double total =
+      std::accumulate(plan.apc_shared.begin(), plan.apc_shared.end(), 0.0);
+  BWPART_ASSERT(total > 0.0, "QoS plan allocated nothing");
+  plan.beta.resize(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    plan.beta[i] = plan.apc_shared[i] / total;
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+}  // namespace bwpart::core

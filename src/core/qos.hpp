@@ -1,0 +1,40 @@
+// QoS-guaranteed partitioning (Section III-G): reserve exactly the
+// bandwidth each guaranteed application needs for its IPC target
+// (B_QoS = IPC_target * API), then hand the remainder to the best-effort
+// group under any optimal scheme (Eq. 11).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "core/partition.hpp"
+
+namespace bwpart::core {
+
+struct QosRequirement {
+  std::uint32_t app_index = 0;  ///< index into the workload's AppParams
+  double ipc_target = 0.0;
+};
+
+struct QosPlan {
+  bool feasible = false;
+  /// Reserved bandwidth of the QoS group and the remainder (APC units).
+  double b_qos = 0.0;
+  double b_best_effort = 0.0;
+  /// Analytic APC allocation for every app (QoS apps get exactly their
+  /// reservation; best-effort apps split the remainder per the scheme).
+  std::vector<double> apc_shared;
+  /// Normalized shares for the enforcement scheduler.
+  std::vector<double> beta;
+};
+
+/// Computes the QoS plan. Infeasible when a target exceeds what the app
+/// can consume standalone (IPC_target > IPC_alone) or when the combined
+/// reservations exceed the total bandwidth `b`.
+QosPlan qos_allocate(std::span<const AppParams> apps,
+                     std::span<const QosRequirement> requirements, double b,
+                     Scheme best_effort_scheme);
+
+}  // namespace bwpart::core

@@ -1,0 +1,169 @@
+#include "core/weighted.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace bwpart::core {
+
+namespace {
+
+void check(std::span<const double> shared, std::span<const double> alone,
+           std::span<const double> weights) {
+  BWPART_ASSERT(!shared.empty(), "weighted metric over empty workload");
+  BWPART_ASSERT(shared.size() == alone.size() &&
+                    shared.size() == weights.size(),
+                "arity mismatch");
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    BWPART_ASSERT(alone[i] > 0.0, "IPC_alone must be positive");
+    BWPART_ASSERT(weights[i] > 0.0, "weights must be positive");
+  }
+}
+
+/// Knapsack ranks from a value-density vector (higher density served
+/// first).
+std::vector<std::uint32_t> density_ranks(std::span<const double> density) {
+  std::vector<std::uint32_t> order(density.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return density[a] > density[b];
+                   });
+  std::vector<std::uint32_t> rank(density.size());
+  for (std::uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+  return rank;
+}
+
+}  // namespace
+
+double weighted_harmonic_speedup(std::span<const double> ipc_shared,
+                                 std::span<const double> ipc_alone,
+                                 std::span<const double> weights) {
+  check(ipc_shared, ipc_alone, weights);
+  double wsum = 0.0, acc = 0.0;
+  for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+    BWPART_ASSERT(ipc_shared[i] > 0.0, "weighted Hsp needs positive IPCs");
+    wsum += weights[i];
+    acc += weights[i] * ipc_alone[i] / ipc_shared[i];
+  }
+  return wsum / acc;
+}
+
+double weighted_weighted_speedup(std::span<const double> ipc_shared,
+                                 std::span<const double> ipc_alone,
+                                 std::span<const double> weights) {
+  check(ipc_shared, ipc_alone, weights);
+  double wsum = 0.0, acc = 0.0;
+  for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+    wsum += weights[i];
+    acc += weights[i] * ipc_shared[i] / ipc_alone[i];
+  }
+  return acc / wsum;
+}
+
+double weighted_ipc_sum(std::span<const double> ipc_shared,
+                        std::span<const double> weights) {
+  BWPART_ASSERT(ipc_shared.size() == weights.size(), "arity mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+    acc += weights[i] * ipc_shared[i];
+  }
+  return acc;
+}
+
+double weighted_min_fairness(std::span<const double> ipc_shared,
+                             std::span<const double> ipc_alone,
+                             std::span<const double> weights) {
+  check(ipc_shared, ipc_alone, weights);
+  double wsum = 0.0;
+  double worst = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+    wsum += weights[i];
+    worst = std::min(worst,
+                     ipc_shared[i] / ipc_alone[i] / weights[i]);
+  }
+  return wsum * worst;
+}
+
+double evaluate_weighted_metric(Metric m, std::span<const double> ipc_shared,
+                                std::span<const double> ipc_alone,
+                                std::span<const double> weights) {
+  switch (m) {
+    case Metric::HarmonicWeightedSpeedup:
+      return weighted_harmonic_speedup(ipc_shared, ipc_alone, weights);
+    case Metric::MinFairness:
+      return weighted_min_fairness(ipc_shared, ipc_alone, weights);
+    case Metric::WeightedSpeedup:
+      return weighted_weighted_speedup(ipc_shared, ipc_alone, weights);
+    case Metric::IpcSum:
+      return weighted_ipc_sum(ipc_shared, weights);
+  }
+  BWPART_ASSERT(false, "unknown metric");
+  return 0.0;
+}
+
+std::vector<double> weighted_optimal_allocation(
+    Metric m, std::span<const AppParams> apps,
+    std::span<const double> weights, double b) {
+  BWPART_ASSERT(apps.size() == weights.size(), "arity mismatch");
+  BWPART_ASSERT(b > 0.0, "bandwidth must be positive");
+  const std::size_t n = apps.size();
+  std::vector<double> caps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BWPART_ASSERT(weights[i] > 0.0, "weights must be positive");
+    caps[i] = apps[i].apc_alone;
+  }
+  switch (m) {
+    case Metric::HarmonicWeightedSpeedup: {
+      // x_i ∝ sqrt(w_i * APC_alone_i) — Eq. 5 with weight-scaled demand.
+      std::vector<double> w(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = std::sqrt(weights[i] * apps[i].apc_alone);
+      }
+      return waterfill(w, caps, std::min(b, std::accumulate(caps.begin(),
+                                                            caps.end(), 0.0)));
+    }
+    case Metric::MinFairness: {
+      // speedup_i ∝ w_i  =>  x_i ∝ w_i * APC_alone_i.
+      std::vector<double> w(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = weights[i] * apps[i].apc_alone;
+      }
+      return waterfill(w, caps, std::min(b, std::accumulate(caps.begin(),
+                                                            caps.end(), 0.0)));
+    }
+    case Metric::WeightedSpeedup: {
+      std::vector<double> density(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        density[i] = weights[i] / apps[i].apc_alone;
+      }
+      return knapsack_allocate(caps, density_ranks(density), b);
+    }
+    case Metric::IpcSum: {
+      std::vector<double> density(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        BWPART_ASSERT(apps[i].api > 0.0, "API must be positive");
+        density[i] = weights[i] / apps[i].api;
+      }
+      return knapsack_allocate(caps, density_ranks(density), b);
+    }
+  }
+  BWPART_ASSERT(false, "unknown metric");
+  return {};
+}
+
+std::vector<double> weighted_optimal_shares(Metric m,
+                                            std::span<const AppParams> apps,
+                                            std::span<const double> weights,
+                                            double b) {
+  std::vector<double> alloc = weighted_optimal_allocation(m, apps, weights, b);
+  const double sum = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+  BWPART_ASSERT(sum > 0.0, "weighted optimum allocated nothing");
+  for (double& x : alloc) x /= sum;
+  return alloc;
+}
+
+}  // namespace bwpart::core

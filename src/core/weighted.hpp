@@ -1,0 +1,64 @@
+// Weighted-objective generalization.
+//
+// Section III-F claims the model "can be used for deriving optimal
+// bandwidth partitioning for any IPC-based system performance metrics",
+// and Section II-B motivates weights ("applications with higher priority
+// have more weights"). This header makes that concrete for the weighted
+// forms of the paper's four objectives, with per-application importance
+// weights w_i > 0:
+//
+//   weighted Hsp     = (sum_i w_i) / sum_i (w_i * IPC_alone_i / IPC_i)
+//     -> maximized by  beta_i ∝ sqrt(w_i * APC_alone_i)
+//        (Lagrange, exactly as Eq. 4-5 with APC_alone scaled by w)
+//   weighted Wsp     = sum_i (w_i * IPC_i / IPC_alone_i) / sum_i w_i
+//     -> fractional knapsack with value density w_i / APC_alone_i
+//   weighted IPCsum  = sum_i w_i * IPC_i
+//     -> fractional knapsack with value density w_i / API_i
+//   weighted fairness (equal *weighted* slowdowns: speedup_i ∝ w_i)
+//     -> beta_i ∝ w_i * APC_alone_i
+//
+// All reduce to the paper's schemes at w = 1 (tested), and the numeric
+// optimizer independently confirms each derivation (property tests).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+
+namespace bwpart::core {
+
+/// Weighted metric evaluation over shared/alone IPC vectors.
+double weighted_harmonic_speedup(std::span<const double> ipc_shared,
+                                 std::span<const double> ipc_alone,
+                                 std::span<const double> weights);
+double weighted_weighted_speedup(std::span<const double> ipc_shared,
+                                 std::span<const double> ipc_alone,
+                                 std::span<const double> weights);
+double weighted_ipc_sum(std::span<const double> ipc_shared,
+                        std::span<const double> weights);
+/// min_i (speedup_i / w_i) scaled by sum of weights: >= 1 iff every app
+/// achieves at least its weight-proportional share of progress.
+double weighted_min_fairness(std::span<const double> ipc_shared,
+                             std::span<const double> ipc_alone,
+                             std::span<const double> weights);
+
+double evaluate_weighted_metric(Metric m, std::span<const double> ipc_shared,
+                                std::span<const double> ipc_alone,
+                                std::span<const double> weights);
+
+/// Analytic optimal allocation for the weighted form of metric `m`
+/// (water-filled / knapsack exactly like the unweighted schemes).
+std::vector<double> weighted_optimal_allocation(
+    Metric m, std::span<const AppParams> apps,
+    std::span<const double> weights, double b);
+
+/// Enforcement shares for the weighted optimum (normalized allocation).
+std::vector<double> weighted_optimal_shares(Metric m,
+                                            std::span<const AppParams> apps,
+                                            std::span<const double> weights,
+                                            double b);
+
+}  // namespace bwpart::core

@@ -1,0 +1,192 @@
+#include "cpu/core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace bwpart::cpu {
+
+OoOCore::OoOCore(AppId app, const CoreConfig& cfg, TraceSource& trace,
+                 mem::MemoryController& controller)
+    : app_(app),
+      cfg_(cfg),
+      trace_(trace),
+      controller_(controller),
+      l1_(cfg.l1),
+      l2_(cfg.l2) {
+  BWPART_ASSERT(cfg.rob_size > 0, "ROB must hold at least one instruction");
+  BWPART_ASSERT(cfg.issue_width > 0.0, "issue width must be positive");
+  BWPART_ASSERT(cfg.nonmem_ipc > 0.0 && cfg.nonmem_ipc <= cfg.issue_width,
+                "non-memory IPC must be in (0, issue_width]");
+  BWPART_ASSERT(cfg.mshrs > 0 && cfg.store_buffer > 0,
+                "need at least one MSHR and one store-buffer entry");
+  advance_trace();
+}
+
+void OoOCore::advance_trace() {
+  current_op_ = trace_.next();
+  next_mem_seq_ = fetch_seq_ + current_op_.gap_nonmem;
+}
+
+void OoOCore::tick(Cycle now) {
+  ++stats_.cycles;
+  do_retire(now);
+  do_fetch(now);
+}
+
+void OoOCore::do_retire(Cycle now) {
+  retire_budget_ += cfg_.issue_width;
+  auto budget = static_cast<std::uint64_t>(retire_budget_);
+  retire_budget_ -= static_cast<double>(budget);
+
+  const std::uint64_t start = retire_seq_;
+  while (budget > 0 && retire_seq_ < fetch_seq_) {
+    if (!loads_.empty() && loads_.front().seq == retire_seq_) {
+      const Load& head = loads_.front();
+      const bool done = head.done_at != kNoCycle && head.done_at <= now;
+      if (!done) break;  // in-order retirement stalls on the oldest load
+      loads_.pop_front();
+    }
+    ++retire_seq_;
+    --budget;
+  }
+  stats_.instructions += retire_seq_ - start;
+  if (retire_seq_ == start && !loads_.empty() &&
+      loads_.front().seq == retire_seq_) {
+    ++stats_.mem_stall_cycles;
+  }
+  // Unused retire budget does not accumulate across stall cycles.
+  if (retire_seq_ == start) retire_budget_ = 0.0;
+}
+
+void OoOCore::do_fetch(Cycle now) {
+  fetch_budget_ += cfg_.nonmem_ipc;
+  auto budget = static_cast<std::uint64_t>(fetch_budget_);
+  fetch_budget_ -= static_cast<double>(budget);
+
+  bool stalled_on_queue = false;
+  bool stalled_on_rob = false;
+  while (budget > 0) {
+    const std::uint64_t rob_space = retire_seq_ + cfg_.rob_size - fetch_seq_;
+    if (rob_space == 0) {
+      stalled_on_rob = true;
+      break;
+    }
+    if (fetch_seq_ < next_mem_seq_) {
+      // Bulk-advance the non-memory run.
+      const std::uint64_t k = std::min(
+          {budget, rob_space, next_mem_seq_ - fetch_seq_});
+      fetch_seq_ += k;
+      budget -= k;
+      continue;
+    }
+    // The fetch head is the pending memory operation.
+    if (!execute_mem_op(now)) {
+      stalled_on_queue = true;
+      break;
+    }
+    ++fetch_seq_;
+    --budget;
+    advance_trace();
+  }
+  if (stalled_on_rob) ++stats_.rob_stall_cycles;
+  if (stalled_on_queue) ++stats_.queue_stall_cycles;
+  // Fetch bandwidth is not banked across stall cycles either.
+  if (stalled_on_rob || stalled_on_queue) fetch_budget_ = 0.0;
+}
+
+bool OoOCore::execute_mem_op(Cycle now) {
+  Addr addr = current_op_.addr;
+  AccessType type = current_op_.type;
+
+  // A dependent load's address is produced by an earlier load still in
+  // flight; it cannot issue until the memory level is quiet again.
+  if (current_op_.dependent && type == AccessType::Read &&
+      offchip_loads_inflight_ > 0) {
+    return false;
+  }
+
+  if (cfg_.model_caches) {
+    // Reserve worst-case resources up front (demand miss + dirty L2
+    // victim): the cache lookups below mutate replacement/dirty state, so
+    // the operation must not abort halfway and retry.
+    const bool may_need_load = type == AccessType::Read;
+    if ((may_need_load && offchip_loads_inflight_ >= cfg_.mshrs) ||
+        stores_inflight_ + 1 >= cfg_.store_buffer ||
+        !controller_.can_accept_n(app_, 2)) {
+      return false;
+    }
+    const Cache::Outcome o1 = l1_.access(addr, type);
+    if (o1.hit) {
+      if (type == AccessType::Read) {
+        loads_.push_back(Load{fetch_seq_, 0, now + cfg_.l1_latency, false});
+      }
+      return true;
+    }
+    // L1 dirty victims land in L2 (private inclusive-enough hierarchy).
+    if (o1.writeback) {
+      (void)l2_.access(o1.writeback_addr, AccessType::Write);
+    }
+    const Cache::Outcome o2 = l2_.access(addr, type);
+    if (o2.hit) {
+      if (type == AccessType::Read) {
+        loads_.push_back(Load{fetch_seq_, 0, now + cfg_.l2_latency, false});
+      }
+      return true;
+    }
+    // Off-chip: the L2 miss fetches the line; a dirty L2 victim is written
+    // back through the store path below.
+    if (o2.writeback) {
+      if (stores_inflight_ >= cfg_.store_buffer ||
+          !controller_.can_accept(app_)) {
+        return false;  // retry next cycle; cache state change is benign
+      }
+      controller_.enqueue(app_, o2.writeback_addr, AccessType::Write, now);
+      ++stores_inflight_;
+      ++stats_.offchip_writes;
+    }
+    // The demand access itself goes off-chip as its own request below,
+    // with its own MSHR/store-buffer slot.
+  }
+
+  if (type == AccessType::Read) {
+    if (offchip_loads_inflight_ >= cfg_.mshrs || !controller_.can_accept(app_)) {
+      return false;
+    }
+    const std::uint64_t id = controller_.enqueue(app_, addr, type, now);
+    loads_.push_back(Load{fetch_seq_, id, kNoCycle, true});
+    ++offchip_loads_inflight_;
+    ++stats_.offchip_reads;
+  } else {
+    if (stores_inflight_ >= cfg_.store_buffer || !controller_.can_accept(app_)) {
+      return false;
+    }
+    controller_.enqueue(app_, addr, type, now);
+    ++stores_inflight_;
+    ++stats_.offchip_writes;
+  }
+  return true;
+}
+
+void OoOCore::on_mem_complete(const mem::MemRequest& req, Cycle done_cpu) {
+  BWPART_ASSERT(req.app == app_, "completion routed to wrong core");
+  if (req.type == AccessType::Write) {
+    BWPART_ASSERT(stores_inflight_ > 0, "write completion without store");
+    --stores_inflight_;
+    return;
+  }
+  for (Load& ld : loads_) {
+    if (ld.offchip && ld.done_at == kNoCycle && ld.req_id == req.id) {
+      ld.done_at = done_cpu;
+      BWPART_ASSERT(offchip_loads_inflight_ > 0, "load completion underflow");
+      --offchip_loads_inflight_;
+      return;
+    }
+  }
+  BWPART_ASSERT(false, "read completion for unknown load");
+}
+
+void OoOCore::reset_stats() { stats_ = CoreStats{}; }
+
+}  // namespace bwpart::cpu

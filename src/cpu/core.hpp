@@ -1,0 +1,137 @@
+// Simplified out-of-order core timing model.
+//
+// The model captures exactly the core behaviours the paper's analysis
+// depends on: a ROB-bounded instruction window (memory-level parallelism is
+// limited by how many misses fit in the window and by the MSHR file), an
+// issue-width/ILP-bounded execution rate for non-memory work, posted stores
+// through a store buffer, and in-order retirement that stalls on the oldest
+// incomplete load. Together these reproduce the IPC = APC/API coupling
+// (Eq. 1): when an application is memory-bound, its IPC is proportional to
+// the rate the memory system serves its accesses.
+//
+// Instructions are consumed from a TraceSource; the paper's Table II core
+// (5 GHz, 8-wide, 192-entry ROB, private 32K L1 / 256K L2) is the default.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+#include "cpu/cache.hpp"
+#include "cpu/trace.hpp"
+#include "mem/controller.hpp"
+
+namespace bwpart::cpu {
+
+struct CoreConfig {
+  std::uint32_t rob_size = 192;
+  /// Maximum instructions fetched/retired per cycle.
+  double issue_width = 8.0;
+  /// ILP-limited throughput of the non-memory instruction stream
+  /// (instructions per cycle; <= issue_width). Per-benchmark knob.
+  double nonmem_ipc = 8.0;
+  /// Outstanding off-chip load misses (memory-level parallelism cap).
+  std::uint32_t mshrs = 16;
+  /// Outstanding posted stores.
+  std::uint32_t store_buffer = 16;
+  Cycle l1_latency = 5;   ///< 1 ns at 5 GHz
+  Cycle l2_latency = 25;  ///< 5 ns at 5 GHz
+  /// When true, trace addresses run through L1/L2 and only misses go
+  /// off-chip (address-stream mode). When false, every trace op is an
+  /// off-chip access (miss-stream mode, used for calibrated experiments).
+  bool model_caches = false;
+  CacheGeometry l1 = CacheGeometry::l1_default();
+  CacheGeometry l2 = CacheGeometry::l2_default();
+};
+
+struct CoreStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;       ///< retired
+  std::uint64_t offchip_reads = 0;      ///< sent to the controller
+  std::uint64_t offchip_writes = 0;
+  std::uint64_t rob_stall_cycles = 0;   ///< fetch blocked: window full
+  std::uint64_t mem_stall_cycles = 0;   ///< retire blocked on a load
+  std::uint64_t queue_stall_cycles = 0; ///< blocked on MSHR/queue/store buf
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+  std::uint64_t offchip_accesses() const {
+    return offchip_reads + offchip_writes;
+  }
+  /// Memory accesses per cycle — the APC of Eq. 1/2.
+  double apc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(offchip_accesses()) /
+                             static_cast<double>(cycles);
+  }
+  /// Memory accesses per instruction — the API of Eq. 1.
+  double api() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(offchip_accesses()) /
+                                   static_cast<double>(instructions);
+  }
+};
+
+class OoOCore {
+ public:
+  OoOCore(AppId app, const CoreConfig& cfg, TraceSource& trace,
+          mem::MemoryController& controller);
+
+  /// Advances one CPU cycle. The owner must also tick the controller once
+  /// per cycle and route its completion callbacks to on_mem_complete().
+  void tick(Cycle now);
+
+  /// Completion delivery for this core's controller requests.
+  void on_mem_complete(const mem::MemRequest& req, Cycle done_cpu);
+
+  AppId app() const { return app_; }
+  const CoreStats& stats() const { return stats_; }
+  /// Zeroes the measurement counters at a phase boundary without touching
+  /// microarchitectural state (ROB, caches, in-flight requests).
+  void reset_stats();
+
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+
+ private:
+  struct Load {
+    std::uint64_t seq = 0;               ///< instruction sequence number
+    std::uint64_t req_id = 0;            ///< controller id (off-chip only)
+    Cycle done_at = kNoCycle;            ///< completion cycle; kNoCycle = pending
+    bool offchip = false;
+  };
+
+  void do_retire(Cycle now);
+  void do_fetch(Cycle now);
+  /// Executes the memory op at the fetch head. Returns false if it must
+  /// stall (MSHR/store-buffer/controller backpressure).
+  bool execute_mem_op(Cycle now);
+  void advance_trace();
+
+  AppId app_;
+  CoreConfig cfg_;
+  TraceSource& trace_;
+  mem::MemoryController& controller_;
+  Cache l1_;
+  Cache l2_;
+
+  std::uint64_t fetch_seq_ = 0;
+  std::uint64_t retire_seq_ = 0;
+  double fetch_budget_ = 0.0;
+  double retire_budget_ = 0.0;
+
+  TraceOp current_op_{};
+  std::uint64_t next_mem_seq_ = 0;
+
+  std::deque<Load> loads_;  ///< in program order
+  std::uint32_t offchip_loads_inflight_ = 0;
+  std::uint32_t stores_inflight_ = 0;
+
+  CoreStats stats_;
+};
+
+}  // namespace bwpart::cpu

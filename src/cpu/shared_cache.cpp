@@ -1,0 +1,138 @@
+#include "cpu/shared_cache.hpp"
+
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace bwpart::cpu {
+
+SharedCache::SharedCache(const CacheGeometry& geom, std::uint32_t num_apps)
+    : geom_(geom),
+      sets_(geom.sets()),
+      num_apps_(num_apps),
+      way_owner_(geom.ways, 0),
+      hits_(num_apps, 0),
+      misses_(num_apps, 0) {
+  BWPART_ASSERT(num_apps > 0, "shared cache needs at least one app");
+  BWPART_ASSERT(geom.ways >= num_apps,
+                "need at least one way per application");
+  lines_.resize(static_cast<std::size_t>(sets_) * geom_.ways);
+  partition_equally();
+}
+
+void SharedCache::set_way_partition(
+    std::span<const std::uint32_t> ways_per_app) {
+  BWPART_ASSERT(ways_per_app.size() == num_apps_, "partition arity");
+  const std::uint32_t total = std::accumulate(
+      ways_per_app.begin(), ways_per_app.end(), 0u);
+  BWPART_ASSERT(total == geom_.ways, "way partition must cover the cache");
+  std::uint32_t w = 0;
+  for (AppId app = 0; app < num_apps_; ++app) {
+    BWPART_ASSERT(ways_per_app[app] >= 1, "every app needs >= 1 way");
+    for (std::uint32_t k = 0; k < ways_per_app[app]; ++k) {
+      way_owner_[w++] = app;
+    }
+  }
+}
+
+void SharedCache::partition_equally() {
+  BWPART_ASSERT(geom_.ways % num_apps_ == 0,
+                "equal partition needs ways divisible by apps");
+  std::vector<std::uint32_t> equal(num_apps_, geom_.ways / num_apps_);
+  set_way_partition(equal);
+}
+
+Cache::Outcome SharedCache::access(AppId app, Addr addr, AccessType type) {
+  BWPART_ASSERT(app < num_apps_, "app id out of range");
+  const std::uint64_t tag = tag_of(addr);
+  const std::uint32_t set = set_of(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+  ++stamp_;
+
+  // Hits are allowed on any way (shared data stays shared).
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = stamp_;
+      if (type == AccessType::Write) line.dirty = true;
+      ++hits_[app];
+      return Cache::Outcome{true, false, 0};
+    }
+  }
+
+  ++misses_[app];
+  // Allocation is confined to the requester's own ways: LRU among them.
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    if (way_owner_[w] != app) continue;
+    Line& line = base[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (victim == nullptr || line.lru_stamp < victim->lru_stamp) {
+      victim = &line;
+    }
+  }
+  BWPART_ASSERT(victim != nullptr, "app owns no ways");
+
+  Cache::Outcome out;
+  out.hit = false;
+  if (victim->valid && victim->dirty) {
+    out.writeback = true;
+    out.writeback_addr = (victim->tag * sets_ + set) * geom_.line_bytes;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = (type == AccessType::Write);
+  victim->owner = app;
+  victim->lru_stamp = stamp_;
+  return out;
+}
+
+bool SharedCache::probe(Addr addr) const {
+  const std::uint64_t tag = tag_of(addr);
+  const std::uint32_t set = set_of(addr);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * geom_.ways];
+  for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void SharedCache::invalidate_all() {
+  for (auto& line : lines_) line = Line{};
+}
+
+std::uint64_t SharedCache::hits(AppId app) const {
+  BWPART_ASSERT(app < num_apps_, "app id out of range");
+  return hits_[app];
+}
+
+std::uint64_t SharedCache::misses(AppId app) const {
+  BWPART_ASSERT(app < num_apps_, "app id out of range");
+  return misses_[app];
+}
+
+double SharedCache::hit_rate(AppId app) const {
+  const std::uint64_t total = hits(app) + misses(app);
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits(app)) /
+                          static_cast<double>(total);
+}
+
+std::uint64_t SharedCache::occupancy(AppId app) const {
+  BWPART_ASSERT(app < num_apps_, "app id out of range");
+  std::uint64_t count = 0;
+  for (const Line& line : lines_) {
+    if (line.valid && line.owner == app) ++count;
+  }
+  return count;
+}
+
+void SharedCache::reset_stats() {
+  for (auto& h : hits_) h = 0;
+  for (auto& m : misses_) m = 0;
+}
+
+}  // namespace bwpart::cpu

@@ -1,0 +1,72 @@
+// Way-partitioned shared last-level cache — the paper's footnote 1
+// extension: in a shared-L2 CMP an application's API becomes
+// API_shared (a function of its cache-capacity share), and the bandwidth
+// model applies unchanged with API_shared in place of API.
+//
+// Partitioning follows the classic way-partitioning (UCP-style static
+// allocation): an application may *hit* on any way but may only *allocate*
+// into the ways it owns, so its effective capacity is ways_owned/ways of
+// the cache.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpu/cache.hpp"
+
+namespace bwpart::cpu {
+
+class SharedCache {
+ public:
+  SharedCache(const CacheGeometry& geom, std::uint32_t num_apps);
+
+  /// Assigns each application a number of ways; the sum must equal the
+  /// cache associativity. Lines already resident stay where they are (they
+  /// age out naturally under the new allocation).
+  void set_way_partition(std::span<const std::uint32_t> ways_per_app);
+
+  /// Equal split (associativity must be divisible by the app count).
+  void partition_equally();
+
+  Cache::Outcome access(AppId app, Addr addr, AccessType type);
+
+  bool probe(Addr addr) const;
+  void invalidate_all();
+
+  const CacheGeometry& geometry() const { return geom_; }
+  std::uint64_t hits(AppId app) const;
+  std::uint64_t misses(AppId app) const;
+  double hit_rate(AppId app) const;
+  /// Number of lines currently resident that `app` allocated.
+  std::uint64_t occupancy(AppId app) const;
+  void reset_stats();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru_stamp = 0;
+    AppId owner = kNoApp;  ///< app that allocated the line
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint64_t tag_of(Addr addr) const {
+    return addr / geom_.line_bytes / sets_;
+  }
+  std::uint32_t set_of(Addr addr) const {
+    return static_cast<std::uint32_t>((addr / geom_.line_bytes) % sets_);
+  }
+
+  CacheGeometry geom_;
+  std::uint32_t sets_;
+  std::uint32_t num_apps_;
+  std::vector<Line> lines_;              // [set][way]
+  std::vector<std::uint32_t> way_owner_;  // [way] -> app owning that way
+  std::vector<std::uint64_t> hits_;
+  std::vector<std::uint64_t> misses_;
+  std::uint64_t stamp_ = 0;
+};
+
+}  // namespace bwpart::cpu

@@ -1,0 +1,34 @@
+// The instruction-stream abstraction consumed by the core model.
+//
+// A trace is a sequence of memory operations separated by runs of
+// non-memory instructions. Concrete sources live in src/workload (synthetic
+// SPEC-calibrated generators); tests use hand-built scripted traces.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace bwpart::cpu {
+
+/// One memory operation plus the number of non-memory instructions that
+/// precede it in program order.
+struct TraceOp {
+  std::uint64_t gap_nonmem = 0;  ///< non-memory instructions before this op
+  Addr addr = 0;
+  AccessType type = AccessType::Read;
+  /// Data-dependent on an earlier load (pointer chasing): the core may not
+  /// issue this access while an off-chip load is still outstanding. This is
+  /// the knob that gives an application fractional memory-level parallelism.
+  bool dependent = false;
+};
+
+/// Infinite instruction stream (the simulator runs for a fixed cycle count,
+/// not to trace exhaustion, matching the paper's methodology).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual TraceOp next() = 0;
+};
+
+}  // namespace bwpart::cpu

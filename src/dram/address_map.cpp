@@ -1,0 +1,95 @@
+#include "dram/address_map.hpp"
+
+#include "common/assert.hpp"
+
+namespace bwpart::dram {
+
+std::uint32_t AddressMap::log2_exact(std::uint64_t v) {
+  BWPART_ASSERT(v != 0 && (v & (v - 1)) == 0, "dimension must be a power of two");
+  std::uint32_t bits = 0;
+  while ((1ull << bits) < v) ++bits;
+  return bits;
+}
+
+AddressMap::AddressMap(const DramConfig& cfg, MapScheme scheme)
+    : scheme_(scheme),
+      line_bytes_(cfg.burst_beats * cfg.bus_bytes),
+      chan_bits_(log2_exact(cfg.channels)),
+      rank_bits_(log2_exact(cfg.ranks)),
+      bank_bits_(log2_exact(cfg.banks_per_rank)),
+      row_bits_(log2_exact(cfg.rows_per_bank)),
+      col_bits_(log2_exact(cfg.columns_per_row / cfg.burst_beats)),
+      off_bits_(log2_exact(line_bytes_)) {}
+
+Location AddressMap::decode(Addr addr) const {
+  std::uint64_t v = addr >> off_bits_;
+  auto take = [&v](std::uint32_t bits) -> std::uint64_t {
+    const std::uint64_t field = v & ((1ull << bits) - 1);
+    v >>= bits;
+    return field;
+  };
+  Location loc;
+  switch (scheme_) {
+    case MapScheme::ChanRowColBankRank:
+      // LSB -> MSB: rank, bank, column, row, channel.
+      loc.rank = static_cast<std::uint32_t>(take(rank_bits_));
+      loc.bank = static_cast<std::uint32_t>(take(bank_bits_));
+      loc.column = static_cast<std::uint32_t>(take(col_bits_));
+      loc.row = take(row_bits_);
+      loc.channel = static_cast<std::uint32_t>(take(chan_bits_));
+      break;
+    case MapScheme::ChanRowBankRankCol:
+      // LSB -> MSB: column, rank, bank, row, channel.
+      loc.column = static_cast<std::uint32_t>(take(col_bits_));
+      loc.rank = static_cast<std::uint32_t>(take(rank_bits_));
+      loc.bank = static_cast<std::uint32_t>(take(bank_bits_));
+      loc.row = take(row_bits_);
+      loc.channel = static_cast<std::uint32_t>(take(chan_bits_));
+      break;
+    case MapScheme::RowColBankRankChan:
+      // LSB -> MSB: channel, rank, bank, column, row.
+      loc.channel = static_cast<std::uint32_t>(take(chan_bits_));
+      loc.rank = static_cast<std::uint32_t>(take(rank_bits_));
+      loc.bank = static_cast<std::uint32_t>(take(bank_bits_));
+      loc.column = static_cast<std::uint32_t>(take(col_bits_));
+      loc.row = take(row_bits_);
+      break;
+  }
+  return loc;
+}
+
+Addr AddressMap::encode(const Location& loc) const {
+  std::uint64_t v = 0;
+  std::uint32_t shift = 0;
+  auto put = [&](std::uint64_t field, std::uint32_t bits) {
+    BWPART_ASSERT(bits == 64 || field < (1ull << bits), "field out of range");
+    v |= field << shift;
+    shift += bits;
+  };
+  switch (scheme_) {
+    case MapScheme::ChanRowColBankRank:
+      put(loc.rank, rank_bits_);
+      put(loc.bank, bank_bits_);
+      put(loc.column, col_bits_);
+      put(loc.row, row_bits_);
+      put(loc.channel, chan_bits_);
+      break;
+    case MapScheme::ChanRowBankRankCol:
+      put(loc.column, col_bits_);
+      put(loc.rank, rank_bits_);
+      put(loc.bank, bank_bits_);
+      put(loc.row, row_bits_);
+      put(loc.channel, chan_bits_);
+      break;
+    case MapScheme::RowColBankRankChan:
+      put(loc.channel, chan_bits_);
+      put(loc.rank, rank_bits_);
+      put(loc.bank, bank_bits_);
+      put(loc.column, col_bits_);
+      put(loc.row, row_bits_);
+      break;
+  }
+  return v << off_bits_;
+}
+
+}  // namespace bwpart::dram

@@ -1,0 +1,62 @@
+// Physical address decomposition into DRAM coordinates.
+//
+// The paper's Table II uses the mapping "channel/row/col/bank/rank" (MSB to
+// LSB above the cache-line offset). Interleaving bank/rank in the low bits
+// spreads consecutive cache lines across banks, which is what gives
+// streaming applications bank-level parallelism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/config.hpp"
+
+namespace bwpart::dram {
+
+/// DRAM coordinates of one cache-line-sized access.
+struct Location {
+  std::uint32_t channel = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint64_t row = 0;
+  std::uint32_t column = 0;
+
+  bool operator==(const Location&) const = default;
+};
+
+enum class MapScheme : std::uint8_t {
+  /// channel : row : column : bank : rank : line-offset (paper, Table II).
+  ChanRowColBankRank,
+  /// channel : row : bank : rank : column : line-offset — consecutive lines
+  /// stay in one row (stride-friendly for open-page studies).
+  ChanRowBankRankCol,
+  /// row : column : bank : rank : channel : line-offset — consecutive lines
+  /// alternate channels (for multi-channel bandwidth scaling studies).
+  RowColBankRankChan,
+};
+
+class AddressMap {
+ public:
+  AddressMap(const DramConfig& cfg, MapScheme scheme);
+
+  Location decode(Addr addr) const;
+
+  /// Inverse of decode() — used by tests and by workload generators that
+  /// construct accesses with chosen bank/row targets.
+  Addr encode(const Location& loc) const;
+
+  MapScheme scheme() const { return scheme_; }
+  std::uint32_t line_bytes() const { return line_bytes_; }
+
+ private:
+  static std::uint32_t log2_exact(std::uint64_t v);
+
+  MapScheme scheme_;
+  std::uint32_t line_bytes_;
+  // Field widths in bits.
+  std::uint32_t chan_bits_, rank_bits_, bank_bits_, row_bits_, col_bits_,
+      off_bits_;
+};
+
+}  // namespace bwpart::dram

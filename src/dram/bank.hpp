@@ -1,0 +1,83 @@
+// Per-bank DRAM state machine. Tracks the open row and the earliest tick at
+// which each command class may next be issued to this bank; the channel
+// engine layers rank- and bus-level constraints on top.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "dram/config.hpp"
+
+namespace bwpart::dram {
+
+class Bank {
+ public:
+  bool row_open() const { return row_open_; }
+  std::uint64_t open_row() const {
+    BWPART_ASSERT(row_open_, "no open row");
+    return open_row_;
+  }
+
+  bool can_activate(Tick now) const { return !row_open_ && now >= next_act_; }
+  bool can_read(Tick now) const { return row_open_ && now >= next_read_; }
+  bool can_write(Tick now) const { return row_open_ && now >= next_write_; }
+  bool can_precharge(Tick now) const { return row_open_ && now >= next_pre_; }
+
+  /// Earliest tick an activate could be accepted (row must also be closed).
+  Tick next_activate_tick() const { return next_act_; }
+
+  void activate(Tick now, std::uint64_t row, const TimingsTicks& t) {
+    BWPART_ASSERT(can_activate(now), "activate violates bank timing");
+    row_open_ = true;
+    open_row_ = row;
+    next_read_ = now + t.rcd;
+    next_write_ = now + t.rcd;
+    next_pre_ = now + t.ras;
+  }
+
+  /// Column read; with `auto_precharge` the bank closes itself as soon as
+  /// tRTP and tRAS allow, and reopens after tRP.
+  void read(Tick now, bool auto_precharge, const TimingsTicks& t) {
+    BWPART_ASSERT(can_read(now), "read violates bank timing");
+    next_pre_ = std::max(next_pre_, now + t.rtp);
+    next_read_ = now + t.ccd;
+    next_write_ = std::max(next_write_, now + t.ccd);
+    if (auto_precharge) close_at(next_pre_, t);
+  }
+
+  void write(Tick now, bool auto_precharge, const TimingsTicks& t) {
+    BWPART_ASSERT(can_write(now), "write violates bank timing");
+    // Precharge must wait for the write data plus recovery time.
+    next_pre_ = std::max(next_pre_, now + t.cwl + t.burst + t.wr);
+    next_read_ = std::max(next_read_, now + t.ccd);
+    next_write_ = now + t.ccd;
+    if (auto_precharge) close_at(next_pre_, t);
+  }
+
+  void precharge(Tick now, const TimingsTicks& t) {
+    BWPART_ASSERT(can_precharge(now), "precharge violates bank timing");
+    close_at(now, t);
+  }
+
+  /// Refresh completion: bank is closed and unusable until now + tRFC.
+  void refresh(Tick now, const TimingsTicks& t) {
+    BWPART_ASSERT(!row_open_, "refresh with open row");
+    next_act_ = std::max(next_act_, now + t.rfc);
+  }
+
+ private:
+  void close_at(Tick pre_start, const TimingsTicks& t) {
+    row_open_ = false;
+    next_act_ = std::max(next_act_, pre_start + t.rp);
+  }
+
+  bool row_open_ = false;
+  std::uint64_t open_row_ = 0;
+  Tick next_act_ = 0;
+  Tick next_read_ = 0;
+  Tick next_write_ = 0;
+  Tick next_pre_ = 0;
+};
+
+}  // namespace bwpart::dram

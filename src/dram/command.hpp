@@ -1,0 +1,55 @@
+// DRAM command vocabulary shared between the bank state machines, the
+// channel engine and the memory controller.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/address_map.hpp"
+
+namespace bwpart::dram {
+
+enum class CommandType : std::uint8_t {
+  Activate,
+  Read,       ///< column read, row stays open
+  ReadAp,     ///< column read with auto-precharge (close-page policy)
+  Write,
+  WriteAp,
+  Precharge,
+  Refresh,    ///< all-bank refresh of one rank
+};
+
+constexpr bool is_column_command(CommandType t) {
+  return t == CommandType::Read || t == CommandType::ReadAp ||
+         t == CommandType::Write || t == CommandType::WriteAp;
+}
+
+constexpr bool is_read_command(CommandType t) {
+  return t == CommandType::Read || t == CommandType::ReadAp;
+}
+
+constexpr bool is_write_command(CommandType t) {
+  return t == CommandType::Write || t == CommandType::WriteAp;
+}
+
+struct Command {
+  CommandType type = CommandType::Activate;
+  Location loc{};
+  AppId app = kNoApp;        ///< originating application (for accounting)
+  std::uint64_t req_id = 0;  ///< originating memory request id
+};
+
+constexpr const char* to_string(CommandType t) {
+  switch (t) {
+    case CommandType::Activate: return "ACT";
+    case CommandType::Read: return "RD";
+    case CommandType::ReadAp: return "RDA";
+    case CommandType::Write: return "WR";
+    case CommandType::WriteAp: return "WRA";
+    case CommandType::Precharge: return "PRE";
+    case CommandType::Refresh: return "REF";
+  }
+  return "?";
+}
+
+}  // namespace bwpart::dram

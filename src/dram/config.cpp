@@ -1,0 +1,74 @@
+#include "dram/config.hpp"
+
+#include "common/clock_crossing.hpp"
+
+namespace bwpart::dram {
+
+TimingsTicks DramConfig::ticks() const {
+  // ns -> whole bus ticks, rounding up (constraints are minimums).
+  const double tick_ns = 1e9 / static_cast<double>(bus_clock.hz);
+  auto conv = [tick_ns](double ns) -> Tick {
+    const double ticks = ns / tick_ns;
+    const auto whole = static_cast<Tick>(ticks);
+    return (static_cast<double>(whole) >= ticks) ? whole : whole + 1;
+  };
+  TimingsTicks out;
+  out.rp = conv(t.trp);
+  out.rcd = conv(t.trcd);
+  out.cl = conv(t.tcl);
+  out.cwl = conv(t.tcwl);
+  out.ras = conv(t.tras);
+  out.wr = conv(t.twr);
+  out.wtr = conv(t.twtr);
+  out.rtp = conv(t.trtp);
+  out.ccd = conv(t.tccd);
+  out.rrd = conv(t.trrd);
+  out.faw = conv(t.tfaw);
+  out.rfc = conv(t.trfc);
+  out.refi = conv(t.trefi);
+  out.rtrs = conv(t.trtrs);
+  out.xp = conv(t.txp);
+  out.burst = burst_beats / 2;  // DDR: two beats per bus tick
+  return out;
+}
+
+DramConfig DramConfig::ddr2_400() {
+  DramConfig c;
+  c.bus_clock = Frequency::from_mhz(200);
+  return c;
+}
+
+DramConfig DramConfig::ddr2_800() {
+  DramConfig c;
+  c.bus_clock = Frequency::from_mhz(400);
+  return c;
+}
+
+DramConfig DramConfig::ddr2_1600() {
+  DramConfig c;
+  c.bus_clock = Frequency::from_mhz(800);
+  return c;
+}
+
+DramConfig DramConfig::ddr3_1066() {
+  DramConfig c;
+  c.bus_clock = Frequency::from_mhz(533);
+  c.ranks = 2;
+  c.banks_per_rank = 8;
+  c.t.trp = 13.1;
+  c.t.trcd = 13.1;
+  c.t.tcl = 13.1;
+  c.t.tcwl = 9.4;
+  c.t.tras = 36.0;
+  c.t.twr = 15.0;
+  c.t.twtr = 7.5;
+  c.t.trtp = 7.5;
+  c.t.tccd = 7.5;
+  c.t.trrd = 7.5;
+  c.t.tfaw = 37.5;
+  c.t.trfc = 160.0;
+  c.t.trefi = 7800.0;
+  return c;
+}
+
+}  // namespace bwpart::dram

@@ -1,0 +1,106 @@
+// DRAM device configuration: geometry, page policy and timing parameters.
+//
+// Timings are specified in nanoseconds (as datasheets and the paper do:
+// "tRP-tRCD-CL = 12.5-12.5-12.5 ns") and converted to whole bus ticks for a
+// given bus frequency. The paper's scalability study (Fig. 4) scales only
+// the bus frequency while holding the nanosecond latencies fixed, which
+// this split models directly.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace bwpart::dram {
+
+/// A tick of the DRAM bus clock (as opposed to bwpart::Cycle, a CPU cycle).
+using Tick = std::uint64_t;
+
+enum class PagePolicy : std::uint8_t {
+  /// Auto-precharge after every column access (paper baseline).
+  Close,
+  /// Keep rows open until a conflicting access or refresh forces precharge.
+  Open,
+};
+
+/// Nanosecond-domain timing parameters (minimum separations).
+struct TimingsNs {
+  double trp = 12.5;    ///< precharge -> activate, same bank
+  double trcd = 12.5;   ///< activate -> column access, same bank
+  double tcl = 12.5;    ///< read command -> first data beat
+  double tcwl = 10.0;   ///< write command -> first data beat
+  double tras = 40.0;   ///< activate -> precharge, same bank
+  double twr = 15.0;    ///< end of write data -> precharge, same bank
+  double twtr = 7.5;    ///< end of write data -> read command, same rank
+  double trtp = 7.5;    ///< read command -> precharge, same bank
+  double tccd = 10.0;   ///< column command -> column command, same rank
+  double trrd = 7.5;    ///< activate -> activate, same rank
+  double tfaw = 37.5;   ///< window for at most four activates per rank
+  double trfc = 127.5;  ///< refresh command duration
+  double trefi = 7800.0;  ///< average refresh interval
+  /// Rank-to-rank data-bus switch gap. Defaults to 0 (idealized bus, as
+  /// the paper's era of DDR2 controllers with on-die termination disabled);
+  /// set > 0 to study rank-switching costs — with line-interleaved ranks a
+  /// single tick here costs ~20% of peak bandwidth.
+  double trtrs = 0.0;
+  double txp = 10.0;    ///< power-down exit -> first command
+};
+
+/// Timing parameters converted to whole bus ticks (rounded up).
+struct TimingsTicks {
+  Tick rp = 0, rcd = 0, cl = 0, cwl = 0, ras = 0, wr = 0, wtr = 0, rtp = 0,
+       ccd = 0, rrd = 0, faw = 0, rfc = 0, refi = 0, rtrs = 0, xp = 0;
+  /// Data-bus occupancy of one burst in bus ticks (burst_beats / 2 for DDR).
+  Tick burst = 0;
+};
+
+struct DramConfig {
+  Frequency bus_clock = Frequency::from_mhz(200);  // DDR2-400
+  std::uint32_t bus_bytes = 8;                     // 8B-wide data bus
+  std::uint32_t burst_beats = 8;                   // 64B line / 8B bus
+
+  std::uint32_t channels = 1;
+  std::uint32_t ranks = 4;
+  std::uint32_t banks_per_rank = 8;  // 32 banks total, as in Table II
+  std::uint64_t rows_per_bank = 1u << 14;
+  std::uint32_t columns_per_row = 1u << 10;
+
+  PagePolicy page_policy = PagePolicy::Close;
+  TimingsNs t{};
+
+  /// Refresh can be disabled for microbenchmarks/analysis runs.
+  bool enable_refresh = true;
+
+  /// Precharge power-down: an idle, fully-precharged rank drops into a
+  /// low-power state after `powerdown_idle_ns` of inactivity and needs tXP
+  /// to wake (the controller signals pending work via
+  /// DramSystem::notify_rank_pending). Off by default — the paper's
+  /// experiments run the memory system saturated.
+  bool enable_powerdown = false;
+  double powerdown_idle_ns = 50.0;
+
+  /// Peak data bandwidth in bytes/second (both DDR edges).
+  double peak_bytes_per_sec() const {
+    return ddr_peak_bytes_per_sec(bus_clock, bus_bytes) *
+           static_cast<double>(channels);
+  }
+  double peak_gbps() const { return peak_bytes_per_sec() / 1e9; }
+
+  std::uint32_t total_banks() const { return channels * ranks * banks_per_rank; }
+
+  /// Converts the nanosecond timings to bus ticks at `bus_clock`.
+  TimingsTicks ticks() const;
+
+  /// The paper's baseline memory system: DDR2-400, 3.2 GB/s, close page,
+  /// tRP-tRCD-CL = 12.5-12.5-12.5 ns, 32 banks (Table II).
+  static DramConfig ddr2_400();
+  /// Fig. 4 scaling points: same latencies, doubled/quadrupled bus clock.
+  static DramConfig ddr2_800();
+  static DramConfig ddr2_1600();
+  /// A DDR3-1066 device (533 MHz bus, 8.5 GB/s) with representative
+  /// datasheet timings, for studies beyond the paper's DDR2 baseline.
+  static DramConfig ddr3_1066();
+};
+
+}  // namespace bwpart::dram

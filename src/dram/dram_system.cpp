@@ -1,0 +1,297 @@
+#include "dram/dram_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace bwpart::dram {
+
+DramSystem::DramSystem(const DramConfig& cfg, MapScheme scheme)
+    : cfg_(cfg),
+      t_(cfg.ticks()),
+      map_(cfg, scheme),
+      banks_(static_cast<std::size_t>(cfg.channels) * cfg.ranks *
+             cfg.banks_per_rank),
+      ranks_(static_cast<std::size_t>(cfg.channels) * cfg.ranks),
+      chans_(cfg.channels) {
+  // Stagger refresh across ranks so they do not all drain simultaneously.
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    ranks_[i].next_refresh_due =
+        cfg_.enable_refresh ? t_.refi * (i + 1) / ranks_.size() + 1
+                            : static_cast<Tick>(-1);
+  }
+  // Power-down idle threshold, in bus ticks (rounded up).
+  const double tick_ns = 1e9 / static_cast<double>(cfg_.bus_clock.hz);
+  pd_threshold_ =
+      static_cast<Tick>(std::ceil(cfg_.powerdown_idle_ns / tick_ns));
+}
+
+Bank& DramSystem::bank_at(const Location& loc) {
+  const std::size_t idx =
+      (static_cast<std::size_t>(loc.channel) * cfg_.ranks + loc.rank) *
+          cfg_.banks_per_rank +
+      loc.bank;
+  BWPART_ASSERT(idx < banks_.size(), "bank index out of range");
+  return banks_[idx];
+}
+
+const Bank& DramSystem::bank_at(const Location& loc) const {
+  return const_cast<DramSystem*>(this)->bank_at(loc);
+}
+
+DramSystem::RankState& DramSystem::rank_at(std::uint32_t channel,
+                                           std::uint32_t rank) {
+  const std::size_t idx =
+      static_cast<std::size_t>(channel) * cfg_.ranks + rank;
+  BWPART_ASSERT(idx < ranks_.size(), "rank index out of range");
+  return ranks_[idx];
+}
+
+const DramSystem::RankState& DramSystem::rank_at(std::uint32_t channel,
+                                                 std::uint32_t rank) const {
+  return const_cast<DramSystem*>(this)->rank_at(channel, rank);
+}
+
+void DramSystem::tick(Tick now) {
+  BWPART_ASSERT(!ticked_ || now == last_tick_ + 1,
+                "DramSystem::tick must advance one tick at a time");
+  last_tick_ = now;
+  ticked_ = true;
+  ++stats_.ticks;
+  if (!cfg_.enable_refresh && !cfg_.enable_powerdown) return;
+  for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
+    for (std::uint32_t rk = 0; rk < cfg_.ranks; ++rk) {
+      RankState& r = rank_at(ch, rk);
+      if (cfg_.enable_refresh) {
+        if (!r.refresh_pending && now >= r.next_refresh_due) {
+          r.refresh_pending = true;  // blocks new activates to this rank
+        }
+        if (r.refresh_pending) try_refresh(ch, rk, now);
+      }
+      if (cfg_.enable_powerdown) update_powerdown(r, ch, rk, now);
+    }
+  }
+}
+
+void DramSystem::update_powerdown(RankState& r, std::uint32_t channel,
+                                  std::uint32_t rank, Tick now) {
+  if (r.pd) {
+    ++stats_.powerdown_rank_ticks;
+    if (r.waking && now >= r.wake_ready) {
+      r.pd = false;
+      r.waking = false;
+      r.last_activity = now;
+    }
+    return;
+  }
+  if (r.refresh_pending) return;
+  if (now < r.last_activity + pd_threshold_) return;
+  // Enter precharge power-down only with every bank closed and recovered.
+  for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
+    const Location loc{channel, rank, b, 0, 0};
+    const Bank& bank = bank_at(loc);
+    if (bank.row_open() || now < bank.next_activate_tick()) return;
+  }
+  r.pd = true;
+  r.waking = false;
+}
+
+void DramSystem::notify_rank_pending(std::uint32_t channel,
+                                     std::uint32_t rank, Tick now) {
+  if (!cfg_.enable_powerdown) return;
+  RankState& r = rank_at(channel, rank);
+  if (r.pd && !r.waking) {
+    r.waking = true;
+    r.wake_ready = now + t_.xp;
+  }
+  // A rank with pending work never *enters* power-down this tick.
+  r.last_activity = std::max(r.last_activity, now);
+}
+
+bool DramSystem::powered_down(std::uint32_t channel,
+                              std::uint32_t rank) const {
+  return rank_at(channel, rank).pd;
+}
+
+void DramSystem::try_refresh(std::uint32_t channel, std::uint32_t rank,
+                             Tick now) {
+  RankState& r = rank_at(channel, rank);
+  // Close any open bank as soon as its tRAS/tRTP/tWR constraints allow.
+  // (Hardware would issue PRECHARGE-ALL; we fold it into the engine.)
+  bool all_closed = true;
+  for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
+    Location loc{channel, rank, b, 0, 0};
+    Bank& bank = bank_at(loc);
+    if (bank.row_open()) {
+      if (bank.can_precharge(now)) {
+        bank.precharge(now, t_);
+        ++stats_.precharges;
+      } else {
+        all_closed = false;
+      }
+    }
+  }
+  if (!all_closed) return;
+  // All banks must also be past their precharge-recovery windows.
+  for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
+    Location loc{channel, rank, b, 0, 0};
+    if (now < bank_at(loc).next_activate_tick()) return;
+  }
+  for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
+    Location loc{channel, rank, b, 0, 0};
+    bank_at(loc).refresh(now, t_);
+  }
+  ++stats_.refreshes;
+  r.refresh_pending = false;
+  r.next_refresh_due += t_.refi;
+}
+
+bool DramSystem::is_row_hit(const Location& loc) const {
+  const Bank& b = bank_at(loc);
+  return b.row_open() && b.open_row() == loc.row;
+}
+
+bool DramSystem::is_row_open(const Location& loc) const {
+  return bank_at(loc).row_open();
+}
+
+CommandType DramSystem::required_command(const Location& loc,
+                                         AccessType type) const {
+  const Bank& b = bank_at(loc);
+  if (b.row_open()) {
+    if (b.open_row() != loc.row) return CommandType::Precharge;
+    const bool auto_pre = cfg_.page_policy == PagePolicy::Close;
+    if (type == AccessType::Read) {
+      return auto_pre ? CommandType::ReadAp : CommandType::Read;
+    }
+    return auto_pre ? CommandType::WriteAp : CommandType::Write;
+  }
+  return CommandType::Activate;
+}
+
+bool DramSystem::rank_allows_activate(const RankState& r, Tick now) const {
+  if (r.refresh_pending) return false;
+  if (r.any_act && now < r.last_act + t_.rrd) return false;
+  if (r.act_count >= 4) {
+    const Tick fourth_back = r.act_window[r.act_count % 4];
+    if (now < fourth_back + t_.faw) return false;
+  }
+  return true;
+}
+
+bool DramSystem::bus_allows(const ChannelState& ch, Tick data_start,
+                            std::uint32_t rank) const {
+  // Switching the data bus between ranks needs an extra tRTRS gap.
+  const Tick gap =
+      ch.bus_has_last && ch.bus_last_rank != rank ? t_.rtrs : 0;
+  return data_start >= ch.bus_free_at + gap;
+}
+
+bool DramSystem::refresh_blocked(std::uint32_t channel,
+                                 std::uint32_t rank) const {
+  return rank_at(channel, rank).refresh_pending;
+}
+
+bool DramSystem::can_issue(const Command& cmd, Tick now) const {
+  return can_issue_impl(cmd, now, /*check_bus=*/true);
+}
+
+bool DramSystem::can_issue_ignoring_bus(const Command& cmd, Tick now) const {
+  return can_issue_impl(cmd, now, /*check_bus=*/false);
+}
+
+bool DramSystem::can_issue_impl(const Command& cmd, Tick now,
+                                bool check_bus) const {
+  const Location& loc = cmd.loc;
+  const Bank& bank = bank_at(loc);
+  const RankState& rank = rank_at(loc.channel, loc.rank);
+  const ChannelState& chan = chans_[loc.channel];
+  if (rank.pd) return false;  // powered down; wake via notify_rank_pending
+  switch (cmd.type) {
+    case CommandType::Activate:
+      return bank.can_activate(now) && rank_allows_activate(rank, now);
+    case CommandType::Read:
+    case CommandType::ReadAp: {
+      if (!bank.can_read(now) || bank.open_row() != loc.row) return false;
+      if (rank.any_col && now < rank.last_col + t_.ccd) return false;
+      if (rank.any_write && now < rank.write_data_end + t_.wtr) {
+        return false;  // tWTR
+      }
+      return !check_bus || bus_allows(chan, now + t_.cl, loc.rank);
+    }
+    case CommandType::Write:
+    case CommandType::WriteAp: {
+      if (!bank.can_write(now) || bank.open_row() != loc.row) return false;
+      if (rank.any_col && now < rank.last_col + t_.ccd) return false;
+      return !check_bus || bus_allows(chan, now + t_.cwl, loc.rank);
+    }
+    case CommandType::Precharge:
+      return bank.can_precharge(now);
+    case CommandType::Refresh:
+      // Refresh is driven internally by tick(); never issued externally.
+      return false;
+  }
+  return false;
+}
+
+IssueResult DramSystem::issue(const Command& cmd, Tick now) {
+  BWPART_ASSERT(can_issue(cmd, now), "issue() without can_issue()");
+  const Location& loc = cmd.loc;
+  Bank& bank = bank_at(loc);
+  RankState& rank = rank_at(loc.channel, loc.rank);
+  ChannelState& chan = chans_[loc.channel];
+  rank.last_activity = now;
+  IssueResult result;
+  switch (cmd.type) {
+    case CommandType::Activate: {
+      bank.activate(now, loc.row, t_);
+      rank.act_window[rank.act_count % 4] = now;
+      ++rank.act_count;
+      rank.last_act = now;
+      rank.any_act = true;
+      ++stats_.activates;
+      break;
+    }
+    case CommandType::Read:
+    case CommandType::ReadAp: {
+      bank.read(now, cmd.type == CommandType::ReadAp, t_);
+      rank.last_col = now;
+      rank.any_col = true;
+      const Tick data_start = now + t_.cl;
+      chan.bus_free_at = data_start + t_.burst;
+      chan.bus_last_rank = loc.rank;
+      chan.bus_has_last = true;
+      stats_.data_bus_busy_ticks += t_.burst;
+      ++stats_.reads;
+      result.data_finish = data_start + t_.burst;
+      break;
+    }
+    case CommandType::Write:
+    case CommandType::WriteAp: {
+      bank.write(now, cmd.type == CommandType::WriteAp, t_);
+      rank.last_col = now;
+      rank.any_col = true;
+      const Tick data_start = now + t_.cwl;
+      chan.bus_free_at = data_start + t_.burst;
+      chan.bus_last_rank = loc.rank;
+      chan.bus_has_last = true;
+      rank.write_data_end = data_start + t_.burst;
+      rank.any_write = true;
+      stats_.data_bus_busy_ticks += t_.burst;
+      ++stats_.writes;
+      result.data_finish = data_start + t_.burst;
+      break;
+    }
+    case CommandType::Precharge: {
+      bank.precharge(now, t_);
+      ++stats_.precharges;
+      break;
+    }
+    case CommandType::Refresh:
+      BWPART_ASSERT(false, "refresh is internal to DramSystem");
+  }
+  return result;
+}
+
+}  // namespace bwpart::dram

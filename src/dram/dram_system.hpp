@@ -1,0 +1,148 @@
+// Channel-level DRAM engine in the style of DRAMSim2: per-bank state
+// machines plus rank constraints (tRRD, tFAW, tWTR, refresh) and the shared
+// data bus. The memory controller decides *which* request to serve; this
+// class decides *whether* a specific DRAM command is legal right now and
+// evolves device state when it issues.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/address_map.hpp"
+#include "dram/bank.hpp"
+#include "dram/command.hpp"
+#include "dram/config.hpp"
+
+namespace bwpart::dram {
+
+struct DramStats {
+  std::uint64_t activates = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t precharges = 0;  // explicit PRE commands only
+  std::uint64_t refreshes = 0;
+  std::uint64_t data_bus_busy_ticks = 0;
+  std::uint64_t ticks = 0;
+  /// Sum over ranks of ticks spent in precharge power-down.
+  std::uint64_t powerdown_rank_ticks = 0;
+
+  std::uint64_t column_accesses() const { return reads + writes; }
+  /// Fraction of ticks the data bus carried data (bandwidth utilization).
+  double bus_utilization() const {
+    return ticks == 0 ? 0.0
+                      : static_cast<double>(data_bus_busy_ticks) /
+                            static_cast<double>(ticks);
+  }
+};
+
+/// Result of issuing a command. For column commands, `data_finish` is the
+/// bus tick at which the last data beat has transferred (request complete).
+struct IssueResult {
+  Tick data_finish = 0;
+};
+
+class DramSystem {
+ public:
+  explicit DramSystem(const DramConfig& cfg,
+                      MapScheme scheme = MapScheme::ChanRowColBankRank);
+
+  const DramConfig& config() const { return cfg_; }
+  const TimingsTicks& timings() const { return t_; }
+  const AddressMap& mapper() const { return map_; }
+  const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DramStats{}; }
+
+  /// Advances device-internal housekeeping (refresh scheduling) to `now`.
+  /// Must be called once per bus tick, before can_issue/issue.
+  void tick(Tick now);
+
+  /// True if the bank addressed by `loc` currently has `loc.row` open.
+  bool is_row_hit(const Location& loc) const;
+  /// True if the addressed bank has any row open.
+  bool is_row_open(const Location& loc) const;
+
+  /// The next command a request at `loc` needs, honouring the page policy:
+  /// row hit -> column command; open conflicting row -> Precharge;
+  /// closed bank -> Activate.
+  CommandType required_command(const Location& loc, AccessType type) const;
+
+  /// Checks every timing constraint (bank, rank, bus, pending refresh) for
+  /// issuing `cmd` at tick `now`.
+  bool can_issue(const Command& cmd, Tick now) const;
+
+  /// Same as can_issue but ignoring data-bus occupancy — used by the
+  /// controller to detect a column command whose *only* blocker is the bus,
+  /// so it can reserve the bus for it instead of letting lower-priority
+  /// commands perpetually push the bus-free time out (rank-switch
+  /// starvation).
+  bool can_issue_ignoring_bus(const Command& cmd, Tick now) const;
+
+  /// Issues `cmd`; all constraints must hold (checked).
+  IssueResult issue(const Command& cmd, Tick now);
+
+  /// True while a rank in the channel is draining for / undergoing refresh.
+  /// Exposed so interference accounting can distinguish refresh stalls from
+  /// inter-application interference.
+  bool refresh_blocked(std::uint32_t channel, std::uint32_t rank) const;
+
+  /// Power-down management (when cfg.enable_powerdown): the controller
+  /// calls this each tick for every rank that has pending requests; a
+  /// powered-down rank then begins its tXP wake-up. Idle ranks drop into
+  /// power-down automatically inside tick().
+  void notify_rank_pending(std::uint32_t channel, std::uint32_t rank,
+                           Tick now);
+  bool powered_down(std::uint32_t channel, std::uint32_t rank) const;
+
+ private:
+  struct RankState {
+    Tick last_act = 0;           // tRRD reference; 0 means "none yet"
+    bool any_act = false;
+    Tick act_window[4] = {};     // ring buffer of recent ACT ticks (tFAW)
+    std::uint32_t act_count = 0; // total ACTs (ring index = count % 4)
+    Tick last_col = 0;           // tCCD reference
+    bool any_col = false;
+    Tick write_data_end = 0;     // tWTR reference
+    bool any_write = false;
+    Tick next_refresh_due = 0;
+    bool refresh_pending = false;
+    // Precharge power-down state.
+    Tick last_activity = 0;
+    bool pd = false;
+    bool waking = false;
+    Tick wake_ready = 0;
+  };
+
+  struct ChannelState {
+    Tick bus_free_at = 0;  // first tick the data bus is free
+    std::uint32_t bus_last_rank = 0;  // rank of the last data burst (tRTRS)
+    bool bus_has_last = false;
+  };
+
+  Bank& bank_at(const Location& loc);
+  const Bank& bank_at(const Location& loc) const;
+  RankState& rank_at(std::uint32_t channel, std::uint32_t rank);
+  const RankState& rank_at(std::uint32_t channel, std::uint32_t rank) const;
+
+  bool rank_allows_activate(const RankState& r, Tick now) const;
+  bool bus_allows(const ChannelState& ch, Tick data_start,
+                  std::uint32_t rank) const;
+  bool can_issue_impl(const Command& cmd, Tick now, bool check_bus) const;
+  void update_powerdown(RankState& r, std::uint32_t channel,
+                        std::uint32_t rank, Tick now);
+  /// Attempts to start the pending refresh of one rank.
+  void try_refresh(std::uint32_t channel, std::uint32_t rank, Tick now);
+
+  DramConfig cfg_;
+  TimingsTicks t_;
+  AddressMap map_;
+  std::vector<Bank> banks_;          // [channel][rank][bank] flattened
+  std::vector<RankState> ranks_;     // [channel][rank] flattened
+  std::vector<ChannelState> chans_;  // [channel]
+  DramStats stats_;
+  Tick pd_threshold_ = 0;
+  Tick last_tick_ = 0;
+  bool ticked_ = false;
+};
+
+}  // namespace bwpart::dram

@@ -1,0 +1,32 @@
+#include "dram/power.hpp"
+
+#include <algorithm>
+
+namespace bwpart::dram {
+
+EnergyBreakdown estimate_energy(const DramStats& stats, const DramConfig& cfg,
+                                const EnergyParams& params) {
+  EnergyBreakdown e;
+  // Every activate eventually precharges (close-page immediately, open-page
+  // on conflict/refresh), so ACT energy covers the pair. Explicit
+  // precharges are part of the same pairs and not double-counted.
+  e.activate_nj = static_cast<double>(stats.activates) * params.act_pre_nj;
+  e.read_nj = static_cast<double>(stats.reads) * params.read_nj;
+  e.write_nj = static_cast<double>(stats.writes) * params.write_nj;
+  e.refresh_nj = static_cast<double>(stats.refreshes) * params.refresh_nj;
+  // Background power: full standby for active rank-ticks, reduced for
+  // power-down rank-ticks.
+  const double total_rank_ticks = static_cast<double>(stats.ticks) *
+                                  static_cast<double>(cfg.ranks) *
+                                  static_cast<double>(cfg.channels);
+  const double pd_ticks =
+      std::min(static_cast<double>(stats.powerdown_rank_ticks),
+               total_rank_ticks);
+  const double tick_seconds = 1.0 / static_cast<double>(cfg.bus_clock.hz);
+  e.background_nj =
+      params.background_mw_per_rank * 1e-3 * tick_seconds * 1e9 *
+      ((total_rank_ticks - pd_ticks) + pd_ticks * params.powerdown_fraction);
+  return e;
+}
+
+}  // namespace bwpart::dram

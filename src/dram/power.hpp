@@ -1,0 +1,50 @@
+// DRAM energy estimation in the style of DRAMSim2's power model, reduced
+// to per-operation energies plus background power. Computed from the
+// command counts the engine already tracks, so it can be applied to any
+// completed simulation window.
+#pragma once
+
+#include "dram/config.hpp"
+#include "dram/dram_system.hpp"
+
+namespace bwpart::dram {
+
+/// Per-operation energies (nanojoules) and background power (milliwatts).
+/// Defaults approximate a DDR2 x8 device aggregated to rank granularity.
+struct EnergyParams {
+  double act_pre_nj = 2.5;    ///< one ACTIVATE/PRECHARGE pair
+  double read_nj = 1.8;       ///< one column read incl. I/O
+  double write_nj = 1.9;      ///< one column write incl. I/O
+  double refresh_nj = 28.0;   ///< one all-bank refresh of a rank
+  double background_mw_per_rank = 55.0;  ///< standby power
+  /// Fraction of standby power drawn in precharge power-down.
+  double powerdown_fraction = 0.35;
+};
+
+struct EnergyBreakdown {
+  double activate_nj = 0.0;
+  double read_nj = 0.0;
+  double write_nj = 0.0;
+  double refresh_nj = 0.0;
+  double background_nj = 0.0;
+
+  double total_nj() const {
+    return activate_nj + read_nj + write_nj + refresh_nj + background_nj;
+  }
+  /// Average power over the window in milliwatts.
+  double average_power_mw(double window_seconds) const {
+    return window_seconds <= 0.0 ? 0.0 : total_nj() * 1e-9 / window_seconds *
+                                             1e3;
+  }
+  /// Energy per served column access in nanojoules.
+  double nj_per_access(std::uint64_t accesses) const {
+    return accesses == 0 ? 0.0
+                         : total_nj() / static_cast<double>(accesses);
+  }
+};
+
+/// Estimates energy for a stats window gathered on a system with `cfg`.
+EnergyBreakdown estimate_energy(const DramStats& stats, const DramConfig& cfg,
+                                const EnergyParams& params = {});
+
+}  // namespace bwpart::dram

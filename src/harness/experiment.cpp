@@ -1,0 +1,151 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "profile/alone_profiler.hpp"
+
+namespace bwpart::harness {
+
+double RunResult::metric(core::Metric m) const {
+  switch (m) {
+    case core::Metric::HarmonicWeightedSpeedup: return hsp;
+    case core::Metric::MinFairness: return min_fairness;
+    case core::Metric::WeightedSpeedup: return wsp;
+    case core::Metric::IpcSum: return ipcsum;
+  }
+  BWPART_ASSERT(false, "unknown metric");
+  return 0.0;
+}
+
+Experiment::Experiment(const SystemConfig& cfg,
+                       std::span<const workload::BenchmarkSpec> apps,
+                       const PhaseConfig& phases)
+    : cfg_(cfg), apps_(apps.begin(), apps.end()), phases_(phases) {
+  BWPART_ASSERT(!apps_.empty(), "experiment needs at least one app");
+  BWPART_ASSERT(phases.profile_cycles > 0 && phases.measure_cycles > 0,
+                "profile/measure windows must be positive");
+}
+
+std::vector<core::AppParams> Experiment::profile_phase(CmpSystem& sys) const {
+  sys.run(phases_.warmup_cycles);
+  sys.reset_measurement();
+  sys.run(phases_.profile_cycles);
+  if (phases_.oracle_alone) return profile_alone_oracle();
+  const auto counters = sys.profiler_counters();
+  std::vector<core::AppParams> params;
+  params.reserve(counters.size());
+  for (const profile::AppCounters& c : counters) {
+    params.push_back(profile::estimate_alone(c, phases_.profile_cycles));
+  }
+  return params;
+}
+
+RunResult Experiment::measure_phase(
+    CmpSystem& sys, core::Scheme scheme, std::vector<core::AppParams> params,
+    std::span<const double> shares_override) const {
+  const std::size_t n = apps_.size();
+  std::unique_ptr<mem::Scheduler> sched;
+  if (!shares_override.empty()) {
+    auto stf = std::make_unique<mem::StartTimeFairScheduler>(
+        n, cfg_.dstf_row_hit_window);
+    stf->set_shares(shares_override);
+    sched = std::move(stf);
+  } else {
+    sched = make_scheduler(scheme, n, params, cfg_.dstf_row_hit_window);
+  }
+  sys.controller().replace_scheduler(std::move(sched));
+  // Partitioned schemes use per-application queue slices (QoS-style
+  // controllers); No_partitioning keeps the classic shared FCFS queue.
+  sys.controller().set_admission_mode(
+      scheme == core::Scheme::NoPartitioning && shares_override.empty()
+          ? mem::AdmissionMode::Shared
+          : mem::AdmissionMode::PerApp);
+  sys.reset_measurement();
+
+  if (phases_.reprofile_period > 0 && shares_override.empty()) {
+    profile::RollingProfiler rolling(
+        static_cast<std::uint32_t>(n), phases_.reprofile_period);
+    Cycle done = 0;
+    while (done < phases_.measure_cycles) {
+      const Cycle chunk =
+          std::min<Cycle>(phases_.reprofile_period,
+                          phases_.measure_cycles - done);
+      sys.run(chunk);
+      done += chunk;
+      if (auto fresh = rolling.update(done, sys.profiler_counters())) {
+        apply_scheme(sys.controller().scheduler(), scheme, *fresh);
+        params = std::move(*fresh);
+      }
+    }
+  } else {
+    sys.run(phases_.measure_cycles);
+  }
+
+  RunResult r;
+  r.scheme = scheme;
+  r.params = std::move(params);
+  r.ipc_shared = sys.measured_ipc();
+  r.apc_shared = sys.measured_apc();
+  r.total_apc = sys.measured_total_apc();
+  r.bus_utilization = sys.controller().dram().stats().bus_utilization();
+
+  std::vector<double> ipc_alone;
+  ipc_alone.reserve(n);
+  for (const core::AppParams& p : r.params) {
+    ipc_alone.push_back(p.ipc_alone());
+  }
+  const bool starved = std::any_of(r.ipc_shared.begin(), r.ipc_shared.end(),
+                                   [](double x) { return x <= 0.0; });
+  r.hsp = starved ? 0.0
+                  : core::harmonic_weighted_speedup(r.ipc_shared, ipc_alone);
+  r.wsp = core::weighted_speedup(r.ipc_shared, ipc_alone);
+  r.ipcsum = core::ipc_sum(r.ipc_shared);
+  r.min_fairness = core::min_fairness(r.ipc_shared, ipc_alone);
+  return r;
+}
+
+RunResult Experiment::run(core::Scheme scheme) const {
+  CmpSystem sys(cfg_, apps_, phases_.seed);
+  std::vector<core::AppParams> params = profile_phase(sys);
+  return measure_phase(sys, scheme, std::move(params), {});
+}
+
+RunResult Experiment::run_qos(
+    std::span<const core::QosRequirement> requirements,
+    core::Scheme best_effort_scheme) const {
+  CmpSystem sys(cfg_, apps_, phases_.seed);
+  std::vector<core::AppParams> params = profile_phase(sys);
+  // B: the bandwidth actually utilized during the profile window.
+  const double b = sys.measured_total_apc();
+  const core::QosPlan plan =
+      core::qos_allocate(params, requirements, b, best_effort_scheme);
+  BWPART_ASSERT(plan.feasible, "QoS targets infeasible at measured bandwidth");
+  return measure_phase(sys, best_effort_scheme, std::move(params), plan.beta);
+}
+
+std::vector<core::AppParams> Experiment::profile_alone_oracle() const {
+  std::vector<core::AppParams> out;
+  out.reserve(apps_.size());
+  for (const workload::BenchmarkSpec& bench : apps_) {
+    out.push_back(profile_standalone(cfg_, bench, phases_));
+  }
+  return out;
+}
+
+core::AppParams profile_standalone(const SystemConfig& cfg,
+                                   const workload::BenchmarkSpec& bench,
+                                   const PhaseConfig& phases) {
+  const workload::BenchmarkSpec one[] = {bench};
+  CmpSystem sys(cfg, one, phases.seed);
+  sys.run(phases.warmup_cycles);
+  sys.reset_measurement();
+  sys.run(phases.profile_cycles);
+  core::AppParams p;
+  p.apc_alone = sys.measured_apc()[0];
+  const double ipc = sys.measured_ipc()[0];
+  p.api = ipc > 0.0 ? p.apc_alone / ipc : 0.0;
+  return p;
+}
+
+}  // namespace bwpart::harness

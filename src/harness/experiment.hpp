@@ -1,0 +1,103 @@
+// The experiment driver reproducing the paper's methodology (Section V-B):
+// warm up, profile APC_alone online (Eq. 12-13) under No_partitioning,
+// install the partitioning scheme under test, then measure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/app_params.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "core/qos.hpp"
+#include "harness/system.hpp"
+#include "workload/mixes.hpp"
+
+namespace bwpart::harness {
+
+struct PhaseConfig {
+  Cycle warmup_cycles = 500'000;
+  Cycle profile_cycles = 2'000'000;
+  Cycle measure_cycles = 2'000'000;
+  /// When true, APC_alone/API come from truly-standalone runs of each app
+  /// (ground truth) instead of the online interference-based estimator.
+  bool oracle_alone = false;
+  /// Re-profiling period during the measure phase; 0 disables (shares stay
+  /// fixed at the profile-phase estimate).
+  Cycle reprofile_period = 0;
+  std::uint64_t seed = 42;
+
+  /// The paper's full-scale setting: 10 M-cycle profile + 10 M-cycle
+  /// measurement windows.
+  static PhaseConfig paper_scale() {
+    PhaseConfig p;
+    p.warmup_cycles = 2'000'000;
+    p.profile_cycles = 10'000'000;
+    p.measure_cycles = 10'000'000;
+    return p;
+  }
+};
+
+struct RunResult {
+  core::Scheme scheme = core::Scheme::NoPartitioning;
+  /// The AppParams used for partitioning *and* for metric normalization
+  /// (the paper uses the same estimates for both, Section IV-C).
+  std::vector<core::AppParams> params;
+  std::vector<double> ipc_shared;   ///< measured, per app
+  std::vector<double> apc_shared;   ///< measured, per app
+  double total_apc = 0.0;           ///< measured utilized bandwidth B
+  double bus_utilization = 0.0;
+
+  double hsp = 0.0;
+  double wsp = 0.0;
+  double ipcsum = 0.0;
+  double min_fairness = 0.0;
+
+  double metric(core::Metric m) const;
+};
+
+class Experiment {
+ public:
+  Experiment(const SystemConfig& cfg,
+             std::span<const workload::BenchmarkSpec> apps,
+             const PhaseConfig& phases);
+
+  /// Runs one scheme end-to-end on a fresh system (same seed => identical
+  /// traces across schemes).
+  RunResult run(core::Scheme scheme) const;
+
+  /// Runs the QoS-guaranteed mode (Section III-G / Fig. 3): guaranteed apps
+  /// get exactly their reservation; the rest are partitioned with
+  /// `best_effort_scheme` over the remaining bandwidth.
+  RunResult run_qos(std::span<const core::QosRequirement> requirements,
+                    core::Scheme best_effort_scheme) const;
+
+  /// Ground-truth standalone parameters of every app (each run alone on the
+  /// full machine).
+  std::vector<core::AppParams> profile_alone_oracle() const;
+
+  const SystemConfig& system_config() const { return cfg_; }
+  const PhaseConfig& phases() const { return phases_; }
+  std::span<const workload::BenchmarkSpec> apps() const { return apps_; }
+
+ private:
+  /// Warm up + profile on a fresh system; returns the system positioned at
+  /// the start of the measure phase along with the profiled parameters.
+  std::vector<core::AppParams> profile_phase(CmpSystem& sys) const;
+  RunResult measure_phase(CmpSystem& sys, core::Scheme scheme,
+                          std::vector<core::AppParams> params,
+                          std::span<const double> shares_override) const;
+
+  SystemConfig cfg_;
+  std::vector<workload::BenchmarkSpec> apps_;
+  PhaseConfig phases_;
+};
+
+/// Standalone profile of a single benchmark on the given machine
+/// configuration (used by the oracle mode and bench/table3).
+core::AppParams profile_standalone(const SystemConfig& cfg,
+                                   const workload::BenchmarkSpec& bench,
+                                   const PhaseConfig& phases);
+
+}  // namespace bwpart::harness

@@ -1,0 +1,150 @@
+#include "harness/system.hpp"
+
+#include "common/assert.hpp"
+
+namespace bwpart::harness {
+
+std::unique_ptr<mem::Scheduler> make_scheduler(
+    core::Scheme scheme, std::size_t num_apps,
+    std::span<const core::AppParams> params, double row_hit_window) {
+  using core::Scheme;
+  switch (scheme) {
+    case Scheme::NoPartitioning:
+      return std::make_unique<mem::FcfsScheduler>();
+    case Scheme::PriorityApc:
+    case Scheme::PriorityApi: {
+      auto sched = std::make_unique<mem::StrictPriorityScheduler>(num_apps);
+      apply_scheme(*sched, scheme, params);
+      return sched;
+    }
+    case Scheme::Equal:
+    case Scheme::Proportional:
+    case Scheme::SquareRoot:
+    case Scheme::TwoThirdsPower: {
+      auto sched = std::make_unique<mem::StartTimeFairScheduler>(
+          num_apps, row_hit_window);
+      apply_scheme(*sched, scheme, params);
+      return sched;
+    }
+  }
+  BWPART_ASSERT(false, "unknown scheme");
+  return nullptr;
+}
+
+void apply_scheme(mem::Scheduler& sched, core::Scheme scheme,
+                  std::span<const core::AppParams> params) {
+  using core::Scheme;
+  switch (scheme) {
+    case Scheme::NoPartitioning:
+      return;  // FCFS has no knobs
+    case Scheme::PriorityApc:
+    case Scheme::PriorityApi: {
+      const auto ranks = core::priority_ranks(scheme, params);
+      sched.set_priority_ranks(ranks);
+      return;
+    }
+    case Scheme::Equal:
+    case Scheme::Proportional:
+    case Scheme::SquareRoot:
+    case Scheme::TwoThirdsPower: {
+      // Share-based schemes: only relative weights matter to the
+      // enforcement scheduler, so the bandwidth argument is arbitrary.
+      const auto beta = core::compute_shares(scheme, params, 1.0);
+      sched.set_shares(beta);
+      return;
+    }
+  }
+  BWPART_ASSERT(false, "unknown scheme");
+}
+
+CmpSystem::CmpSystem(const SystemConfig& cfg,
+                     std::span<const workload::BenchmarkSpec> apps,
+                     std::uint64_t seed)
+    : cfg_(cfg),
+      apps_(apps.begin(), apps.end()),
+      interference_(static_cast<std::uint32_t>(apps.size())) {
+  BWPART_ASSERT(!apps_.empty(), "system needs at least one app");
+  const auto n = static_cast<std::uint32_t>(apps_.size());
+  // Systems start under No_partitioning (FCFS); experiments swap the
+  // scheduler at phase boundaries via controller().replace_scheduler().
+  controller_ = std::make_unique<mem::MemoryController>(
+      cfg_.dram, cfg_.cpu_clock, n, std::make_unique<mem::FcfsScheduler>(),
+      cfg_.queue_capacity_per_app, dram::MapScheme::ChanRowColBankRank,
+      cfg_.queue_capacity_shared, mem::AdmissionMode::Shared);
+  controller_->set_interference_observer(&interference_);
+
+  traces_.reserve(n);
+  cores_.reserve(n);
+  for (AppId a = 0; a < n; ++a) {
+    traces_.push_back(std::make_unique<workload::SyntheticTraceGenerator>(
+        workload::SyntheticTraceGenerator::from_benchmark(apps_[a], a, seed)));
+    cpu::CoreConfig cc = cfg_.core;
+    cc.nonmem_ipc = apps_[a].nonmem_ipc;
+    cores_.push_back(std::make_unique<cpu::OoOCore>(a, cc, *traces_[a],
+                                                    *controller_));
+  }
+  controller_->set_completion_callback(
+      [this](const mem::MemRequest& req, Cycle done_cpu) {
+        cores_[req.app]->on_mem_complete(req, done_cpu);
+      });
+}
+
+void CmpSystem::run(Cycle cycles) {
+  const Cycle end = now_ + cycles;
+  while (now_ < end) {
+    for (auto& c : cores_) c->tick(now_);
+    controller_->tick(now_);
+    ++now_;
+  }
+}
+
+void CmpSystem::reset_measurement() {
+  for (auto& c : cores_) c->reset_stats();
+  controller_->reset_stats();
+  interference_.reset();
+  window_start_ = now_;
+}
+
+std::vector<profile::AppCounters> CmpSystem::profiler_counters() const {
+  std::vector<profile::AppCounters> out(cores_.size());
+  for (AppId a = 0; a < cores_.size(); ++a) {
+    out[a].accesses = controller_->app_stats(a).served();
+    out[a].instructions = cores_[a]->stats().instructions;
+    out[a].interference_cycles = interference_.interference_cycles(a);
+  }
+  return out;
+}
+
+std::vector<double> CmpSystem::measured_ipc() const {
+  std::vector<double> out;
+  out.reserve(cores_.size());
+  const Cycle window = now_ - window_start_;
+  for (const auto& c : cores_) {
+    out.push_back(window == 0 ? 0.0
+                              : static_cast<double>(c->stats().instructions) /
+                                    static_cast<double>(window));
+  }
+  return out;
+}
+
+std::vector<double> CmpSystem::measured_apc() const {
+  std::vector<double> out;
+  out.reserve(cores_.size());
+  const Cycle window = now_ - window_start_;
+  for (AppId a = 0; a < cores_.size(); ++a) {
+    out.push_back(
+        window == 0
+            ? 0.0
+            : static_cast<double>(controller_->app_stats(a).served()) /
+                  static_cast<double>(window));
+  }
+  return out;
+}
+
+double CmpSystem::measured_total_apc() const {
+  double total = 0.0;
+  for (double apc : measured_apc()) total += apc;
+  return total;
+}
+
+}  // namespace bwpart::harness

@@ -1,0 +1,104 @@
+// CmpSystem: N cores, each running one synthetic benchmark, sharing one
+// memory controller and DRAM — the paper's Table II machine in simulation
+// form.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "core/app_params.hpp"
+#include "core/partition.hpp"
+#include "cpu/core.hpp"
+#include "dram/config.hpp"
+#include "mem/controller.hpp"
+#include "profile/alone_profiler.hpp"
+#include "profile/interference.hpp"
+#include "workload/spec_table.hpp"
+#include "workload/synthetic_trace.hpp"
+
+namespace bwpart::harness {
+
+struct SystemConfig {
+  Frequency cpu_clock = Frequency::from_ghz(5.0);
+  dram::DramConfig dram = dram::DramConfig::ddr2_400();
+  cpu::CoreConfig core{};  ///< template; nonmem_ipc comes from the benchmark
+  std::size_t queue_capacity_per_app = 32;
+  /// Shared-queue capacity used in No_partitioning (FCFS) mode, where one
+  /// transaction queue is contended by every application.
+  std::size_t queue_capacity_shared = 64;
+  /// Row-hit bypass window for the share-based scheduler (0 = strict tag
+  /// order); see StartTimeFairScheduler.
+  double dstf_row_hit_window = 0.0;
+
+  /// Peak off-chip bandwidth expressed in the model's APC unit.
+  double peak_apc() const {
+    const BandwidthContext ctx{cpu_clock, 64};
+    return ctx.gbps_to_apc(dram.peak_gbps());
+  }
+};
+
+/// Builds the scheduler enforcing `scheme`. Share-based schemes need the
+/// application parameters (and the priority schemes additionally use them
+/// for their ranks); No_partitioning ignores them.
+std::unique_ptr<mem::Scheduler> make_scheduler(
+    core::Scheme scheme, std::size_t num_apps,
+    std::span<const core::AppParams> params, double row_hit_window);
+
+/// Applies `scheme`'s shares/ranks to an existing scheduler instance (for
+/// periodic re-profiling updates).
+void apply_scheme(mem::Scheduler& sched, core::Scheme scheme,
+                  std::span<const core::AppParams> params);
+
+class CmpSystem {
+ public:
+  CmpSystem(const SystemConfig& cfg,
+            std::span<const workload::BenchmarkSpec> apps, std::uint64_t seed);
+
+  /// Runs for `cycles` CPU cycles.
+  void run(Cycle cycles);
+
+  Cycle now() const { return now_; }
+  std::uint32_t num_apps() const {
+    return static_cast<std::uint32_t>(cores_.size());
+  }
+
+  cpu::OoOCore& core(AppId app) { return *cores_[app]; }
+  const cpu::OoOCore& core(AppId app) const { return *cores_[app]; }
+  mem::MemoryController& controller() { return *controller_; }
+  const mem::MemoryController& controller() const { return *controller_; }
+  profile::InterferenceCounters& interference() { return interference_; }
+
+  const SystemConfig& config() const { return cfg_; }
+  const workload::BenchmarkSpec& benchmark(AppId app) const {
+    return apps_[app];
+  }
+
+  /// Zeroes all measurement counters (cores, controller, DRAM stats,
+  /// interference) at a phase boundary; microarchitectural state persists.
+  void reset_measurement();
+
+  /// Per-app cumulative profiler counters (accesses, instructions,
+  /// interference) since the last reset_measurement().
+  std::vector<profile::AppCounters> profiler_counters() const;
+
+  /// Measured per-app IPC / APC over the window since reset_measurement().
+  std::vector<double> measured_ipc() const;
+  std::vector<double> measured_apc() const;
+  /// Total utilized bandwidth in APC units over the window (the model's B).
+  double measured_total_apc() const;
+
+ private:
+  SystemConfig cfg_;
+  std::vector<workload::BenchmarkSpec> apps_;
+  std::vector<std::unique_ptr<workload::SyntheticTraceGenerator>> traces_;
+  std::unique_ptr<mem::MemoryController> controller_;
+  std::vector<std::unique_ptr<cpu::OoOCore>> cores_;
+  profile::InterferenceCounters interference_;
+  Cycle now_ = 0;
+  Cycle window_start_ = 0;
+};
+
+}  // namespace bwpart::harness

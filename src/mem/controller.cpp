@@ -1,0 +1,302 @@
+#include "mem/controller.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace bwpart::mem {
+
+MemoryController::MemoryController(const dram::DramConfig& cfg,
+                                   Frequency cpu_clock,
+                                   std::uint32_t num_apps,
+                                   std::unique_ptr<Scheduler> scheduler,
+                                   std::size_t per_app_queue_capacity,
+                                   dram::MapScheme map,
+                                   std::size_t shared_queue_capacity,
+                                   AdmissionMode admission)
+    : dram_(cfg, map),
+      crossing_(cpu_clock, cfg.bus_clock),
+      scheduler_(std::move(scheduler)),
+      per_app_capacity_(per_app_queue_capacity),
+      shared_capacity_(shared_queue_capacity),
+      admission_(admission),
+      num_apps_(num_apps),
+      per_app_count_(num_apps, 0),
+      app_stats_(num_apps),
+      bank_last_user_(cfg.total_banks(), kNoApp),
+      bus_user_(cfg.channels, kNoApp),
+      bus_busy_until_(cfg.channels, 0) {
+  BWPART_ASSERT(scheduler_ != nullptr, "controller needs a scheduler");
+  BWPART_ASSERT(num_apps > 0, "controller needs at least one app");
+  BWPART_ASSERT(per_app_queue_capacity > 0, "zero queue capacity");
+  queue_.reserve(static_cast<std::size_t>(num_apps) * per_app_queue_capacity);
+}
+
+bool MemoryController::can_accept(AppId app) const {
+  return can_accept_n(app, 1);
+}
+
+bool MemoryController::can_accept_n(AppId app, std::size_t n) const {
+  BWPART_ASSERT(app < num_apps_, "app id out of range");
+  if (admission_ == AdmissionMode::Shared) {
+    return queue_.size() + n <= shared_capacity_;
+  }
+  return per_app_count_[app] + n <= per_app_capacity_;
+}
+
+std::uint64_t MemoryController::enqueue(AppId app, Addr addr, AccessType type,
+                                        Cycle now_cpu) {
+  BWPART_ASSERT(can_accept(app), "enqueue into full queue");
+  MemRequest req;
+  req.id = next_req_id_++;
+  req.app = app;
+  req.addr = addr;
+  req.type = type;
+  req.loc = dram_.mapper().decode(addr);
+  req.arrival_cpu = now_cpu;
+  req.arrival_tick = bus_ticks_done_;
+  scheduler_->on_enqueue(req, now_cpu);
+  queue_.push_back(req);
+  ++per_app_count_[app];
+  ++app_stats_[app].enqueued;
+  if (type == AccessType::Write) {
+    ++pending_writes_;
+  } else {
+    ++pending_reads_;
+  }
+  return req.id;
+}
+
+void MemoryController::set_write_drain(const WriteDrainConfig& cfg) {
+  BWPART_ASSERT(!cfg.enabled || cfg.low_watermark < cfg.high_watermark,
+                "write-drain watermarks inverted");
+  write_drain_ = cfg;
+  draining_ = false;
+}
+
+void MemoryController::tick(Cycle now_cpu) {
+  BWPART_ASSERT(!started_ || now_cpu >= last_cpu_cycle_,
+                "controller time must not go backwards");
+  started_ = true;
+  last_cpu_cycle_ = now_cpu;
+  const std::uint64_t target = crossing_.device_ticks_at(now_cpu);
+  while (bus_ticks_done_ < target) {
+    run_bus_tick(bus_ticks_done_);
+    ++bus_ticks_done_;
+  }
+}
+
+void MemoryController::replace_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  BWPART_ASSERT(scheduler != nullptr, "controller needs a scheduler");
+  scheduler_ = std::move(scheduler);
+}
+
+const AppMemStats& MemoryController::app_stats(AppId app) const {
+  BWPART_ASSERT(app < num_apps_, "app id out of range");
+  return app_stats_[app];
+}
+
+void MemoryController::reset_stats() {
+  for (auto& s : app_stats_) s = AppMemStats{};
+  dram_.reset_stats();
+}
+
+std::size_t MemoryController::pending_requests(AppId app) const {
+  BWPART_ASSERT(app < num_apps_, "app id out of range");
+  return per_app_count_[app];
+}
+
+void MemoryController::run_bus_tick(dram::Tick now) {
+  dram_.tick(now);
+  deliver_completions(now);
+  // Wake powered-down ranks that have work waiting.
+  if (dram_.config().enable_powerdown) {
+    for (const MemRequest& r : queue_) {
+      if (!r.in_flight) {
+        dram_.notify_rank_pending(r.loc.channel, r.loc.rank, now);
+      }
+    }
+  }
+  // One command per channel per tick (shared command bus per channel).
+  issued_scratch_.assign(dram_.config().channels, kNoApp);
+  for (std::uint32_t ch = 0; ch < dram_.config().channels; ++ch) {
+    if (try_issue_one(ch, now)) {
+      issued_scratch_[ch] = issued_app_scratch_;
+    }
+  }
+  if (observer_ != nullptr) {
+    // Weight of this bus tick in CPU cycles: exact rational spacing.
+    const Cycle weight = crossing_.cpu_cycle_of_tick(now + 1) -
+                         crossing_.cpu_cycle_of_tick(now);
+    account_interference(now, issued_scratch_, weight);
+  }
+}
+
+void MemoryController::deliver_completions(dram::Tick now) {
+  for (std::size_t i = 0; i < queue_.size();) {
+    MemRequest& req = queue_[i];
+    if (req.in_flight && req.data_finish <= now) {
+      const Cycle done_cpu = crossing_.cpu_cycle_of_tick(req.data_finish);
+      AppMemStats& s = app_stats_[req.app];
+      if (req.type == AccessType::Read) {
+        ++s.served_reads;
+      } else {
+        ++s.served_writes;
+      }
+      s.sum_queue_cycles +=
+          done_cpu > req.arrival_cpu ? done_cpu - req.arrival_cpu : 0;
+      --per_app_count_[req.app];
+      const MemRequest done = req;
+      queue_[i] = queue_.back();
+      queue_.pop_back();
+      if (on_complete_) on_complete_(done, done_cpu);
+      // re-examine the element swapped into slot i
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
+  // Write-drain hysteresis: hold writes while reads wait, unless the write
+  // backlog crossed the high watermark; drain down to the low watermark.
+  if (write_drain_.enabled) {
+    if (!draining_ && pending_writes_ >= write_drain_.high_watermark) {
+      draining_ = true;
+    } else if (draining_ && pending_writes_ <= write_drain_.low_watermark) {
+      draining_ = false;
+    }
+  }
+  const bool writes_eligible =
+      !write_drain_.enabled || draining_ || pending_reads_ == 0;
+
+  // Gather schedulable requests on this channel, policy-ordered.
+  scratch_.clear();
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const MemRequest& r = queue_[i];
+    if (!r.in_flight && r.loc.channel == channel && r.arrival_tick <= now &&
+        (writes_eligible || r.type == AccessType::Read)) {
+      scratch_.push_back(i);
+    }
+  }
+  if (scratch_.empty()) return false;
+  std::sort(scratch_.begin(), scratch_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return scheduler_->before(queue_[a], queue_[b], dram_);
+            });
+  bool bus_reserved = false;
+  for (std::size_t pos = 0; pos < scratch_.size(); ++pos) {
+    MemRequest& req = queue_[scratch_[pos]];
+    const dram::CommandType need =
+        dram_.required_command(req.loc, req.type);
+    // Bus reservation: once a higher-priority column command is blocked
+    // *only* by data-bus occupancy, lower-priority column commands may not
+    // grab the bus (they would push bus-free time out forever — with tRTRS
+    // a same-rank stream can otherwise starve a rank-switching request).
+    // Non-bus commands (ACT/PRE) still flow.
+    if (bus_reserved && dram::is_column_command(need)) continue;
+    // Do not close a row that a *higher-priority* waiting request can
+    // still use: that request's column command is merely blocked this tick
+    // (tCCD/bus), and precharging under it would throw its activation away
+    // and churn ACT/PRE pairs. Lower-priority row hits get no such
+    // protection — the policy's order must win.
+    if (need == dram::CommandType::Precharge) {
+      bool protected_row = false;
+      for (std::size_t k = 0; k < pos; ++k) {
+        const MemRequest& earlier = queue_[scratch_[k]];
+        if (earlier.loc.rank == req.loc.rank &&
+            earlier.loc.bank == req.loc.bank &&
+            dram_.is_row_hit(earlier.loc)) {
+          protected_row = true;
+          break;
+        }
+      }
+      if (protected_row) continue;
+    }
+    dram::Command cmd{need, req.loc, req.app, req.id};
+    if (!dram_.can_issue(cmd, now)) {
+      if (dram::is_column_command(need) &&
+          dram_.can_issue_ignoring_bus(cmd, now)) {
+        bus_reserved = true;
+      }
+      continue;
+    }
+    const dram::IssueResult result = dram_.issue(cmd, now);
+    const std::size_t bank_idx =
+        (static_cast<std::size_t>(req.loc.channel) * dram_.config().ranks +
+         req.loc.rank) *
+            dram_.config().banks_per_rank +
+        req.loc.bank;
+    bank_last_user_[bank_idx] = req.app;
+    if (dram::is_column_command(need)) {
+      req.in_flight = true;
+      req.data_finish = result.data_finish;
+      bus_user_[channel] = req.app;
+      bus_busy_until_[channel] = result.data_finish;
+      if (req.type == AccessType::Write) {
+        BWPART_ASSERT(pending_writes_ > 0, "write accounting underflow");
+        --pending_writes_;
+      } else {
+        BWPART_ASSERT(pending_reads_ > 0, "read accounting underflow");
+        --pending_reads_;
+      }
+      scheduler_->on_issue(req);
+    }
+    issued_app_scratch_ = req.app;
+    return true;
+  }
+  return false;
+}
+
+void MemoryController::account_interference(dram::Tick now,
+                                            std::span<const AppId> issued_app,
+                                            Cycle weight) {
+  // For each application with at least one waiting request, examine its
+  // oldest waiting request and attribute this tick to interference when the
+  // request is delayed by another application's use of the bus or bank
+  // (paper Section IV-C; detection per STFM / FST).
+  for (AppId app = 0; app < num_apps_; ++app) {
+    // Find the oldest non-in-flight request of this app.
+    const MemRequest* oldest = nullptr;
+    for (const MemRequest& r : queue_) {
+      if (r.app != app || r.in_flight) continue;
+      if (oldest == nullptr || r.arrival_cpu < oldest->arrival_cpu ||
+          (r.arrival_cpu == oldest->arrival_cpu && r.id < oldest->id)) {
+        oldest = &r;
+      }
+    }
+    if (oldest == nullptr) continue;
+    const std::uint32_t ch = oldest->loc.channel;
+    const dram::CommandType need =
+        dram_.required_command(oldest->loc, oldest->type);
+    const dram::Command cmd{need, oldest->loc, app, oldest->id};
+    bool interfered = false;
+    if (dram_.can_issue(cmd, now)) {
+      // Ready but a different application's command won the slot.
+      interfered = issued_app[ch] != kNoApp && issued_app[ch] != app;
+    } else if (dram_.refresh_blocked(ch, oldest->loc.rank)) {
+      interfered = false;  // refresh is not inter-application interference
+    } else {
+      // Blocked on a resource: data bus or bank; attribute to its last user.
+      const dram::TimingsTicks& t = dram_.timings();
+      const bool bus_block =
+          dram::is_column_command(need) &&
+          now + (dram::is_read_command(need) ? t.cl : t.cwl) <
+              bus_busy_until_[ch];
+      if (bus_block) {
+        interfered = bus_user_[ch] != kNoApp && bus_user_[ch] != app;
+      } else {
+        const std::size_t bank_idx =
+            (static_cast<std::size_t>(ch) * dram_.config().ranks +
+             oldest->loc.rank) *
+                dram_.config().banks_per_rank +
+            oldest->loc.bank;
+        const AppId owner = bank_last_user_[bank_idx];
+        interfered = owner != kNoApp && owner != app;
+      }
+    }
+    if (interfered) observer_->on_interference(app, weight);
+  }
+}
+
+}  // namespace bwpart::mem

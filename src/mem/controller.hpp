@@ -1,0 +1,163 @@
+// The memory controller: per-application request queues in front of the
+// DRAM engine, a pluggable scheduling policy, completion delivery back to
+// the cores, per-application bandwidth accounting, and the interference
+// attribution hooks the online APC_alone profiler needs (paper Section
+// IV-C: bus and bank conflicts between applications).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/clock_crossing.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "dram/dram_system.hpp"
+#include "mem/request.hpp"
+#include "mem/scheduler.hpp"
+
+namespace bwpart::mem {
+
+/// Per-application service counters maintained by the controller.
+struct AppMemStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t served_reads = 0;
+  std::uint64_t served_writes = 0;
+  std::uint64_t sum_queue_cycles = 0;  ///< CPU cycles from arrival to data
+
+  std::uint64_t served() const { return served_reads + served_writes; }
+  double mean_latency_cycles() const {
+    const std::uint64_t n = served();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_queue_cycles) /
+                        static_cast<double>(n);
+  }
+};
+
+/// Receives interference attribution events. `cpu_cycles` is the weight of
+/// one bus tick in CPU cycles, so accumulating the values reproduces the
+/// paper's per-cycle T_interference counter.
+class InterferenceObserver {
+ public:
+  virtual ~InterferenceObserver() = default;
+  virtual void on_interference(AppId victim, Cycle cpu_cycles) = 0;
+};
+
+/// Request-queue admission policy. Classic FCFS controllers
+/// (No_partitioning) have one shared transaction queue, so a memory-hungry
+/// application can monopolize every entry and starve others at admission;
+/// QoS-partitioning controllers give each application its own queue slice.
+enum class AdmissionMode : std::uint8_t { Shared, PerApp };
+
+/// Write-drain policy in the spirit of the Virtual Write Queue (Stuecheli
+/// et al., ISCA'10): writes are held back while reads are waiting, and
+/// drained in batches once the backlog crosses `high_watermark` (down to
+/// `low_watermark`), amortizing the write-to-read bus turnaround penalty.
+struct WriteDrainConfig {
+  bool enabled = false;
+  std::size_t high_watermark = 24;
+  std::size_t low_watermark = 8;
+};
+
+class MemoryController {
+ public:
+  using CompletionCallback =
+      std::function<void(const MemRequest&, Cycle done_cpu)>;
+
+  MemoryController(const dram::DramConfig& cfg, Frequency cpu_clock,
+                   std::uint32_t num_apps,
+                   std::unique_ptr<Scheduler> scheduler,
+                   std::size_t per_app_queue_capacity = 32,
+                   dram::MapScheme map = dram::MapScheme::ChanRowColBankRank,
+                   std::size_t shared_queue_capacity = 64,
+                   AdmissionMode admission = AdmissionMode::Shared);
+
+  /// Switches admission policy at a phase boundary (queued requests stay).
+  void set_admission_mode(AdmissionMode mode) { admission_ = mode; }
+  AdmissionMode admission_mode() const { return admission_; }
+
+  /// Enables/disables batched write draining.
+  void set_write_drain(const WriteDrainConfig& cfg);
+  bool write_drain_active() const { return draining_; }
+
+  /// Backpressure: false when the app's queue slice is full.
+  bool can_accept(AppId app) const;
+
+  /// True if the app's queue slice has at least `n` free slots.
+  bool can_accept_n(AppId app, std::size_t n) const;
+
+  /// Enqueues one cache-line access; returns the request id.
+  /// Precondition: can_accept(app).
+  std::uint64_t enqueue(AppId app, Addr addr, AccessType type, Cycle now_cpu);
+
+  /// Advances the controller to CPU cycle `now_cpu`, running every DRAM bus
+  /// tick that fires at or before it. Must be called with non-decreasing
+  /// cycles, once per cycle.
+  void tick(Cycle now_cpu);
+
+  void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
+  void set_interference_observer(InterferenceObserver* obs) { observer_ = obs; }
+
+  Scheduler& scheduler() { return *scheduler_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+
+  /// Swaps the scheduling policy (e.g. between experiment phases). Pending
+  /// requests keep their tags; new requests are tagged by the new policy.
+  void replace_scheduler(std::unique_ptr<Scheduler> scheduler);
+
+  const dram::DramSystem& dram() const { return dram_; }
+  const ClockCrossing& crossing() const { return crossing_; }
+
+  const AppMemStats& app_stats(AppId app) const;
+  void reset_stats();
+
+  std::size_t pending_requests(AppId app) const;
+  std::size_t pending_requests_total() const { return queue_.size(); }
+
+ private:
+  void run_bus_tick(dram::Tick now);
+  void deliver_completions(dram::Tick now);
+  bool try_issue_one(std::uint32_t channel, dram::Tick now);
+  void account_interference(dram::Tick now, std::span<const AppId> issued_app,
+                            Cycle weight);
+
+  dram::DramSystem dram_;
+  ClockCrossing crossing_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::size_t per_app_capacity_;
+  std::size_t shared_capacity_;
+  AdmissionMode admission_;
+  std::uint32_t num_apps_;
+
+  std::vector<MemRequest> queue_;  ///< pending + in-flight requests
+  std::vector<std::size_t> per_app_count_;
+  std::vector<AppMemStats> app_stats_;
+
+  WriteDrainConfig write_drain_{};
+  bool draining_ = false;
+  std::size_t pending_writes_ = 0;  ///< queued writes not yet issued
+  std::size_t pending_reads_ = 0;   ///< queued reads not yet issued
+
+  // Resource-ownership tracking for interference attribution.
+  std::vector<AppId> bank_last_user_;  ///< [channel][rank][bank] flattened
+  std::vector<AppId> bus_user_;        ///< [channel]: app of current burst
+  std::vector<dram::Tick> bus_busy_until_;
+
+  CompletionCallback on_complete_;
+  InterferenceObserver* observer_ = nullptr;
+
+  std::uint64_t next_req_id_ = 0;
+  std::uint64_t bus_ticks_done_ = 0;
+  Cycle last_cpu_cycle_ = 0;
+  bool started_ = false;
+
+  // Per-tick scratch storage (kept as members to avoid reallocation in the
+  // bus-tick hot path).
+  std::vector<std::size_t> scratch_;
+  std::vector<AppId> issued_scratch_;
+  AppId issued_app_scratch_ = kNoApp;
+};
+
+}  // namespace bwpart::mem

@@ -1,0 +1,30 @@
+// A cache-line-sized off-chip memory request as tracked by the controller.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "dram/address_map.hpp"
+
+namespace bwpart::mem {
+
+struct MemRequest {
+  std::uint64_t id = 0;
+  AppId app = kNoApp;
+  Addr addr = 0;
+  AccessType type = AccessType::Read;
+  dram::Location loc{};     ///< decoded once at enqueue
+  Cycle arrival_cpu = 0;    ///< CPU cycle the request entered the controller
+  dram::Tick arrival_tick = 0;  ///< bus tick it became schedulable
+
+  /// Virtual start-time tag assigned by share-based schedulers (Section
+  /// IV-B of the paper). Unused by other policies.
+  double start_tag = 0.0;
+
+  /// Set once the column (data-transfer) command has issued; the request
+  /// then only waits for its data to finish on the bus.
+  bool in_flight = false;
+  dram::Tick data_finish = 0;  ///< valid when in_flight
+};
+
+}  // namespace bwpart::mem

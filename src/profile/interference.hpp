@@ -1,0 +1,32 @@
+// Per-application interference accounting (paper Section IV-C).
+//
+// The controller attributes each bus tick on which an application's oldest
+// request is delayed by another application (bus or bank conflict) and
+// reports it here weighted in CPU cycles; accumulating those weights
+// reproduces the paper's per-cycle T_cyc,interference counter.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/controller.hpp"
+
+namespace bwpart::profile {
+
+class InterferenceCounters final : public mem::InterferenceObserver {
+ public:
+  explicit InterferenceCounters(std::uint32_t num_apps);
+
+  void on_interference(AppId victim, Cycle cpu_cycles) override;
+
+  Cycle interference_cycles(AppId app) const;
+  void reset();
+  std::uint32_t num_apps() const {
+    return static_cast<std::uint32_t>(counters_.size());
+  }
+
+ private:
+  std::vector<Cycle> counters_;
+};
+
+}  // namespace bwpart::profile

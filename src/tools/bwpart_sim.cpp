@@ -1,0 +1,192 @@
+// bwpart_sim: command-line driver for the simulator + model.
+//
+//   bwpart_sim --mix hetero-5 --scheme Square_root --cycles 2000000
+//   bwpart_sim --mix homo-3 --scheme all --csv
+//   bwpart_sim --benchmarks lbm,gobmk,namd,hmmer --scheme Priority_API
+//
+// Options:
+//   --mix NAME          a Table IV mix (homo-1..7, hetero-1..7)
+//   --benchmarks A,B,.. explicit benchmark list instead of a mix
+//   --scheme NAME|all   partitioning scheme (paper names) or every scheme
+//   --cycles N          profile/measure window (default 2000000)
+//   --copies N          workload replication (Fig. 4 style)
+//   --bandwidth GBPS    3.2, 6.4 or 12.8 (default 3.2)
+//   --seed N            trace seed
+//   --oracle            ground-truth standalone profiling
+//   --csv               machine-readable output
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace bwpart;
+
+std::optional<core::Scheme> parse_scheme(const std::string& name) {
+  for (core::Scheme s : core::kAllSchemes) {
+    if (core::to_string(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) out.push_back(item);
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--mix NAME | --benchmarks A,B,...] "
+               "[--scheme NAME|all] [--cycles N]\n"
+               "       [--copies N] [--bandwidth 3.2|6.4|12.8] [--seed N] "
+               "[--oracle] [--csv]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mix_name = "hetero-5";
+  std::string bench_list;
+  std::string scheme_name = "all";
+  Cycle cycles = 2'000'000;
+  std::uint32_t copies = 1;
+  double bandwidth = 3.2;
+  std::uint64_t seed = 42;
+  bool oracle = false;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--mix") {
+      if (const char* v = next()) mix_name = v; else return usage(argv[0]);
+    } else if (arg == "--benchmarks") {
+      if (const char* v = next()) bench_list = v; else return usage(argv[0]);
+    } else if (arg == "--scheme") {
+      if (const char* v = next()) scheme_name = v; else return usage(argv[0]);
+    } else if (arg == "--cycles") {
+      if (const char* v = next()) cycles = std::strtoull(v, nullptr, 10);
+      else return usage(argv[0]);
+    } else if (arg == "--copies") {
+      if (const char* v = next())
+        copies = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      else return usage(argv[0]);
+    } else if (arg == "--bandwidth") {
+      if (const char* v = next()) bandwidth = std::strtod(v, nullptr);
+      else return usage(argv[0]);
+    } else if (arg == "--seed") {
+      if (const char* v = next()) seed = std::strtoull(v, nullptr, 10);
+      else return usage(argv[0]);
+    } else if (arg == "--oracle") {
+      oracle = true;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  // Workload.
+  std::vector<workload::BenchmarkSpec> apps;
+  if (!bench_list.empty()) {
+    const std::vector<std::string> names = split_csv(bench_list);
+    for (std::uint32_t c = 0; c < copies; ++c) {
+      for (const std::string& name : names) {
+        apps.push_back(workload::find_benchmark(name));
+      }
+    }
+  } else {
+    const workload::MixSpec* mix = nullptr;
+    for (const auto& m : workload::paper_mixes()) {
+      if (m.name == mix_name) mix = &m;
+    }
+    if (mix == nullptr) {
+      std::fprintf(stderr, "unknown mix '%s'\n", mix_name.c_str());
+      return usage(argv[0]);
+    }
+    apps = workload::resolve_mix(*mix, copies);
+  }
+  if (apps.empty()) return usage(argv[0]);
+
+  // Machine.
+  harness::SystemConfig machine;
+  if (bandwidth >= 12.0) {
+    machine.dram = dram::DramConfig::ddr2_1600();
+  } else if (bandwidth >= 6.0) {
+    machine.dram = dram::DramConfig::ddr2_800();
+  } else {
+    machine.dram = dram::DramConfig::ddr2_400();
+  }
+
+  harness::PhaseConfig phases;
+  phases.warmup_cycles = cycles / 5;
+  phases.profile_cycles = cycles;
+  phases.measure_cycles = cycles;
+  phases.oracle_alone = oracle;
+  phases.seed = seed;
+
+  const harness::Experiment experiment(machine, apps, phases);
+
+  std::vector<core::Scheme> schemes;
+  if (scheme_name == "all") {
+    schemes.assign(std::begin(core::kAllSchemes),
+                   std::end(core::kAllSchemes));
+  } else if (auto parsed = parse_scheme(scheme_name)) {
+    schemes.push_back(*parsed);
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'; valid:", scheme_name.c_str());
+    for (core::Scheme s : core::kAllSchemes) {
+      std::fprintf(stderr, " %s", core::to_string(s).c_str());
+    }
+    std::fprintf(stderr, " all\n");
+    return usage(argv[0]);
+  }
+
+  if (csv) {
+    std::printf("scheme,hsp,min_fairness,wsp,ipc_sum,total_apc,bus_util");
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      std::printf(",ipc_%s_%zu", apps[i].name.data(), i);
+    }
+    std::printf("\n");
+  }
+  TextTable table({"scheme", "Hsp", "MinF", "Wsp", "IPCsum", "B(APC)",
+                   "bus util"});
+  for (core::Scheme s : schemes) {
+    const harness::RunResult r = experiment.run(s);
+    if (csv) {
+      std::printf("%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f",
+                  core::to_string(s).c_str(), r.hsp, r.min_fairness, r.wsp,
+                  r.ipcsum, r.total_apc, r.bus_utilization);
+      for (double ipc : r.ipc_shared) std::printf(",%.6f", ipc);
+      std::printf("\n");
+    } else {
+      table.add_row({std::string(core::to_string(s)), TextTable::num(r.hsp),
+                     TextTable::num(r.min_fairness), TextTable::num(r.wsp),
+                     TextTable::num(r.ipcsum), TextTable::num(r.total_apc, 5),
+                     TextTable::num(r.bus_utilization, 2)});
+    }
+  }
+  if (!csv) {
+    std::printf("workload:");
+    for (const auto& b : apps) std::printf(" %s", b.name.data());
+    std::printf("  (%.1f GB/s, %zu cores)\n\n", machine.dram.peak_gbps(),
+                apps.size());
+    table.print(std::cout);
+  }
+  return 0;
+}

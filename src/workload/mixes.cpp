@@ -1,0 +1,67 @@
+#include "workload/mixes.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace bwpart::workload {
+
+namespace {
+
+constexpr std::array<MixSpec, 14> kMixes = {{
+    // Table IV, homogeneous (RSD <= 30).
+    {"homo-1", {"libquantum", "milc", "soplex", "hmmer"}, 12.27, false},
+    {"homo-2", {"libquantum", "milc", "soplex", "omnetpp"}, 13.02, false},
+    {"homo-3", {"hmmer", "gromacs", "sphinx3", "leslie3d"}, 18.55, false},
+    {"homo-4", {"hmmer", "gromacs", "bzip2", "leslie3d"}, 19.16, false},
+    {"homo-5", {"h264ref", "zeusmp", "bzip2", "gromacs"}, 19.74, false},
+    {"homo-6", {"h264ref", "zeusmp", "gobmk", "gromacs"}, 24.06, false},
+    {"homo-7", {"h264ref", "zeusmp", "gobmk", "bzip2"}, 29.71, false},
+    // Table IV, heterogeneous (RSD > 30).
+    {"hetero-1", {"milc", "soplex", "zeusmp", "bzip2"}, 41.93, true},
+    {"hetero-2", {"soplex", "hmmer", "gromacs", "gobmk"}, 45.10, true},
+    {"hetero-3", {"libquantum", "soplex", "zeusmp", "h264ref"}, 47.92, true},
+    {"hetero-4", {"lbm", "soplex", "h264ref", "bzip2"}, 50.31, true},
+    {"hetero-5", {"libquantum", "milc", "gromacs", "gobmk"}, 52.99, true},
+    {"hetero-6", {"lbm", "libquantum", "gromacs", "zeusmp"}, 58.31, true},
+    {"hetero-7", {"lbm", "milc", "gobmk", "zeusmp"}, 69.84, true},
+}};
+
+constexpr MixSpec kQosMix1{
+    "qos-mix-1", {"lbm", "libquantum", "omnetpp", "hmmer"}, 0.0, true};
+constexpr MixSpec kQosMix2{
+    "qos-mix-2", {"h264ref", "zeusmp", "leslie3d", "hmmer"}, 0.0, false};
+
+}  // namespace
+
+std::span<const MixSpec> paper_mixes() { return kMixes; }
+
+std::span<const MixSpec> homo_mixes() {
+  return std::span<const MixSpec>(kMixes.data(), 7);
+}
+
+std::span<const MixSpec> hetero_mixes() {
+  return std::span<const MixSpec>(kMixes.data() + 7, 7);
+}
+
+const MixSpec& fig1_mix() { return kMixes[11]; }  // hetero-5
+
+const MixSpec& qos_mix1() { return kQosMix1; }
+const MixSpec& qos_mix2() { return kQosMix2; }
+
+std::vector<BenchmarkSpec> resolve_mix(const MixSpec& mix,
+                                       std::uint32_t copies) {
+  BWPART_ASSERT(copies >= 1, "need at least one copy");
+  std::vector<BenchmarkSpec> out;
+  out.reserve(mix.benchmarks.size() * copies);
+  // Interleave copies (a,b,c,d,a,b,c,d,...) as Fig. 4 replicates whole
+  // workloads rather than individual apps.
+  for (std::uint32_t c = 0; c < copies; ++c) {
+    for (std::string_view name : mix.benchmarks) {
+      out.push_back(find_benchmark(name));
+    }
+  }
+  return out;
+}
+
+}  // namespace bwpart::workload

@@ -1,0 +1,44 @@
+// The multi-programmed workload mixes of the paper: Table IV's seven
+// homogeneous and seven heterogeneous four-app mixes, the Fig. 1 motivation
+// mix, and the two QoS mixes of Fig. 3, plus the Fig. 4 scaling rule
+// (replicate each app 2x / 4x as cores and bandwidth double).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/spec_table.hpp"
+
+namespace bwpart::workload {
+
+struct MixSpec {
+  std::string_view name;
+  std::array<std::string_view, 4> benchmarks;
+  double paper_rsd = 0.0;  ///< Table IV heterogeneity (RSD of APC_alone)
+  bool heterogeneous = false;
+};
+
+/// Table IV: homo-1..7 then hetero-1..7.
+std::span<const MixSpec> paper_mixes();
+/// Only the heterogeneous half (used by Fig. 4).
+std::span<const MixSpec> hetero_mixes();
+/// Only the homogeneous half.
+std::span<const MixSpec> homo_mixes();
+
+/// The Fig. 1 motivation mix: libquantum-milc-gromacs-gobmk (== hetero-5).
+const MixSpec& fig1_mix();
+/// Fig. 3's QoS mixes: Mix-1 = lbm-libquantum-omnetpp-hmmer,
+/// Mix-2 = h264ref-zeusmp-leslie3d-hmmer.
+const MixSpec& qos_mix1();
+const MixSpec& qos_mix2();
+
+/// Resolves a mix into benchmark specs, replicating each app `copies`
+/// times (Fig. 4 runs 1/2/4 copies on 4/8/16 cores).
+std::vector<BenchmarkSpec> resolve_mix(const MixSpec& mix,
+                                       std::uint32_t copies = 1);
+
+}  // namespace bwpart::workload

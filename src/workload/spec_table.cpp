@@ -1,0 +1,47 @@
+#include "workload/spec_table.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace bwpart::workload {
+
+namespace {
+
+// Tuning parameters were seeded from a first-order model of the simulator
+// (cluster-overlapped misses against a ~300-cycle standalone round trip)
+// and refined against measured standalone runs so every benchmark lands in
+// its Table III intensity class; see bench/table3_classification.
+constexpr std::array<BenchmarkSpec, 16> kTable = {{
+    //  name         fp     APKC     APKI     api       clstr  ipc   wr   seq  dep
+    {"lbm",         true,  9.38517, 53.1331, 0.0531331, 8.0,  4.00, 0.40, 32, 0.00},
+    {"libquantum",  false, 6.91693, 34.1188, 0.0341188, 1.0,  4.00, 0.25, 64, 0.52},
+    {"milc",        true,  6.87143, 42.2216, 0.0422216, 1.0,  4.00, 0.30, 16, 0.56},
+    {"soplex",      true,  6.05614, 37.8789, 0.0378789, 1.0,  4.00, 0.20, 8,  0.60},
+    {"hmmer",       false, 5.29083, 4.6008,  0.0046008, 5.0,  2.40, 0.20, 8,  0.00},
+    {"omnetpp",     false, 5.18984, 30.5707, 0.0305707, 1.0,  2.00, 0.30, 2,  0.80},
+    {"sphinx3",     true,  4.88898, 13.5657, 0.0135657, 1.0,  2.00, 0.10, 8,  0.75},
+    {"leslie3d",    true,  4.3855,  7.5847,  0.0075847, 1.0,  2.00, 0.25, 16, 0.97},
+    {"bzip2",       false, 3.93331, 5.6413,  0.0056413, 1.0,  0.72, 0.25, 4,  1.00},
+    {"gromacs",     true,  3.36604, 5.1976,  0.0051976, 1.0,  0.68, 0.20, 8,  1.00},
+    {"h264ref",     false, 3.04387, 2.2705,  0.0022705, 1.7,  2.35, 0.15, 4,  0.00},
+    {"zeusmp",      true,  2.42424, 4.521,   0.004521,  1.6,  0.56, 0.25, 8,  0.00},
+    {"gobmk",       false, 1.91485, 4.0668,  0.0040668, 1.8,  0.48, 0.15, 2,  0.00},
+    {"namd",        true,  0.61975, 0.428,   0.000428,  2.0,  1.60, 0.15, 8,  0.00},
+    {"sjeng",       false, 0.559802, 0.7906, 0.0007906, 1.5,  0.73, 0.15, 2,  0.00},
+    {"povray",      true,  0.553825, 0.6977, 0.0006977, 1.4,  0.82, 0.10, 4,  0.00},
+}};
+
+}  // namespace
+
+std::span<const BenchmarkSpec> spec2006_table() { return kTable; }
+
+const BenchmarkSpec& find_benchmark(std::string_view name) {
+  for (const BenchmarkSpec& b : kTable) {
+    if (b.name == name) return b;
+  }
+  BWPART_ASSERT(false, "unknown benchmark name");
+  return kTable[0];
+}
+
+}  // namespace bwpart::workload

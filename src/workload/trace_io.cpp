@@ -1,0 +1,98 @@
+#include "workload/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace bwpart::workload {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'W', 'P', 'T'};
+
+struct PackedRecord {
+  std::uint64_t gap = 0;
+  std::uint64_t addr = 0;
+  std::uint8_t type = 0;
+  std::uint8_t dependent = 0;
+  std::uint16_t pad = 0;
+};
+static_assert(sizeof(PackedRecord) == 24, "record layout");
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  BWPART_ASSERT(out_.good(), "cannot open trace file for writing");
+  // Placeholder header; patched by close().
+  out_.write(kMagic, 4);
+  const std::uint32_t version = kTraceFormatVersion;
+  out_.write(reinterpret_cast<const char*>(&version), sizeof version);
+  const std::uint64_t zero = 0;
+  out_.write(reinterpret_cast<const char*>(&zero), sizeof zero);
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::write(const cpu::TraceOp& op) {
+  BWPART_ASSERT(!closed_, "write after close");
+  PackedRecord rec;
+  rec.gap = op.gap_nonmem;
+  rec.addr = op.addr;
+  rec.type = op.type == AccessType::Write ? 1 : 0;
+  rec.dependent = op.dependent ? 1 : 0;
+  out_.write(reinterpret_cast<const char*>(&rec), sizeof rec);
+  BWPART_ASSERT(out_.good(), "trace write failed");
+  ++count_;
+}
+
+void TraceWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(8);
+  out_.write(reinterpret_cast<const char*>(&count_), sizeof count_);
+  out_.close();
+}
+
+FileTraceSource::FileTraceSource(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  BWPART_ASSERT(in.good(), "cannot open trace file for reading");
+  char magic[4];
+  in.read(magic, 4);
+  BWPART_ASSERT(std::memcmp(magic, kMagic, 4) == 0, "bad trace magic");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  BWPART_ASSERT(version == kTraceFormatVersion, "unsupported trace version");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  BWPART_ASSERT(count > 0, "empty trace");
+  ops_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PackedRecord rec;
+    in.read(reinterpret_cast<char*>(&rec), sizeof rec);
+    BWPART_ASSERT(in.good(), "truncated trace file");
+    cpu::TraceOp op;
+    op.gap_nonmem = rec.gap;
+    op.addr = rec.addr;
+    op.type = rec.type != 0 ? AccessType::Write : AccessType::Read;
+    op.dependent = rec.dependent != 0;
+    ops_.push_back(op);
+  }
+}
+
+cpu::TraceOp FileTraceSource::next() {
+  const cpu::TraceOp op = ops_[pos_];
+  pos_ = (pos_ + 1) % ops_.size();
+  return op;
+}
+
+void record_trace(cpu::TraceSource& source, const std::string& path,
+                  std::uint64_t n_ops) {
+  BWPART_ASSERT(n_ops > 0, "empty recording");
+  TraceWriter writer(path);
+  for (std::uint64_t i = 0; i < n_ops; ++i) writer.write(source.next());
+  writer.close();
+}
+
+}  // namespace bwpart::workload

@@ -1,0 +1,62 @@
+// Trace persistence: record any TraceSource to a compact binary file and
+// replay it later. Lets users capture a calibrated synthetic stream once
+// and rerun experiments bit-identically, or import externally generated
+// traces (e.g. converted from real miss logs) into the simulator.
+//
+// File layout (little-endian): 16-byte header {magic "BWPT", u32 version,
+// u64 record count} followed by packed records
+// {u64 gap_nonmem, u64 addr, u8 type, u8 dependent, u16 pad}.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cpu/trace.hpp"
+
+namespace bwpart::workload {
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+class TraceWriter {
+ public:
+  /// Opens (truncates) `path`; aborts on I/O failure.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void write(const cpu::TraceOp& op);
+  std::uint64_t count() const { return count_; }
+
+  /// Finalizes the header; called automatically by the destructor.
+  void close();
+
+ private:
+  std::ofstream out_;
+  std::uint64_t count_ = 0;
+  bool closed_ = false;
+};
+
+/// Replays a recorded trace; wraps around at the end (the simulator runs
+/// for a fixed cycle count, so traces behave as infinite streams).
+class FileTraceSource final : public cpu::TraceSource {
+ public:
+  explicit FileTraceSource(const std::string& path);
+
+  cpu::TraceOp next() override;
+
+  std::uint64_t size() const { return ops_.size(); }
+
+ private:
+  std::vector<cpu::TraceOp> ops_;
+  std::size_t pos_ = 0;
+};
+
+/// Records `n_ops` operations from `source` into `path`.
+void record_trace(cpu::TraceSource& source, const std::string& path,
+                  std::uint64_t n_ops);
+
+}  // namespace bwpart::workload

@@ -1,0 +1,69 @@
+// The library keeps invariant checks enabled in release builds; these
+// death tests pin the contract that misuse aborts loudly rather than
+// corrupting simulator state.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+
+namespace bwpart {
+namespace {
+
+using DeathTable = TextTable;
+
+TEST(AssertDeathTest, EmptyStatsAbort) {
+  const std::span<const double> empty;
+  EXPECT_DEATH({ (void)mean(empty); }, "mean of empty");
+  EXPECT_DEATH({ (void)harmonic_mean(empty); }, "empty");
+}
+
+TEST(AssertDeathTest, HarmonicMeanRejectsNonPositive) {
+  const std::array<double, 2> xs{1.0, 0.0};
+  EXPECT_DEATH({ (void)harmonic_mean(xs); }, "positive");
+}
+
+TEST(AssertDeathTest, TableArityMismatchAborts) {
+  DeathTable t({"a", "b"});
+  EXPECT_DEATH({ t.add_row({"only-one"}); }, "arity");
+}
+
+TEST(AssertDeathTest, MetricsArityMismatchAborts) {
+  const std::array<double, 2> shared{1.0, 1.0};
+  const std::array<double, 3> alone{1.0, 1.0, 1.0};
+  EXPECT_DEATH(
+      { (void)core::weighted_speedup(shared, alone); }, "arity");
+}
+
+TEST(AssertDeathTest, MetricsRejectNonPositiveAlone) {
+  const std::array<double, 2> shared{1.0, 1.0};
+  const std::array<double, 2> alone{1.0, 0.0};
+  EXPECT_DEATH({ (void)core::weighted_speedup(shared, alone); },
+               "positive");
+}
+
+TEST(AssertDeathTest, PartitionRejectsEmptyWorkload) {
+  const std::span<const core::AppParams> empty;
+  EXPECT_DEATH({ (void)core::compute_shares(core::Scheme::Equal, empty, 1.0); },
+               "empty");
+}
+
+TEST(AssertDeathTest, PartitionRejectsNonPositiveApc) {
+  const std::array<core::AppParams, 1> apps{core::AppParams{0.0, 0.01}};
+  EXPECT_DEATH(
+      { (void)core::compute_shares(core::Scheme::Proportional, apps, 1.0); },
+      "positive");
+}
+
+TEST(AssertDeathTest, KnapsackRejectsBadRanks) {
+  const std::array<double, 2> caps{1.0, 1.0};
+  const std::array<std::uint32_t, 2> ranks{0, 5};  // out of range
+  EXPECT_DEATH({ (void)core::knapsack_allocate(caps, ranks, 1.0); },
+               "rank out of range");
+}
+
+}  // namespace
+}  // namespace bwpart

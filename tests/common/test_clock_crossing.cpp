@@ -1,0 +1,67 @@
+#include "common/clock_crossing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bwpart {
+namespace {
+
+TEST(ClockCrossing, IntegerRatioTickTimes) {
+  // 5 GHz CPU, 200 MHz bus: ratio 25.
+  ClockCrossing cc(Frequency::from_ghz(5.0), Frequency::from_mhz(200));
+  EXPECT_EQ(cc.cpu_cycle_of_tick(0), 0u);
+  EXPECT_EQ(cc.cpu_cycle_of_tick(1), 25u);
+  EXPECT_EQ(cc.cpu_cycle_of_tick(4), 100u);
+}
+
+TEST(ClockCrossing, FractionalRatioTickTimes) {
+  // 5 GHz CPU, 800 MHz bus: ratio 6.25 (the Fig. 4 12.8 GB/s point).
+  ClockCrossing cc(Frequency::from_ghz(5.0), Frequency::from_mhz(800));
+  EXPECT_EQ(cc.cpu_cycle_of_tick(0), 0u);
+  EXPECT_EQ(cc.cpu_cycle_of_tick(1), 7u);   // ceil(6.25)
+  EXPECT_EQ(cc.cpu_cycle_of_tick(2), 13u);  // ceil(12.5)
+  EXPECT_EQ(cc.cpu_cycle_of_tick(3), 19u);  // ceil(18.75)
+  EXPECT_EQ(cc.cpu_cycle_of_tick(4), 25u);  // exact
+}
+
+TEST(ClockCrossing, TickCountConsistentWithTickTimes) {
+  ClockCrossing cc(Frequency::from_ghz(5.0), Frequency::from_mhz(800));
+  // device_ticks_at(c) must equal |{k : cpu_cycle_of_tick(k) <= c}|.
+  for (Cycle c = 0; c < 200; ++c) {
+    std::uint64_t count = 0;
+    while (cc.cpu_cycle_of_tick(count) <= c) ++count;
+    EXPECT_EQ(cc.device_ticks_at(c), count) << "cycle " << c;
+  }
+}
+
+TEST(ClockCrossing, LongRunRateIsExact) {
+  ClockCrossing cc(Frequency::from_ghz(5.0), Frequency::from_mhz(400));
+  // After exactly one second of CPU cycles, the device must have ticked
+  // exactly its frequency (plus the tick at cycle 0).
+  EXPECT_EQ(cc.device_ticks_at(5'000'000'000ull - 1), 400'000'000ull);
+}
+
+TEST(ClockCrossing, EqualClocksTickEveryCycle) {
+  ClockCrossing cc(Frequency::from_mhz(100), Frequency::from_mhz(100));
+  EXPECT_EQ(cc.device_ticks_at(0), 1u);
+  EXPECT_EQ(cc.device_ticks_at(9), 10u);
+  EXPECT_EQ(cc.cpu_cycle_of_tick(5), 5u);
+}
+
+TEST(ClockCrossing, NsToDeviceTicksRoundsUp) {
+  ClockCrossing cc(Frequency::from_ghz(5.0), Frequency::from_mhz(200));
+  // 200 MHz -> 5 ns per tick. 12.5 ns -> 3 ticks (rounded up).
+  EXPECT_EQ(cc.ns_to_device_ticks(12.5), 3u);
+  EXPECT_EQ(cc.ns_to_device_ticks(5.0), 1u);
+  EXPECT_EQ(cc.ns_to_device_ticks(5.1), 2u);
+  EXPECT_EQ(cc.ns_to_device_ticks(0.0), 0u);
+}
+
+TEST(ClockCrossing, CpuCyclesPerTickCeil) {
+  ClockCrossing a(Frequency::from_ghz(5.0), Frequency::from_mhz(200));
+  EXPECT_EQ(a.cpu_cycles_per_device_tick_ceil(), 25u);
+  ClockCrossing b(Frequency::from_ghz(5.0), Frequency::from_mhz(800));
+  EXPECT_EQ(b.cpu_cycles_per_device_tick_ceil(), 7u);
+}
+
+}  // namespace
+}  // namespace bwpart

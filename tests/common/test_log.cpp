@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bwpart {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsOff) {
+  // The simulator hot loops must not pay for logging by default.
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST(Log, LevelIsSettable) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST(Log, EmittingBelowThresholdIsSafe) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  // Must be a no-op, not a crash, with any format arguments.
+  log_error("value %d %s", 42, "text");
+  log_info("plain");
+  log_debug("%f", 3.14);
+  set_log_level(LogLevel::Debug);
+  log_debug("enabled %d", 1);
+}
+
+}  // namespace
+}  // namespace bwpart

@@ -1,0 +1,85 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace bwpart {
+namespace {
+
+TEST(Parallel, EveryIndexRunsExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); }, 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Parallel, ResultsMatchSerialExecution) {
+  const std::size_t n = 500;
+  std::vector<double> parallel_out(n), serial_out(n);
+  auto work = [](std::size_t i) {
+    double acc = 0.0;
+    for (std::size_t k = 1; k <= 100; ++k) {
+      acc += static_cast<double>((i * k) % 97) / static_cast<double>(k);
+    }
+    return acc;
+  };
+  parallel_for(n, [&](std::size_t i) { parallel_out[i] = work(i); }, 4);
+  for (std::size_t i = 0; i < n; ++i) serial_out[i] = work(i);
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+TEST(Parallel, ZeroItemsIsNoop) {
+  bool ran = false;
+  parallel_for(0, [&](std::size_t) { ran = true; }, 4);
+  EXPECT_FALSE(ran);
+}
+
+TEST(Parallel, SingleThreadRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(10, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);  // inline path is in-order
+}
+
+TEST(Parallel, MoreThreadsThanItemsIsSafe) {
+  std::atomic<int> count{0};
+  parallel_for(3, [&](std::size_t) { count.fetch_add(1); }, 64);
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(Parallel, DefaultParallelismBounds) {
+  EXPECT_EQ(default_parallelism(0), 1u);
+  EXPECT_EQ(default_parallelism(1), 1u);
+  EXPECT_GE(default_parallelism(1000), 1u);
+  EXPECT_LE(default_parallelism(4), 4u);
+}
+
+TEST(Parallel, ActuallyUsesMultipleThreads) {
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  parallel_for(
+      64,
+      [&](std::size_t) {
+        const int now = concurrent.fetch_add(1) + 1;
+        int p = peak.load();
+        while (now > p && !peak.compare_exchange_weak(p, now)) {
+        }
+        // Busy-wait a little so workers overlap.
+        volatile int sink = 0;
+        for (int k = 0; k < 100000; ++k) sink = sink + 1;
+        concurrent.fetch_sub(1);
+      },
+      4);
+  if (std::thread::hardware_concurrency() > 1) {
+    EXPECT_GT(peak.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace bwpart

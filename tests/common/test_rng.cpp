@@ -1,0 +1,93 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace bwpart {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsWellMixed) {
+  Rng r(0);
+  // splitmix64 seeding must avoid the all-zero state.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 14u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability) {
+  Rng r(13);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.next_bool(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Rng r(17);
+  const double p = 0.2;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.next_geometric(p));
+  // E[failures before success] = (1-p)/p = 4.
+  EXPECT_NEAR(sum / n, (1.0 - p) / p, 0.1);
+}
+
+TEST(Rng, GeometricWithCertainSuccessIsZero) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_geometric(1.0), 0u);
+}
+
+}  // namespace
+}  // namespace bwpart

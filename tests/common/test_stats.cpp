@@ -1,0 +1,96 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace bwpart {
+namespace {
+
+TEST(Stats, MeanOfConstantSequence) {
+  const std::array<double, 4> xs{3.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MeanAndStddevKnownValues) {
+  const std::array<double, 4> xs{2.0, 4.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, RelativeStddevMatchesHandComputation) {
+  const std::array<double, 2> xs{1.0, 3.0};
+  // mean 2, stddev 1 -> RSD 50%.
+  EXPECT_NEAR(relative_stddev_percent(xs), 50.0, 1e-12);
+}
+
+TEST(Stats, RsdIsScaleInvariant) {
+  const std::array<double, 4> a{1.0, 2.0, 3.0, 4.0};
+  std::array<double, 4> b = a;
+  for (double& x : b) x *= 1000.0;
+  EXPECT_NEAR(relative_stddev_percent(a), relative_stddev_percent(b), 1e-9);
+}
+
+TEST(Stats, HarmonicMeanOfEqualValues) {
+  const std::array<double, 3> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(harmonic_mean(xs), 5.0);
+}
+
+TEST(Stats, HarmonicMeanBelowArithmeticMean) {
+  const std::array<double, 3> xs{1.0, 2.0, 4.0};
+  EXPECT_LT(harmonic_mean(xs), mean(xs));
+  // 3 / (1 + 0.5 + 0.25) = 12/7.
+  EXPECT_NEAR(harmonic_mean(xs), 12.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanKnownValue) {
+  const std::array<double, 2> xs{2.0, 8.0};
+  EXPECT_NEAR(geometric_mean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeometricBetweenHarmonicAndArithmetic) {
+  const std::array<double, 4> xs{0.5, 1.5, 2.5, 7.0};
+  EXPECT_LE(harmonic_mean(xs), geometric_mean(xs));
+  EXPECT_LE(geometric_mean(xs), mean(xs));
+}
+
+TEST(Stats, MinValue) {
+  const std::array<double, 4> xs{3.0, -1.0, 7.0, 0.5};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+}
+
+TEST(StreamingStats, MatchesBatchComputation) {
+  const std::vector<double> xs{1.0, 4.0, 2.0, 8.0, 5.0, 7.0};
+  StreamingStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 27.0);
+}
+
+TEST(StreamingStats, SingleSampleHasZeroVariance) {
+  StreamingStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(StreamingStats, NegativeValuesTracked) {
+  StreamingStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+}  // namespace
+}  // namespace bwpart

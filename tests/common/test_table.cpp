@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace bwpart {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxxxx", "1"});
+  t.add_row({"y", "2"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header, sep, r1, r2;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, r1);
+  std::getline(is, r2);
+  // The second column starts at the same offset in both rows.
+  EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(TextTable, NumFormatsWithPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(1.0, 3), "1.000");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace bwpart

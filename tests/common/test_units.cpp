@@ -1,0 +1,50 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bwpart {
+namespace {
+
+TEST(Units, PaperExampleConversion) {
+  // Section III-A: 0.01 APC at 5 GHz with 64 B lines == 3.2 GB/s.
+  BandwidthContext ctx;
+  EXPECT_NEAR(ctx.apc_to_gbps(0.01), 3.2, 1e-12);
+  EXPECT_NEAR(ctx.gbps_to_apc(3.2), 0.01, 1e-15);
+}
+
+TEST(Units, RoundTripConversion) {
+  BandwidthContext ctx;
+  for (double apc : {0.001, 0.0075, 0.02}) {
+    EXPECT_NEAR(ctx.gbps_to_apc(ctx.apc_to_gbps(apc)), apc, 1e-15);
+  }
+}
+
+TEST(Units, ApkcConversion) {
+  EXPECT_DOUBLE_EQ(BandwidthContext::apc_to_apkc(0.0093), 9.3);
+  EXPECT_DOUBLE_EQ(BandwidthContext::apkc_to_apc(9.3), 0.0093);
+}
+
+TEST(Units, DdrPeakBandwidth) {
+  // DDR2-400: 200 MHz bus, both edges, 8 bytes -> 3.2 GB/s.
+  EXPECT_NEAR(ddr_peak_bytes_per_sec(Frequency::from_mhz(200), 8), 3.2e9,
+              1e-3);
+  // Doubling the bus clock doubles peak (the Fig. 4 scaling rule).
+  EXPECT_NEAR(ddr_peak_bytes_per_sec(Frequency::from_mhz(400), 8), 6.4e9,
+              1e-3);
+}
+
+TEST(Units, FrequencyFactories) {
+  EXPECT_EQ(Frequency::from_ghz(5.0).hz, 5'000'000'000ull);
+  EXPECT_EQ(Frequency::from_mhz(200).hz, 200'000'000ull);
+  EXPECT_DOUBLE_EQ(Frequency::from_mhz(200).mhz(), 200.0);
+  EXPECT_DOUBLE_EQ(Frequency::from_ghz(5.0).ghz(), 5.0);
+}
+
+TEST(Units, LowerCpuClockNeedsMoreApcForSameGbps) {
+  BandwidthContext fast{Frequency::from_ghz(5.0), 64};
+  BandwidthContext slow{Frequency::from_ghz(2.5), 64};
+  EXPECT_GT(slow.gbps_to_apc(3.2), fast.gbps_to_apc(3.2));
+}
+
+}  // namespace
+}  // namespace bwpart

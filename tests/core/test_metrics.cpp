@@ -1,0 +1,105 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/app_params.hpp"
+
+namespace bwpart::core {
+namespace {
+
+const std::array<double, 4> kAlone{1.0, 2.0, 0.5, 4.0};
+
+TEST(Metrics, AllOnesWhenSharedEqualsAlone) {
+  EXPECT_DOUBLE_EQ(harmonic_weighted_speedup(kAlone, kAlone), 1.0);
+  EXPECT_DOUBLE_EQ(weighted_speedup(kAlone, kAlone), 1.0);
+  EXPECT_DOUBLE_EQ(min_fairness(kAlone, kAlone), 4.0);  // N * min speedup
+}
+
+TEST(Metrics, HalfSpeedEverywhere) {
+  std::array<double, 4> shared = kAlone;
+  for (double& x : shared) x /= 2.0;
+  EXPECT_DOUBLE_EQ(harmonic_weighted_speedup(shared, kAlone), 0.5);
+  EXPECT_DOUBLE_EQ(weighted_speedup(shared, kAlone), 0.5);
+  EXPECT_DOUBLE_EQ(min_fairness(shared, kAlone), 2.0);
+}
+
+TEST(Metrics, IpcSumIsPlainSum) {
+  const std::array<double, 3> shared{0.5, 1.5, 2.0};
+  EXPECT_DOUBLE_EQ(ipc_sum(shared), 4.0);
+}
+
+TEST(Metrics, HspIsHarmonicMeanOfSpeedups) {
+  // Speedups 1.0 and 0.5: harmonic mean = 2/(1 + 2) = 2/3.
+  const std::array<double, 2> alone{1.0, 1.0};
+  const std::array<double, 2> shared{1.0, 0.5};
+  EXPECT_NEAR(harmonic_weighted_speedup(shared, alone), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, WspIsArithmeticMeanOfSpeedups) {
+  const std::array<double, 2> alone{1.0, 1.0};
+  const std::array<double, 2> shared{1.0, 0.5};
+  EXPECT_DOUBLE_EQ(weighted_speedup(shared, alone), 0.75);
+}
+
+TEST(Metrics, HspNeverExceedsWsp) {
+  // AM-HM inequality on speedups.
+  const std::array<double, 4> shared{0.8, 1.3, 0.2, 3.1};
+  EXPECT_LE(harmonic_weighted_speedup(shared, kAlone),
+            weighted_speedup(shared, kAlone) + 1e-12);
+}
+
+TEST(Metrics, MinFairnessThresholdSemantics) {
+  // "The system achieves minimum fairness" iff every app has >= 1/N
+  // speedup, i.e. MinF >= 1 (Section V-A).
+  const std::array<double, 4> alone{1.0, 1.0, 1.0, 1.0};
+  const std::array<double, 4> fair{0.25, 0.3, 0.9, 0.25};
+  EXPECT_GE(min_fairness(fair, alone), 1.0);
+  const std::array<double, 4> unfair{0.2, 0.9, 0.9, 0.9};
+  EXPECT_LT(min_fairness(unfair, alone), 1.0);
+}
+
+TEST(Metrics, HspDominatedByWorstApp) {
+  const std::array<double, 4> alone{1.0, 1.0, 1.0, 1.0};
+  const std::array<double, 4> shared{0.01, 1.0, 1.0, 1.0};
+  // One starved app drags Hsp near N * its speedup.
+  EXPECT_LT(harmonic_weighted_speedup(shared, alone), 0.04);
+}
+
+TEST(Metrics, EvaluateMetricDispatch) {
+  const std::array<double, 2> alone{1.0, 2.0};
+  const std::array<double, 2> shared{0.5, 1.0};
+  EXPECT_DOUBLE_EQ(
+      evaluate_metric(Metric::HarmonicWeightedSpeedup, shared, alone),
+      harmonic_weighted_speedup(shared, alone));
+  EXPECT_DOUBLE_EQ(evaluate_metric(Metric::WeightedSpeedup, shared, alone),
+                   weighted_speedup(shared, alone));
+  EXPECT_DOUBLE_EQ(evaluate_metric(Metric::IpcSum, shared, alone),
+                   ipc_sum(shared));
+  EXPECT_DOUBLE_EQ(evaluate_metric(Metric::MinFairness, shared, alone),
+                   min_fairness(shared, alone));
+}
+
+TEST(Metrics, MetricNames) {
+  EXPECT_EQ(to_string(Metric::HarmonicWeightedSpeedup), "Hsp");
+  EXPECT_EQ(to_string(Metric::MinFairness), "MinFairness");
+  EXPECT_EQ(to_string(Metric::WeightedSpeedup), "Wsp");
+  EXPECT_EQ(to_string(Metric::IpcSum), "IPCsum");
+}
+
+TEST(AppParams, Equation1Identities) {
+  const AppParams p{0.008, 0.04};
+  EXPECT_DOUBLE_EQ(p.ipc_alone(), 0.2);
+  EXPECT_DOUBLE_EQ(p.ipc_at(0.004), 0.1);  // half bandwidth, half IPC
+}
+
+TEST(AppParams, HeterogeneityRsdMatchesDefinition) {
+  const std::array<AppParams, 2> apps{AppParams{0.001, 0.01},
+                                      AppParams{0.003, 0.01}};
+  // APCs 1 and 3 (scaled): mean 2, stddev 1 -> RSD 50.
+  EXPECT_NEAR(heterogeneity_rsd(apps), 50.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bwpart::core

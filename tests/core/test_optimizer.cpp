@@ -1,0 +1,152 @@
+// The numeric optimizer must independently rediscover the paper's derived
+// optimal partitionings (Section III) — a from-first-principles check of
+// the Lagrange/knapsack derivations.
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/partition.hpp"
+#include "core/predict.hpp"
+
+namespace bwpart::core {
+namespace {
+
+std::vector<AppParams> workload() {
+  return {{0.0066, 0.034}, {0.0067, 0.042}, {0.0035, 0.0052},
+          {0.0019, 0.0041}};
+}
+
+double metric_value(Metric m, std::span<const AppParams> apps,
+                    std::span<const double> apc) {
+  std::vector<double> shared, alone;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    shared.push_back(apps[i].ipc_at(std::max(apc[i], 1e-15)));
+    alone.push_back(apps[i].ipc_alone());
+  }
+  return evaluate_metric(m, shared, alone);
+}
+
+TEST(Projection, PreservesFeasiblePoints) {
+  const std::vector<double> caps{1.0, 2.0, 3.0};
+  const std::vector<double> x{0.5, 1.0, 1.5};
+  const auto p = project_capped_simplex(x, caps, 3.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(p[i], x[i], 1e-9);
+  }
+}
+
+TEST(Projection, OutputIsFeasible) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + rng.next_below(6);
+    std::vector<double> caps(n), y(n);
+    double cap_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      caps[i] = 0.1 + rng.next_double();
+      cap_sum += caps[i];
+      y[i] = -1.0 + 3.0 * rng.next_double();
+    }
+    const double total = rng.next_double() * cap_sum;
+    const auto p = project_capped_simplex(y, caps, total);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(p[i], -1e-9);
+      EXPECT_LE(p[i], caps[i] + 1e-9);
+      sum += p[i];
+    }
+    EXPECT_NEAR(sum, total, 1e-7);
+  }
+}
+
+TEST(Projection, IsClosestFeasiblePoint) {
+  // For a handful of cases verify no random feasible point is closer.
+  Rng rng(4);
+  const std::vector<double> caps{1.0, 1.0, 1.0};
+  const std::vector<double> y{2.0, -0.5, 0.4};
+  const double total = 1.5;
+  const auto p = project_capped_simplex(y, caps, total);
+  auto dist2 = [&](const std::vector<double>& x) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      d += (x[i] - y[i]) * (x[i] - y[i]);
+    }
+    return d;
+  };
+  const double best = dist2(p);
+  for (int k = 0; k < 2000; ++k) {
+    std::vector<double> w{rng.next_double(), rng.next_double(),
+                          rng.next_double()};
+    const auto q = waterfill(w, caps, total);
+    EXPECT_GE(dist2(q), best - 1e-9);
+  }
+}
+
+struct OptCase {
+  Metric metric;
+  Scheme scheme;
+};
+
+class OptimizerRediscovery : public ::testing::TestWithParam<OptCase> {};
+
+TEST_P(OptimizerRediscovery, MatchesDerivedScheme) {
+  const auto [metric, scheme] = GetParam();
+  const auto apps = workload();
+  const double b = 0.0095;
+  const auto derived = analytic_allocation(scheme, apps, b);
+  const auto numeric = optimize_metric(metric, apps, b);
+  const double v_derived = metric_value(metric, apps, derived);
+  const double v_numeric = metric_value(metric, apps, numeric);
+  // The numeric optimum can never beat the true optimum by more than
+  // numerical slack, and must come close to it.
+  EXPECT_LE(v_numeric, v_derived * 1.001);
+  EXPECT_GE(v_numeric, v_derived * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SectionIII, OptimizerRediscovery,
+    ::testing::Values(
+        OptCase{Metric::HarmonicWeightedSpeedup, Scheme::SquareRoot},
+        OptCase{Metric::MinFairness, Scheme::Proportional},
+        OptCase{Metric::WeightedSpeedup, Scheme::PriorityApc},
+        OptCase{Metric::IpcSum, Scheme::PriorityApi}),
+    [](const auto& param_info) {
+      return to_string(param_info.param.metric);
+    });
+
+TEST(Optimizer, CustomObjectiveSupported) {
+  // Maximize app 2's IPC alone: all spare bandwidth should flow to it.
+  const auto apps = workload();
+  const AllocationObjective favor_app2 =
+      [](std::span<const double> apc) { return apc[2]; };
+  const auto x = optimize_allocation(favor_app2, apps, 0.0095);
+  EXPECT_NEAR(x[2], apps[2].apc_alone, apps[2].apc_alone * 0.02);
+}
+
+TEST(Optimizer, RespectsFeasibility) {
+  const auto apps = workload();
+  const auto x = optimize_metric(Metric::IpcSum, apps, 0.0095);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_LE(x[i], apps[i].apc_alone + 1e-9);
+    EXPECT_GE(x[i], -1e-12);
+    sum += x[i];
+  }
+  EXPECT_NEAR(sum, 0.0095, 1e-6);
+}
+
+TEST(Optimizer, BandwidthAboveDemandSaturatesEveryone) {
+  const auto apps = workload();
+  const double demand = std::accumulate(
+      apps.begin(), apps.end(), 0.0,
+      [](double s, const AppParams& a) { return s + a.apc_alone; });
+  const auto x = optimize_metric(Metric::IpcSum, apps, demand * 2.0);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_NEAR(x[i], apps[i].apc_alone, apps[i].apc_alone * 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace bwpart::core

@@ -1,0 +1,201 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace bwpart::core {
+namespace {
+
+std::vector<AppParams> four_apps() {
+  // Loosely hetero-5: libquantum, milc, gromacs, gobmk.
+  return {{0.0066, 0.034}, {0.0067, 0.042}, {0.0035, 0.0052},
+          {0.0019, 0.0041}};
+}
+
+TEST(Partition, EqualSharesAreUniform) {
+  const auto apps = four_apps();
+  const auto beta = compute_shares(Scheme::Equal, apps, 0.01);
+  for (double b : beta) EXPECT_DOUBLE_EQ(b, 0.25);
+}
+
+TEST(Partition, ProportionalMatchesApcRatios) {
+  const auto apps = four_apps();
+  const auto beta = compute_shares(Scheme::Proportional, apps, 0.01);
+  const double sum_apc = 0.0066 + 0.0067 + 0.0035 + 0.0019;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_NEAR(beta[i], apps[i].apc_alone / sum_apc, 1e-12);
+  }
+}
+
+TEST(Partition, SquareRootMatchesSqrtRatios) {
+  const auto apps = four_apps();
+  const auto beta = compute_shares(Scheme::SquareRoot, apps, 0.01);
+  double sum = 0.0;
+  for (const auto& a : apps) sum += std::sqrt(a.apc_alone);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_NEAR(beta[i], std::sqrt(apps[i].apc_alone) / sum, 1e-12);
+  }
+}
+
+TEST(Partition, TwoThirdsPowerBetweenSqrtAndProportional) {
+  const auto apps = four_apps();
+  const auto sqrt_b = compute_shares(Scheme::SquareRoot, apps, 0.01);
+  const auto prop_b = compute_shares(Scheme::Proportional, apps, 0.01);
+  const auto pow_b = compute_shares(Scheme::TwoThirdsPower, apps, 0.01);
+  // For the most intensive app, 2/3_power allocates between the two.
+  const std::size_t hi = 1;  // milc has the largest APC_alone
+  EXPECT_GT(pow_b[hi], sqrt_b[hi]);
+  EXPECT_LT(pow_b[hi], prop_b[hi]);
+  // For the least intensive app the ordering flips.
+  const std::size_t lo = 3;
+  EXPECT_LT(pow_b[lo], sqrt_b[lo]);
+  EXPECT_GT(pow_b[lo], prop_b[lo]);
+}
+
+TEST(Partition, SharesAlwaysSumToOne) {
+  const auto apps = four_apps();
+  for (Scheme s : kAllSchemes) {
+    const auto beta = compute_shares(s, apps, 0.01);
+    const double sum = std::accumulate(beta.begin(), beta.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << to_string(s);
+  }
+}
+
+TEST(Partition, PriorityApcRanksByAscendingApc) {
+  const auto apps = four_apps();
+  const auto ranks = priority_ranks(Scheme::PriorityApc, apps);
+  // gobmk (idx 3) lowest APC -> rank 0; milc (idx 1) highest -> rank 3.
+  EXPECT_EQ(ranks[3], 0u);
+  EXPECT_EQ(ranks[2], 1u);
+  EXPECT_EQ(ranks[0], 2u);
+  EXPECT_EQ(ranks[1], 3u);
+}
+
+TEST(Partition, PriorityApiRanksByAscendingApi) {
+  const auto apps = four_apps();
+  const auto ranks = priority_ranks(Scheme::PriorityApi, apps);
+  // APIs: 0.034, 0.042, 0.0052, 0.0041 -> gobmk, gromacs, libq, milc.
+  EXPECT_EQ(ranks[3], 0u);
+  EXPECT_EQ(ranks[2], 1u);
+  EXPECT_EQ(ranks[0], 2u);
+  EXPECT_EQ(ranks[1], 3u);
+}
+
+TEST(Partition, KnapsackFillsInRankOrder) {
+  const std::vector<double> caps{4.0, 2.0, 3.0};
+  const std::vector<std::uint32_t> ranks{1, 0, 2};  // order: 1, 0, 2
+  const auto alloc = knapsack_allocate(caps, ranks, 5.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 2.0);  // first, full cap
+  EXPECT_DOUBLE_EQ(alloc[0], 3.0);  // second, remainder
+  EXPECT_DOUBLE_EQ(alloc[2], 0.0);  // starved
+}
+
+TEST(Partition, KnapsackConservesBudget) {
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.next_below(6);
+    std::vector<double> caps(n);
+    for (double& c : caps) c = 0.1 + rng.next_double();
+    std::vector<std::uint32_t> ranks(n);
+    std::iota(ranks.begin(), ranks.end(), 0u);
+    const double total_cap = std::accumulate(caps.begin(), caps.end(), 0.0);
+    const double b = rng.next_double() * total_cap * 1.5;
+    const auto alloc = knapsack_allocate(caps, ranks, b);
+    const double used = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+    EXPECT_NEAR(used, std::min(b, total_cap), 1e-9);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(alloc[i], caps[i] + 1e-12);
+      EXPECT_GE(alloc[i], 0.0);
+    }
+  }
+}
+
+TEST(Partition, WaterfillRespectsCapsAndConserves) {
+  Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + rng.next_below(6);
+    std::vector<double> w(n), caps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = 0.05 + rng.next_double();
+      caps[i] = 0.05 + rng.next_double();
+    }
+    const double total_cap = std::accumulate(caps.begin(), caps.end(), 0.0);
+    const double b = rng.next_double() * total_cap;
+    const auto alloc = waterfill(w, caps, b);
+    double used = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(alloc[i], caps[i] + 1e-9);
+      EXPECT_GE(alloc[i], -1e-12);
+      used += alloc[i];
+    }
+    EXPECT_NEAR(used, std::min(b, total_cap), 1e-9);
+  }
+}
+
+TEST(Partition, WaterfillWithoutBindingCapsIsProportional) {
+  const std::vector<double> w{1.0, 3.0};
+  const std::vector<double> caps{100.0, 100.0};
+  const auto alloc = waterfill(w, caps, 8.0);
+  EXPECT_NEAR(alloc[0], 2.0, 1e-12);
+  EXPECT_NEAR(alloc[1], 6.0, 1e-12);
+}
+
+TEST(Partition, WaterfillRedistributesCappedSurplus) {
+  const std::vector<double> w{0.5, 0.5};
+  const std::vector<double> caps{1.0, 10.0};
+  const auto alloc = waterfill(w, caps, 6.0);
+  EXPECT_DOUBLE_EQ(alloc[0], 1.0);  // capped
+  EXPECT_NEAR(alloc[1], 5.0, 1e-12);  // receives the surplus
+}
+
+TEST(Partition, AnalyticAllocationSumsToUtilizableBandwidth) {
+  const auto apps = four_apps();
+  const double demand = 0.0066 + 0.0067 + 0.0035 + 0.0019;
+  for (Scheme s : kAllSchemes) {
+    // Budget below total demand: everything allocated.
+    auto alloc = analytic_allocation(s, apps, 0.01);
+    EXPECT_NEAR(std::accumulate(alloc.begin(), alloc.end(), 0.0), 0.01, 1e-9)
+        << to_string(s);
+    // Budget above total demand: allocation capped at demand.
+    alloc = analytic_allocation(s, apps, 0.05);
+    EXPECT_NEAR(std::accumulate(alloc.begin(), alloc.end(), 0.0), demand,
+                1e-9)
+        << to_string(s);
+  }
+}
+
+TEST(Partition, PriorityApcStarvesHighestApc) {
+  const auto apps = four_apps();
+  const auto alloc = analytic_allocation(Scheme::PriorityApc, apps, 0.006);
+  // gobmk + gromacs consume 0.0054; libquantum gets the sliver; milc zero.
+  EXPECT_DOUBLE_EQ(alloc[3], 0.0019);
+  EXPECT_DOUBLE_EQ(alloc[2], 0.0035);
+  EXPECT_NEAR(alloc[0], 0.0006, 1e-9);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.0);
+}
+
+TEST(Partition, SchemeNames) {
+  EXPECT_EQ(to_string(Scheme::NoPartitioning), "No_partitioning");
+  EXPECT_EQ(to_string(Scheme::Equal), "Equal");
+  EXPECT_EQ(to_string(Scheme::Proportional), "Proportional");
+  EXPECT_EQ(to_string(Scheme::SquareRoot), "Square_root");
+  EXPECT_EQ(to_string(Scheme::TwoThirdsPower), "2/3_power");
+  EXPECT_EQ(to_string(Scheme::PriorityApc), "Priority_APC");
+  EXPECT_EQ(to_string(Scheme::PriorityApi), "Priority_API");
+}
+
+TEST(Partition, StableSortKeepsEqualKeysInIndexOrder) {
+  std::vector<AppParams> apps{{0.002, 0.01}, {0.002, 0.01}, {0.001, 0.01}};
+  const auto ranks = priority_ranks(Scheme::PriorityApc, apps);
+  EXPECT_EQ(ranks[2], 0u);
+  EXPECT_EQ(ranks[0], 1u);  // ties keep original order
+  EXPECT_EQ(ranks[1], 2u);
+}
+
+}  // namespace
+}  // namespace bwpart::core

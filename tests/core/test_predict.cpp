@@ -1,0 +1,221 @@
+// Property tests for the optimality claims of Section III: each derived
+// scheme must beat random feasible alternatives on its own objective, and
+// the closed forms (Eq. 4, 6, 8) must match the constructive allocations.
+#include "core/predict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+
+namespace bwpart::core {
+namespace {
+
+std::vector<AppParams> random_workload(Rng& rng, std::size_t n) {
+  std::vector<AppParams> apps(n);
+  for (auto& a : apps) {
+    a.apc_alone = 0.001 + rng.next_double() * 0.009;
+    a.api = 0.0005 + rng.next_double() * 0.05;
+  }
+  return apps;
+}
+
+/// Random feasible allocation: caps respected, sums to min(b, sum caps).
+std::vector<double> random_allocation(Rng& rng,
+                                      const std::vector<AppParams>& apps,
+                                      double b) {
+  std::vector<double> w(apps.size());
+  for (double& x : w) x = 0.01 + rng.next_double();
+  std::vector<double> caps;
+  caps.reserve(apps.size());
+  for (const auto& a : apps) caps.push_back(a.apc_alone);
+  return waterfill(w, caps, b);
+}
+
+double metric_of_allocation(Metric m, const std::vector<AppParams>& apps,
+                            const std::vector<double>& apc) {
+  std::vector<double> shared, alone;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    shared.push_back(apps[i].ipc_at(std::max(apc[i], 1e-12)));
+    alone.push_back(apps[i].ipc_alone());
+  }
+  return evaluate_metric(m, shared, alone);
+}
+
+struct OptimalityCase {
+  Scheme scheme;
+  Metric metric;
+};
+
+class OptimalityTest : public ::testing::TestWithParam<OptimalityCase> {};
+
+TEST_P(OptimalityTest, SchemeBeatsRandomFeasibleAllocations) {
+  const auto [scheme, metric] = GetParam();
+  Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 2 + rng.next_below(5);
+    const auto apps = random_workload(rng, n);
+    const double total_demand = std::accumulate(
+        apps.begin(), apps.end(), 0.0,
+        [](double s, const AppParams& a) { return s + a.apc_alone; });
+    // Constrained regime: bandwidth below total demand.
+    const double b = total_demand * (0.3 + 0.6 * rng.next_double());
+    const auto opt = analytic_allocation(scheme, apps, b);
+    const double best = metric_of_allocation(metric, apps, opt);
+    for (int k = 0; k < 40; ++k) {
+      const auto rand_alloc = random_allocation(rng, apps, b);
+      const double other = metric_of_allocation(metric, apps, rand_alloc);
+      EXPECT_LE(other, best * (1.0 + 1e-9))
+          << to_string(scheme) << " lost on " << to_string(metric)
+          << " in trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperClaims, OptimalityTest,
+    ::testing::Values(
+        OptimalityCase{Scheme::SquareRoot, Metric::HarmonicWeightedSpeedup},
+        OptimalityCase{Scheme::Proportional, Metric::MinFairness},
+        OptimalityCase{Scheme::PriorityApc, Metric::WeightedSpeedup},
+        OptimalityCase{Scheme::PriorityApi, Metric::IpcSum}),
+    [](const ::testing::TestParamInfo<OptimalityCase>& param_info) {
+      std::string name = to_string(param_info.param.scheme) + "_for_" +
+                         to_string(param_info.param.metric);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Predict, ProportionalEqualizesSpeedups) {
+  // Eq. 7: ideal fairness means identical speedups for every app.
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto apps = random_workload(rng, 4);
+    const double total_demand = std::accumulate(
+        apps.begin(), apps.end(), 0.0,
+        [](double s, const AppParams& a) { return s + a.apc_alone; });
+    const double b = total_demand * 0.6;
+    const Prediction p = predict(Scheme::Proportional, apps, b);
+    const double s0 = p.ipc_shared[0] / apps[0].ipc_alone();
+    for (std::size_t i = 1; i < apps.size(); ++i) {
+      EXPECT_NEAR(p.ipc_shared[i] / apps[i].ipc_alone(), s0, 1e-9);
+    }
+  }
+}
+
+TEST(Predict, SquareRootClosedFormMatchesAllocation) {
+  Rng rng(6);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto apps = random_workload(rng, 4);
+    // Keep b low enough that no cap binds, matching Eq. 4's assumptions.
+    const double min_ratio = [&] {
+      double sum_sqrt = 0.0;
+      for (const auto& a : apps) sum_sqrt += std::sqrt(a.apc_alone);
+      double worst = 1e30;
+      for (const auto& a : apps) {
+        worst = std::min(worst, a.apc_alone * sum_sqrt / std::sqrt(a.apc_alone));
+      }
+      return worst;
+    }();
+    const double b = 0.9 * min_ratio;
+    const Prediction p = predict(Scheme::SquareRoot, apps, b);
+    EXPECT_NEAR(p.hsp, hsp_squareroot_closed_form(apps, b), 1e-9);
+    EXPECT_NEAR(p.wsp, wsp_squareroot_closed_form(apps, b), 1e-9);
+  }
+}
+
+TEST(Predict, ProportionalClosedFormMatchesAllocation) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto apps = random_workload(rng, 5);
+    const double total_demand = std::accumulate(
+        apps.begin(), apps.end(), 0.0,
+        [](double s, const AppParams& a) { return s + a.apc_alone; });
+    const double b = total_demand * 0.7;
+    const Prediction p = predict(Scheme::Proportional, apps, b);
+    EXPECT_NEAR(p.hsp, hsp_proportional_closed_form(apps, b), 1e-9);
+    EXPECT_NEAR(p.wsp, hsp_proportional_closed_form(apps, b), 1e-9);
+  }
+}
+
+TEST(Predict, CauchyInequalityBetweenSchemes) {
+  // Section III-C: Square_root dominates Proportional on both Hsp (Eq. 4
+  // vs Eq. 8) and Wsp (Eq. 6 vs Eq. 8), by Cauchy's inequality.
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto apps = random_workload(rng, 3 + rng.next_below(4));
+    const double b = 0.005;
+    EXPECT_GE(hsp_squareroot_closed_form(apps, b),
+              hsp_proportional_closed_form(apps, b) - 1e-12);
+    EXPECT_GE(wsp_squareroot_closed_form(apps, b),
+              hsp_proportional_closed_form(apps, b) - 1e-12);
+  }
+}
+
+TEST(Predict, EqualSharesNeverOptimalButNeverTerrible) {
+  // The motivation result (Fig. 1): Equal is not optimal for any metric,
+  // but the optimal scheme for each metric is at least as good.
+  Rng rng(9);
+  const auto apps = random_workload(rng, 4);
+  const double b = 0.008;
+  const Prediction eq = predict(Scheme::Equal, apps, b);
+  EXPECT_LE(eq.hsp,
+            predict(Scheme::SquareRoot, apps, b).hsp + 1e-12);
+  EXPECT_LE(eq.min_fairness,
+            predict(Scheme::Proportional, apps, b).min_fairness + 1e-12);
+  EXPECT_LE(eq.wsp, predict(Scheme::PriorityApc, apps, b).wsp + 1e-12);
+  EXPECT_LE(eq.ipcsum, predict(Scheme::PriorityApi, apps, b).ipcsum + 1e-12);
+}
+
+TEST(Predict, TwoThirdsPowerBetweenSqrtAndProportionalOnMetrics) {
+  Rng rng(10);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto apps = random_workload(rng, 4);
+    const double total_demand = std::accumulate(
+        apps.begin(), apps.end(), 0.0,
+        [](double s, const AppParams& a) { return s + a.apc_alone; });
+    const double b = total_demand * 0.5;
+    const double hsp_sqrt = predict(Scheme::SquareRoot, apps, b).hsp;
+    const double hsp_pow = predict(Scheme::TwoThirdsPower, apps, b).hsp;
+    const double hsp_prop = predict(Scheme::Proportional, apps, b).hsp;
+    EXPECT_LE(hsp_prop, hsp_pow + 1e-12);
+    EXPECT_LE(hsp_pow, hsp_sqrt + 1e-12);
+    const double mf_sqrt =
+        predict(Scheme::SquareRoot, apps, b).min_fairness;
+    const double mf_pow =
+        predict(Scheme::TwoThirdsPower, apps, b).min_fairness;
+    const double mf_prop =
+        predict(Scheme::Proportional, apps, b).min_fairness;
+    EXPECT_GE(mf_prop, mf_pow - 1e-12);
+    EXPECT_GE(mf_pow, mf_sqrt - 1e-12);
+  }
+}
+
+TEST(Predict, StarvationYieldsZeroHspByContinuity) {
+  const std::vector<AppParams> apps{{0.004, 0.01}, {0.008, 0.02}};
+  // Budget below the first app's cap: PriorityApc starves app 1 entirely.
+  const Prediction p = predict(Scheme::PriorityApc, apps, 0.003);
+  EXPECT_DOUBLE_EQ(p.apc_shared[1], 0.0);
+  EXPECT_DOUBLE_EQ(p.hsp, 0.0);
+  EXPECT_DOUBLE_EQ(p.min_fairness, 0.0);
+  EXPECT_GT(p.wsp, 0.0);
+}
+
+TEST(Predict, MetricAccessorMatchesFields) {
+  const std::vector<AppParams> apps{{0.004, 0.01}, {0.002, 0.02}};
+  const Prediction p = predict(Scheme::Equal, apps, 0.005);
+  EXPECT_DOUBLE_EQ(p.metric(Metric::HarmonicWeightedSpeedup), p.hsp);
+  EXPECT_DOUBLE_EQ(p.metric(Metric::WeightedSpeedup), p.wsp);
+  EXPECT_DOUBLE_EQ(p.metric(Metric::IpcSum), p.ipcsum);
+  EXPECT_DOUBLE_EQ(p.metric(Metric::MinFairness), p.min_fairness);
+}
+
+}  // namespace
+}  // namespace bwpart::core

@@ -1,0 +1,110 @@
+#include "core/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace bwpart::core {
+namespace {
+
+// hmmer-like guaranteed app plus three best-effort apps.
+std::vector<AppParams> workload() {
+  return {{0.0094, 0.053},   // lbm
+          {0.0066, 0.034},   // libquantum
+          {0.0056, 0.031},   // omnetpp
+          {0.0052, 0.0046}}; // hmmer (IPC_alone ~ 1.13)
+}
+
+TEST(Qos, ReservationMatchesSectionIIIG) {
+  const auto apps = workload();
+  const QosRequirement req{3, 0.6};
+  const QosPlan plan =
+      qos_allocate(apps, std::span(&req, 1), 0.0098, Scheme::SquareRoot);
+  ASSERT_TRUE(plan.feasible);
+  // B_QoS = IPC_target * API = 0.6 * 0.0046.
+  EXPECT_NEAR(plan.b_qos, 0.6 * 0.0046, 1e-12);
+  EXPECT_NEAR(plan.apc_shared[3], 0.6 * 0.0046, 1e-12);
+  EXPECT_NEAR(plan.b_best_effort, 0.0098 - plan.b_qos, 1e-12);
+}
+
+TEST(Qos, BestEffortGetsTheRemainder) {
+  const auto apps = workload();
+  const QosRequirement req{3, 0.6};
+  const QosPlan plan =
+      qos_allocate(apps, std::span(&req, 1), 0.0098, Scheme::SquareRoot);
+  ASSERT_TRUE(plan.feasible);
+  const double be_total =
+      plan.apc_shared[0] + plan.apc_shared[1] + plan.apc_shared[2];
+  EXPECT_NEAR(be_total, plan.b_best_effort, 1e-9);
+}
+
+TEST(Qos, SharesSumToOne) {
+  const auto apps = workload();
+  const QosRequirement req{3, 0.6};
+  for (Scheme be : {Scheme::SquareRoot, Scheme::Proportional,
+                    Scheme::PriorityApc, Scheme::PriorityApi, Scheme::Equal}) {
+    const QosPlan plan = qos_allocate(apps, std::span(&req, 1), 0.0098, be);
+    ASSERT_TRUE(plan.feasible) << to_string(be);
+    const double s =
+        std::accumulate(plan.beta.begin(), plan.beta.end(), 0.0);
+    EXPECT_NEAR(s, 1.0, 1e-9) << to_string(be);
+  }
+}
+
+TEST(Qos, UnreachableTargetIsInfeasible) {
+  const auto apps = workload();
+  // hmmer's IPC_alone is ~1.13; demanding 2.0 exceeds what the app can do.
+  const QosRequirement req{3, 2.0};
+  const QosPlan plan =
+      qos_allocate(apps, std::span(&req, 1), 0.0098, Scheme::SquareRoot);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Qos, OverCommittedBandwidthIsInfeasible) {
+  const auto apps = workload();
+  // Guarantee both lbm and libquantum nearly their standalone IPC: the
+  // combined reservation exceeds the 0.0098 budget.
+  const std::vector<QosRequirement> reqs{{0, 0.17}, {1, 0.19}};
+  const QosPlan plan = qos_allocate(apps, reqs, 0.0098, Scheme::SquareRoot);
+  // Reservations: 0.17*0.053 + 0.19*0.034 = 0.00901 + 0.00646 > 0.0098.
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(Qos, MultipleGuaranteesSupported) {
+  const auto apps = workload();
+  const std::vector<QosRequirement> reqs{{3, 0.5}, {2, 0.05}};
+  const QosPlan plan = qos_allocate(apps, reqs, 0.0098, Scheme::PriorityApi);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.apc_shared[3], 0.5 * 0.0046, 1e-12);
+  EXPECT_NEAR(plan.apc_shared[2], 0.05 * 0.031, 1e-12);
+  EXPECT_NEAR(plan.b_qos, 0.5 * 0.0046 + 0.05 * 0.031, 1e-12);
+}
+
+TEST(Qos, PriorityBestEffortStarvesWithinBestEffortGroupOnly) {
+  const auto apps = workload();
+  const QosRequirement req{3, 0.6};
+  const QosPlan plan =
+      qos_allocate(apps, std::span(&req, 1), 0.0080, Scheme::PriorityApc);
+  ASSERT_TRUE(plan.feasible);
+  // Best-effort budget 0.0080 - 0.00276 = 0.00524 is below even omnetpp's
+  // cap (0.0056): omnetpp (lowest APC in the BE group) takes it all and
+  // both libquantum and lbm starve.
+  EXPECT_NEAR(plan.apc_shared[2], 0.0080 - 0.6 * 0.0046, 1e-9);
+  EXPECT_DOUBLE_EQ(plan.apc_shared[1], 0.0);
+  EXPECT_DOUBLE_EQ(plan.apc_shared[0], 0.0);
+  // The guaranteed app is untouched by the starvation.
+  EXPECT_NEAR(plan.apc_shared[3], 0.6 * 0.0046, 1e-12);
+}
+
+TEST(Qos, AllAppsGuaranteedLeavesNoBestEffort) {
+  const std::vector<AppParams> apps{{0.004, 0.01}, {0.002, 0.02}};
+  const std::vector<QosRequirement> reqs{{0, 0.1}, {1, 0.05}};
+  const QosPlan plan = qos_allocate(apps, reqs, 0.01, Scheme::Equal);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.apc_shared[0], 0.001, 1e-12);
+  EXPECT_NEAR(plan.apc_shared[1], 0.001, 1e-12);
+}
+
+}  // namespace
+}  // namespace bwpart::core

@@ -1,0 +1,145 @@
+// Weighted-objective generalization tests: degeneracy to the paper's
+// schemes at unit weights, responsiveness to weights, and agreement with
+// the numeric optimizer.
+#include "core/weighted.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/optimizer.hpp"
+#include "core/predict.hpp"
+
+namespace bwpart::core {
+namespace {
+
+std::vector<AppParams> workload() {
+  return {{0.0066, 0.034}, {0.0067, 0.042}, {0.0035, 0.0052},
+          {0.0019, 0.0041}};
+}
+
+const std::vector<double> kUnit{1.0, 1.0, 1.0, 1.0};
+
+TEST(WeightedMetrics, UnitWeightsReduceToUnweighted) {
+  const std::vector<double> alone{1.0, 2.0, 0.5, 4.0};
+  const std::vector<double> shared{0.5, 1.5, 0.4, 1.0};
+  EXPECT_NEAR(weighted_harmonic_speedup(shared, alone, kUnit),
+              harmonic_weighted_speedup(shared, alone), 1e-12);
+  EXPECT_NEAR(weighted_weighted_speedup(shared, alone, kUnit),
+              weighted_speedup(shared, alone), 1e-12);
+  EXPECT_NEAR(weighted_ipc_sum(shared, kUnit), ipc_sum(shared), 1e-12);
+  EXPECT_NEAR(weighted_min_fairness(shared, alone, kUnit),
+              min_fairness(shared, alone), 1e-12);
+}
+
+TEST(WeightedAllocation, UnitWeightsReduceToPaperSchemes) {
+  const auto apps = workload();
+  const double b = 0.0095;
+  struct Pair {
+    Metric metric;
+    Scheme scheme;
+  };
+  for (const Pair& p :
+       {Pair{Metric::HarmonicWeightedSpeedup, Scheme::SquareRoot},
+        Pair{Metric::MinFairness, Scheme::Proportional},
+        Pair{Metric::WeightedSpeedup, Scheme::PriorityApc},
+        Pair{Metric::IpcSum, Scheme::PriorityApi}}) {
+    const auto weighted = weighted_optimal_allocation(p.metric, apps, kUnit, b);
+    const auto derived = analytic_allocation(p.scheme, apps, b);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      EXPECT_NEAR(weighted[i], derived[i], 1e-12)
+          << to_string(p.metric) << " app " << i;
+    }
+  }
+}
+
+TEST(WeightedAllocation, HigherWeightMeansMoreBandwidth) {
+  const auto apps = workload();
+  const double b = 0.0095;
+  std::vector<double> weights = kUnit;
+  weights[3] = 8.0;  // favor gobmk heavily
+  for (Metric m : {Metric::HarmonicWeightedSpeedup, Metric::MinFairness}) {
+    const auto base = weighted_optimal_allocation(m, apps, kUnit, b);
+    const auto favored = weighted_optimal_allocation(m, apps, weights, b);
+    EXPECT_GT(favored[3], base[3]) << to_string(m);
+  }
+}
+
+TEST(WeightedAllocation, KnapsackOrderFollowsWeightedDensity) {
+  const auto apps = workload();
+  // Give milc (highest APC_alone) an enormous weight: under weighted Wsp it
+  // must now be filled first despite its low unweighted density.
+  std::vector<double> weights = kUnit;
+  weights[1] = 100.0;
+  const auto alloc = weighted_optimal_allocation(Metric::WeightedSpeedup,
+                                                 apps, weights, 0.006);
+  // The whole budget (below milc's cap) goes to milc; everyone else starves.
+  EXPECT_NEAR(alloc[1], 0.006, 1e-12);
+  EXPECT_DOUBLE_EQ(alloc[0] + alloc[2] + alloc[3], 0.0);
+}
+
+TEST(WeightedAllocation, FairnessEqualizesWeightedSpeedups) {
+  const auto apps = workload();
+  const std::vector<double> weights{1.0, 2.0, 1.0, 0.5};
+  const auto alloc =
+      weighted_optimal_allocation(Metric::MinFairness, apps, weights, 0.008);
+  // speedup_i / w_i equal across apps (when no cap binds).
+  const double ref = alloc[0] / apps[0].apc_alone / weights[0];
+  for (std::size_t i = 1; i < apps.size(); ++i) {
+    EXPECT_NEAR(alloc[i] / apps[i].apc_alone / weights[i], ref, 1e-9);
+  }
+}
+
+TEST(WeightedAllocation, NumericOptimizerAgrees) {
+  const auto apps = workload();
+  Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<double> weights(apps.size());
+    for (double& w : weights) w = 0.25 + 2.0 * rng.next_double();
+    const double b = 0.006 + 0.004 * rng.next_double();
+    for (Metric m : kAllMetrics) {
+      const auto analytic =
+          weighted_optimal_allocation(m, apps, weights, b);
+      // Optimize the weighted objective numerically from scratch.
+      std::vector<double> alone;
+      for (const auto& a : apps) alone.push_back(a.ipc_alone());
+      std::vector<AppParams> owned = apps;
+      const AllocationObjective obj =
+          [&owned, &alone, &weights, m](std::span<const double> apc) {
+            std::vector<double> shared(apc.size());
+            for (std::size_t i = 0; i < apc.size(); ++i) {
+              shared[i] = owned[i].ipc_at(std::max(apc[i], 1e-15));
+            }
+            return evaluate_weighted_metric(m, shared, alone, weights);
+          };
+      const auto numeric = optimize_allocation(obj, apps, b);
+      std::vector<double> shared_a(apps.size()), shared_n(apps.size());
+      for (std::size_t i = 0; i < apps.size(); ++i) {
+        shared_a[i] = apps[i].ipc_at(std::max(analytic[i], 1e-15));
+        shared_n[i] = apps[i].ipc_at(std::max(numeric[i], 1e-15));
+      }
+      std::vector<double> alone2 = alone;
+      const double v_a =
+          evaluate_weighted_metric(m, shared_a, alone2, weights);
+      const double v_n =
+          evaluate_weighted_metric(m, shared_n, alone2, weights);
+      EXPECT_LE(v_n, v_a * 1.001) << to_string(m) << " trial " << trial;
+      EXPECT_GE(v_n, v_a * 0.98) << to_string(m) << " trial " << trial;
+    }
+  }
+}
+
+TEST(WeightedAllocation, SharesNormalized) {
+  const auto apps = workload();
+  const std::vector<double> weights{2.0, 1.0, 1.0, 3.0};
+  for (Metric m : kAllMetrics) {
+    const auto beta =
+        weighted_optimal_shares(m, apps, weights, 0.0095);
+    const double sum = std::accumulate(beta.begin(), beta.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << to_string(m);
+  }
+}
+
+}  // namespace
+}  // namespace bwpart::core

@@ -1,0 +1,137 @@
+#include "cpu/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bwpart::cpu {
+namespace {
+
+TEST(CacheGeometry, SetCountMatchesParameters) {
+  EXPECT_EQ(CacheGeometry::l1_default().sets(), 32u * 1024 / (64 * 2));
+  EXPECT_EQ(CacheGeometry::l2_default().sets(), 256u * 1024 / (64 * 8));
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(CacheGeometry::l1_default());
+  EXPECT_FALSE(c.access(0x1000, AccessType::Read).hit);
+  EXPECT_TRUE(c.access(0x1000, AccessType::Read).hit);
+  EXPECT_TRUE(c.access(0x1020, AccessType::Read).hit);  // same line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DistinctLinesMissIndependently) {
+  Cache c(CacheGeometry::l1_default());
+  EXPECT_FALSE(c.access(0x1000, AccessType::Read).hit);
+  EXPECT_FALSE(c.access(0x2000, AccessType::Read).hit);
+  EXPECT_TRUE(c.access(0x1000, AccessType::Read).hit);
+  EXPECT_TRUE(c.access(0x2000, AccessType::Read).hit);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  // 2-way cache: touch three lines mapping to one set; the least-recently
+  // used line is evicted.
+  const CacheGeometry g{2 * 64 * 4, 64, 2};  // 4 sets, 2 ways
+  Cache c(g);
+  // Addresses that are multiples of sets*line (= 256) all map to set 0.
+  const Addr set_stride = 64 * 4;
+  const Addr a = 0, b = set_stride, c3 = 2 * set_stride;
+  EXPECT_FALSE(c.access(a, AccessType::Read).hit);
+  EXPECT_FALSE(c.access(b, AccessType::Read).hit);
+  EXPECT_TRUE(c.access(a, AccessType::Read).hit);   // a is now MRU
+  EXPECT_FALSE(c.access(c3, AccessType::Read).hit);  // evicts b
+  EXPECT_TRUE(c.access(a, AccessType::Read).hit);
+  EXPECT_FALSE(c.access(b, AccessType::Read).hit);  // b was evicted
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback) {
+  const CacheGeometry g{2 * 64 * 1, 64, 2};  // 1 set, 2 ways
+  Cache c(g);
+  c.access(0 * 64, AccessType::Write);  // dirty
+  c.access(1 * 64, AccessType::Read);
+  const Cache::Outcome o = c.access(2 * 64, AccessType::Read);  // evicts line 0
+  EXPECT_FALSE(o.hit);
+  EXPECT_TRUE(o.writeback);
+  EXPECT_EQ(o.writeback_addr, 0u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  const CacheGeometry g{2 * 64 * 1, 64, 2};
+  Cache c(g);
+  c.access(0 * 64, AccessType::Read);
+  c.access(1 * 64, AccessType::Read);
+  const Cache::Outcome o = c.access(2 * 64, AccessType::Read);
+  EXPECT_FALSE(o.writeback);
+}
+
+TEST(Cache, WriteMarksLineDirtyOnHitToo) {
+  const CacheGeometry g{2 * 64 * 1, 64, 2};
+  Cache c(g);
+  c.access(0 * 64, AccessType::Read);   // clean fill
+  c.access(0 * 64, AccessType::Write);  // dirtied by hit
+  c.access(1 * 64, AccessType::Read);
+  c.access(1 * 64, AccessType::Read);   // line 0 is now LRU
+  const Cache::Outcome o = c.access(2 * 64, AccessType::Read);
+  EXPECT_TRUE(o.writeback);
+  EXPECT_EQ(o.writeback_addr, 0u);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState) {
+  const CacheGeometry g{2 * 64 * 1, 64, 2};
+  Cache c(g);
+  c.access(0 * 64, AccessType::Read);
+  c.access(1 * 64, AccessType::Read);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(5 * 64));
+  // Probing line 0 must not refresh its LRU position.
+  c.probe(0);
+  c.access(2 * 64, AccessType::Read);  // evicts line 0 (still LRU)
+  EXPECT_FALSE(c.probe(0));
+  const std::uint64_t hits_before = c.hits();
+  c.probe(1 * 64);
+  EXPECT_EQ(c.hits(), hits_before);  // probe not counted
+}
+
+TEST(Cache, InvalidateAllDropsEverything) {
+  Cache c(CacheGeometry::l1_default());
+  c.access(0x100, AccessType::Write);
+  c.access(0x5000, AccessType::Read);
+  c.invalidate_all();
+  EXPECT_FALSE(c.probe(0x100));
+  EXPECT_FALSE(c.probe(0x5000));
+  // Dirty data is dropped silently (no writeback) by design.
+  EXPECT_FALSE(c.access(0x100, AccessType::Read).hit);
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsAfterWarmup) {
+  Cache c(CacheGeometry::l1_default());  // 32 KiB
+  const std::size_t lines = 16 * 1024 / 64;  // 16 KiB working set
+  for (std::size_t i = 0; i < lines; ++i) {
+    c.access(static_cast<Addr>(i) * 64, AccessType::Read);
+  }
+  c.reset_stats();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < lines; ++i) {
+      c.access(static_cast<Addr>(i) * 64, AccessType::Read);
+    }
+  }
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(), 1.0);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashesWithStreaming) {
+  const CacheGeometry g{8 * 1024, 64, 2};  // 8 KiB cache
+  Cache c(g);
+  const std::size_t lines = 32 * 1024 / 64;  // 32 KiB streaming set
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::size_t i = 0; i < lines; ++i) {
+      c.access(static_cast<Addr>(i) * 64, AccessType::Read);
+    }
+  }
+  // Sequential sweep over 4x the capacity with LRU: every access misses.
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace bwpart::cpu

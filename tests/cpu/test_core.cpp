@@ -1,0 +1,277 @@
+#include "cpu/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/controller.hpp"
+
+namespace bwpart::cpu {
+namespace {
+
+constexpr Frequency kCpu = Frequency::from_ghz(5.0);
+
+dram::DramConfig quiet_dram() {
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  return cfg;
+}
+
+/// Scripted trace: replays a fixed pattern, then repeats it.
+class ScriptedTrace final : public TraceSource {
+ public:
+  explicit ScriptedTrace(std::vector<TraceOp> ops) : ops_(std::move(ops)) {}
+  TraceOp next() override {
+    const TraceOp op = ops_[pos_ % ops_.size()];
+    ++pos_;
+    return op;
+  }
+
+ private:
+  std::vector<TraceOp> ops_;
+  std::size_t pos_ = 0;
+};
+
+/// Pure-compute trace: memory ops infinitely far apart.
+class ComputeTrace final : public TraceSource {
+ public:
+  TraceOp next() override {
+    return TraceOp{1'000'000'000'000ull, 0, AccessType::Read, false};
+  }
+};
+
+struct Rig {
+  std::unique_ptr<mem::MemoryController> mc;
+  std::unique_ptr<OoOCore> core;
+
+  void run(Cycle cycles, Cycle start = 0) {
+    for (Cycle t = start; t < start + cycles; ++t) {
+      core->tick(t);
+      mc->tick(t);
+    }
+  }
+};
+
+Rig make_rig(const CoreConfig& cfg, TraceSource& trace) {
+  Rig rig;
+  rig.mc = std::make_unique<mem::MemoryController>(
+      quiet_dram(), kCpu, 1, std::make_unique<mem::FcfsScheduler>());
+  rig.core = std::make_unique<OoOCore>(0, cfg, trace, *rig.mc);
+  auto* core = rig.core.get();
+  rig.mc->set_completion_callback(
+      [core](const mem::MemRequest& r, Cycle done) {
+        core->on_mem_complete(r, done);
+      });
+  return rig;
+}
+
+TEST(OoOCore, ComputeOnlyRunsAtNonmemIpc) {
+  ComputeTrace trace;
+  CoreConfig cfg;
+  cfg.nonmem_ipc = 2.0;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(10'000);
+  EXPECT_NEAR(rig.core->stats().ipc(), 2.0, 0.01);
+  EXPECT_EQ(rig.core->stats().offchip_accesses(), 0u);
+}
+
+TEST(OoOCore, FractionalIssueRateAccumulates) {
+  ComputeTrace trace;
+  CoreConfig cfg;
+  cfg.nonmem_ipc = 1.5;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(10'000);
+  EXPECT_NEAR(rig.core->stats().ipc(), 1.5, 0.01);
+}
+
+TEST(OoOCore, SingleMissStallsRoughlyMemoryLatency) {
+  // One miss every 10,000 instructions, far beyond the ROB: the miss is
+  // fully exposed, so cycles/period = instrs/ipc + latency.
+  ScriptedTrace trace({TraceOp{10'000, 0x0, AccessType::Read, false}});
+  CoreConfig cfg;
+  cfg.nonmem_ipc = 8.0;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(200'000);
+  const auto& s = rig.core->stats();
+  ASSERT_GT(s.offchip_reads, 5u);
+  const double cycles_per_period =
+      static_cast<double>(s.cycles) / static_cast<double>(s.offchip_reads);
+  const double compute = 10'001 / 8.0;
+  const double exposed = cycles_per_period - compute;
+  EXPECT_GT(exposed, 150.0);  // a DDR2 round trip at 5 GHz
+  EXPECT_LT(exposed, 450.0);
+}
+
+TEST(OoOCore, ApiIsPreservedByTheCore) {
+  // API is a program property; the core must reproduce the trace's rate.
+  ScriptedTrace trace({TraceOp{99, 0x0, AccessType::Read, false},
+                       TraceOp{99, 0x4000, AccessType::Write, false}});
+  CoreConfig cfg;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(300'000);
+  EXPECT_NEAR(rig.core->stats().api(), 2.0 / 200.0, 0.0005);
+}
+
+TEST(OoOCore, IndependentMissesOverlapWithinRob) {
+  // Misses 30 instructions apart: the 192-entry ROB holds ~6, so they
+  // overlap and the per-miss cost is far below the full latency.
+  std::vector<TraceOp> ops;
+  for (int i = 0; i < 8; ++i) {
+    ops.push_back(TraceOp{30, static_cast<Addr>(i) * 64, AccessType::Read,
+                          false});
+  }
+  ScriptedTrace trace(ops);
+  CoreConfig cfg;
+  cfg.nonmem_ipc = 8.0;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(300'000);
+  const auto& s = rig.core->stats();
+  const double cycles_per_miss =
+      static_cast<double>(s.cycles) / static_cast<double>(s.offchip_reads);
+  EXPECT_LT(cycles_per_miss, 150.0);  // well under one full round trip
+}
+
+TEST(OoOCore, DependentMissesSerialize) {
+  std::vector<TraceOp> ops;
+  for (int i = 0; i < 8; ++i) {
+    ops.push_back(TraceOp{30, static_cast<Addr>(i) * 64, AccessType::Read,
+                          /*dependent=*/true});
+  }
+  ScriptedTrace trace(ops);
+  CoreConfig cfg;
+  cfg.nonmem_ipc = 8.0;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(300'000);
+  const double cycles_per_miss =
+      static_cast<double>(rig.core->stats().cycles) /
+      static_cast<double>(rig.core->stats().offchip_reads);
+  EXPECT_GT(cycles_per_miss, 200.0);  // each miss pays the round trip
+}
+
+TEST(OoOCore, RobLimitsMemoryLevelParallelism) {
+  // Misses 100 instructions apart: a 64-entry ROB exposes every miss while
+  // a 512-entry ROB overlaps ~5 of them.
+  std::vector<TraceOp> ops;
+  for (int i = 0; i < 8; ++i) {
+    ops.push_back(TraceOp{100, static_cast<Addr>(i) * 64, AccessType::Read,
+                          false});
+  }
+  auto run_with_rob = [&](std::uint32_t rob) {
+    ScriptedTrace trace(ops);
+    CoreConfig cfg;
+    cfg.rob_size = rob;
+    Rig rig = make_rig(cfg, trace);
+    rig.run(300'000);
+    return static_cast<double>(rig.core->stats().cycles) /
+           static_cast<double>(rig.core->stats().offchip_reads);
+  };
+  EXPECT_GT(run_with_rob(64), 1.5 * run_with_rob(512));
+}
+
+TEST(OoOCore, WritesArePostedNotBlocking) {
+  // A sparse write stream (demand well under bus capacity) should run at
+  // full compute speed: stores retire without waiting for memory. The same
+  // rate of *dependent reads* would stall on every access.
+  ScriptedTrace trace({TraceOp{2000, 0x0, AccessType::Write, false}});
+  CoreConfig cfg;
+  cfg.nonmem_ipc = 4.0;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(100'000);
+  EXPECT_GT(rig.core->stats().ipc(), 3.5);
+  EXPECT_GT(rig.core->stats().offchip_writes, 100u);
+}
+
+TEST(OoOCore, MshrLimitThrottlesMlp) {
+  std::vector<TraceOp> ops;
+  for (int i = 0; i < 16; ++i) {
+    ops.push_back(TraceOp{10, static_cast<Addr>(i) * 64, AccessType::Read,
+                          false});
+  }
+  auto apc_with_mshrs = [&](std::uint32_t mshrs) {
+    ScriptedTrace trace(ops);
+    CoreConfig cfg;
+    cfg.mshrs = mshrs;
+    Rig rig = make_rig(cfg, trace);
+    rig.run(300'000);
+    return rig.core->stats().apc();
+  };
+  EXPECT_GT(apc_with_mshrs(8), 1.5 * apc_with_mshrs(1));
+}
+
+TEST(OoOCore, CacheModeFiltersHits) {
+  // A tiny working set fits in L1: after warm-up nothing goes off-chip.
+  std::vector<TraceOp> ops;
+  for (int i = 0; i < 16; ++i) {
+    ops.push_back(TraceOp{10, static_cast<Addr>(i) * 64, AccessType::Read,
+                          false});
+  }
+  ScriptedTrace trace(ops);
+  CoreConfig cfg;
+  cfg.model_caches = true;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(20'000);
+  rig.core->reset_stats();
+  rig.run(100'000, 20'000);
+  EXPECT_EQ(rig.core->stats().offchip_reads, 0u);
+  EXPECT_GT(rig.core->l1().hit_rate(), 0.99);
+}
+
+TEST(OoOCore, CacheModeStreamingMissesGoOffChip) {
+  // A strided stream over 32 MiB misses both caches every time.
+  class StreamTrace final : public TraceSource {
+   public:
+    TraceOp next() override {
+      line_ = (line_ + 1) % (1ull << 19);
+      return TraceOp{50, line_ * 64, AccessType::Read, false};
+    }
+
+   private:
+    std::uint64_t line_ = 0;
+  };
+  StreamTrace trace;
+  CoreConfig cfg;
+  cfg.model_caches = true;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(100'000);
+  EXPECT_GT(rig.core->stats().offchip_reads, 100u);
+  EXPECT_LT(rig.core->l2().hit_rate(), 0.01);
+}
+
+TEST(OoOCore, DirtyL2EvictionsProduceWritebacks) {
+  // Stream writes over a footprint larger than L2: dirty lines must be
+  // written back off-chip.
+  class WriteStream final : public TraceSource {
+   public:
+    TraceOp next() override {
+      line_ = (line_ + 1) % (1ull << 16);  // 4 MiB
+      return TraceOp{50, line_ * 64, AccessType::Write, false};
+    }
+
+   private:
+    std::uint64_t line_ = 0;
+  };
+  WriteStream trace;
+  CoreConfig cfg;
+  cfg.model_caches = true;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(400'000);
+  // Each streamed line eventually evicts a dirty victim: writes ~2x reads
+  // (demand write-allocates count as writes too through the store path).
+  EXPECT_GT(rig.core->stats().offchip_writes, 1000u);
+}
+
+TEST(OoOCore, ResetStatsKeepsArchitecturalState) {
+  ScriptedTrace trace({TraceOp{100, 0x0, AccessType::Read, false}});
+  CoreConfig cfg;
+  Rig rig = make_rig(cfg, trace);
+  rig.run(50'000);
+  rig.core->reset_stats();
+  EXPECT_EQ(rig.core->stats().cycles, 0u);
+  EXPECT_EQ(rig.core->stats().instructions, 0u);
+  rig.run(50'000, 50'000);
+  EXPECT_GT(rig.core->stats().instructions, 0u);
+}
+
+}  // namespace
+}  // namespace bwpart::cpu

@@ -1,0 +1,114 @@
+#include "cpu/shared_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace bwpart::cpu {
+namespace {
+
+CacheGeometry tiny() { return CacheGeometry{4 * 64 * 2, 64, 4}; }  // 2 sets, 4 ways
+
+TEST(SharedCache, EqualPartitionByDefault) {
+  SharedCache c(tiny(), 2);
+  // Each app can hold two lines per set; a third allocation evicts its own
+  // LRU line, never the other app's.
+  const Addr set_stride = 2 * 64;  // sets * line
+  c.access(0, 0 * set_stride, AccessType::Read);
+  c.access(0, 1 * set_stride, AccessType::Read);
+  c.access(1, 2 * set_stride, AccessType::Read);
+  c.access(1, 3 * set_stride, AccessType::Read);
+  // App 0 allocates a third line: evicts one of ITS lines.
+  c.access(0, 4 * set_stride, AccessType::Read);
+  EXPECT_TRUE(c.probe(2 * set_stride));  // app 1's lines untouched
+  EXPECT_TRUE(c.probe(3 * set_stride));
+  EXPECT_EQ(c.occupancy(0), 2u);
+  EXPECT_EQ(c.occupancy(1), 2u);
+}
+
+TEST(SharedCache, HitsAllowedAcrossPartitions) {
+  SharedCache c(tiny(), 2);
+  c.access(0, 0x1000, AccessType::Read);  // app 0 allocates
+  // App 1 hits app 0's line (shared data).
+  const Cache::Outcome o = c.access(1, 0x1000, AccessType::Read);
+  EXPECT_TRUE(o.hit);
+  EXPECT_EQ(c.hits(1), 1u);
+}
+
+TEST(SharedCache, AsymmetricPartitionShiftsCapacity) {
+  SharedCache c(tiny(), 2);
+  const std::array<std::uint32_t, 2> ways{3, 1};
+  c.set_way_partition(ways);
+  const Addr set_stride = 2 * 64;
+  // App 0 can now keep 3 lines of one set; app 1 only 1.
+  for (int i = 0; i < 3; ++i) {
+    c.access(0, static_cast<Addr>(i) * set_stride, AccessType::Read);
+  }
+  c.access(1, 100 * set_stride, AccessType::Read);
+  c.access(1, 101 * set_stride, AccessType::Read);  // evicts app 1's first
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_TRUE(c.probe(set_stride));
+  EXPECT_TRUE(c.probe(2 * set_stride));
+  EXPECT_FALSE(c.probe(100 * set_stride));
+  EXPECT_TRUE(c.probe(101 * set_stride));
+}
+
+TEST(SharedCache, MoreWaysMeansHigherHitRate) {
+  // The footnote-1 mechanism: an app's API_shared falls (hit rate rises)
+  // with its capacity share.
+  auto run = [](std::uint32_t ways_app0) {
+    SharedCache c(CacheGeometry{64 * 64 * 8, 64, 8}, 2);  // 64 sets, 8 ways
+    const std::array<std::uint32_t, 2> part{ways_app0, 8 - ways_app0};
+    c.set_way_partition(part);
+    // App 0 cycles a working set of 5 lines in each of the 64 sets;
+    // app 1 streams through disjoint sets' ways.
+    for (int pass = 0; pass < 6; ++pass) {
+      for (Addr tag = 0; tag < 5; ++tag) {
+        for (Addr set = 0; set < 64; ++set) {
+          c.access(0, (tag * 64 + set) * 64, AccessType::Read);
+        }
+      }
+      for (Addr line = 0; line < 512; ++line) {
+        c.access(1, (1u << 24) + (static_cast<Addr>(pass) * 512 + line) * 64,
+                 AccessType::Read);
+      }
+    }
+    return c.hit_rate(0);
+  };
+  EXPECT_GT(run(6), run(2) + 0.2);
+}
+
+TEST(SharedCache, DirtyEvictionReportsWriteback) {
+  SharedCache c(tiny(), 2);
+  const Addr set_stride = 2 * 64;
+  c.access(0, 0, AccessType::Write);
+  c.access(0, set_stride, AccessType::Read);
+  const Cache::Outcome o = c.access(0, 2 * set_stride, AccessType::Read);
+  EXPECT_TRUE(o.writeback);
+  EXPECT_EQ(o.writeback_addr, 0u);
+}
+
+TEST(SharedCache, StatsPerApp) {
+  SharedCache c(tiny(), 2);
+  c.access(0, 0x100, AccessType::Read);
+  c.access(0, 0x100, AccessType::Read);
+  c.access(1, 0x200, AccessType::Read);
+  EXPECT_EQ(c.hits(0), 1u);
+  EXPECT_EQ(c.misses(0), 1u);
+  EXPECT_EQ(c.misses(1), 1u);
+  EXPECT_DOUBLE_EQ(c.hit_rate(0), 0.5);
+  c.reset_stats();
+  EXPECT_EQ(c.hits(0), 0u);
+  EXPECT_EQ(c.misses(1), 0u);
+}
+
+TEST(SharedCache, InvalidateAllEmptiesCache) {
+  SharedCache c(tiny(), 2);
+  c.access(0, 0x100, AccessType::Write);
+  c.invalidate_all();
+  EXPECT_FALSE(c.probe(0x100));
+  EXPECT_EQ(c.occupancy(0), 0u);
+}
+
+}  // namespace
+}  // namespace bwpart::cpu

@@ -1,0 +1,82 @@
+#include "dram/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace bwpart::dram {
+namespace {
+
+class AddressMapTest : public ::testing::TestWithParam<MapScheme> {};
+
+TEST_P(AddressMapTest, DecodeEncodeRoundTrip) {
+  const DramConfig cfg = DramConfig::ddr2_400();
+  const AddressMap map(cfg, GetParam());
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    // Random line-aligned address within the decoded capacity.
+    const Addr addr = (rng.next_u64() % (1ull << 32)) & ~Addr{63};
+    const Location loc = map.decode(addr);
+    EXPECT_EQ(map.encode(loc), addr);
+  }
+}
+
+TEST_P(AddressMapTest, FieldsWithinBounds) {
+  const DramConfig cfg = DramConfig::ddr2_400();
+  const AddressMap map(cfg, GetParam());
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const Location loc = map.decode(rng.next_u64() & ~Addr{63});
+    EXPECT_LT(loc.channel, cfg.channels);
+    EXPECT_LT(loc.rank, cfg.ranks);
+    EXPECT_LT(loc.bank, cfg.banks_per_rank);
+    EXPECT_LT(loc.row, cfg.rows_per_bank);
+    EXPECT_LT(loc.column, cfg.columns_per_row / cfg.burst_beats);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, AddressMapTest,
+                         ::testing::Values(MapScheme::ChanRowColBankRank,
+                                           MapScheme::ChanRowBankRankCol));
+
+TEST(AddressMap, PaperMappingInterleavesConsecutiveLinesAcrossRanks) {
+  const DramConfig cfg = DramConfig::ddr2_400();
+  const AddressMap map(cfg, MapScheme::ChanRowColBankRank);
+  // Rank occupies the lowest decoded bits: line i and line i+1 differ in
+  // rank; lines i and i+ranks differ in bank.
+  const Location l0 = map.decode(0);
+  const Location l1 = map.decode(64);
+  EXPECT_NE(l0.rank, l1.rank);
+  EXPECT_EQ(l0.bank, l1.bank);
+  const Location l4 = map.decode(64 * cfg.ranks);
+  EXPECT_EQ(l4.rank, l0.rank);
+  EXPECT_NE(l4.bank, l0.bank);
+}
+
+TEST(AddressMap, RowLocalMappingKeepsConsecutiveLinesInOneRow) {
+  const DramConfig cfg = DramConfig::ddr2_400();
+  const AddressMap map(cfg, MapScheme::ChanRowBankRankCol);
+  const Location l0 = map.decode(0);
+  const Location l1 = map.decode(64);
+  EXPECT_EQ(l0.rank, l1.rank);
+  EXPECT_EQ(l0.bank, l1.bank);
+  EXPECT_EQ(l0.row, l1.row);
+  EXPECT_NE(l0.column, l1.column);
+}
+
+TEST(AddressMap, LineOffsetBitsIgnored) {
+  const DramConfig cfg = DramConfig::ddr2_400();
+  const AddressMap map(cfg, MapScheme::ChanRowColBankRank);
+  EXPECT_EQ(map.decode(0x1000), map.decode(0x1000 + 63));
+}
+
+TEST(AddressMap, SameBankSameRowForAliasedAddresses) {
+  const DramConfig cfg = DramConfig::ddr2_400();
+  const AddressMap map(cfg, MapScheme::ChanRowColBankRank);
+  // Addresses 4 GiB apart alias in a 4 GiB-decoded space.
+  const Addr a = 0x12340;
+  EXPECT_EQ(map.decode(a), map.decode(a + (1ull << 32)));
+}
+
+}  // namespace
+}  // namespace bwpart::dram

@@ -1,0 +1,119 @@
+#include "dram/bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/config.hpp"
+
+namespace bwpart::dram {
+namespace {
+
+TimingsTicks ticks() { return DramConfig::ddr2_400().ticks(); }
+// DDR2-400: rp=3 rcd=3 cl=3 cwl=2 ras=8 wr=3 rtp=2 ccd=2 burst=4.
+
+TEST(Bank, StartsClosedAndActivatable) {
+  Bank b;
+  EXPECT_FALSE(b.row_open());
+  EXPECT_TRUE(b.can_activate(0));
+  EXPECT_FALSE(b.can_read(0));
+  EXPECT_FALSE(b.can_write(0));
+  EXPECT_FALSE(b.can_precharge(0));
+}
+
+TEST(Bank, ActivateOpensRowAfterTrcd) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.activate(10, 42, t);
+  EXPECT_TRUE(b.row_open());
+  EXPECT_EQ(b.open_row(), 42u);
+  EXPECT_FALSE(b.can_read(10 + t.rcd - 1));
+  EXPECT_TRUE(b.can_read(10 + t.rcd));
+  EXPECT_TRUE(b.can_write(10 + t.rcd));
+}
+
+TEST(Bank, PrechargeRespectsTras) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.activate(0, 1, t);
+  EXPECT_FALSE(b.can_precharge(t.ras - 1));
+  EXPECT_TRUE(b.can_precharge(t.ras));
+  b.precharge(t.ras, t);
+  EXPECT_FALSE(b.row_open());
+  EXPECT_FALSE(b.can_activate(t.ras + t.rp - 1));
+  EXPECT_TRUE(b.can_activate(t.ras + t.rp));
+}
+
+TEST(Bank, ReadExtendsPrechargeByTrtp) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.activate(0, 1, t);
+  const Tick rd = t.ras;  // read late, after tRAS satisfied
+  b.read(rd, false, t);
+  EXPECT_FALSE(b.can_precharge(rd + t.rtp - 1));
+  EXPECT_TRUE(b.can_precharge(rd + t.rtp));
+}
+
+TEST(Bank, ConsecutiveReadsSpacedByTccd) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.activate(0, 1, t);
+  b.read(t.rcd, false, t);
+  EXPECT_FALSE(b.can_read(t.rcd + t.ccd - 1));
+  EXPECT_TRUE(b.can_read(t.rcd + t.ccd));
+}
+
+TEST(Bank, WriteRecoveryDelaysPrecharge) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.activate(0, 1, t);
+  const Tick wr = t.ras;  // past tRAS so only tWR matters
+  b.write(wr, false, t);
+  const Tick earliest = wr + t.cwl + t.burst + t.wr;
+  EXPECT_FALSE(b.can_precharge(earliest - 1));
+  EXPECT_TRUE(b.can_precharge(earliest));
+}
+
+TEST(Bank, AutoPrechargeReadClosesRow) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.activate(0, 7, t);
+  b.read(t.rcd, true, t);
+  EXPECT_FALSE(b.row_open());
+  // The implicit precharge waits for max(tRAS from activate, read+tRTP).
+  const Tick pre_start = std::max<Tick>(t.ras, t.rcd + t.rtp);
+  EXPECT_FALSE(b.can_activate(pre_start + t.rp - 1));
+  EXPECT_TRUE(b.can_activate(pre_start + t.rp));
+}
+
+TEST(Bank, AutoPrechargeWriteClosesRow) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.activate(0, 7, t);
+  const Tick wr = t.rcd;
+  b.write(wr, true, t);
+  EXPECT_FALSE(b.row_open());
+  const Tick pre_start =
+      std::max<Tick>(t.ras, wr + t.cwl + t.burst + t.wr);
+  EXPECT_TRUE(b.can_activate(pre_start + t.rp));
+  EXPECT_FALSE(b.can_activate(pre_start + t.rp - 1));
+}
+
+TEST(Bank, RefreshBlocksActivateForTrfc) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.refresh(100, t);
+  EXPECT_FALSE(b.can_activate(100 + t.rfc - 1));
+  EXPECT_TRUE(b.can_activate(100 + t.rfc));
+}
+
+TEST(Bank, ReopenDifferentRow) {
+  Bank b;
+  const TimingsTicks t = ticks();
+  b.activate(0, 1, t);
+  b.precharge(t.ras, t);
+  const Tick reopen = t.ras + t.rp;
+  b.activate(reopen, 2, t);
+  EXPECT_EQ(b.open_row(), 2u);
+}
+
+}  // namespace
+}  // namespace bwpart::dram

@@ -1,0 +1,56 @@
+#include "dram/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bwpart::dram {
+namespace {
+
+TEST(DramConfig, Ddr2_400MatchesPaperTable2) {
+  const DramConfig c = DramConfig::ddr2_400();
+  EXPECT_EQ(c.bus_clock.hz, 200'000'000ull);
+  EXPECT_EQ(c.bus_bytes, 8u);
+  EXPECT_EQ(c.total_banks(), 32u);
+  EXPECT_EQ(c.page_policy, PagePolicy::Close);
+  EXPECT_NEAR(c.peak_gbps(), 3.2, 1e-9);
+}
+
+TEST(DramConfig, ScalingPresetsOnlyChangeClock) {
+  const DramConfig a = DramConfig::ddr2_400();
+  const DramConfig b = DramConfig::ddr2_800();
+  const DramConfig c = DramConfig::ddr2_1600();
+  EXPECT_NEAR(b.peak_gbps(), 6.4, 1e-9);
+  EXPECT_NEAR(c.peak_gbps(), 12.8, 1e-9);
+  // Latency parameters stay fixed in nanoseconds (Fig. 4 methodology).
+  EXPECT_DOUBLE_EQ(a.t.trp, b.t.trp);
+  EXPECT_DOUBLE_EQ(a.t.tcl, c.t.tcl);
+  EXPECT_EQ(a.total_banks(), b.total_banks());
+}
+
+TEST(DramConfig, TickConversionRoundsUp) {
+  const DramConfig c = DramConfig::ddr2_400();  // 5 ns per tick
+  const TimingsTicks t = c.ticks();
+  EXPECT_EQ(t.rp, 3u);   // 12.5 ns -> 3 ticks
+  EXPECT_EQ(t.rcd, 3u);
+  EXPECT_EQ(t.cl, 3u);
+  EXPECT_EQ(t.cwl, 2u);  // 10 ns -> 2 ticks
+  EXPECT_EQ(t.ras, 8u);  // 40 ns
+  EXPECT_EQ(t.burst, 4u);  // 8 beats on a DDR bus
+}
+
+TEST(DramConfig, HigherClockHasMoreTicksForSameNs) {
+  const TimingsTicks slow = DramConfig::ddr2_400().ticks();
+  const TimingsTicks fast = DramConfig::ddr2_1600().ticks();
+  // Same nanoseconds, 4x the clock -> roughly 4x the ticks.
+  EXPECT_GE(fast.rp, 3 * slow.rp);
+  EXPECT_GE(fast.ras, 3 * slow.ras);
+  // Burst occupancy in ticks is clock-independent.
+  EXPECT_EQ(slow.burst, fast.burst);
+}
+
+TEST(DramConfig, RefreshIntervalDominatesRefreshDuration) {
+  const TimingsTicks t = DramConfig::ddr2_400().ticks();
+  EXPECT_GT(t.refi, 10 * t.rfc);
+}
+
+}  // namespace
+}  // namespace bwpart::dram

@@ -1,0 +1,214 @@
+#include "dram/dram_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bwpart::dram {
+namespace {
+
+DramConfig no_refresh_cfg() {
+  DramConfig c = DramConfig::ddr2_400();
+  c.enable_refresh = false;
+  return c;
+}
+
+/// Drives the system tick-by-tick until `cmd` becomes issuable, then issues
+/// it. Returns the issue tick.
+Tick issue_when_ready(DramSystem& d, Tick& now, const Command& cmd,
+                      IssueResult* out = nullptr, Tick limit = 10000) {
+  for (; now < limit; ++now) {
+    d.tick(now);
+    if (d.can_issue(cmd, now)) {
+      const IssueResult r = d.issue(cmd, now);
+      if (out != nullptr) *out = r;
+      return now++;
+    }
+  }
+  ADD_FAILURE() << "command never became issuable";
+  return limit;
+}
+
+TEST(DramSystem, ClosedBankNeedsActivate) {
+  DramSystem d(no_refresh_cfg());
+  const Location loc{0, 0, 0, 5, 3};
+  EXPECT_EQ(d.required_command(loc, AccessType::Read), CommandType::Activate);
+  EXPECT_FALSE(d.is_row_open(loc));
+}
+
+TEST(DramSystem, ClosePagePolicyRequestsAutoPrecharge) {
+  DramSystem d(no_refresh_cfg());
+  Location loc{0, 0, 0, 5, 3};
+  Tick now = 0;
+  d.tick(now);
+  ASSERT_TRUE(d.can_issue({CommandType::Activate, loc, 0, 0}, now));
+  d.issue({CommandType::Activate, loc, 0, 0}, now);
+  EXPECT_TRUE(d.is_row_hit(loc));
+  EXPECT_EQ(d.required_command(loc, AccessType::Read), CommandType::ReadAp);
+  EXPECT_EQ(d.required_command(loc, AccessType::Write), CommandType::WriteAp);
+}
+
+TEST(DramSystem, OpenPagePolicyKeepsRowOpen) {
+  DramConfig cfg = no_refresh_cfg();
+  cfg.page_policy = PagePolicy::Open;
+  DramSystem d(cfg);
+  Location loc{0, 0, 0, 5, 3};
+  Tick now = 0;
+  EXPECT_EQ(d.required_command(loc, AccessType::Read), CommandType::Activate);
+  issue_when_ready(d, now, {CommandType::Activate, loc, 0, 0});
+  EXPECT_EQ(d.required_command(loc, AccessType::Read), CommandType::Read);
+  issue_when_ready(d, now, {CommandType::Read, loc, 0, 0});
+  EXPECT_TRUE(d.is_row_hit(loc));  // row survives the read
+  // A different row in the same bank now needs a precharge first.
+  Location other = loc;
+  other.row = 6;
+  EXPECT_EQ(d.required_command(other, AccessType::Read),
+            CommandType::Precharge);
+}
+
+TEST(DramSystem, ReadLatencyIsClPlusBurst) {
+  DramSystem d(no_refresh_cfg());
+  const TimingsTicks& t = d.timings();
+  Location loc{0, 0, 0, 5, 3};
+  Tick now = 0;
+  issue_when_ready(d, now, {CommandType::Activate, loc, 0, 0});
+  IssueResult r;
+  const Tick rd = issue_when_ready(d, now, {CommandType::ReadAp, loc, 0, 0}, &r);
+  EXPECT_EQ(r.data_finish, rd + t.cl + t.burst);
+}
+
+TEST(DramSystem, DataBusSerializesBursts) {
+  DramSystem d(no_refresh_cfg());
+  const TimingsTicks& t = d.timings();
+  // Two reads to different banks: the second's data cannot overlap the
+  // first's on the shared bus.
+  Location a{0, 0, 0, 5, 3};
+  Location b{0, 1, 2, 9, 1};
+  Tick now = 0;
+  issue_when_ready(d, now, {CommandType::Activate, a, 0, 0});
+  issue_when_ready(d, now, {CommandType::Activate, b, 0, 1});
+  IssueResult ra, rb;
+  issue_when_ready(d, now, {CommandType::ReadAp, a, 0, 0}, &ra);
+  issue_when_ready(d, now, {CommandType::ReadAp, b, 0, 1}, &rb);
+  EXPECT_GE(rb.data_finish, ra.data_finish + t.burst);
+}
+
+TEST(DramSystem, WriteToReadTurnaroundSameRank) {
+  DramSystem d(no_refresh_cfg());
+  const TimingsTicks& t = d.timings();
+  Location w{0, 0, 0, 5, 3};
+  Location r{0, 0, 1, 9, 1};  // same rank, different bank
+  Tick now = 0;
+  issue_when_ready(d, now, {CommandType::Activate, w, 0, 0});
+  issue_when_ready(d, now, {CommandType::Activate, r, 0, 1});
+  IssueResult wr;
+  const Tick wt = issue_when_ready(d, now, {CommandType::WriteAp, w, 0, 0}, &wr);
+  (void)wt;
+  IssueResult rr;
+  const Tick rt = issue_when_ready(d, now, {CommandType::ReadAp, r, 0, 1}, &rr);
+  // Read command must wait until write data end + tWTR.
+  EXPECT_GE(rt, wr.data_finish + t.wtr);
+}
+
+TEST(DramSystem, TfawLimitsBurstsOfActivates) {
+  DramConfig cfg = no_refresh_cfg();
+  DramSystem d(cfg);
+  const TimingsTicks& t = d.timings();
+  // Five activates to distinct banks of one rank: the fifth must wait for
+  // the tFAW window anchored at the first.
+  Tick now = 0;
+  Tick first_act = 0;
+  for (std::uint32_t b = 0; b < 5; ++b) {
+    const Location loc{0, 0, b, 1, 0};
+    const Tick at = issue_when_ready(d, now, {CommandType::Activate, loc, 0, b});
+    if (b == 0) {
+      first_act = at;
+    }
+    if (b == 4) {
+      EXPECT_GE(at, first_act + t.faw);
+    }
+  }
+}
+
+TEST(DramSystem, TrrdSpacesBackToBackActivates) {
+  DramSystem d(no_refresh_cfg());
+  const TimingsTicks& t = d.timings();
+  Tick now = 0;
+  const Location a{0, 0, 0, 1, 0};
+  const Location b{0, 0, 1, 1, 0};
+  const Tick ta = issue_when_ready(d, now, {CommandType::Activate, a, 0, 0});
+  const Tick tb = issue_when_ready(d, now, {CommandType::Activate, b, 0, 1});
+  EXPECT_GE(tb, ta + t.rrd);
+}
+
+TEST(DramSystem, DifferentRanksActivateIndependently) {
+  DramSystem d(no_refresh_cfg());
+  Tick now = 0;
+  const Location a{0, 0, 0, 1, 0};
+  const Location b{0, 1, 0, 1, 0};
+  const Tick ta = issue_when_ready(d, now, {CommandType::Activate, a, 0, 0});
+  const Tick tb = issue_when_ready(d, now, {CommandType::Activate, b, 0, 1});
+  // tRRD/tFAW are per-rank, so the second rank activates on the next tick.
+  EXPECT_EQ(tb, ta + 1);
+}
+
+TEST(DramSystem, StatsCountCommands) {
+  DramSystem d(no_refresh_cfg());
+  Location loc{0, 0, 0, 5, 3};
+  Tick now = 0;
+  issue_when_ready(d, now, {CommandType::Activate, loc, 0, 0});
+  issue_when_ready(d, now, {CommandType::ReadAp, loc, 0, 0});
+  EXPECT_EQ(d.stats().activates, 1u);
+  EXPECT_EQ(d.stats().reads, 1u);
+  EXPECT_EQ(d.stats().writes, 0u);
+  EXPECT_EQ(d.stats().data_bus_busy_ticks, d.timings().burst);
+  d.reset_stats();
+  EXPECT_EQ(d.stats().activates, 0u);
+}
+
+TEST(DramSystem, RefreshEventuallyFiresAndBlocksRank) {
+  DramConfig cfg = DramConfig::ddr2_400();  // refresh enabled
+  DramSystem d(cfg);
+  const Tick horizon = d.timings().refi * 2;
+  for (Tick now = 0; now < horizon; ++now) d.tick(now);
+  EXPECT_GE(d.stats().refreshes, cfg.ranks);  // every rank refreshed
+}
+
+TEST(DramSystem, RefreshDelaysActivate) {
+  DramConfig cfg = DramConfig::ddr2_400();
+  DramSystem d(cfg);
+  const TimingsTicks& t = d.timings();
+  // Run past the first refresh due time of rank 0, then try to activate.
+  Tick now = 0;
+  for (; now < t.refi + t.rfc + 10; ++now) d.tick(now);
+  // After refresh completes the bank must be activatable again.
+  const Location loc{0, 0, 0, 1, 0};
+  Command act{CommandType::Activate, loc, 0, 0};
+  bool issued = false;
+  for (; now < t.refi * 2; ++now) {
+    d.tick(now);
+    if (d.can_issue(act, now)) {
+      d.issue(act, now);
+      issued = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(issued);
+}
+
+TEST(DramSystem, BankConflictNeedsPrechargeUnderOpenPage) {
+  DramConfig cfg = no_refresh_cfg();
+  cfg.page_policy = PagePolicy::Open;
+  DramSystem d(cfg);
+  Location a{0, 0, 0, 5, 3};
+  Tick now = 0;
+  issue_when_ready(d, now, {CommandType::Activate, a, 0, 0});
+  Location conflict = a;
+  conflict.row = 6;
+  EXPECT_EQ(d.required_command(conflict, AccessType::Read),
+            CommandType::Precharge);
+  issue_when_ready(d, now, {CommandType::Precharge, a, 0, 0});
+  EXPECT_EQ(d.required_command(conflict, AccessType::Read),
+            CommandType::Activate);
+}
+
+}  // namespace
+}  // namespace bwpart::dram

@@ -1,0 +1,115 @@
+#include "dram/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bwpart::dram {
+namespace {
+
+TEST(Power, ZeroStatsGiveOnlyBackground) {
+  DramStats stats;
+  stats.ticks = 200'000'000;  // one second at 200 MHz
+  const DramConfig cfg = DramConfig::ddr2_400();
+  const EnergyParams params;
+  const EnergyBreakdown e = estimate_energy(stats, cfg, params);
+  EXPECT_DOUBLE_EQ(e.activate_nj, 0.0);
+  EXPECT_DOUBLE_EQ(e.read_nj, 0.0);
+  // 4 ranks * 55 mW * 1 s = 220 mJ = 2.2e8 nJ.
+  EXPECT_NEAR(e.background_nj, 220e6, 1e3);
+  EXPECT_NEAR(e.average_power_mw(1.0), 220.0, 1e-6);
+}
+
+TEST(Power, EnergyScalesWithCommandCounts) {
+  DramStats a;
+  a.activates = 1000;
+  a.reads = 800;
+  a.writes = 200;
+  a.refreshes = 10;
+  a.ticks = 1'000'000;
+  DramStats b = a;
+  b.activates *= 2;
+  b.reads *= 2;
+  b.writes *= 2;
+  b.refreshes *= 2;
+  const DramConfig cfg = DramConfig::ddr2_400();
+  const EnergyBreakdown ea = estimate_energy(a, cfg);
+  const EnergyBreakdown eb = estimate_energy(b, cfg);
+  EXPECT_NEAR(eb.activate_nj, 2.0 * ea.activate_nj, 1e-9);
+  EXPECT_NEAR(eb.read_nj, 2.0 * ea.read_nj, 1e-9);
+  EXPECT_NEAR(eb.write_nj, 2.0 * ea.write_nj, 1e-9);
+  EXPECT_NEAR(eb.refresh_nj, 2.0 * ea.refresh_nj, 1e-9);
+  EXPECT_DOUBLE_EQ(eb.background_nj, ea.background_nj);  // same window
+}
+
+TEST(Power, KnownValues) {
+  DramStats stats;
+  stats.activates = 100;
+  stats.reads = 60;
+  stats.writes = 40;
+  stats.refreshes = 2;
+  stats.ticks = 200'000;  // 1 ms at 200 MHz
+  EnergyParams p;
+  p.act_pre_nj = 2.0;
+  p.read_nj = 1.0;
+  p.write_nj = 1.5;
+  p.refresh_nj = 30.0;
+  p.background_mw_per_rank = 50.0;
+  const DramConfig cfg = DramConfig::ddr2_400();  // 4 ranks, 1 channel
+  const EnergyBreakdown e = estimate_energy(stats, cfg, p);
+  EXPECT_DOUBLE_EQ(e.activate_nj, 200.0);
+  EXPECT_DOUBLE_EQ(e.read_nj, 60.0);
+  EXPECT_DOUBLE_EQ(e.write_nj, 60.0);
+  EXPECT_DOUBLE_EQ(e.refresh_nj, 60.0);
+  // 4 ranks * 50 mW * 1 ms = 0.2 mJ = 2e5 nJ.
+  EXPECT_NEAR(e.background_nj, 2e5, 1e-6);
+  EXPECT_NEAR(e.total_nj(), 200.0 + 60 + 60 + 60 + 2e5, 1e-6);
+  EXPECT_NEAR(e.nj_per_access(100), e.total_nj() / 100.0, 1e-9);
+}
+
+TEST(Power, HigherBusClockShrinksWindowForSameTicks) {
+  DramStats stats;
+  stats.ticks = 1'000'000;
+  const EnergyBreakdown slow =
+      estimate_energy(stats, DramConfig::ddr2_400());
+  const EnergyBreakdown fast =
+      estimate_energy(stats, DramConfig::ddr2_1600());
+  // Same tick count is 4x less wall time at 800 MHz: less background.
+  EXPECT_NEAR(slow.background_nj, 4.0 * fast.background_nj,
+              slow.background_nj * 1e-9);
+}
+
+TEST(Power, EndToEndEnergyFromLiveSystem) {
+  DramConfig cfg = DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  DramSystem d(cfg);
+  Tick now = 0;
+  // Issue a handful of close-page accesses.
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    const Location loc{0, 0, b, 1, 0};
+    Command act{CommandType::Activate, loc, 0, b};
+    for (;; ++now) {
+      d.tick(now);
+      if (d.can_issue(act, now)) {
+        d.issue(act, now);
+        ++now;
+        break;
+      }
+    }
+    Command rd{CommandType::ReadAp, loc, 0, b};
+    for (;; ++now) {
+      d.tick(now);
+      if (d.can_issue(rd, now)) {
+        d.issue(rd, now);
+        ++now;
+        break;
+      }
+    }
+  }
+  const EnergyBreakdown e = estimate_energy(d.stats(), cfg);
+  EXPECT_GT(e.activate_nj, 0.0);
+  EXPECT_GT(e.read_nj, 0.0);
+  EXPECT_DOUBLE_EQ(e.write_nj, 0.0);
+  EXPECT_GT(e.total_nj(), e.activate_nj + e.read_nj);  // background adds
+}
+
+}  // namespace
+}  // namespace bwpart::dram

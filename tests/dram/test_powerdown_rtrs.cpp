@@ -1,0 +1,199 @@
+// Power-down modes, rank-to-rank bus gaps (tRTRS), the DDR3 preset, and
+// the controller's bus-reservation anti-starvation rule.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dram/dram_system.hpp"
+#include "dram/power.hpp"
+#include "mem/controller.hpp"
+
+namespace bwpart::dram {
+namespace {
+
+DramConfig pd_cfg() {
+  DramConfig cfg = DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  cfg.enable_powerdown = true;
+  cfg.powerdown_idle_ns = 50.0;  // 10 bus ticks
+  return cfg;
+}
+
+TEST(PowerDown, IdleRankEntersPowerDown) {
+  DramSystem d(pd_cfg());
+  for (Tick t = 0; t < 100; ++t) d.tick(t);
+  EXPECT_TRUE(d.powered_down(0, 0));
+  EXPECT_GT(d.stats().powerdown_rank_ticks, 0u);
+}
+
+TEST(PowerDown, PoweredDownRankRejectsCommands) {
+  DramSystem d(pd_cfg());
+  for (Tick t = 0; t < 100; ++t) d.tick(t);
+  const Location loc{0, 0, 0, 1, 0};
+  EXPECT_FALSE(d.can_issue({CommandType::Activate, loc, 0, 0}, 100));
+}
+
+TEST(PowerDown, WakeTakesTxp) {
+  DramSystem d(pd_cfg());
+  Tick now = 0;
+  for (; now < 100; ++now) d.tick(now);
+  ASSERT_TRUE(d.powered_down(0, 0));
+  d.notify_rank_pending(0, 0, now);
+  const Location loc{0, 0, 0, 1, 0};
+  Tick woke_at = 0;
+  for (; now < 200; ++now) {
+    d.tick(now);
+    d.notify_rank_pending(0, 0, now);
+    if (!d.powered_down(0, 0)) {
+      woke_at = now;
+      break;
+    }
+  }
+  ASSERT_GT(woke_at, 100u);
+  // tXP = 10 ns = 2 ticks at 200 MHz.
+  EXPECT_LE(woke_at, 100 + d.timings().xp + 2);
+  EXPECT_TRUE(d.can_issue({CommandType::Activate, loc, 0, 0}, woke_at));
+}
+
+TEST(PowerDown, ActivityPreventsEntry) {
+  DramSystem d(pd_cfg());
+  Tick now = 0;
+  const Location loc{0, 0, 0, 1, 0};
+  // Touch rank 0 every 5 ticks (threshold is 10): it must stay awake.
+  std::uint64_t row = 0;
+  for (; now < 300; ++now) {
+    d.tick(now);
+    Location l = loc;
+    l.row = row;
+    Command act{CommandType::Activate, l, 0, 0};
+    if (d.can_issue(act, now)) {
+      d.issue(act, now);
+      Command rd{CommandType::ReadAp, l, 0, 0};
+      for (++now; now < 300; ++now) {
+        d.tick(now);
+        if (d.can_issue(rd, now)) {
+          d.issue(rd, now);
+          break;
+        }
+      }
+      ++row;
+    }
+    EXPECT_FALSE(d.powered_down(0, 0)) << "tick " << now;
+  }
+}
+
+TEST(PowerDown, EnergyModelDiscountsPowerDownTicks) {
+  DramStats active;
+  active.ticks = 1'000'000;
+  DramStats sleepy = active;
+  // All four ranks asleep the whole window.
+  sleepy.powerdown_rank_ticks = 4'000'000;
+  const DramConfig cfg = DramConfig::ddr2_400();
+  EnergyParams p;
+  p.powerdown_fraction = 0.25;
+  const double e_active = estimate_energy(active, cfg, p).background_nj;
+  const double e_sleepy = estimate_energy(sleepy, cfg, p).background_nj;
+  EXPECT_NEAR(e_sleepy, 0.25 * e_active, e_active * 1e-9);
+}
+
+TEST(Rtrs, RankSwitchPaysGap) {
+  DramConfig cfg = DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  cfg.t.trtrs = 5.0;  // 1 tick at 200 MHz
+  DramSystem d(cfg);
+  const TimingsTicks& t = d.timings();
+  Tick now = 0;
+  auto issue_when_ready = [&](const Command& cmd) {
+    for (;; ++now) {
+      d.tick(now);
+      if (d.can_issue(cmd, now)) {
+        d.issue(cmd, now);
+        return now++;
+      }
+    }
+  };
+  const Location r0{0, 0, 0, 1, 0};
+  const Location r1{0, 1, 0, 1, 0};
+  issue_when_ready({CommandType::Activate, r0, 0, 0});
+  issue_when_ready({CommandType::Activate, r1, 0, 1});
+  const Tick rd0 = issue_when_ready({CommandType::ReadAp, r0, 0, 0});
+  const Tick rd1 = issue_when_ready({CommandType::ReadAp, r1, 0, 1});
+  // Cross-rank: burst spacing is burst + tRTRS instead of just burst.
+  EXPECT_GE(rd1, rd0 + t.burst + t.rtrs);
+}
+
+TEST(Rtrs, SameRankNeedsNoGap) {
+  DramConfig cfg = DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  cfg.t.trtrs = 5.0;
+  cfg.t.tccd = 5.0;  // 1 tick, so tCCD does not mask the comparison
+  DramSystem d(cfg);
+  const TimingsTicks& t = d.timings();
+  Tick now = 0;
+  auto issue_when_ready = [&](const Command& cmd) {
+    for (;; ++now) {
+      d.tick(now);
+      if (d.can_issue(cmd, now)) {
+        d.issue(cmd, now);
+        return now++;
+      }
+    }
+  };
+  const Location b0{0, 0, 0, 1, 0};
+  const Location b1{0, 0, 1, 1, 0};
+  issue_when_ready({CommandType::Activate, b0, 0, 0});
+  issue_when_ready({CommandType::Activate, b1, 0, 1});
+  const Tick rd0 = issue_when_ready({CommandType::ReadAp, b0, 0, 0});
+  const Tick rd1 = issue_when_ready({CommandType::ReadAp, b1, 0, 1});
+  EXPECT_EQ(rd1, rd0 + t.burst);  // back-to-back bursts, no switch gap
+}
+
+TEST(Ddr3Preset, GeometryAndBandwidth) {
+  const DramConfig c = DramConfig::ddr3_1066();
+  EXPECT_NEAR(c.peak_gbps(), 8.528, 0.01);
+  EXPECT_EQ(c.total_banks(), 16u);
+  const TimingsTicks t = c.ticks();
+  // 533 MHz -> 1.876 ns/tick; 13.1 ns -> 7 ticks.
+  EXPECT_EQ(t.rp, 7u);
+  EXPECT_EQ(t.cl, 7u);
+  EXPECT_GT(t.rfc, t.rp);
+}
+
+TEST(BusReservation, BlockedTopPriorityRequestIsNotStarved) {
+  // A strict-priority controller with tRTRS: the high-priority app on rank
+  // 0 must not be starved by a low-priority same-rank stream that would
+  // otherwise always win the bus by avoiding the switch gap.
+  DramConfig cfg = DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  cfg.t.trtrs = 5.0;
+  auto sched = std::make_unique<mem::StrictPriorityScheduler>(2);
+  const std::array<std::uint32_t, 2> ranks{1, 0};  // app 1 = top priority
+  sched->set_priority_ranks(ranks);
+  mem::MemoryController mc(cfg, Frequency::from_ghz(5.0), 2,
+                           std::move(sched), 64,
+                           MapScheme::ChanRowColBankRank, 128,
+                           mem::AdmissionMode::PerApp);
+  Cycle hi_latency = 0;
+  mc.set_completion_callback([&](const mem::MemRequest& r, Cycle done) {
+    if (r.app == 1) hi_latency = done - r.arrival_cpu;
+  });
+  // App 0 streams on rank 0 only (stride 4 lines keeps rank bits at 0).
+  std::uint64_t line = 0;
+  bool sent = false;
+  for (Cycle t = 0; t < 60'000; ++t) {
+    while (mc.can_accept(0)) {
+      mc.enqueue(0, (line++) * 4 * 64, AccessType::Read, t);
+    }
+    if (t == 30'000 && !sent) {
+      // High-priority request on rank 1.
+      mc.enqueue(1, 64, AccessType::Read, t);
+      sent = true;
+    }
+    mc.tick(t);
+  }
+  ASSERT_GT(hi_latency, 0u);
+  EXPECT_LT(hi_latency, 1500u);  // a couple of service times, not a queue
+}
+
+}  // namespace
+}  // namespace bwpart::dram

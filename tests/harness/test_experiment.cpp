@@ -1,0 +1,144 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/mixes.hpp"
+
+namespace bwpart::harness {
+namespace {
+
+PhaseConfig quick_phases() {
+  PhaseConfig p;
+  p.warmup_cycles = 50'000;
+  p.profile_cycles = 400'000;
+  p.measure_cycles = 400'000;
+  return p;
+}
+
+Experiment make_experiment() {
+  static const auto apps = workload::resolve_mix(workload::fig1_mix());
+  return Experiment(SystemConfig{}, apps, quick_phases());
+}
+
+TEST(Experiment, RunProducesCompleteResult) {
+  const RunResult r = make_experiment().run(core::Scheme::Equal);
+  EXPECT_EQ(r.scheme, core::Scheme::Equal);
+  ASSERT_EQ(r.params.size(), 4u);
+  ASSERT_EQ(r.ipc_shared.size(), 4u);
+  ASSERT_EQ(r.apc_shared.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_GT(r.params[i].apc_alone, 0.0);
+    EXPECT_GT(r.params[i].api, 0.0);
+    EXPECT_GT(r.ipc_shared[i], 0.0);
+    EXPECT_GT(r.apc_shared[i], 0.0);
+  }
+  EXPECT_GT(r.hsp, 0.0);
+  EXPECT_GT(r.wsp, 0.0);
+  EXPECT_GT(r.ipcsum, 0.0);
+  EXPECT_GT(r.min_fairness, 0.0);
+  EXPECT_GT(r.bus_utilization, 0.5);
+}
+
+TEST(Experiment, ProfiledApiMatchesBenchmarkApi) {
+  // API is invariant under sharing, so the online profile must recover it.
+  const RunResult r = make_experiment().run(core::Scheme::NoPartitioning);
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_NEAR(r.params[i].api, apps[i].api, apps[i].api * 0.15)
+        << apps[i].name;
+  }
+}
+
+TEST(Experiment, TotalBandwidthConstantAcrossSchemes) {
+  // Eq. 2's premise: partitioning does not change utilized bandwidth B.
+  const Experiment exp = make_experiment();
+  const double b_equal = exp.run(core::Scheme::Equal).total_apc;
+  const double b_sqrt = exp.run(core::Scheme::SquareRoot).total_apc;
+  const double b_prop = exp.run(core::Scheme::Proportional).total_apc;
+  EXPECT_NEAR(b_sqrt, b_equal, b_equal * 0.06);
+  EXPECT_NEAR(b_prop, b_equal, b_equal * 0.06);
+}
+
+TEST(Experiment, MetricAccessorConsistent) {
+  const RunResult r = make_experiment().run(core::Scheme::SquareRoot);
+  EXPECT_DOUBLE_EQ(r.metric(core::Metric::HarmonicWeightedSpeedup), r.hsp);
+  EXPECT_DOUBLE_EQ(r.metric(core::Metric::MinFairness), r.min_fairness);
+  EXPECT_DOUBLE_EQ(r.metric(core::Metric::WeightedSpeedup), r.wsp);
+  EXPECT_DOUBLE_EQ(r.metric(core::Metric::IpcSum), r.ipcsum);
+}
+
+TEST(Experiment, OracleProfilingMatchesStandaloneRuns) {
+  PhaseConfig phases = quick_phases();
+  phases.oracle_alone = true;
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  const Experiment exp(SystemConfig{}, apps, phases);
+  const RunResult r = exp.run(core::Scheme::Equal);
+  // Oracle parameters are measured standalone; compare against a direct
+  // standalone profile.
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const core::AppParams direct =
+        profile_standalone(SystemConfig{}, apps[i], phases);
+    EXPECT_NEAR(r.params[i].apc_alone, direct.apc_alone,
+                direct.apc_alone * 0.02);
+  }
+}
+
+TEST(Experiment, ReprofilingKeepsRunningAndStaysClose) {
+  PhaseConfig phases = quick_phases();
+  phases.reprofile_period = 100'000;
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  const Experiment exp(SystemConfig{}, apps, phases);
+  const RunResult with_reprofile = exp.run(core::Scheme::SquareRoot);
+
+  const Experiment exp2(SystemConfig{}, apps, quick_phases());
+  const RunResult without = exp2.run(core::Scheme::SquareRoot);
+  // Stationary workloads: periodic re-profiling must not change results
+  // drastically.
+  EXPECT_NEAR(with_reprofile.hsp, without.hsp, without.hsp * 0.15);
+}
+
+TEST(Experiment, QosRunHoldsTargetIpc) {
+  const auto apps = workload::resolve_mix(workload::qos_mix2());
+  PhaseConfig phases = quick_phases();
+  const Experiment exp(SystemConfig{}, apps, phases);
+  // hmmer is app index 3 in qos-mix-2; target 0.6 as in Fig. 3.
+  const core::QosRequirement req{3, 0.6};
+  const RunResult r = exp.run_qos(std::span(&req, 1), core::Scheme::SquareRoot);
+  EXPECT_NEAR(r.ipc_shared[3], 0.6, 0.08);
+}
+
+TEST(Experiment, QosBestEffortBeatsNoPartitioningThroughput) {
+  const auto apps = workload::resolve_mix(workload::qos_mix1());
+  PhaseConfig phases = quick_phases();
+  const Experiment exp(SystemConfig{}, apps, phases);
+  const core::QosRequirement req{3, 0.6};
+  const RunResult qos = exp.run_qos(std::span(&req, 1), core::Scheme::PriorityApi);
+  const RunResult base = exp.run(core::Scheme::NoPartitioning);
+  // Best-effort IPC sum (apps 0..2) should improve over No_partitioning,
+  // as in Fig. 3.
+  const double qos_be = qos.ipc_shared[0] + qos.ipc_shared[1] + qos.ipc_shared[2];
+  const double base_be =
+      base.ipc_shared[0] + base.ipc_shared[1] + base.ipc_shared[2];
+  EXPECT_GT(qos_be, base_be);
+}
+
+TEST(ProfileStandalone, ReproducesCalibratedClasses) {
+  // Spot-check three benchmarks spanning the intensity classes.
+  PhaseConfig phases = quick_phases();
+  const SystemConfig cfg;
+  const auto& lbm = workload::find_benchmark("lbm");
+  const auto& hmmer = workload::find_benchmark("hmmer");
+  const auto& namd = workload::find_benchmark("namd");
+  EXPECT_EQ(classify_intensity(
+                profile_standalone(cfg, lbm, phases).apc_alone * 1000),
+            Intensity::High);
+  EXPECT_EQ(classify_intensity(
+                profile_standalone(cfg, hmmer, phases).apc_alone * 1000),
+            Intensity::Middle);
+  EXPECT_EQ(classify_intensity(
+                profile_standalone(cfg, namd, phases).apc_alone * 1000),
+            Intensity::Low);
+}
+
+}  // namespace
+}  // namespace bwpart::harness

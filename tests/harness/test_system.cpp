@@ -1,0 +1,134 @@
+#include "harness/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/mixes.hpp"
+
+namespace bwpart::harness {
+namespace {
+
+SystemConfig small_cfg() { return SystemConfig{}; }
+
+TEST(SystemConfig, PeakApcMatchesPaperUnits) {
+  // DDR2-400 at a 5 GHz core: 3.2 GB/s == 0.01 APC (Section III-A).
+  EXPECT_NEAR(SystemConfig{}.peak_apc(), 0.01, 1e-9);
+}
+
+TEST(CmpSystem, ConstructsOneCorePerApp) {
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  CmpSystem sys(small_cfg(), apps, 1);
+  EXPECT_EQ(sys.num_apps(), 4u);
+  EXPECT_EQ(sys.benchmark(0).name, "libquantum");
+}
+
+TEST(CmpSystem, RunAdvancesTimeAndRetiresInstructions) {
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  CmpSystem sys(small_cfg(), apps, 1);
+  sys.run(100'000);
+  EXPECT_EQ(sys.now(), 100'000u);
+  for (AppId a = 0; a < sys.num_apps(); ++a) {
+    EXPECT_GT(sys.core(a).stats().instructions, 0u) << "app " << a;
+  }
+}
+
+TEST(CmpSystem, MeasuredApcSumsToTotal) {
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  CmpSystem sys(small_cfg(), apps, 1);
+  sys.run(50'000);
+  sys.reset_measurement();
+  sys.run(200'000);
+  const auto apcs = sys.measured_apc();
+  double sum = 0.0;
+  for (double x : apcs) sum += x;
+  EXPECT_NEAR(sum, sys.measured_total_apc(), 1e-12);
+  EXPECT_GT(sum, 0.0);
+  // Cannot exceed the physical peak.
+  EXPECT_LE(sum, small_cfg().peak_apc() * 1.001);
+}
+
+TEST(CmpSystem, ResetMeasurementZeroesWindow) {
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  CmpSystem sys(small_cfg(), apps, 1);
+  sys.run(50'000);
+  sys.reset_measurement();
+  for (AppId a = 0; a < sys.num_apps(); ++a) {
+    EXPECT_EQ(sys.core(a).stats().instructions, 0u);
+  }
+  EXPECT_EQ(sys.controller().app_stats(0).served(), 0u);
+}
+
+TEST(CmpSystem, ProfilerCountersAreMonotone) {
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  CmpSystem sys(small_cfg(), apps, 1);
+  sys.run(50'000);
+  sys.reset_measurement();
+  sys.run(100'000);
+  const auto c1 = sys.profiler_counters();
+  sys.run(100'000);
+  const auto c2 = sys.profiler_counters();
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_GE(c2[i].accesses, c1[i].accesses);
+    EXPECT_GE(c2[i].instructions, c1[i].instructions);
+    EXPECT_GE(c2[i].interference_cycles, c1[i].interference_cycles);
+  }
+}
+
+TEST(CmpSystem, SameSeedIsDeterministic) {
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  CmpSystem a(small_cfg(), apps, 99);
+  CmpSystem b(small_cfg(), apps, 99);
+  a.run(150'000);
+  b.run(150'000);
+  for (AppId i = 0; i < a.num_apps(); ++i) {
+    EXPECT_EQ(a.core(i).stats().instructions, b.core(i).stats().instructions);
+    EXPECT_EQ(a.controller().app_stats(i).served(),
+              b.controller().app_stats(i).served());
+  }
+}
+
+TEST(CmpSystem, DifferentSeedsDiverge) {
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  CmpSystem a(small_cfg(), apps, 1);
+  CmpSystem b(small_cfg(), apps, 2);
+  a.run(150'000);
+  b.run(150'000);
+  bool any_diff = false;
+  for (AppId i = 0; i < a.num_apps(); ++i) {
+    any_diff |= a.core(i).stats().instructions !=
+                b.core(i).stats().instructions;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MakeScheduler, SchemesMapToExpectedPolicies) {
+  const std::vector<core::AppParams> params{{0.005, 0.01}, {0.003, 0.02}};
+  EXPECT_EQ(make_scheduler(core::Scheme::NoPartitioning, 2, params, 0.0)
+                ->name(),
+            "FCFS");
+  EXPECT_EQ(make_scheduler(core::Scheme::Equal, 2, params, 0.0)->name(),
+            "StartTimeFair");
+  EXPECT_EQ(make_scheduler(core::Scheme::SquareRoot, 2, params, 0.0)->name(),
+            "StartTimeFair");
+  EXPECT_EQ(
+      make_scheduler(core::Scheme::PriorityApc, 2, params, 0.0)->name(),
+      "StrictPriority");
+  EXPECT_EQ(
+      make_scheduler(core::Scheme::PriorityApi, 2, params, 0.0)->name(),
+      "StrictPriority");
+}
+
+TEST(CmpSystem, InterferenceObservedUnderContention) {
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  CmpSystem sys(small_cfg(), apps, 1);
+  sys.run(300'000);
+  std::uint64_t total = 0;
+  for (AppId a = 0; a < sys.num_apps(); ++a) {
+    total += sys.interference().interference_cycles(a);
+  }
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace bwpart::harness

@@ -1,0 +1,124 @@
+// End-to-end reproduction of the paper's qualitative claims (Fig. 1 /
+// Fig. 2 shape) on a heterogeneous mix: every derived scheme wins its own
+// objective among all seven schemes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/experiment.hpp"
+#include "workload/mixes.hpp"
+
+namespace bwpart::harness {
+namespace {
+
+// One shared run of all seven schemes (simulation is deterministic, so the
+// fixture computes once and every test inspects).
+class SchemeShape : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PhaseConfig phases;
+    phases.warmup_cycles = 100'000;
+    phases.profile_cycles = 700'000;
+    phases.measure_cycles = 700'000;
+    // hetero-6 contains lbm, exercising admission starvation under FCFS.
+    const auto apps =
+        workload::resolve_mix(*(workload::hetero_mixes().begin() + 5));
+    const Experiment exp(SystemConfig{}, apps, phases);
+    results_ = new std::map<core::Scheme, RunResult>;
+    for (core::Scheme s : core::kAllSchemes) {
+      results_->emplace(s, exp.run(s));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+
+  static const RunResult& result(core::Scheme s) { return results_->at(s); }
+
+  static std::map<core::Scheme, RunResult>* results_;
+};
+
+std::map<core::Scheme, RunResult>* SchemeShape::results_ = nullptr;
+
+TEST_F(SchemeShape, SquareRootWinsHarmonicWeightedSpeedup) {
+  const double best = result(core::Scheme::SquareRoot).hsp;
+  for (core::Scheme s : core::kAllSchemes) {
+    EXPECT_GE(best, result(s).hsp * 0.98) << core::to_string(s);
+  }
+}
+
+TEST_F(SchemeShape, ProportionalWinsMinFairness) {
+  const double best = result(core::Scheme::Proportional).min_fairness;
+  for (core::Scheme s : core::kAllSchemes) {
+    EXPECT_GE(best, result(s).min_fairness * 0.98) << core::to_string(s);
+  }
+}
+
+TEST_F(SchemeShape, PriorityApcWinsWeightedSpeedup) {
+  const double best = result(core::Scheme::PriorityApc).wsp;
+  for (core::Scheme s : core::kAllSchemes) {
+    EXPECT_GE(best, result(s).wsp * 0.97) << core::to_string(s);
+  }
+}
+
+TEST_F(SchemeShape, PriorityApiWinsIpcSum) {
+  const double best = result(core::Scheme::PriorityApi).ipcsum;
+  for (core::Scheme s : core::kAllSchemes) {
+    EXPECT_GE(best, result(s).ipcsum * 0.97) << core::to_string(s);
+  }
+}
+
+TEST_F(SchemeShape, EqualImprovesOverNoPartitioningButIsNotOptimal) {
+  const RunResult& eq = result(core::Scheme::Equal);
+  const RunResult& base = result(core::Scheme::NoPartitioning);
+  // Section VI-A: Equal has moderate improvements on Hsp, Wsp, IPCsum.
+  EXPECT_GT(eq.hsp, base.hsp);
+  EXPECT_GT(eq.wsp, base.wsp);
+  EXPECT_GT(eq.ipcsum, base.ipcsum);
+  // ...but it is strictly dominated on each objective by that objective's
+  // optimal scheme.
+  EXPECT_LT(eq.hsp, result(core::Scheme::SquareRoot).hsp);
+  EXPECT_LT(eq.min_fairness, result(core::Scheme::Proportional).min_fairness);
+  EXPECT_LT(eq.ipcsum, result(core::Scheme::PriorityApi).ipcsum);
+}
+
+TEST_F(SchemeShape, PrioritySchemesSacrificeFairness) {
+  // Section VI-A: strict priority causes (partial) starvation, so fairness
+  // and Hsp collapse relative to the fairness-oriented schemes.
+  const double fair = result(core::Scheme::Proportional).min_fairness;
+  EXPECT_LT(result(core::Scheme::PriorityApc).min_fairness, 0.6 * fair);
+  EXPECT_LT(result(core::Scheme::PriorityApi).min_fairness, 0.6 * fair);
+  EXPECT_LT(result(core::Scheme::PriorityApc).hsp,
+            result(core::Scheme::SquareRoot).hsp);
+}
+
+TEST_F(SchemeShape, TwoThirdsPowerSitsBetweenSqrtAndProportional) {
+  // Section VI-A: 2/3_power partitions between Square_root and
+  // Proportional, so its metrics land between theirs.
+  const double mf_pow = result(core::Scheme::TwoThirdsPower).min_fairness;
+  EXPECT_GT(mf_pow, result(core::Scheme::SquareRoot).min_fairness * 0.98);
+  EXPECT_LT(mf_pow, result(core::Scheme::Proportional).min_fairness * 1.02);
+  const double hsp_pow = result(core::Scheme::TwoThirdsPower).hsp;
+  EXPECT_GT(hsp_pow, result(core::Scheme::Proportional).hsp * 0.98);
+  EXPECT_LT(hsp_pow, result(core::Scheme::SquareRoot).hsp * 1.02);
+}
+
+TEST_F(SchemeShape, TwoThirdsPowerLosesToPriorityApcOnWsp) {
+  // The paper's headline disagreement with Liu et al.: 2/3_power is not
+  // the best scheme for weighted speedup.
+  EXPECT_LT(result(core::Scheme::TwoThirdsPower).wsp,
+            result(core::Scheme::PriorityApc).wsp);
+}
+
+TEST_F(SchemeShape, PrioritySchemesCoincideOnHeterogeneousMixes) {
+  // Section VI-A: on heterogeneous workloads, high-API apps are also
+  // high-APC apps, so the two priority orders agree.
+  EXPECT_NEAR(result(core::Scheme::PriorityApc).ipcsum,
+              result(core::Scheme::PriorityApi).ipcsum,
+              result(core::Scheme::PriorityApi).ipcsum * 0.03);
+}
+
+}  // namespace
+}  // namespace bwpart::harness

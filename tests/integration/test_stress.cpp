@@ -1,0 +1,124 @@
+// Randomized stress tests: the simulator's invariants must hold under
+// arbitrary traffic, any scheduler, and random workload compositions.
+// (The engine's internal BWPART_ASSERT checks stay enabled in release
+// builds, so simply surviving these runs exercises hundreds of timing
+// invariants.)
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "harness/experiment.hpp"
+#include "mem/controller.hpp"
+#include "workload/mixes.hpp"
+
+namespace bwpart {
+namespace {
+
+std::unique_ptr<mem::Scheduler> make_any_scheduler(std::uint64_t which,
+                                                   std::size_t napps) {
+  switch (which % 6) {
+    case 0: return std::make_unique<mem::FcfsScheduler>();
+    case 1: return std::make_unique<mem::FrFcfsScheduler>(4);
+    case 2: return std::make_unique<mem::StartTimeFairScheduler>(napps);
+    case 3: return std::make_unique<mem::StrictPriorityScheduler>(napps);
+    case 4: return std::make_unique<mem::ClassicDstfScheduler>(napps);
+    default: return std::make_unique<mem::BatchScheduler>(napps, 4);
+  }
+}
+
+class ControllerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ControllerFuzz, EveryRequestCompletesUnderRandomTraffic) {
+  Rng rng(GetParam());
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.page_policy = rng.next_bool(0.5) ? dram::PagePolicy::Close
+                                       : dram::PagePolicy::Open;
+  const std::size_t napps = 2 + rng.next_below(4);
+  mem::MemoryController mc(
+      cfg, Frequency::from_ghz(5.0), static_cast<std::uint32_t>(napps),
+      make_any_scheduler(rng.next_u64(), napps), 16,
+      dram::MapScheme::ChanRowColBankRank, 64,
+      rng.next_bool(0.5) ? mem::AdmissionMode::Shared
+                         : mem::AdmissionMode::PerApp);
+  if (rng.next_bool(0.5)) {
+    mem::WriteDrainConfig drain;
+    drain.enabled = true;
+    mc.set_write_drain(drain);
+  }
+  std::uint64_t completed = 0;
+  mc.set_completion_callback(
+      [&completed](const mem::MemRequest&, Cycle) { ++completed; });
+
+  std::uint64_t enqueued = 0;
+  const Cycle inject_until = 150'000;
+  for (Cycle t = 0; t < inject_until; ++t) {
+    for (AppId app = 0; app < napps; ++app) {
+      if (rng.next_bool(0.02) && mc.can_accept(app)) {
+        const Addr addr = (rng.next_u64() % (1ull << 31)) & ~Addr{63};
+        const AccessType type =
+            rng.next_bool(0.3) ? AccessType::Write : AccessType::Read;
+        mc.enqueue(app, addr, type, t);
+        ++enqueued;
+      }
+    }
+    mc.tick(t);
+  }
+  // Drain: no new requests; everything in flight must finish.
+  for (Cycle t = inject_until; t < inject_until + 200'000; ++t) {
+    mc.tick(t);
+    if (completed == enqueued) break;
+  }
+  EXPECT_EQ(completed, enqueued);
+  EXPECT_EQ(mc.pending_requests_total(), 0u);
+  std::uint64_t served = 0;
+  for (AppId app = 0; app < napps; ++app) {
+    served += mc.app_stats(app).served();
+  }
+  EXPECT_EQ(served, enqueued);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControllerFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+class SystemFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SystemFuzz, RandomMixesSatisfySystemInvariants) {
+  Rng rng(GetParam() * 977);
+  // Random 4-app workload from the full Table III pool.
+  const auto pool = workload::spec2006_table();
+  std::vector<workload::BenchmarkSpec> apps;
+  for (int i = 0; i < 4; ++i) {
+    apps.push_back(pool[rng.next_below(pool.size())]);
+  }
+  harness::PhaseConfig phases;
+  phases.warmup_cycles = 30'000;
+  phases.profile_cycles = 150'000;
+  phases.measure_cycles = 150'000;
+  phases.seed = GetParam();
+  const harness::Experiment exp(harness::SystemConfig{}, apps, phases);
+  const core::Scheme scheme =
+      core::kAllSchemes[rng.next_below(std::size(core::kAllSchemes))];
+  const harness::RunResult r = exp.run(scheme);
+  // Invariants: bandwidth conservation and positivity.
+  EXPECT_LE(r.total_apc, harness::SystemConfig{}.peak_apc() * 1.001);
+  double sum = 0.0;
+  for (double apc : r.apc_shared) {
+    EXPECT_GE(apc, 0.0);
+    sum += apc;
+  }
+  EXPECT_NEAR(sum, r.total_apc, 1e-12);
+  for (double ipc : r.ipc_shared) EXPECT_GE(ipc, 0.0);
+  for (const core::AppParams& p : r.params) {
+    EXPECT_GT(p.apc_alone, 0.0);
+    EXPECT_GT(p.api, 0.0);
+  }
+  EXPECT_GE(r.bus_utilization, 0.0);
+  EXPECT_LE(r.bus_utilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SystemFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace bwpart

@@ -1,0 +1,146 @@
+// ATLAS (least-attained-service) and TCM-lite scheduler tests.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "mem/controller.hpp"
+#include "mem/scheduler.hpp"
+
+namespace bwpart::mem {
+namespace {
+
+dram::DramSystem make_dram() {
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  return dram::DramSystem(cfg);
+}
+
+MemRequest req(std::uint64_t id, AppId app, Cycle arrival) {
+  MemRequest r;
+  r.id = id;
+  r.app = app;
+  r.arrival_cpu = arrival;
+  return r;
+}
+
+TEST(Atlas, LeastAttainedGoesFirst) {
+  auto d = make_dram();
+  AtlasScheduler s(2);
+  // App 0 has been served three times.
+  for (int i = 0; i < 3; ++i) s.on_issue(req(0, 0, 0));
+  MemRequest hog = req(10, 0, 5);     // older
+  MemRequest light = req(11, 1, 50);  // newer but unserved
+  EXPECT_TRUE(s.before(light, hog, d));
+}
+
+TEST(Atlas, TiesFallBackToAge) {
+  auto d = make_dram();
+  AtlasScheduler s(2);
+  MemRequest a = req(0, 0, 10);
+  MemRequest b = req(1, 1, 5);
+  EXPECT_TRUE(s.before(b, a, d));
+}
+
+TEST(Atlas, QuantumDecayForgivesHistory) {
+  AtlasScheduler s(2, /*quantum=*/4, /*decay=*/0.5);
+  for (int i = 0; i < 4; ++i) s.on_issue(req(0, 0, 0));
+  // Quantum boundary hit: attained halves.
+  EXPECT_DOUBLE_EQ(s.attained(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.attained(1), 0.0);
+}
+
+TEST(Atlas, EndToEndBalancesUnequalDemands) {
+  // Heavy streamer vs moderate app: ATLAS keeps their *served* counts far
+  // closer than demand-proportional FCFS would.
+  auto run = [](std::unique_ptr<Scheduler> sched) {
+    dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+    cfg.enable_refresh = false;
+    MemoryController mc(cfg, Frequency::from_ghz(5.0), 2, std::move(sched),
+                        32, dram::MapScheme::ChanRowColBankRank, 64,
+                        AdmissionMode::PerApp);
+    mc.set_completion_callback([](const MemRequest&, Cycle) {});
+    std::uint64_t h = 0, l = 1u << 20;
+    for (Cycle t = 0; t < 200'000; ++t) {
+      while (mc.can_accept(0)) mc.enqueue(0, (h++) * 64, AccessType::Read, t);
+      if (t % 200 == 0 && mc.can_accept(1)) {
+        mc.enqueue(1, (l++) * 64, AccessType::Read, t);
+      }
+      mc.tick(t);
+    }
+    return static_cast<double>(mc.app_stats(1).served()) /
+           static_cast<double>(mc.app_stats(0).served() +
+                               mc.app_stats(1).served());
+  };
+  const double atlas_share = run(std::make_unique<AtlasScheduler>(2));
+  const double fcfs_share = run(std::make_unique<FcfsScheduler>());
+  // The light app offers ~5% of traffic; ATLAS must serve all of it
+  // promptly (its attained count is always lowest).
+  EXPECT_GE(atlas_share, fcfs_share);
+  EXPECT_GT(atlas_share, 0.04);
+}
+
+TEST(Tcm, LatencyClusterAlwaysWins) {
+  auto d = make_dram();
+  TcmScheduler s(2);
+  const std::array<bool, 2> clusters{false, true};  // app 1 latency-sensitive
+  s.set_clusters(clusters);
+  for (int i = 0; i < 10; ++i) s.on_issue(req(0, 0, 0));
+  MemRequest heavy = req(20, 0, 5);
+  MemRequest latency = req(21, 1, 500);
+  EXPECT_TRUE(s.before(latency, heavy, d));
+  EXPECT_FALSE(s.before(heavy, latency, d));
+}
+
+TEST(Tcm, HeavyClusterUsesLeastAttained) {
+  auto d = make_dram();
+  TcmScheduler s(3);
+  const std::array<bool, 3> clusters{false, false, true};
+  s.set_clusters(clusters);
+  s.on_issue(req(0, 0, 0));
+  s.on_issue(req(1, 0, 0));
+  MemRequest a = req(10, 0, 5);   // heavy, attained 2
+  MemRequest b = req(11, 1, 50);  // heavy, attained 0
+  EXPECT_TRUE(s.before(b, a, d));
+}
+
+TEST(Tcm, LatencyClusterOrderedByAge) {
+  auto d = make_dram();
+  TcmScheduler s(2);  // both latency-sensitive by default
+  MemRequest a = req(0, 0, 10);
+  MemRequest b = req(1, 1, 5);
+  EXPECT_TRUE(s.before(b, a, d));
+}
+
+TEST(Tcm, EndToEndProtectsLatencySensitiveApp) {
+  auto sched = std::make_unique<TcmScheduler>(2);
+  const std::array<bool, 2> clusters{false, true};
+  sched->set_clusters(clusters);
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  MemoryController mc(cfg, Frequency::from_ghz(5.0), 2, std::move(sched), 32,
+                      dram::MapScheme::ChanRowColBankRank, 64,
+                      AdmissionMode::PerApp);
+  std::uint64_t lat_sum = 0, lat_cnt = 0;
+  mc.set_completion_callback([&](const MemRequest& r, Cycle done) {
+    if (r.app == 1) {
+      lat_sum += done - r.arrival_cpu;
+      ++lat_cnt;
+    }
+  });
+  std::uint64_t h = 0, l = 1u << 20;
+  for (Cycle t = 0; t < 150'000; ++t) {
+    while (mc.can_accept(0)) mc.enqueue(0, (h++) * 64, AccessType::Read, t);
+    if (t % 1000 == 0 && mc.can_accept(1)) {
+      mc.enqueue(1, (l++) * 64, AccessType::Read, t);
+    }
+    mc.tick(t);
+  }
+  ASSERT_GT(lat_cnt, 0u);
+  // Latency-sensitive requests bypass the heavy backlog entirely.
+  EXPECT_LT(static_cast<double>(lat_sum) / static_cast<double>(lat_cnt),
+            1200.0);
+}
+
+}  // namespace
+}  // namespace bwpart::mem

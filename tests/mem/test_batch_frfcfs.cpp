@@ -1,0 +1,171 @@
+// Tests for the FR-FCFS streak cap and the simplified PAR-BS batch
+// scheduler.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/controller.hpp"
+#include "mem/scheduler.hpp"
+
+namespace bwpart::mem {
+namespace {
+
+dram::DramSystem make_dram() {
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  cfg.page_policy = dram::PagePolicy::Open;
+  return dram::DramSystem(cfg);
+}
+
+MemRequest req(std::uint64_t id, AppId app, Cycle arrival) {
+  MemRequest r;
+  r.id = id;
+  r.app = app;
+  r.arrival_cpu = arrival;
+  return r;
+}
+
+TEST(FrFcfsStreakCap, UncappedAlwaysPrefersHits) {
+  auto d = make_dram();
+  const dram::Location open_loc{0, 0, 0, 7, 0};
+  d.tick(0);
+  d.issue({dram::CommandType::Activate, open_loc, 0, 0}, 0);
+  FrFcfsScheduler s(0);
+  MemRequest hit = req(0, 0, 100);
+  hit.loc = open_loc;
+  MemRequest miss = req(1, 1, 5);
+  miss.loc = open_loc;
+  miss.loc.row = 9;
+  // Serve many hits; priority never expires without a cap.
+  for (int i = 0; i < 10; ++i) s.on_issue(hit);
+  EXPECT_TRUE(s.before(hit, miss, d));
+}
+
+TEST(FrFcfsStreakCap, CapExpiresHitPriority) {
+  auto d = make_dram();
+  const dram::Location open_loc{0, 0, 0, 7, 0};
+  d.tick(0);
+  d.issue({dram::CommandType::Activate, open_loc, 0, 0}, 0);
+  FrFcfsScheduler s(/*row_hit_streak_cap=*/3);
+  MemRequest hit = req(0, 0, 100);
+  hit.loc = open_loc;
+  MemRequest miss = req(1, 1, 5);  // older
+  miss.loc = open_loc;
+  miss.loc.row = 9;
+  EXPECT_TRUE(s.before(hit, miss, d));  // fresh: hit wins
+  s.on_issue(hit);
+  s.on_issue(hit);
+  EXPECT_TRUE(s.before(hit, miss, d));  // streak 2 < cap
+  s.on_issue(hit);
+  // Streak reached the cap: the older miss regains priority.
+  EXPECT_FALSE(s.before(hit, miss, d));
+  EXPECT_TRUE(s.before(miss, hit, d));
+}
+
+TEST(FrFcfsStreakCap, StreakResetsOnOtherBank) {
+  auto d = make_dram();
+  const dram::Location bank0{0, 0, 0, 7, 0};
+  const dram::Location bank1{0, 0, 1, 7, 0};
+  d.tick(0);
+  d.issue({dram::CommandType::Activate, bank0, 0, 0}, 0);
+  FrFcfsScheduler s(2);
+  MemRequest hit = req(0, 0, 100);
+  hit.loc = bank0;
+  MemRequest other = req(1, 1, 5);
+  other.loc = bank1;
+  s.on_issue(hit);
+  s.on_issue(hit);  // streak 2 == cap
+  MemRequest miss = req(2, 2, 5);
+  miss.loc = bank0;
+  miss.loc.row = 9;
+  EXPECT_FALSE(s.before(hit, miss, d));
+  s.on_issue(other);  // different bank resets the streak
+  EXPECT_TRUE(s.before(hit, miss, d));
+}
+
+TEST(BatchScheduler, BatchNumbersAdvanceWithArrivals) {
+  BatchScheduler s(2, /*per_app_cap=*/2);
+  double tags[5];
+  for (int i = 0; i < 5; ++i) {
+    MemRequest r = req(static_cast<std::uint64_t>(i), 0, 0);
+    s.on_enqueue(r, 0);
+    tags[i] = r.start_tag;
+  }
+  EXPECT_DOUBLE_EQ(tags[0], 0.0);
+  EXPECT_DOUBLE_EQ(tags[1], 0.0);
+  EXPECT_DOUBLE_EQ(tags[2], 1.0);
+  EXPECT_DOUBLE_EQ(tags[3], 1.0);
+  EXPECT_DOUBLE_EQ(tags[4], 2.0);
+}
+
+TEST(BatchScheduler, LowerBatchBeatsRowHitAndAge) {
+  auto d = make_dram();
+  const dram::Location open_loc{0, 0, 0, 7, 0};
+  d.tick(0);
+  d.issue({dram::CommandType::Activate, open_loc, 0, 0}, 0);
+  BatchScheduler s(2, 1);
+  // App 0's 5th request (batch 4), a row hit and older; app 1's 1st
+  // request (batch 0), a miss and newer: batch order dominates.
+  MemRequest hog = req(0, 0, 5);
+  hog.loc = open_loc;
+  hog.start_tag = 4.0;
+  MemRequest light = req(1, 1, 500);
+  light.loc = open_loc;
+  light.loc.row = 9;
+  light.start_tag = 0.0;
+  EXPECT_TRUE(s.before(light, hog, d));
+}
+
+TEST(BatchScheduler, BoundsDeferralOfLightApp) {
+  // End to end: a flooding app vs a trickle app on the same banks. With
+  // plain FCFS the trickle app waits behind the whole queue; PAR-BS caps
+  // its deferral.
+  auto run = [](std::unique_ptr<Scheduler> sched) {
+    dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+    cfg.enable_refresh = false;
+    MemoryController mc(cfg, Frequency::from_ghz(5.0), 2, std::move(sched),
+                        64, dram::MapScheme::ChanRowColBankRank, 128,
+                        AdmissionMode::PerApp);
+    std::uint64_t light_latency = 0, light_count = 0;
+    mc.set_completion_callback([&](const MemRequest& r, Cycle done) {
+      if (r.app == 1) {
+        light_latency += done - r.arrival_cpu;
+        ++light_count;
+      }
+    });
+    std::uint64_t hline = 0, lline = 1u << 20;
+    for (Cycle t = 0; t < 300'000; ++t) {
+      while (mc.can_accept(0)) {
+        mc.enqueue(0, (hline++) * 64, AccessType::Read, t);
+      }
+      if (t % 2000 == 0 && mc.can_accept(1)) {
+        mc.enqueue(1, (lline++) * 64, AccessType::Read, t);
+      }
+      mc.tick(t);
+    }
+    return static_cast<double>(light_latency) /
+           static_cast<double>(light_count);
+  };
+  const double fcfs_latency = run(std::make_unique<FcfsScheduler>());
+  const double parbs_latency = run(std::make_unique<BatchScheduler>(2, 4));
+  EXPECT_LT(parbs_latency, fcfs_latency * 0.5);
+}
+
+TEST(BatchScheduler, RowHitOrderWithinBatch) {
+  auto d = make_dram();
+  const dram::Location open_loc{0, 0, 0, 7, 0};
+  d.tick(0);
+  d.issue({dram::CommandType::Activate, open_loc, 0, 0}, 0);
+  BatchScheduler s(2, 8);
+  MemRequest hit = req(0, 0, 100);
+  hit.loc = open_loc;
+  hit.start_tag = 0.0;
+  MemRequest miss = req(1, 1, 5);
+  miss.loc = open_loc;
+  miss.loc.row = 9;
+  miss.start_tag = 0.0;
+  EXPECT_TRUE(s.before(hit, miss, d));  // same batch: row hit wins
+}
+
+}  // namespace
+}  // namespace bwpart::mem

@@ -1,0 +1,106 @@
+// Clock-domain behaviour of the controller: non-integer CPU:bus ratios
+// (the Fig. 4 scaling points) and completion-cycle mapping.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mem/controller.hpp"
+
+namespace bwpart::mem {
+namespace {
+
+dram::DramConfig quiet(Frequency bus) {
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.bus_clock = bus;
+  cfg.enable_refresh = false;
+  return cfg;
+}
+
+TEST(ControllerTiming, FractionalRatioCompletesRequests) {
+  // 5 GHz : 800 MHz = 6.25 CPU cycles per bus tick.
+  MemoryController mc(quiet(Frequency::from_mhz(800)),
+                      Frequency::from_ghz(5.0), 1,
+                      std::make_unique<FcfsScheduler>());
+  std::vector<Cycle> done;
+  mc.set_completion_callback(
+      [&done](const MemRequest&, Cycle d) { done.push_back(d); });
+  for (int i = 0; i < 10; ++i) {
+    mc.enqueue(0, static_cast<Addr>(i) * 64, AccessType::Read, 0);
+  }
+  for (Cycle t = 0; t < 5000; ++t) mc.tick(t);
+  ASSERT_EQ(done.size(), 10u);
+  // Completion cycles are strictly increasing (bus serializes the data).
+  for (std::size_t i = 1; i < done.size(); ++i) {
+    EXPECT_GT(done[i], done[i - 1]);
+  }
+}
+
+TEST(ControllerTiming, FasterBusMeansLowerLatency) {
+  auto latency_at = [](Frequency bus) {
+    MemoryController mc(quiet(bus), Frequency::from_ghz(5.0), 1,
+                        std::make_unique<FcfsScheduler>());
+    Cycle done_at = 0;
+    mc.set_completion_callback(
+        [&done_at](const MemRequest&, Cycle d) { done_at = d; });
+    mc.enqueue(0, 0x1000, AccessType::Read, 0);
+    for (Cycle t = 0; t < 5000 && done_at == 0; ++t) mc.tick(t);
+    return done_at;
+  };
+  const Cycle slow = latency_at(Frequency::from_mhz(200));
+  const Cycle fast = latency_at(Frequency::from_mhz(800));
+  // Same nanosecond timings, but command/burst granularity shrinks.
+  EXPECT_LT(fast, slow);
+  EXPECT_GT(fast, slow / 8);
+}
+
+TEST(ControllerTiming, ThroughputScalesWithBusClock) {
+  auto served_at = [](Frequency bus) {
+    MemoryController mc(quiet(bus), Frequency::from_ghz(5.0), 1,
+                        std::make_unique<FcfsScheduler>(), 64);
+    mc.set_completion_callback([](const MemRequest&, Cycle) {});
+    std::uint64_t line = 0;
+    for (Cycle t = 0; t < 200'000; ++t) {
+      while (mc.can_accept(0)) {
+        mc.enqueue(0, (line++) * 64, AccessType::Read, t);
+      }
+      mc.tick(t);
+    }
+    return mc.app_stats(0).served();
+  };
+  const auto s200 = static_cast<double>(served_at(Frequency::from_mhz(200)));
+  const auto s400 = static_cast<double>(served_at(Frequency::from_mhz(400)));
+  EXPECT_NEAR(s400 / s200, 2.0, 0.1);
+}
+
+TEST(ControllerTiming, CompletionNeverBeforeArrival) {
+  MemoryController mc(quiet(Frequency::from_mhz(533)),
+                      Frequency::from_ghz(5.0), 1,
+                      std::make_unique<FcfsScheduler>());
+  bool checked = false;
+  mc.set_completion_callback([&checked](const MemRequest& r, Cycle d) {
+    EXPECT_GE(d, r.arrival_cpu);
+    checked = true;
+  });
+  mc.enqueue(0, 0x40, AccessType::Read, 123);
+  for (Cycle t = 123; t < 4000; ++t) mc.tick(t);
+  EXPECT_TRUE(checked);
+}
+
+TEST(ControllerTiming, MeanLatencyReflectsQueueing) {
+  auto latency_with_depth = [](int depth) {
+    MemoryController mc(quiet(Frequency::from_mhz(200)),
+                        Frequency::from_ghz(5.0), 1,
+                        std::make_unique<FcfsScheduler>(), 64);
+    mc.set_completion_callback([](const MemRequest&, Cycle) {});
+    for (int i = 0; i < depth; ++i) {
+      mc.enqueue(0, static_cast<Addr>(i) * 64, AccessType::Read, 0);
+    }
+    for (Cycle t = 0; t < 50'000; ++t) mc.tick(t);
+    return mc.app_stats(0).mean_latency_cycles();
+  };
+  EXPECT_GT(latency_with_depth(32), 2.0 * latency_with_depth(2));
+}
+
+}  // namespace
+}  // namespace bwpart::mem

@@ -1,0 +1,154 @@
+// Tests for the related-work schedulers: the original (arrival-anchored)
+// DSTF the paper modifies, and STFM.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "mem/controller.hpp"
+#include "mem/scheduler.hpp"
+
+namespace bwpart::mem {
+namespace {
+
+dram::DramSystem make_dram() {
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  return dram::DramSystem(cfg);
+}
+
+MemRequest req(std::uint64_t id, AppId app, Cycle arrival) {
+  MemRequest r;
+  r.id = id;
+  r.app = app;
+  r.arrival_cpu = arrival;
+  return r;
+}
+
+TEST(ClassicDstf, TagsAnchoredToServiceClock) {
+  ClassicDstfScheduler s(2);
+  const std::array<double, 2> beta{0.5, 0.5};
+  s.set_shares(beta);
+  MemRequest a = req(0, 0, 0);
+  s.on_enqueue(a, 0);
+  EXPECT_DOUBLE_EQ(a.start_tag, 0.0);
+  s.on_issue(a);  // virtual time stays 0 (a's tag)
+  MemRequest b = req(1, 0, 0);
+  s.on_enqueue(b, 0);
+  EXPECT_DOUBLE_EQ(b.start_tag, 2.0);  // F = S + 1/beta
+}
+
+TEST(ClassicDstf, IdleApplicationForfeitsItsShare) {
+  // The original DSTF: after app 1 is served for a long stretch, an idle
+  // app 0's next request is anchored to the advanced virtual clock, not to
+  // its own stale finish tag — it cannot reclaim the share it never used.
+  ClassicDstfScheduler s(2);
+  const std::array<double, 2> beta{0.5, 0.5};
+  s.set_shares(beta);
+  // App 1 streams 50 requests, all served.
+  for (int i = 0; i < 50; ++i) {
+    MemRequest r = req(static_cast<std::uint64_t>(i), 1, 0);
+    s.on_enqueue(r, 0);
+    s.on_issue(r);
+  }
+  EXPECT_GT(s.virtual_time(), 90.0);
+  MemRequest idle_app = req(100, 0, 0);
+  s.on_enqueue(idle_app, 0);
+  // Anchored forward: tag ~ virtual_time, NOT 0.
+  EXPECT_GE(idle_app.start_tag, s.virtual_time());
+}
+
+TEST(ClassicDstf, ContrastWithModifiedDstf) {
+  // The paper's modified scheduler lets the idle app catch up (tag 0).
+  StartTimeFairScheduler modified(2);
+  ClassicDstfScheduler classic(2);
+  const std::array<double, 2> beta{0.5, 0.5};
+  modified.set_shares(beta);
+  classic.set_shares(beta);
+  for (int i = 0; i < 50; ++i) {
+    MemRequest m = req(static_cast<std::uint64_t>(i), 1, 0);
+    modified.on_enqueue(m, 0);
+    modified.on_issue(m);
+    MemRequest c = req(static_cast<std::uint64_t>(i), 1, 0);
+    classic.on_enqueue(c, 0);
+    classic.on_issue(c);
+  }
+  MemRequest m = req(100, 0, 0);
+  modified.on_enqueue(m, 0);
+  MemRequest c = req(100, 0, 0);
+  classic.on_enqueue(c, 0);
+  EXPECT_DOUBLE_EQ(m.start_tag, 0.0);   // full catch-up credit
+  EXPECT_GT(c.start_tag, 90.0);         // credit forfeited
+}
+
+TEST(ClassicDstf, ServesInTagOrder) {
+  auto d = make_dram();
+  ClassicDstfScheduler s(2);
+  MemRequest a = req(0, 0, 0);
+  a.start_tag = 5.0;
+  MemRequest b = req(1, 1, 10);
+  b.start_tag = 3.0;
+  EXPECT_TRUE(s.before(b, a, d));
+  EXPECT_FALSE(s.before(a, b, d));
+}
+
+TEST(Stfm, FairnessModeTriggersOnImbalance) {
+  StfmScheduler s(2, 1.1);
+  const std::array<double, 2> even{1.5, 1.5};
+  s.set_slowdowns(even);
+  EXPECT_FALSE(s.fairness_mode_active());
+  const std::array<double, 2> skewed{3.0, 1.2};
+  s.set_slowdowns(skewed);
+  EXPECT_TRUE(s.fairness_mode_active());
+}
+
+TEST(Stfm, PrioritizesMostSlowedDownApp) {
+  auto d = make_dram();
+  StfmScheduler s(2, 1.1);
+  const std::array<double, 2> skewed{3.0, 1.2};
+  s.set_slowdowns(skewed);
+  MemRequest slow = req(0, 0, 100);  // newer but app 0 is most slowed
+  MemRequest fast = req(1, 1, 5);
+  EXPECT_TRUE(s.before(slow, fast, d));
+}
+
+TEST(Stfm, FallsBackToFrFcfsWhenBalanced) {
+  auto d = make_dram();
+  // Open a row so row-hit priority is observable.
+  const dram::Location open_loc{0, 0, 0, 7, 0};
+  d.tick(0);
+  d.issue({dram::CommandType::Activate, open_loc, 0, 0}, 0);
+  StfmScheduler s(2, 2.0);
+  const std::array<double, 2> even{1.3, 1.4};  // ratio < alpha
+  s.set_slowdowns(even);
+  MemRequest hit = req(0, 0, 100);
+  hit.loc = open_loc;
+  MemRequest miss = req(1, 1, 5);
+  miss.loc = open_loc;
+  miss.loc.row = 9;
+  EXPECT_TRUE(s.before(hit, miss, d));  // row hit wins
+}
+
+TEST(Stfm, EndToEndImprovesFairnessUnderImbalance) {
+  // Two apps on one bank; app 0 declared heavily slowed: it should receive
+  // the majority of service while fairness mode is active.
+  auto sched = std::make_unique<StfmScheduler>(2, 1.1);
+  const std::array<double, 2> skewed{4.0, 1.0};
+  sched->set_slowdowns(skewed);
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  MemoryController mc(cfg, Frequency::from_ghz(5.0), 2, std::move(sched), 16,
+                      dram::MapScheme::ChanRowColBankRank, 64,
+                      AdmissionMode::PerApp);
+  mc.set_completion_callback([](const MemRequest&, Cycle) {});
+  std::uint64_t l0 = 0, l1 = 1 << 20;
+  for (Cycle t = 0; t < 200'000; ++t) {
+    if (mc.can_accept(0)) mc.enqueue(0, (l0++) * 64, AccessType::Read, t);
+    if (mc.can_accept(1)) mc.enqueue(1, (l1++) * 64, AccessType::Read, t);
+    mc.tick(t);
+  }
+  EXPECT_GT(mc.app_stats(0).served(), mc.app_stats(1).served() * 5);
+}
+
+}  // namespace
+}  // namespace bwpart::mem

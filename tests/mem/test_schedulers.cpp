@@ -1,0 +1,211 @@
+#include "mem/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "dram/dram_system.hpp"
+
+namespace bwpart::mem {
+namespace {
+
+dram::DramSystem make_dram() {
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  return dram::DramSystem(cfg);
+}
+
+MemRequest req(std::uint64_t id, AppId app, Cycle arrival) {
+  MemRequest r;
+  r.id = id;
+  r.app = app;
+  r.arrival_cpu = arrival;
+  return r;
+}
+
+TEST(FcfsScheduler, OrdersByArrival) {
+  auto d = make_dram();
+  FcfsScheduler s;
+  const MemRequest a = req(0, 0, 10);
+  const MemRequest b = req(1, 1, 5);
+  EXPECT_TRUE(s.before(b, a, d));
+  EXPECT_FALSE(s.before(a, b, d));
+}
+
+TEST(FcfsScheduler, TiesBrokenById) {
+  auto d = make_dram();
+  FcfsScheduler s;
+  const MemRequest a = req(0, 0, 10);
+  const MemRequest b = req(1, 1, 10);
+  EXPECT_TRUE(s.before(a, b, d));
+  EXPECT_FALSE(s.before(b, a, d));
+}
+
+TEST(FrFcfsScheduler, RowHitBeatsOlderMiss) {
+  auto d = make_dram();
+  // Open a row so one request is a row hit.
+  const dram::Location open_loc{0, 0, 0, 7, 0};
+  dram::Tick now = 0;
+  d.tick(now);
+  ASSERT_TRUE(d.can_issue({dram::CommandType::Activate, open_loc, 0, 0}, now));
+  d.issue({dram::CommandType::Activate, open_loc, 0, 0}, now);
+
+  FrFcfsScheduler s;
+  MemRequest hit = req(0, 0, 100);  // newer but row hit
+  hit.loc = open_loc;
+  MemRequest miss = req(1, 1, 5);  // older, different row
+  miss.loc = open_loc;
+  miss.loc.row = 8;
+  EXPECT_TRUE(s.before(hit, miss, d));
+}
+
+TEST(FrFcfsScheduler, FallsBackToArrivalAmongMisses) {
+  auto d = make_dram();
+  FrFcfsScheduler s;
+  MemRequest a = req(0, 0, 10);
+  MemRequest b = req(1, 1, 5);
+  EXPECT_TRUE(s.before(b, a, d));
+}
+
+TEST(StartTimeFair, TagsFollowPaperRecurrence) {
+  // Section IV-B: S_i = S_{i-1} + 1/beta.
+  StartTimeFairScheduler s(2);
+  const std::array<double, 2> beta{0.25, 0.75};
+  s.set_shares(beta);
+  MemRequest r0 = req(0, 0, 0);
+  MemRequest r1 = req(1, 0, 0);
+  MemRequest q0 = req(2, 1, 0);
+  s.on_enqueue(r0, 0);
+  s.on_enqueue(r1, 0);
+  s.on_enqueue(q0, 0);
+  EXPECT_DOUBLE_EQ(r0.start_tag, 0.0);
+  EXPECT_DOUBLE_EQ(r1.start_tag, 4.0);   // 1/0.25
+  EXPECT_DOUBLE_EQ(q0.start_tag, 0.0);
+  EXPECT_DOUBLE_EQ(s.virtual_clock(0), 8.0);
+  EXPECT_NEAR(s.virtual_clock(1), 4.0 / 3.0, 1e-12);
+}
+
+TEST(StartTimeFair, TagIndependentOfArrivalTime) {
+  // The paper's modification: tags do not reference wall-clock arrival, so
+  // an app idle for a long time keeps its low tag and catches up.
+  StartTimeFairScheduler s(2);
+  const std::array<double, 2> beta{0.5, 0.5};
+  s.set_shares(beta);
+  MemRequest early = req(0, 0, 0);
+  s.on_enqueue(early, 0);
+  MemRequest late = req(1, 1, 1'000'000);  // app 1 was idle a million cycles
+  s.on_enqueue(late, 1'000'000);
+  EXPECT_DOUBLE_EQ(late.start_tag, 0.0);
+}
+
+TEST(StartTimeFair, ServesInTagOrder) {
+  auto d = make_dram();
+  StartTimeFairScheduler s(2);
+  const std::array<double, 2> beta{0.2, 0.8};
+  s.set_shares(beta);
+  // App 0's second request has tag 5; app 1's fourth has tag 3.75.
+  MemRequest a = req(0, 0, 0);
+  a.start_tag = 5.0;
+  MemRequest b = req(1, 1, 50);
+  b.start_tag = 3.75;
+  EXPECT_TRUE(s.before(b, a, d));
+}
+
+TEST(StartTimeFair, HigherShareMeansMoreRequestsPerVirtualTime) {
+  StartTimeFairScheduler s(2);
+  const std::array<double, 2> beta{0.25, 0.75};
+  s.set_shares(beta);
+  // Within virtual time 12, app 0 fits 3 requests and app 1 fits 9.
+  int served0 = 0, served1 = 0;
+  for (int i = 0; i < 20; ++i) {
+    MemRequest r = req(static_cast<std::uint64_t>(i), 0, 0);
+    s.on_enqueue(r, 0);
+    if (r.start_tag < 12.0) ++served0;
+  }
+  for (int i = 0; i < 20; ++i) {
+    MemRequest r = req(static_cast<std::uint64_t>(100 + i), 1, 0);
+    s.on_enqueue(r, 0);
+    if (r.start_tag < 12.0) ++served1;
+  }
+  EXPECT_EQ(served0, 3);
+  EXPECT_EQ(served1, 9);
+}
+
+TEST(StartTimeFair, ZeroShareIsClampedNotStarving) {
+  StartTimeFairScheduler s(2);
+  const std::array<double, 2> beta{0.0, 1.0};
+  s.set_shares(beta);
+  MemRequest r = req(0, 0, 0);
+  s.on_enqueue(r, 0);
+  MemRequest r2 = req(1, 0, 0);
+  s.on_enqueue(r2, 0);
+  EXPECT_TRUE(std::isfinite(r2.start_tag));
+  EXPECT_GT(r2.start_tag, 0.0);
+}
+
+TEST(StartTimeFair, RowHitWindowBoundsPriorityInversion) {
+  auto d = make_dram();
+  const dram::Location open_loc{0, 0, 0, 7, 0};
+  dram::Tick now = 0;
+  d.tick(now);
+  d.issue({dram::CommandType::Activate, open_loc, 0, 0}, now);
+
+  StartTimeFairScheduler s(2, /*row_hit_window=*/4.0);
+  MemRequest hit = req(0, 0, 0);
+  hit.loc = open_loc;
+  hit.start_tag = 3.0;
+  MemRequest miss = req(1, 1, 0);
+  miss.loc = open_loc;
+  miss.loc.row = 9;
+  miss.start_tag = 1.0;
+  // Tag gap 2 < window 4: the row hit bypasses.
+  EXPECT_TRUE(s.before(hit, miss, d));
+  // Tag gap beyond the window: tag order prevails.
+  hit.start_tag = 9.0;
+  EXPECT_FALSE(s.before(hit, miss, d));
+  EXPECT_TRUE(s.before(miss, hit, d));
+}
+
+TEST(StrictPriority, RanksDominateArrival) {
+  auto d = make_dram();
+  StrictPriorityScheduler s(3);
+  const std::array<std::uint32_t, 3> ranks{2, 0, 1};
+  s.set_priority_ranks(ranks);
+  MemRequest a = req(0, 0, 0);    // rank 2, oldest
+  MemRequest b = req(1, 1, 500);  // rank 0, newest
+  MemRequest c = req(2, 2, 100);  // rank 1
+  EXPECT_TRUE(s.before(b, a, d));
+  EXPECT_TRUE(s.before(b, c, d));
+  EXPECT_TRUE(s.before(c, a, d));
+}
+
+TEST(StrictPriority, ArrivalBreaksTiesWithinRank) {
+  auto d = make_dram();
+  StrictPriorityScheduler s(2);
+  const std::array<std::uint32_t, 2> ranks{0, 0};
+  s.set_priority_ranks(ranks);
+  MemRequest a = req(0, 0, 10);
+  MemRequest b = req(1, 1, 5);
+  EXPECT_TRUE(s.before(b, a, d));
+}
+
+TEST(AllSchedulers, BeforeIsAsymmetric) {
+  auto d = make_dram();
+  FcfsScheduler fcfs;
+  FrFcfsScheduler fr;
+  StartTimeFairScheduler stf(2);
+  StrictPriorityScheduler sp(2);
+  MemRequest a = req(0, 0, 10);
+  a.start_tag = 1.0;
+  MemRequest b = req(1, 1, 20);
+  b.start_tag = 2.0;
+  for (Scheduler* s :
+       std::initializer_list<Scheduler*>{&fcfs, &fr, &stf, &sp}) {
+    EXPECT_FALSE(s->before(a, b, d) && s->before(b, a, d)) << s->name();
+    EXPECT_FALSE(s->before(a, a, d)) << s->name();
+  }
+}
+
+}  // namespace
+}  // namespace bwpart::mem

@@ -1,0 +1,114 @@
+#include "profile/alone_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "profile/interference.hpp"
+
+namespace bwpart::profile {
+namespace {
+
+TEST(EstimateAlone, NoInterferenceReproducesSharedRates) {
+  AppCounters c;
+  c.accesses = 5000;
+  c.instructions = 1'000'000;
+  c.interference_cycles = 0;
+  const core::AppParams p = estimate_alone(c, 1'000'000);
+  EXPECT_DOUBLE_EQ(p.apc_alone, 0.005);
+  EXPECT_DOUBLE_EQ(p.api, 0.005);
+}
+
+TEST(EstimateAlone, InterferenceSubtractionMatchesEq12And13) {
+  // Eq. 13: T_alone = T_shared - T_interference; Eq. 12: APC = N / T_alone.
+  AppCounters c;
+  c.accesses = 4000;
+  c.instructions = 800'000;
+  c.interference_cycles = 500'000;
+  const core::AppParams p = estimate_alone(c, 1'000'000);
+  EXPECT_DOUBLE_EQ(p.apc_alone, 4000.0 / 500'000.0);
+  EXPECT_DOUBLE_EQ(p.api, 0.005);
+}
+
+TEST(EstimateAlone, InterferenceClampedBelowWindow) {
+  AppCounters c;
+  c.accesses = 100;
+  c.instructions = 1000;
+  c.interference_cycles = 2'000'000;  // pathological over-attribution
+  const core::AppParams p = estimate_alone(c, 1'000'000);
+  EXPECT_TRUE(std::isfinite(p.apc_alone));
+  EXPECT_GT(p.apc_alone, 0.0);
+}
+
+TEST(EstimateAlone, ApiUnaffectedByInterference) {
+  // API is a program property; the interference correction must only
+  // rescale time, never the access/instruction ratio.
+  AppCounters a{1000, 100'000, 0};
+  AppCounters b{1000, 100'000, 300'000};
+  EXPECT_DOUBLE_EQ(estimate_alone(a, 500'000).api,
+                   estimate_alone(b, 500'000).api);
+}
+
+TEST(InterferenceCounters, AccumulateAndReset) {
+  InterferenceCounters ic(3);
+  ic.on_interference(0, 10);
+  ic.on_interference(0, 5);
+  ic.on_interference(2, 7);
+  EXPECT_EQ(ic.interference_cycles(0), 15u);
+  EXPECT_EQ(ic.interference_cycles(1), 0u);
+  EXPECT_EQ(ic.interference_cycles(2), 7u);
+  ic.reset();
+  EXPECT_EQ(ic.interference_cycles(0), 0u);
+}
+
+TEST(RollingProfiler, NoUpdateBeforePeriodBoundary) {
+  RollingProfiler rp(2, 1000);
+  const std::vector<AppCounters> c{{10, 1000, 0}, {20, 2000, 0}};
+  EXPECT_FALSE(rp.update(500, c).has_value());
+  EXPECT_TRUE(rp.update(1000, c).has_value());
+}
+
+TEST(RollingProfiler, FirstWindowIsUnsmoothed) {
+  RollingProfiler rp(1, 1000, 0.5);
+  const std::vector<AppCounters> c{{100, 10'000, 0}};
+  const auto est = rp.update(1000, c);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ((*est)[0].apc_alone, 0.1);
+  EXPECT_DOUBLE_EQ((*est)[0].api, 0.01);
+}
+
+TEST(RollingProfiler, EmaSmoothingBlendsWindows) {
+  RollingProfiler rp(1, 1000, 0.5);
+  std::vector<AppCounters> c{{100, 10'000, 0}};
+  (void)rp.update(1000, c);
+  // Second window doubles the rate: cumulative 300 accesses by t=2000.
+  c[0].accesses = 300;
+  c[0].instructions = 20'000;
+  const auto est = rp.update(2000, c);
+  ASSERT_TRUE(est.has_value());
+  // Fresh estimate 0.2, previous 0.1, smoothing 0.5 -> 0.15.
+  EXPECT_DOUBLE_EQ((*est)[0].apc_alone, 0.15);
+}
+
+TEST(RollingProfiler, DifferentiatesCumulativeCounters) {
+  RollingProfiler rp(1, 1000, 1.0);
+  std::vector<AppCounters> c{{100, 10'000, 100}};
+  (void)rp.update(1000, c);
+  c[0] = {150, 15'000, 400};  // window delta: 50 accesses, 300 interference
+  const auto est = rp.update(2000, c);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ((*est)[0].apc_alone, 50.0 / (1000.0 - 300.0));
+}
+
+TEST(RollingProfiler, SkipsToNextBoundaryAfterLateUpdate) {
+  RollingProfiler rp(1, 1000);
+  const std::vector<AppCounters> c{{10, 100, 0}};
+  EXPECT_TRUE(rp.update(2500, c).has_value());
+  // Boundary advanced past 2500; next update before 3000 is ignored.
+  EXPECT_FALSE(rp.update(2900, c).has_value());
+  EXPECT_TRUE(rp.update(3000, c).has_value());
+}
+
+}  // namespace
+}  // namespace bwpart::profile

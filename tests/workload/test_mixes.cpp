@@ -1,0 +1,93 @@
+#include "workload/mixes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace bwpart::workload {
+namespace {
+
+TEST(Mixes, FourteenMixesSplitSevenSeven) {
+  EXPECT_EQ(paper_mixes().size(), 14u);
+  EXPECT_EQ(homo_mixes().size(), 7u);
+  EXPECT_EQ(hetero_mixes().size(), 7u);
+  for (const auto& m : homo_mixes()) EXPECT_FALSE(m.heterogeneous);
+  for (const auto& m : hetero_mixes()) EXPECT_TRUE(m.heterogeneous);
+}
+
+TEST(Mixes, PaperRsdsMatchHeterogeneityThreshold) {
+  // Table IV: homogeneous mixes have RSD < 30, heterogeneous > 30.
+  for (const auto& m : paper_mixes()) {
+    if (m.heterogeneous) {
+      EXPECT_GT(m.paper_rsd, 30.0) << m.name;
+    } else {
+      EXPECT_LT(m.paper_rsd, 30.0) << m.name;
+    }
+  }
+}
+
+TEST(Mixes, AllBenchmarkNamesResolve) {
+  for (const auto& m : paper_mixes()) {
+    for (const auto& name : m.benchmarks) {
+      EXPECT_NO_FATAL_FAILURE(find_benchmark(name)) << m.name;
+    }
+  }
+}
+
+TEST(Mixes, ExactTableIVContents) {
+  const auto& h1 = paper_mixes()[7];
+  EXPECT_EQ(h1.name, "hetero-1");
+  EXPECT_EQ(h1.benchmarks[0], "milc");
+  EXPECT_EQ(h1.benchmarks[3], "bzip2");
+  EXPECT_NEAR(h1.paper_rsd, 41.93, 1e-9);
+  const auto& h7 = paper_mixes()[13];
+  EXPECT_EQ(h7.name, "hetero-7");
+  EXPECT_EQ(h7.benchmarks[0], "lbm");
+  EXPECT_NEAR(h7.paper_rsd, 69.84, 1e-9);
+}
+
+TEST(Mixes, Fig1MixIsHetero5) {
+  const MixSpec& m = fig1_mix();
+  EXPECT_EQ(m.name, "hetero-5");
+  EXPECT_EQ(m.benchmarks[0], "libquantum");
+  EXPECT_EQ(m.benchmarks[1], "milc");
+  EXPECT_EQ(m.benchmarks[2], "gromacs");
+  EXPECT_EQ(m.benchmarks[3], "gobmk");
+}
+
+TEST(Mixes, QosMixesMatchFig3) {
+  EXPECT_EQ(qos_mix1().benchmarks[0], "lbm");
+  EXPECT_EQ(qos_mix1().benchmarks[3], "hmmer");
+  EXPECT_EQ(qos_mix2().benchmarks[0], "h264ref");
+  EXPECT_EQ(qos_mix2().benchmarks[2], "leslie3d");
+  EXPECT_EQ(qos_mix2().benchmarks[3], "hmmer");
+}
+
+TEST(Mixes, ResolveSingleCopy) {
+  const auto apps = resolve_mix(fig1_mix());
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0].name, "libquantum");
+  EXPECT_EQ(apps[3].name, "gobmk");
+}
+
+TEST(Mixes, ResolveReplicatesWholeWorkload) {
+  // Fig. 4: two copies interleave the full mix (a,b,c,d,a,b,c,d).
+  const auto apps = resolve_mix(fig1_mix(), 2);
+  ASSERT_EQ(apps.size(), 8u);
+  EXPECT_EQ(apps[0].name, apps[4].name);
+  EXPECT_EQ(apps[3].name, apps[7].name);
+}
+
+TEST(Mixes, HeterogeneousMixesSpanIntensityClasses) {
+  for (const auto& m : hetero_mixes()) {
+    std::set<Intensity> classes;
+    for (const auto& name : m.benchmarks) {
+      classes.insert(find_benchmark(name).paper_intensity());
+    }
+    EXPECT_GE(classes.size(), 2u) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace bwpart::workload

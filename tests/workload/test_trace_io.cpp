@@ -1,0 +1,96 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/synthetic_trace.hpp"
+
+namespace bwpart::workload {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField) {
+  const std::string path = temp_path("roundtrip.bwpt");
+  SyntheticTraceGenerator::Params p;
+  p.api = 0.02;
+  p.mean_cluster = 2.5;
+  p.write_fraction = 0.3;
+  p.dependent_fraction = 0.4;
+  p.footprint_lines = 1 << 16;
+  SyntheticTraceGenerator gen(p, 11);
+  record_trace(gen, path, 5000);
+
+  SyntheticTraceGenerator reference(p, 11);
+  FileTraceSource replay(path);
+  ASSERT_EQ(replay.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    const cpu::TraceOp expected = reference.next();
+    const cpu::TraceOp got = replay.next();
+    ASSERT_EQ(got.gap_nonmem, expected.gap_nonmem) << "op " << i;
+    ASSERT_EQ(got.addr, expected.addr) << "op " << i;
+    ASSERT_EQ(got.type, expected.type) << "op " << i;
+    ASSERT_EQ(got.dependent, expected.dependent) << "op " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayWrapsAround) {
+  const std::string path = temp_path("wrap.bwpt");
+  SyntheticTraceGenerator::Params p;
+  p.api = 0.05;
+  p.footprint_lines = 1024;
+  SyntheticTraceGenerator gen(p, 3);
+  record_trace(gen, path, 10);
+  FileTraceSource replay(path);
+  std::vector<cpu::TraceOp> first;
+  for (int i = 0; i < 10; ++i) first.push_back(replay.next());
+  for (int i = 0; i < 10; ++i) {
+    const cpu::TraceOp again = replay.next();
+    EXPECT_EQ(again.addr, first[static_cast<std::size_t>(i)].addr);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, WriterCountsRecords) {
+  const std::string path = temp_path("count.bwpt");
+  {
+    TraceWriter w(path);
+    cpu::TraceOp op;
+    op.addr = 0x40;
+    for (int i = 0; i < 7; ++i) w.write(op);
+    EXPECT_EQ(w.count(), 7u);
+  }  // destructor closes and patches the header
+  FileTraceSource replay(path);
+  EXPECT_EQ(replay.size(), 7u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, ExplicitCloseIsIdempotent) {
+  const std::string path = temp_path("close.bwpt");
+  TraceWriter w(path);
+  cpu::TraceOp op;
+  w.write(op);
+  w.close();
+  w.close();  // no-op
+  FileTraceSource replay(path);
+  EXPECT_EQ(replay.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoDeathTest, BadMagicRejected) {
+  const std::string path = temp_path("bad.bwpt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTATRACEFILE_____________";
+  }
+  EXPECT_DEATH({ FileTraceSource bad(path); }, "bad trace magic");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bwpart::workload
