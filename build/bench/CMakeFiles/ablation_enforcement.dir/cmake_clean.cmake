@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_enforcement.dir/ablation_enforcement.cpp.o"
+  "CMakeFiles/ablation_enforcement.dir/ablation_enforcement.cpp.o.d"
+  "ablation_enforcement"
+  "ablation_enforcement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_enforcement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_profiler.dir/ablation_profiler.cpp.o"
+  "CMakeFiles/ablation_profiler.dir/ablation_profiler.cpp.o.d"
+  "ablation_profiler"
+  "ablation_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_evaluation.dir/fig2_evaluation.cpp.o"
+  "CMakeFiles/fig2_evaluation.dir/fig2_evaluation.cpp.o.d"
+  "fig2_evaluation"
+  "fig2_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

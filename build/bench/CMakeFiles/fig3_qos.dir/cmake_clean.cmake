@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_qos.dir/fig3_qos.cpp.o"
+  "CMakeFiles/fig3_qos.dir/fig3_qos.cpp.o.d"
+  "fig3_qos"
+  "fig3_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

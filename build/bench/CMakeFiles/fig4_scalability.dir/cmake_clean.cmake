@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_scalability.dir/fig4_scalability.cpp.o"
+  "CMakeFiles/fig4_scalability.dir/fig4_scalability.cpp.o.d"
+  "fig4_scalability"
+  "fig4_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

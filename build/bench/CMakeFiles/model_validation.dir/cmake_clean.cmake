@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_validation.dir/model_validation.cpp.o"
+  "CMakeFiles/model_validation.dir/model_validation.cpp.o.d"
+  "model_validation"
+  "model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

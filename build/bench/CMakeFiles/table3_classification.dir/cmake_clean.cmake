@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_classification.dir/table3_classification.cpp.o"
+  "CMakeFiles/table3_classification.dir/table3_classification.cpp.o.d"
+  "table3_classification"
+  "table3_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

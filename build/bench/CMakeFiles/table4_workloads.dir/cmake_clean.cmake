@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_workloads.dir/table4_workloads.cpp.o"
+  "CMakeFiles/table4_workloads.dir/table4_workloads.cpp.o.d"
+  "table4_workloads"
+  "table4_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_guarantee.dir/qos_guarantee.cpp.o"
+  "CMakeFiles/qos_guarantee.dir/qos_guarantee.cpp.o.d"
+  "qos_guarantee"
+  "qos_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

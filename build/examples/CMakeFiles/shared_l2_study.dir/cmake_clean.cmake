@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_l2_study.dir/shared_l2_study.cpp.o"
+  "CMakeFiles/shared_l2_study.dir/shared_l2_study.cpp.o.d"
+  "shared_l2_study"
+  "shared_l2_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_l2_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

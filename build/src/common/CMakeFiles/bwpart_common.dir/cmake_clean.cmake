@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_common.dir/log.cpp.o"
+  "CMakeFiles/bwpart_common.dir/log.cpp.o.d"
+  "CMakeFiles/bwpart_common.dir/parallel.cpp.o"
+  "CMakeFiles/bwpart_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/bwpart_common.dir/rng.cpp.o"
+  "CMakeFiles/bwpart_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bwpart_common.dir/stats.cpp.o"
+  "CMakeFiles/bwpart_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bwpart_common.dir/table.cpp.o"
+  "CMakeFiles/bwpart_common.dir/table.cpp.o.d"
+  "libbwpart_common.a"
+  "libbwpart_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_params.cpp" "src/core/CMakeFiles/bwpart_core.dir/app_params.cpp.o" "gcc" "src/core/CMakeFiles/bwpart_core.dir/app_params.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/bwpart_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/bwpart_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/bwpart_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/bwpart_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/bwpart_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/bwpart_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/predict.cpp" "src/core/CMakeFiles/bwpart_core.dir/predict.cpp.o" "gcc" "src/core/CMakeFiles/bwpart_core.dir/predict.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/core/CMakeFiles/bwpart_core.dir/qos.cpp.o" "gcc" "src/core/CMakeFiles/bwpart_core.dir/qos.cpp.o.d"
+  "/root/repo/src/core/weighted.cpp" "src/core/CMakeFiles/bwpart_core.dir/weighted.cpp.o" "gcc" "src/core/CMakeFiles/bwpart_core.dir/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

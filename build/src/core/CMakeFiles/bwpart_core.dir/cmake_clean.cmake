@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_core.dir/app_params.cpp.o"
+  "CMakeFiles/bwpart_core.dir/app_params.cpp.o.d"
+  "CMakeFiles/bwpart_core.dir/metrics.cpp.o"
+  "CMakeFiles/bwpart_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/bwpart_core.dir/optimizer.cpp.o"
+  "CMakeFiles/bwpart_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/bwpart_core.dir/partition.cpp.o"
+  "CMakeFiles/bwpart_core.dir/partition.cpp.o.d"
+  "CMakeFiles/bwpart_core.dir/predict.cpp.o"
+  "CMakeFiles/bwpart_core.dir/predict.cpp.o.d"
+  "CMakeFiles/bwpart_core.dir/qos.cpp.o"
+  "CMakeFiles/bwpart_core.dir/qos.cpp.o.d"
+  "CMakeFiles/bwpart_core.dir/weighted.cpp.o"
+  "CMakeFiles/bwpart_core.dir/weighted.cpp.o.d"
+  "libbwpart_core.a"
+  "libbwpart_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cpp" "src/cpu/CMakeFiles/bwpart_cpu.dir/cache.cpp.o" "gcc" "src/cpu/CMakeFiles/bwpart_cpu.dir/cache.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/bwpart_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/bwpart_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/shared_cache.cpp" "src/cpu/CMakeFiles/bwpart_cpu.dir/shared_cache.cpp.o" "gcc" "src/cpu/CMakeFiles/bwpart_cpu.dir/shared_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/bwpart_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bwpart_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_cpu.dir/cache.cpp.o"
+  "CMakeFiles/bwpart_cpu.dir/cache.cpp.o.d"
+  "CMakeFiles/bwpart_cpu.dir/core.cpp.o"
+  "CMakeFiles/bwpart_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/bwpart_cpu.dir/shared_cache.cpp.o"
+  "CMakeFiles/bwpart_cpu.dir/shared_cache.cpp.o.d"
+  "libbwpart_cpu.a"
+  "libbwpart_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

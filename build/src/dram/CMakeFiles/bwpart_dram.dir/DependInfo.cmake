@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cpp" "src/dram/CMakeFiles/bwpart_dram.dir/address_map.cpp.o" "gcc" "src/dram/CMakeFiles/bwpart_dram.dir/address_map.cpp.o.d"
+  "/root/repo/src/dram/config.cpp" "src/dram/CMakeFiles/bwpart_dram.dir/config.cpp.o" "gcc" "src/dram/CMakeFiles/bwpart_dram.dir/config.cpp.o.d"
+  "/root/repo/src/dram/dram_system.cpp" "src/dram/CMakeFiles/bwpart_dram.dir/dram_system.cpp.o" "gcc" "src/dram/CMakeFiles/bwpart_dram.dir/dram_system.cpp.o.d"
+  "/root/repo/src/dram/power.cpp" "src/dram/CMakeFiles/bwpart_dram.dir/power.cpp.o" "gcc" "src/dram/CMakeFiles/bwpart_dram.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

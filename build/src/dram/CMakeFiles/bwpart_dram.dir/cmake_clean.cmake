@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_dram.dir/address_map.cpp.o"
+  "CMakeFiles/bwpart_dram.dir/address_map.cpp.o.d"
+  "CMakeFiles/bwpart_dram.dir/config.cpp.o"
+  "CMakeFiles/bwpart_dram.dir/config.cpp.o.d"
+  "CMakeFiles/bwpart_dram.dir/dram_system.cpp.o"
+  "CMakeFiles/bwpart_dram.dir/dram_system.cpp.o.d"
+  "CMakeFiles/bwpart_dram.dir/power.cpp.o"
+  "CMakeFiles/bwpart_dram.dir/power.cpp.o.d"
+  "libbwpart_dram.a"
+  "libbwpart_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

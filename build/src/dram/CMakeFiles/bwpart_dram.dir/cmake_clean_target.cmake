@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbwpart_dram.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_harness.dir/experiment.cpp.o"
+  "CMakeFiles/bwpart_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/bwpart_harness.dir/system.cpp.o"
+  "CMakeFiles/bwpart_harness.dir/system.cpp.o.d"
+  "libbwpart_harness.a"
+  "libbwpart_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/controller.cpp" "src/mem/CMakeFiles/bwpart_mem.dir/controller.cpp.o" "gcc" "src/mem/CMakeFiles/bwpart_mem.dir/controller.cpp.o.d"
+  "/root/repo/src/mem/scheduler.cpp" "src/mem/CMakeFiles/bwpart_mem.dir/scheduler.cpp.o" "gcc" "src/mem/CMakeFiles/bwpart_mem.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/bwpart_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

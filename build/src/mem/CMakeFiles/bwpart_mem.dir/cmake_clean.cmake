@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_mem.dir/controller.cpp.o"
+  "CMakeFiles/bwpart_mem.dir/controller.cpp.o.d"
+  "CMakeFiles/bwpart_mem.dir/scheduler.cpp.o"
+  "CMakeFiles/bwpart_mem.dir/scheduler.cpp.o.d"
+  "libbwpart_mem.a"
+  "libbwpart_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/alone_profiler.cpp" "src/profile/CMakeFiles/bwpart_profile.dir/alone_profiler.cpp.o" "gcc" "src/profile/CMakeFiles/bwpart_profile.dir/alone_profiler.cpp.o.d"
+  "/root/repo/src/profile/interference.cpp" "src/profile/CMakeFiles/bwpart_profile.dir/interference.cpp.o" "gcc" "src/profile/CMakeFiles/bwpart_profile.dir/interference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/bwpart_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bwpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bwpart_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

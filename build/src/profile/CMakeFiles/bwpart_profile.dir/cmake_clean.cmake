@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_profile.dir/alone_profiler.cpp.o"
+  "CMakeFiles/bwpart_profile.dir/alone_profiler.cpp.o.d"
+  "CMakeFiles/bwpart_profile.dir/interference.cpp.o"
+  "CMakeFiles/bwpart_profile.dir/interference.cpp.o.d"
+  "libbwpart_profile.a"
+  "libbwpart_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_sim.dir/bwpart_sim.cpp.o"
+  "CMakeFiles/bwpart_sim.dir/bwpart_sim.cpp.o.d"
+  "bwpart_sim"
+  "bwpart_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

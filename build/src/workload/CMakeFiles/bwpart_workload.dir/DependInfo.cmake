@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/mixes.cpp" "src/workload/CMakeFiles/bwpart_workload.dir/mixes.cpp.o" "gcc" "src/workload/CMakeFiles/bwpart_workload.dir/mixes.cpp.o.d"
+  "/root/repo/src/workload/spec_table.cpp" "src/workload/CMakeFiles/bwpart_workload.dir/spec_table.cpp.o" "gcc" "src/workload/CMakeFiles/bwpart_workload.dir/spec_table.cpp.o.d"
+  "/root/repo/src/workload/synthetic_trace.cpp" "src/workload/CMakeFiles/bwpart_workload.dir/synthetic_trace.cpp.o" "gcc" "src/workload/CMakeFiles/bwpart_workload.dir/synthetic_trace.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/bwpart_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/bwpart_workload.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/bwpart_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bwpart_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bwpart_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwpart_workload.dir/mixes.cpp.o"
+  "CMakeFiles/bwpart_workload.dir/mixes.cpp.o.d"
+  "CMakeFiles/bwpart_workload.dir/spec_table.cpp.o"
+  "CMakeFiles/bwpart_workload.dir/spec_table.cpp.o.d"
+  "CMakeFiles/bwpart_workload.dir/synthetic_trace.cpp.o"
+  "CMakeFiles/bwpart_workload.dir/synthetic_trace.cpp.o.d"
+  "CMakeFiles/bwpart_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/bwpart_workload.dir/trace_io.cpp.o.d"
+  "libbwpart_workload.a"
+  "libbwpart_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwpart_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_asserts.cpp" "tests/CMakeFiles/test_common.dir/common/test_asserts.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_asserts.cpp.o.d"
+  "/root/repo/tests/common/test_clock_crossing.cpp" "tests/CMakeFiles/test_common.dir/common/test_clock_crossing.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_clock_crossing.cpp.o.d"
+  "/root/repo/tests/common/test_log.cpp" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o.d"
+  "/root/repo/tests/common/test_parallel.cpp" "tests/CMakeFiles/test_common.dir/common/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_parallel.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_units.cpp" "tests/CMakeFiles/test_common.dir/common/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bwpart_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bwpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bwpart_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bwpart_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bwpart_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bwpart_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bwpart_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

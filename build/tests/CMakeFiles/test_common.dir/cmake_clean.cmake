@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_asserts.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_asserts.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_clock_crossing.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_clock_crossing.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_log.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_log.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_parallel.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_parallel.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_units.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_units.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

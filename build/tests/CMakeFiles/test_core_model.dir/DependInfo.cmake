@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_metrics.cpp" "tests/CMakeFiles/test_core_model.dir/core/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_core_model.dir/core/test_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_optimizer.cpp" "tests/CMakeFiles/test_core_model.dir/core/test_optimizer.cpp.o" "gcc" "tests/CMakeFiles/test_core_model.dir/core/test_optimizer.cpp.o.d"
+  "/root/repo/tests/core/test_partition.cpp" "tests/CMakeFiles/test_core_model.dir/core/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_core_model.dir/core/test_partition.cpp.o.d"
+  "/root/repo/tests/core/test_predict.cpp" "tests/CMakeFiles/test_core_model.dir/core/test_predict.cpp.o" "gcc" "tests/CMakeFiles/test_core_model.dir/core/test_predict.cpp.o.d"
+  "/root/repo/tests/core/test_qos.cpp" "tests/CMakeFiles/test_core_model.dir/core/test_qos.cpp.o" "gcc" "tests/CMakeFiles/test_core_model.dir/core/test_qos.cpp.o.d"
+  "/root/repo/tests/core/test_weighted.cpp" "tests/CMakeFiles/test_core_model.dir/core/test_weighted.cpp.o" "gcc" "tests/CMakeFiles/test_core_model.dir/core/test_weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bwpart_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bwpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bwpart_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bwpart_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bwpart_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bwpart_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bwpart_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_model.dir/core/test_metrics.cpp.o"
+  "CMakeFiles/test_core_model.dir/core/test_metrics.cpp.o.d"
+  "CMakeFiles/test_core_model.dir/core/test_optimizer.cpp.o"
+  "CMakeFiles/test_core_model.dir/core/test_optimizer.cpp.o.d"
+  "CMakeFiles/test_core_model.dir/core/test_partition.cpp.o"
+  "CMakeFiles/test_core_model.dir/core/test_partition.cpp.o.d"
+  "CMakeFiles/test_core_model.dir/core/test_predict.cpp.o"
+  "CMakeFiles/test_core_model.dir/core/test_predict.cpp.o.d"
+  "CMakeFiles/test_core_model.dir/core/test_qos.cpp.o"
+  "CMakeFiles/test_core_model.dir/core/test_qos.cpp.o.d"
+  "CMakeFiles/test_core_model.dir/core/test_weighted.cpp.o"
+  "CMakeFiles/test_core_model.dir/core/test_weighted.cpp.o.d"
+  "test_core_model"
+  "test_core_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

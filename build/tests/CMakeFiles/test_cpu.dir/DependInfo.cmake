@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu/test_cache.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/test_cache.cpp.o.d"
+  "/root/repo/tests/cpu/test_core.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/test_core.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/test_core.cpp.o.d"
+  "/root/repo/tests/cpu/test_core_counters.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/test_core_counters.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/test_core_counters.cpp.o.d"
+  "/root/repo/tests/cpu/test_shared_cache.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/test_shared_cache.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/test_shared_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bwpart_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bwpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bwpart_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bwpart_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bwpart_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bwpart_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bwpart_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/test_cache.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_cache.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_core.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_core.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_counters.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_core_counters.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/test_shared_cache.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/test_shared_cache.cpp.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/dram/test_address_map.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_address_map.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_bank.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_bank.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_config.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_config.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_dram_system.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_dram_system.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_multichannel.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_multichannel.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_power.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_power.cpp.o.d"
+  "CMakeFiles/test_dram.dir/dram/test_powerdown_rtrs.cpp.o"
+  "CMakeFiles/test_dram.dir/dram/test_powerdown_rtrs.cpp.o.d"
+  "test_dram"
+  "test_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

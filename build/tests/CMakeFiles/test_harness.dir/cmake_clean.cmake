@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness.dir/harness/test_experiment.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_experiment.cpp.o.d"
+  "CMakeFiles/test_harness.dir/harness/test_system.cpp.o"
+  "CMakeFiles/test_harness.dir/harness/test_system.cpp.o.d"
+  "test_harness"
+  "test_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_model_validation.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_model_validation.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_qos_integration.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_qos_integration.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_scheme_shapes.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_scheme_shapes.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_stress.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_stress.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

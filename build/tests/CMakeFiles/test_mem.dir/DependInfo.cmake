@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/test_atlas_tcm.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_atlas_tcm.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_atlas_tcm.cpp.o.d"
+  "/root/repo/tests/mem/test_batch_frfcfs.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_batch_frfcfs.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_batch_frfcfs.cpp.o.d"
+  "/root/repo/tests/mem/test_controller.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_controller.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_controller.cpp.o.d"
+  "/root/repo/tests/mem/test_controller_timing.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_controller_timing.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_controller_timing.cpp.o.d"
+  "/root/repo/tests/mem/test_related_schedulers.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_related_schedulers.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_related_schedulers.cpp.o.d"
+  "/root/repo/tests/mem/test_schedulers.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_schedulers.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_schedulers.cpp.o.d"
+  "/root/repo/tests/mem/test_write_drain.cpp" "tests/CMakeFiles/test_mem.dir/mem/test_write_drain.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/mem/test_write_drain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bwpart_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bwpart_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bwpart_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bwpart_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/bwpart_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bwpart_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/bwpart_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bwpart_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_atlas_tcm.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_atlas_tcm.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_batch_frfcfs.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_batch_frfcfs.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_controller.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_controller.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_controller_timing.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_controller_timing.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_related_schedulers.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_related_schedulers.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_schedulers.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_schedulers.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_write_drain.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_write_drain.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

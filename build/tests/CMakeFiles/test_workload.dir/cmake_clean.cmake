@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_mixes.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_mixes.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_spec_table.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_spec_table.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_synthetic_trace.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_synthetic_trace.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace_io.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace_io.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
