@@ -1,0 +1,162 @@
+#include "common/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace bwpart::check {
+
+namespace {
+
+void abort_handler(const Violation& v) {
+  std::fprintf(stderr, "bwpart model invariant violated: %s\n  at %s:%d\n",
+               v.what.c_str(), v.file, v.line);
+  std::abort();
+}
+
+std::mutex g_mutex;
+Handler g_handler = &abort_handler;
+std::vector<Violation>* g_recording = nullptr;
+
+void recording_handler(const Violation& v) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  BWPART_ASSERT(g_recording != nullptr, "recorder handler without recorder");
+  g_recording->push_back(v);
+}
+
+}  // namespace
+
+Handler install_handler(Handler h) {
+  BWPART_ASSERT(h != nullptr, "null violation handler");
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Handler prev = g_handler;
+  g_handler = h;
+  return prev;
+}
+
+void report(std::string what, const char* file, int line) {
+  Violation v{std::move(what), file, line};
+  Handler h;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    h = g_handler;
+  }
+  h(v);
+}
+
+namespace {
+// Recorder storage lives outside the class so the handler (a plain function
+// pointer) can reach it.
+std::vector<Violation> g_recorded;
+}  // namespace
+
+Recorder::Recorder() {
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    BWPART_ASSERT(g_recording == nullptr, "nested check::Recorder");
+    g_recorded.clear();
+    g_recording = &g_recorded;
+  }
+  previous_ = install_handler(&recording_handler);
+}
+
+Recorder::~Recorder() {
+  install_handler(previous_);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_recording = nullptr;
+}
+
+const std::vector<Violation>& Recorder::violations() const {
+  return g_recorded;
+}
+
+bool Recorder::caught(std::string_view needle) const {
+  return std::any_of(g_recorded.begin(), g_recorded.end(),
+                     [&](const Violation& v) {
+                       return v.what.find(needle) != std::string::npos;
+                     });
+}
+
+void Recorder::clear() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_recorded.clear();
+}
+
+namespace {
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+std::string
+fmt(const char* where, const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return std::string(where) + ": " + buf;
+}
+}  // namespace
+
+void share_vector(std::span<const double> beta, const char* where) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < beta.size(); ++i) {
+    if (beta[i] < 0.0 || !std::isfinite(beta[i])) {
+      report(fmt(where, "share beta[%zu] = %g is negative or non-finite", i,
+                 beta[i]),
+             __FILE__, __LINE__);
+    }
+    sum += beta[i];
+  }
+  if (std::fabs(sum - 1.0) > kShareSumTol) {
+    report(fmt(where, "share sum %.12g deviates from 1 by %.3g", sum,
+               std::fabs(sum - 1.0)),
+           __FILE__, __LINE__);
+  }
+}
+
+void allocation(std::span<const double> alloc, std::span<const double> caps,
+                double b, double tol, const char* where) {
+  BWPART_ASSERT(alloc.size() == caps.size(), "alloc/caps arity mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    if (alloc[i] < -tol || !std::isfinite(alloc[i])) {
+      report(fmt(where, "allocation[%zu] = %g is negative or non-finite", i,
+                 alloc[i]),
+             __FILE__, __LINE__);
+    }
+    if (alloc[i] > caps[i] + tol) {
+      report(fmt(where, "allocation %g exceeds APC_alone cap %g", alloc[i],
+                 caps[i]),
+             __FILE__, __LINE__);
+    }
+    sum += alloc[i];
+  }
+  const double expect =
+      std::min(b, std::accumulate(caps.begin(), caps.end(), 0.0));
+  if (std::fabs(sum - expect) > tol) {
+    report(fmt(where, "Eq. 2 violated — allocations sum to %g, expected %g",
+               sum, expect),
+           __FILE__, __LINE__);
+  }
+}
+
+void bandwidth_accounting(std::span<const double> per_app, double total,
+                          const char* where) {
+  const double sum = std::accumulate(per_app.begin(), per_app.end(), 0.0);
+  const double scale = std::max({std::fabs(total), std::fabs(sum), 1e-30});
+  if (std::fabs(sum - total) > kAccountingRelTol * scale) {
+    report(fmt(where,
+               "Eq. 2 accounting — per-app APC sums to %g but total "
+               "utilized bandwidth is %g",
+               sum, total),
+           __FILE__, __LINE__);
+  }
+}
+
+}  // namespace bwpart::check

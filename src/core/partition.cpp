@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/assert.hpp"
+#include "common/check.hpp"
 
 namespace bwpart::core {
 
@@ -156,9 +157,12 @@ std::vector<double> compute_shares(Scheme s, std::span<const AppParams> apps,
     BWPART_ASSERT(sum > 0.0, "knapsack allocated nothing");
     std::vector<double> beta(alloc.size());
     for (std::size_t i = 0; i < alloc.size(); ++i) beta[i] = alloc[i] / sum;
+    BWPART_CHECK_RUN(check::share_vector(beta, "compute_shares(priority)"));
     return beta;
   }
-  return normalized(scheme_weights(s, apps));
+  std::vector<double> beta = normalized(scheme_weights(s, apps));
+  BWPART_CHECK_RUN(check::share_vector(beta, "compute_shares"));
+  return beta;
 }
 
 std::vector<double> analytic_allocation(Scheme s,
@@ -169,12 +173,18 @@ std::vector<double> analytic_allocation(Scheme s,
   std::vector<double> caps;
   caps.reserve(apps.size());
   for (const AppParams& a : apps) caps.push_back(a.apc_alone);
+  std::vector<double> alloc;
   if (is_priority_scheme(s)) {
     const std::vector<std::uint32_t> ranks = priority_ranks(s, apps);
-    return knapsack_allocate(caps, ranks, b);
+    alloc = knapsack_allocate(caps, ranks, b);
+  } else {
+    const std::vector<double> w = scheme_weights(s, apps);
+    alloc = waterfill(w, caps, b);
   }
-  const std::vector<double> w = scheme_weights(s, apps);
-  return waterfill(w, caps, b);
+  BWPART_CHECK_RUN(check::allocation(alloc, caps, b,
+                                     1e-9 * std::max(1.0, b),
+                                     "analytic_allocation"));
+  return alloc;
 }
 
 }  // namespace bwpart::core

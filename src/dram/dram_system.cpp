@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/check.hpp"
 
 namespace bwpart::dram {
 
@@ -25,6 +26,10 @@ DramSystem::DramSystem(const DramConfig& cfg, MapScheme scheme)
   const double tick_ns = 1e9 / static_cast<double>(cfg_.bus_clock.hz);
   pd_threshold_ =
       static_cast<Tick>(std::ceil(cfg_.powerdown_idle_ns / tick_ns));
+  stats_.channels = cfg_.channels;
+  if constexpr (check::kEnabled) {
+    checker_ = std::make_unique<ProtocolChecker>(cfg_);
+  }
 }
 
 Bank& DramSystem::bank_at(const Location& loc) {
@@ -125,6 +130,11 @@ void DramSystem::try_refresh(std::uint32_t channel, std::uint32_t rank,
     Bank& bank = bank_at(loc);
     if (bank.row_open()) {
       if (bank.can_precharge(now)) {
+        if (checker_) {
+          const Location pre_loc{channel, rank, b, bank.open_row(), 0};
+          checker_->observe({CommandType::Precharge, pre_loc, kNoApp, 0},
+                            now);
+        }
         bank.precharge(now, t_);
         ++stats_.precharges;
       } else {
@@ -138,6 +148,7 @@ void DramSystem::try_refresh(std::uint32_t channel, std::uint32_t rank,
     Location loc{channel, rank, b, 0, 0};
     if (now < bank_at(loc).next_activate_tick()) return;
   }
+  if (checker_) checker_->observe_refresh(channel, rank, now);
   for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
     Location loc{channel, rank, b, 0, 0};
     bank_at(loc).refresh(now, t_);
@@ -237,6 +248,7 @@ bool DramSystem::can_issue_impl(const Command& cmd, Tick now,
 
 IssueResult DramSystem::issue(const Command& cmd, Tick now) {
   BWPART_ASSERT(can_issue(cmd, now), "issue() without can_issue()");
+  if (checker_) checker_->observe(cmd, now);
   const Location& loc = cmd.loc;
   Bank& bank = bank_at(loc);
   RankState& rank = rank_at(loc.channel, loc.rank);

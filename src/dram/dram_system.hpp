@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
@@ -13,6 +14,7 @@
 #include "dram/bank.hpp"
 #include "dram/command.hpp"
 #include "dram/config.hpp"
+#include "dram/protocol_checker.hpp"
 
 namespace bwpart::dram {
 
@@ -22,17 +24,21 @@ struct DramStats {
   std::uint64_t writes = 0;
   std::uint64_t precharges = 0;  // explicit PRE commands only
   std::uint64_t refreshes = 0;
-  std::uint64_t data_bus_busy_ticks = 0;
+  std::uint64_t data_bus_busy_ticks = 0;  ///< summed over all channels
   std::uint64_t ticks = 0;
   /// Sum over ranks of ticks spent in precharge power-down.
   std::uint64_t powerdown_rank_ticks = 0;
+  /// Number of channels busy ticks are summed over (set by DramSystem).
+  std::uint32_t channels = 1;
 
   std::uint64_t column_accesses() const { return reads + writes; }
-  /// Fraction of ticks the data bus carried data (bandwidth utilization).
+  /// Fraction of tick-channel slots that carried data (bandwidth
+  /// utilization across the whole memory system, always in [0, 1]).
   double bus_utilization() const {
     return ticks == 0 ? 0.0
                       : static_cast<double>(data_bus_busy_ticks) /
-                            static_cast<double>(ticks);
+                            (static_cast<double>(ticks) *
+                             static_cast<double>(channels));
   }
 };
 
@@ -51,7 +57,10 @@ class DramSystem {
   const TimingsTicks& timings() const { return t_; }
   const AddressMap& mapper() const { return map_; }
   const DramStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = DramStats{}; }
+  void reset_stats() {
+    stats_ = DramStats{};
+    stats_.channels = cfg_.channels;
+  }
 
   /// Advances device-internal housekeeping (refresh scheduling) to `now`.
   /// Must be called once per bus tick, before can_issue/issue.
@@ -93,6 +102,10 @@ class DramSystem {
   void notify_rank_pending(std::uint32_t channel, std::uint32_t rank,
                            Tick now);
   bool powered_down(std::uint32_t channel, std::uint32_t rank) const;
+
+  /// The shadow protocol checker validating every issued command, or
+  /// nullptr when the build was configured with BWPART_CHECK=OFF.
+  const ProtocolChecker* protocol_checker() const { return checker_.get(); }
 
  private:
   struct RankState {
@@ -139,6 +152,7 @@ class DramSystem {
   std::vector<Bank> banks_;          // [channel][rank][bank] flattened
   std::vector<RankState> ranks_;     // [channel][rank] flattened
   std::vector<ChannelState> chans_;  // [channel]
+  std::unique_ptr<ProtocolChecker> checker_;  // shadow model (BWPART_CHECK)
   DramStats stats_;
   Tick pd_threshold_ = 0;
   Tick last_tick_ = 0;

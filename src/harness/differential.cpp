@@ -1,0 +1,68 @@
+#include "harness/differential.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace bwpart::harness {
+
+std::uint64_t hash_bytes(const void* data, std::size_t size,
+                         std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_doubles(std::span<const double> values, std::uint64_t h) {
+  for (double v : values) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = hash_bytes(&bits, sizeof(bits), h);
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const RunResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto scheme_byte = static_cast<unsigned char>(r.scheme);
+  h = hash_bytes(&scheme_byte, 1, h);
+  for (const core::AppParams& p : r.params) {
+    const double fields[] = {p.apc_alone, p.api};
+    h = hash_doubles(fields, h);
+  }
+  h = hash_doubles(r.ipc_shared, h);
+  h = hash_doubles(r.apc_shared, h);
+  const double scalars[] = {r.total_apc, r.bus_utilization, r.hsp,
+                            r.wsp,       r.ipcsum,          r.min_fairness};
+  return hash_doubles(scalars, h);
+}
+
+SweepDifference diff_parallel_sweep(
+    std::size_t n, const std::function<std::uint64_t(std::size_t)>& job,
+    std::size_t threads) {
+  std::vector<std::uint64_t> serial(n, 0);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = job(i);
+
+  std::vector<std::uint64_t> parallel(n, 0);
+  parallel_for(
+      n, [&](std::size_t i) { parallel[i] = job(i); }, threads);
+
+  SweepDifference d;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (serial[i] != parallel[i]) {
+      d.identical = false;
+      d.first_mismatch = i;
+      d.serial_fp = serial[i];
+      d.parallel_fp = parallel[i];
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace bwpart::harness

@@ -1,0 +1,43 @@
+// Differential harness: proves that a parallel_for sweep of independent
+// simulations is bit-identical to the serial path. Every CmpSystem is fully
+// self-contained and seeded, so any divergence — a stray shared counter, an
+// RNG reused across jobs, iteration-order-dependent accumulation — is a
+// parallelization bug, and the cheapest way to spot one is to fingerprint
+// every double a job produces and compare the two executions bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "harness/experiment.hpp"
+
+namespace bwpart::harness {
+
+/// FNV-1a over arbitrary bytes, seeded with `h` for chaining.
+std::uint64_t hash_bytes(const void* data, std::size_t size,
+                         std::uint64_t h = 0xcbf29ce484222325ULL);
+
+/// Hashes doubles bit-exactly (no tolerance — the point is bit identity).
+std::uint64_t hash_doubles(std::span<const double> values,
+                           std::uint64_t h = 0xcbf29ce484222325ULL);
+
+/// Bit-exact fingerprint of everything a RunResult carries.
+std::uint64_t fingerprint(const RunResult& r);
+
+struct SweepDifference {
+  bool identical = true;
+  std::size_t first_mismatch = 0;  ///< job index, valid when !identical
+  std::uint64_t serial_fp = 0;     ///< fingerprint of the mismatching job
+  std::uint64_t parallel_fp = 0;
+};
+
+/// Runs `job` over [0, n) twice — once inline in index order, once under
+/// parallel_for with `threads` workers (0 = default parallelism) — and
+/// compares per-job fingerprints. `job` must be safe to invoke twice per
+/// index and concurrently across indices.
+SweepDifference diff_parallel_sweep(
+    std::size_t n, const std::function<std::uint64_t(std::size_t)>& job,
+    std::size_t threads = 0);
+
+}  // namespace bwpart::harness

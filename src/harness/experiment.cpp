@@ -82,6 +82,8 @@ RunResult Experiment::measure_phase(
     sys.run(phases_.measure_cycles);
   }
 
+  sys.check_conservation("Experiment::measure_phase");
+
   RunResult r;
   r.scheme = scheme;
   r.params = std::move(params);

@@ -29,9 +29,15 @@ struct PhaseConfig {
   std::uint64_t seed = 42;
 
   /// The paper's full-scale setting: 10 M-cycle profile + 10 M-cycle
-  /// measurement windows.
-  static PhaseConfig paper_scale() {
-    PhaseConfig p;
+  /// measurement windows. Every non-cycle knob (oracle_alone,
+  /// reprofile_period, seed) is reset to its default; use the overload
+  /// below to keep them from an existing configuration.
+  static PhaseConfig paper_scale() { return paper_scale(PhaseConfig{}); }
+
+  /// Paper-scale cycle counts applied on top of `base`: oracle_alone,
+  /// reprofile_period and seed carry forward unchanged.
+  static PhaseConfig paper_scale(const PhaseConfig& base) {
+    PhaseConfig p = base;
     p.warmup_cycles = 2'000'000;
     p.profile_cycles = 10'000'000;
     p.measure_cycles = 10'000'000;

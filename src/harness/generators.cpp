@@ -1,0 +1,76 @@
+#include "harness/generators.hpp"
+
+#include "common/pbt.hpp"
+
+namespace bwpart::harness::gen {
+
+core::AppParams app_params(Rng& rng) {
+  core::AppParams p;
+  p.apc_alone = pbt::gen_log_double(rng, 1e-3, 0.12);
+  p.api = pbt::gen_log_double(rng, 5e-4, 0.05);
+  return p;
+}
+
+std::vector<core::AppParams> workload(Rng& rng, std::size_t min_apps,
+                                      std::size_t max_apps) {
+  const std::size_t n =
+      static_cast<std::size_t>(pbt::gen_uint(rng, min_apps, max_apps));
+  std::vector<core::AppParams> apps;
+  apps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) apps.push_back(app_params(rng));
+  return apps;
+}
+
+double bandwidth(Rng& rng, std::span<const core::AppParams> apps) {
+  double demand = 0.0;
+  for (const core::AppParams& a : apps) demand += a.apc_alone;
+  return pbt::gen_double(rng, 0.3, 1.3) * demand;
+}
+
+core::Scheme scheme(Rng& rng) {
+  const std::size_t n = std::size(core::kAllSchemes);
+  return core::kAllSchemes[rng.next_below(n)];
+}
+
+std::vector<workload::BenchmarkSpec> mix(Rng& rng, std::size_t min_apps,
+                                         std::size_t max_apps) {
+  const std::span<const workload::BenchmarkSpec> table =
+      workload::spec2006_table();
+  const std::size_t n =
+      static_cast<std::size_t>(pbt::gen_uint(rng, min_apps, max_apps));
+  std::vector<workload::BenchmarkSpec> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(table[rng.next_below(table.size())]);
+  }
+  return out;
+}
+
+SystemConfig system_config(Rng& rng) {
+  SystemConfig cfg;
+  cfg.dram = rng.next_bool(0.5) ? dram::DramConfig::ddr2_400()
+                                : dram::DramConfig::ddr2_800();
+  // The address map needs power-of-two dimensions in every coordinate.
+  cfg.dram.channels = static_cast<std::uint32_t>(pbt::gen_uint(rng, 1, 2));
+  cfg.dram.ranks = 1u << pbt::gen_uint(rng, 0, 2);
+  cfg.dram.banks_per_rank = rng.next_bool(0.5) ? 4u : 8u;
+  cfg.dram.page_policy =
+      rng.next_bool(0.5) ? dram::PagePolicy::Close : dram::PagePolicy::Open;
+  cfg.dram.enable_refresh = rng.next_bool(0.75);
+  cfg.queue_capacity_per_app =
+      static_cast<std::size_t>(pbt::gen_uint(rng, 8, 32));
+  cfg.queue_capacity_shared = 2 * cfg.queue_capacity_per_app;
+  cfg.dstf_row_hit_window = rng.next_bool(0.3) ? 4.0 : 0.0;
+  return cfg;
+}
+
+PhaseConfig phase_config(Rng& rng) {
+  PhaseConfig p;
+  p.warmup_cycles = 2'000;
+  p.profile_cycles = static_cast<Cycle>(pbt::gen_uint(rng, 10'000, 30'000));
+  p.measure_cycles = static_cast<Cycle>(pbt::gen_uint(rng, 10'000, 30'000));
+  p.seed = rng.next_u64();
+  return p;
+}
+
+}  // namespace bwpart::harness::gen

@@ -1,0 +1,51 @@
+// Seeded random generators for the property-based test suites: workloads
+// (AppParams vectors and benchmark mixes), machine/phase configurations,
+// and partitioning inputs. They live in the harness layer because they span
+// every module below it; the PBT engine itself (common/pbt.hpp) is
+// domain-agnostic.
+//
+// Ranges are chosen to bracket the paper's Table III / Table II values —
+// APC_alone spanning the low/middle/high intensity classes, API up to
+// streaming-benchmark levels, DDR2/DDR3-class machines — so random cases
+// stay physically meaningful while covering well beyond the fixtures.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/app_params.hpp"
+#include "core/partition.hpp"
+#include "harness/experiment.hpp"
+#include "harness/system.hpp"
+#include "workload/spec_table.hpp"
+
+namespace bwpart::harness::gen {
+
+/// One application: APC_alone log-uniform over the paper's intensity
+/// classes (~1e-3 .. 0.12 accesses/cycle), API log-uniform (5e-4 .. 0.05).
+core::AppParams app_params(Rng& rng);
+
+/// A workload of uniformly many apps in [min_apps, max_apps].
+std::vector<core::AppParams> workload(Rng& rng, std::size_t min_apps,
+                                      std::size_t max_apps);
+
+/// A bandwidth budget B for `apps`: uniform between 30% and 130% of the
+/// summed demand, so both contended and under-committed regimes appear.
+double bandwidth(Rng& rng, std::span<const core::AppParams> apps);
+
+/// Any of the seven partitioning schemes, uniformly.
+core::Scheme scheme(Rng& rng);
+
+/// A benchmark mix sampled (with replacement) from the paper's Table III.
+std::vector<workload::BenchmarkSpec> mix(Rng& rng, std::size_t min_apps,
+                                         std::size_t max_apps);
+
+/// A small machine: 1-2 channels, 1-4 ranks, 4-8 banks, open or close page,
+/// DDR2-400/800 bus — sized so property tests stay fast.
+SystemConfig system_config(Rng& rng);
+
+/// Short phase windows (tens of thousands of cycles) with a random seed
+/// derived from `rng` — intended for randomized end-to-end runs.
+PhaseConfig phase_config(Rng& rng);
+
+}  // namespace bwpart::harness::gen

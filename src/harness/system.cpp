@@ -1,6 +1,9 @@
 #include "harness/system.hpp"
 
+#include <cstdio>
+
 #include "common/assert.hpp"
+#include "common/check.hpp"
 
 namespace bwpart::harness {
 
@@ -145,6 +148,38 @@ double CmpSystem::measured_total_apc() const {
   double total = 0.0;
   for (double apc : measured_apc()) total += apc;
   return total;
+}
+
+void CmpSystem::check_conservation(const char* where) const {
+  if constexpr (!check::kEnabled) {
+    (void)where;
+    return;
+  }
+  // Eq. 2 over the measured window: sum_i APC_shared,i == B.
+  check::bandwidth_accounting(measured_apc(), measured_total_apc(), where);
+  // Double-entry bookkeeping across layers: the controller counts a request
+  // when its data is delivered, the DRAM engine when the column command
+  // issues, so the two totals may differ only by requests in flight at the
+  // window edges (bounded by the queue capacity).
+  std::uint64_t served = 0;
+  for (AppId a = 0; a < num_apps(); ++a) {
+    served += controller_->app_stats(a).served();
+  }
+  const std::uint64_t dram_cols =
+      controller_->dram().stats().column_accesses();
+  const std::uint64_t slack = controller_->queue_capacity_bound();
+  const std::uint64_t diff =
+      served > dram_cols ? served - dram_cols : dram_cols - served;
+  if (diff > slack) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s: Eq. 2 accounting — controller served %llu requests "
+                  "but DRAM issued %llu column accesses (slack %llu)",
+                  where, static_cast<unsigned long long>(served),
+                  static_cast<unsigned long long>(dram_cols),
+                  static_cast<unsigned long long>(slack));
+    check::report(buf, __FILE__, __LINE__);
+  }
 }
 
 }  // namespace bwpart::harness

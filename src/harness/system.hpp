@@ -90,6 +90,12 @@ class CmpSystem {
   /// Total utilized bandwidth in APC units over the window (the model's B).
   double measured_total_apc() const;
 
+  /// Eq. 2 conservation audit (compiled in under BWPART_CHECK): per-app APC
+  /// must sum to B, and the controller's per-app served counters must agree
+  /// with the DRAM engine's independently maintained column-access counter
+  /// up to the in-flight slack. Violations go through check::report.
+  void check_conservation(const char* where) const;
+
  private:
   SystemConfig cfg_;
   std::vector<workload::BenchmarkSpec> apps_;

@@ -5,6 +5,7 @@
 // IV-C: bus and bank conflicts between applications).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -115,6 +116,15 @@ class MemoryController {
 
   std::size_t pending_requests(AppId app) const;
   std::size_t pending_requests_total() const { return queue_.size(); }
+
+  /// Upper bound on requests that can ever be queued or in flight at once,
+  /// across both admission modes — the slack term for cross-layer
+  /// conservation checks (commands the DRAM counted whose data the
+  /// controller has not yet delivered, or vice versa across a stats reset).
+  std::size_t queue_capacity_bound() const {
+    return std::max(shared_capacity_,
+                    static_cast<std::size_t>(num_apps_) * per_app_capacity_);
+  }
 
  private:
   void run_bus_tick(dram::Tick now);

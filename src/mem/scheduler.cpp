@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/check.hpp"
 
 namespace bwpart::mem {
 
@@ -115,6 +116,8 @@ bool StartTimeFairScheduler::before(const MemRequest& a, const MemRequest& b,
 
 void StartTimeFairScheduler::set_shares(std::span<const double> beta) {
   BWPART_ASSERT(beta.size() == increment_.size(), "share vector arity");
+  BWPART_CHECK_RUN(
+      check::share_vector(beta, "StartTimeFairScheduler::set_shares"));
   for (std::size_t i = 0; i < beta.size(); ++i) {
     BWPART_ASSERT(beta[i] >= 0.0, "negative share");
     // A zero share would starve the app entirely; clamp so every app makes
@@ -156,6 +159,8 @@ bool ClassicDstfScheduler::before(const MemRequest& a, const MemRequest& b,
 
 void ClassicDstfScheduler::set_shares(std::span<const double> beta) {
   BWPART_ASSERT(beta.size() == increment_.size(), "share vector arity");
+  BWPART_CHECK_RUN(
+      check::share_vector(beta, "ClassicDstfScheduler::set_shares"));
   for (std::size_t i = 0; i < beta.size(); ++i) {
     increment_[i] = 1.0 / std::max(beta[i], 1e-6);
   }

@@ -97,6 +97,54 @@ TEST(Qos, PriorityBestEffortStarvesWithinBestEffortGroupOnly) {
   EXPECT_NEAR(plan.apc_shared[3], 0.6 * 0.0046, 1e-12);
 }
 
+TEST(Qos, ReservationsExactlyFillingBandwidthAreFeasible) {
+  // Boundary of the infeasibility test: b_qos == b is still feasible; the
+  // best-effort group simply gets nothing.
+  const std::vector<AppParams> apps{{0.004, 0.01}, {0.002, 0.02}};
+  const double reserve = 0.1 * 0.01;  // app 0's full request
+  const QosRequirement req{0, 0.1};
+  const QosPlan plan =
+      qos_allocate(apps, std::span(&req, 1), reserve, Scheme::SquareRoot);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.b_best_effort, 0.0);
+  EXPECT_NEAR(plan.apc_shared[0], reserve, 1e-12);
+  EXPECT_DOUBLE_EQ(plan.apc_shared[1], 0.0);
+  // ... and one epsilon beyond the budget flips to infeasible.
+  const QosPlan over = qos_allocate(apps, std::span(&req, 1),
+                                    reserve * (1.0 - 1e-9), Scheme::SquareRoot);
+  EXPECT_FALSE(over.feasible);
+}
+
+TEST(Qos, ZeroApiAppReservesNothing) {
+  // A compute-bound guaranteed app (API == 0) needs no bandwidth for any
+  // IPC target: B_QoS = IPC_target * API = 0, so the whole budget stays
+  // with the best-effort group.
+  const std::vector<AppParams> apps{{0.004, 0.0}, {0.002, 0.02}};
+  const QosRequirement req{0, 3.5};
+  const QosPlan plan =
+      qos_allocate(apps, std::span(&req, 1), 0.001, Scheme::Proportional);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_DOUBLE_EQ(plan.b_qos, 0.0);
+  EXPECT_DOUBLE_EQ(plan.apc_shared[0], 0.0);
+  EXPECT_NEAR(plan.b_best_effort, 0.001, 1e-15);
+  EXPECT_NEAR(plan.apc_shared[1], 0.001, 1e-12);
+}
+
+TEST(Qos, SingleBestEffortAppTakesTheWholeRemainder) {
+  const std::vector<AppParams> apps{{0.004, 0.01}, {0.006, 0.02}};
+  const QosRequirement req{0, 0.2};  // reserves 0.002
+  // Remainder 0.004 is below app 1's cap: it takes all of it.
+  const QosPlan under =
+      qos_allocate(apps, std::span(&req, 1), 0.006, Scheme::Equal);
+  ASSERT_TRUE(under.feasible);
+  EXPECT_NEAR(under.apc_shared[1], 0.004, 1e-12);
+  // Remainder 0.008 exceeds the cap: the allocation saturates at APC_alone.
+  const QosPlan over =
+      qos_allocate(apps, std::span(&req, 1), 0.010, Scheme::Equal);
+  ASSERT_TRUE(over.feasible);
+  EXPECT_NEAR(over.apc_shared[1], 0.006, 1e-12);
+}
+
 TEST(Qos, AllAppsGuaranteedLeavesNoBestEffort) {
   const std::vector<AppParams> apps{{0.004, 0.01}, {0.002, 0.02}};
   const std::vector<QosRequirement> reqs{{0, 0.1}, {1, 0.05}};

@@ -20,6 +20,32 @@ Experiment make_experiment() {
   return Experiment(SystemConfig{}, apps, quick_phases());
 }
 
+TEST(PhaseConfig, PaperScaleSetsTheSectionVBWindows) {
+  const PhaseConfig p = PhaseConfig::paper_scale();
+  EXPECT_EQ(p.warmup_cycles, 2'000'000u);
+  EXPECT_EQ(p.profile_cycles, 10'000'000u);
+  EXPECT_EQ(p.measure_cycles, 10'000'000u);
+  // The zero-argument form resets the non-cycle knobs to their defaults.
+  EXPECT_FALSE(p.oracle_alone);
+  EXPECT_EQ(p.reprofile_period, 0u);
+  EXPECT_EQ(p.seed, PhaseConfig{}.seed);
+}
+
+TEST(PhaseConfig, PaperScaleOverloadCarriesNonCycleKnobsForward) {
+  PhaseConfig base;
+  base.oracle_alone = true;
+  base.reprofile_period = 123'456;
+  base.seed = 777;
+  base.warmup_cycles = 1;  // must be overridden
+  const PhaseConfig p = PhaseConfig::paper_scale(base);
+  EXPECT_EQ(p.warmup_cycles, 2'000'000u);
+  EXPECT_EQ(p.profile_cycles, 10'000'000u);
+  EXPECT_EQ(p.measure_cycles, 10'000'000u);
+  EXPECT_TRUE(p.oracle_alone);
+  EXPECT_EQ(p.reprofile_period, 123'456u);
+  EXPECT_EQ(p.seed, 777u);
+}
+
 TEST(Experiment, RunProducesCompleteResult) {
   const RunResult r = make_experiment().run(core::Scheme::Equal);
   EXPECT_EQ(r.scheme, core::Scheme::Equal);

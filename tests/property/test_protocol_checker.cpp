@@ -1,0 +1,213 @@
+// The shadow DRAM protocol checker: (a) differential property — random
+// request streams driven through the real engine must produce zero shadow
+// violations (engine and checker re-derive the JEDEC rules independently);
+// (b) negative tests — hand-written command streams that break tFAW, tRCD,
+// tRP, tRAS and row-state ordering must each be caught and named.
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/pbt.hpp"
+#include "dram/dram_system.hpp"
+#include "dram/protocol_checker.hpp"
+
+namespace bwpart::dram {
+namespace {
+
+// DDR2-400 tick values (5 ns bus tick): rcd=rp=cl=3, ras=8, rrd=2, faw=8,
+// rtp=wtr=ccd=2, wr=3, burst=4. The tFAW tests stretch tfaw to 100 ns
+// (20 ticks) so a tFAW break can be staged without also breaking tRRD
+// (at stock DDR2-400, 4 x rrd == faw makes that impossible).
+DramConfig faw_stretched() {
+  DramConfig cfg = DramConfig::ddr2_400();
+  cfg.t.tfaw = 100.0;
+  return cfg;
+}
+
+Command act(std::uint32_t bank, std::uint64_t row) {
+  return Command{CommandType::Activate, Location{0, 0, bank, row, 0}, 0, 0};
+}
+Command rd(std::uint32_t bank, std::uint64_t row) {
+  return Command{CommandType::Read, Location{0, 0, bank, row, 0}, 0, 0};
+}
+Command pre(std::uint32_t bank) {
+  return Command{CommandType::Precharge, Location{0, 0, bank, 0, 0}, 0, 0};
+}
+
+TEST(ProtocolCheckerNegative, LegalCloseRowSequencePasses) {
+  check::Recorder rec;
+  ProtocolChecker pc(DramConfig::ddr2_400());
+  EXPECT_EQ(pc.observe(act(0, 7), 0), 0);
+  EXPECT_EQ(pc.observe(rd(0, 7), 3), 0);    // tRCD = 3 satisfied
+  EXPECT_EQ(pc.observe(pre(0), 8), 0);      // tRAS = 8, tRTP = 2 satisfied
+  EXPECT_EQ(pc.observe(act(0, 9), 11), 0);  // tRP = 3 satisfied
+  EXPECT_EQ(pc.violations(), 0u);
+  EXPECT_EQ(pc.commands_checked(), 4u);
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(ProtocolCheckerNegative, FifthActivateInsideFawWindowIsCaught) {
+  check::Recorder rec;
+  ProtocolChecker pc(faw_stretched());  // faw = 20 ticks, rrd = 2 ticks
+  // Four ACTs to distinct banks, 3 ticks apart: tRRD satisfied, window
+  // legal (only 4 in flight).
+  EXPECT_EQ(pc.observe(act(0, 1), 0), 0);
+  EXPECT_EQ(pc.observe(act(1, 1), 3), 0);
+  EXPECT_EQ(pc.observe(act(2, 1), 6), 0);
+  EXPECT_EQ(pc.observe(act(3, 1), 9), 0);
+  ASSERT_EQ(rec.count(), 0u);
+  // Fifth ACT at tick 12: 12 - 0 < 20, tRRD still fine (12 - 9 = 3 >= 2).
+  EXPECT_EQ(pc.observe(act(4, 1), 12), 1);
+  EXPECT_TRUE(rec.caught("tFAW")) << "violations: " << rec.count();
+  EXPECT_FALSE(rec.caught("tRRD"));
+  // At tick 23 the window has slid past ACT@3 (23 - 3 >= 20): legal again.
+  rec.clear();
+  EXPECT_EQ(pc.observe(act(5, 1), 23), 0);
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(ProtocolCheckerNegative, ColumnBeforeTrcdIsCaught) {
+  check::Recorder rec;
+  ProtocolChecker pc(DramConfig::ddr2_400());
+  EXPECT_EQ(pc.observe(act(0, 5), 0), 0);
+  EXPECT_EQ(pc.observe(rd(0, 5), 1), 1);  // 1 < 0 + tRCD(3)
+  EXPECT_TRUE(rec.caught("tRCD"));
+  EXPECT_FALSE(rec.caught("row-state"));
+}
+
+TEST(ProtocolCheckerNegative, ActivateBeforePrechargeRecoveryIsCaught) {
+  check::Recorder rec;
+  ProtocolChecker pc(DramConfig::ddr2_400());
+  EXPECT_EQ(pc.observe(act(0, 5), 0), 0);
+  EXPECT_EQ(pc.observe(pre(0), 8), 0);     // tRAS satisfied exactly
+  EXPECT_EQ(pc.observe(act(0, 6), 9), 1);  // 9 < 8 + tRP(3)
+  EXPECT_TRUE(rec.caught("tRP"));
+  EXPECT_FALSE(rec.caught("tRAS"));
+}
+
+TEST(ProtocolCheckerNegative, PrechargeBeforeTrasIsCaught) {
+  check::Recorder rec;
+  ProtocolChecker pc(DramConfig::ddr2_400());
+  EXPECT_EQ(pc.observe(act(0, 5), 0), 0);
+  EXPECT_EQ(pc.observe(pre(0), 4), 1);  // 4 < tRAS(8)
+  EXPECT_TRUE(rec.caught("tRAS"));
+}
+
+TEST(ProtocolCheckerNegative, RowStateOrderingIsCaught) {
+  check::Recorder rec;
+  ProtocolChecker pc(DramConfig::ddr2_400());
+  // Column access to a bank that was never activated.
+  EXPECT_EQ(pc.observe(rd(2, 5), 0), 1);
+  EXPECT_TRUE(rec.caught("row-state"));
+  rec.clear();
+  // ACT on top of an already open row.
+  EXPECT_EQ(pc.observe(act(3, 1), 10), 0);
+  EXPECT_EQ(pc.observe(act(3, 2), 40), 1);
+  EXPECT_TRUE(rec.caught("row-state"));
+  rec.clear();
+  // The shadow applied the (bad) ACT so row 2 is now open; reading the old
+  // row must flag a row mismatch.
+  EXPECT_EQ(pc.observe(rd(3, 1), 44), 1);
+  EXPECT_TRUE(rec.caught("row-state"));
+}
+
+TEST(ProtocolCheckerNegative, ActDuringRefreshIsCaught) {
+  check::Recorder rec;
+  ProtocolChecker pc(DramConfig::ddr2_400());
+  EXPECT_EQ(pc.observe_refresh(0, 0, 0), 0);
+  // tRFC = ceil(127.5/5) = 26 ticks; ACT at tick 10 lands inside it.
+  EXPECT_EQ(pc.observe(act(0, 1), 10), 1);
+  EXPECT_TRUE(rec.caught("tRFC"));
+}
+
+// ---------------------------------------------------------------------------
+// Differential property: whatever the engine issues, the shadow agrees.
+
+struct StreamCase {
+  DramConfig cfg;
+  std::uint64_t seed = 0;
+  int ticks = 0;
+};
+
+pbt::GenFn<StreamCase> stream_case_gen() {
+  return [](Rng& rng) {
+    StreamCase c;
+    c.cfg = rng.next_bool(0.5) ? DramConfig::ddr2_400()
+                               : DramConfig::ddr2_800();
+    // Geometry must stay a power of two for the address map.
+    c.cfg.channels = static_cast<std::uint32_t>(pbt::gen_uint(rng, 1, 2));
+    c.cfg.ranks = rng.next_bool(0.5) ? 1u : 2u;
+    c.cfg.banks_per_rank = rng.next_bool(0.5) ? 4u : 8u;
+    c.cfg.page_policy =
+        rng.next_bool(0.5) ? PagePolicy::Open : PagePolicy::Close;
+    c.cfg.enable_refresh = rng.next_bool(0.75);
+    c.seed = rng.next_u64();
+    c.ticks = static_cast<int>(pbt::gen_uint(rng, 500, 1500));
+    return c;
+  };
+}
+
+std::string print_stream_case(const StreamCase& c) {
+  std::ostringstream os;
+  os << "bus=" << (c.cfg.bus_clock.mhz()) << "MHz ch=" << c.cfg.channels
+     << " ranks=" << c.cfg.ranks << " banks=" << c.cfg.banks_per_rank
+     << " page=" << (c.cfg.page_policy == PagePolicy::Open ? "open" : "close")
+     << " refresh=" << c.cfg.enable_refresh << " seed=" << c.seed
+     << " ticks=" << c.ticks;
+  return os.str();
+}
+
+TEST(ProtocolCheckerProperty, EngineStreamsNeverViolateShadowRules) {
+  if constexpr (!check::kEnabled) {
+    GTEST_SKIP() << "BWPART_CHECK is compiled out";
+  }
+  check::Recorder rec;  // a disagreement fails the test instead of aborting
+  std::uint64_t total_checked = 0;
+  const pbt::Result r = pbt::for_all<StreamCase>(
+      "engine-vs-shadow", stream_case_gen(),
+      [&rec, &total_checked](const StreamCase& c) -> std::string {
+        rec.clear();
+        DramSystem dram(c.cfg);
+        Rng rng(c.seed);
+        for (Tick now = 0; now < static_cast<Tick>(c.ticks); ++now) {
+          dram.tick(now);
+          // A couple of issue attempts per tick at random hot locations.
+          for (int attempt = 0; attempt < 2; ++attempt) {
+            Location loc{};
+            loc.channel = static_cast<std::uint32_t>(
+                rng.next_below(c.cfg.channels));
+            loc.rank =
+                static_cast<std::uint32_t>(rng.next_below(c.cfg.ranks));
+            loc.bank = static_cast<std::uint32_t>(
+                rng.next_below(c.cfg.banks_per_rank));
+            loc.row = rng.next_below(8);  // few rows -> frequent conflicts
+            loc.column = static_cast<std::uint32_t>(rng.next_below(64));
+            const AccessType at =
+                rng.next_bool(0.3) ? AccessType::Write : AccessType::Read;
+            const Command cmd{dram.required_command(loc, at), loc, 0, 0};
+            if (dram.can_issue(cmd, now)) dram.issue(cmd, now);
+          }
+        }
+        const ProtocolChecker* pc = dram.protocol_checker();
+        if (pc == nullptr) return "checker not attached";
+        total_checked += pc->commands_checked();
+        if (pc->violations() != 0 || rec.count() != 0) {
+          std::ostringstream os;
+          os << pc->violations() << " shadow violations; first: "
+             << (rec.violations().empty() ? "<none recorded>"
+                                          : rec.violations().front().what);
+          return os.str();
+        }
+        return {};
+      },
+      {}, nullptr, print_stream_case);
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_GE(r.cases_run, 200);
+  EXPECT_GT(total_checked, 0u) << "streams issued no commands at all";
+}
+
+}  // namespace
+}  // namespace bwpart::dram

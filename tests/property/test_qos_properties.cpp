@@ -1,0 +1,146 @@
+// QoS-guaranteed partitioning (Section III-G) under randomized workloads:
+// feasibility is exactly the budget test, reservations are honoured to the
+// last bit, the best-effort group conserves the remainder (Eq. 2 on the
+// sub-workload), and shares stay normalized.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/pbt.hpp"
+#include "core/qos.hpp"
+#include "harness/generators.hpp"
+
+namespace bwpart::core {
+namespace {
+
+struct QosCase {
+  std::vector<AppParams> apps;
+  std::vector<QosRequirement> reqs;
+  double b = 0.0;
+  Scheme be_scheme = Scheme::SquareRoot;
+};
+
+pbt::GenFn<QosCase> qos_case_gen() {
+  return [](Rng& rng) {
+    QosCase c;
+    c.apps = harness::gen::workload(rng, 2, 8);
+    c.b = harness::gen::bandwidth(rng, c.apps);
+    c.be_scheme = harness::gen::scheme(rng);
+    // Guarantee a random subset (possibly every app); targets are a random
+    // fraction of IPC_alone, so each reservation is per-app reachable.
+    const std::size_t k = static_cast<std::size_t>(
+        pbt::gen_uint(rng, 1, c.apps.size()));
+    std::vector<std::uint32_t> idx(c.apps.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(rng.next_below(idx.size() - i));
+      std::swap(idx[i], idx[j]);
+      const double frac = pbt::gen_double(rng, 0.05, 0.95);
+      c.reqs.push_back(
+          QosRequirement{idx[i], frac * c.apps[idx[i]].ipc_alone()});
+    }
+    return c;
+  };
+}
+
+std::string print_qos_case(const QosCase& c) {
+  std::ostringstream os;
+  os << "B=" << c.b << " be=" << to_string(c.be_scheme) << " apps={";
+  for (const AppParams& a : c.apps) {
+    os << "(" << a.apc_alone << "," << a.api << ")";
+  }
+  os << "} reqs={";
+  for (const QosRequirement& r : c.reqs) {
+    os << "(" << r.app_index << "@" << r.ipc_target << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+TEST(QosProperties, PlanHonoursReservationsAndConservesBandwidth) {
+  const pbt::Result r = pbt::for_all<QosCase>(
+      "qos-plan", qos_case_gen(),
+      [](const QosCase& c) -> std::string {
+        // Independent feasibility prediction, accumulated in request order
+        // exactly as qos_allocate does.
+        double b_qos = 0.0;
+        for (const QosRequirement& req : c.reqs) {
+          b_qos += req.ipc_target * c.apps[req.app_index].api;
+        }
+        const QosPlan plan = qos_allocate(c.apps, c.reqs, c.b, c.be_scheme);
+        if (plan.feasible != (b_qos <= c.b)) {
+          return plan.feasible ? "feasible despite over-committed budget"
+                               : "infeasible despite fitting budget";
+        }
+        if (!plan.feasible) return {};
+
+        if (std::abs(plan.b_qos - b_qos) > 1e-12 * std::max(1.0, b_qos)) {
+          return "b_qos differs from the sum of reservations";
+        }
+        std::vector<bool> is_qos(c.apps.size(), false);
+        double be_caps = 0.0;
+        for (const QosRequirement& req : c.reqs) {
+          is_qos[req.app_index] = true;
+          const double reserve = req.ipc_target * c.apps[req.app_index].api;
+          const double got = plan.apc_shared[req.app_index];
+          if (std::abs(got - reserve) > 1e-12 * std::max(1.0, reserve)) {
+            std::ostringstream os;
+            os << "app " << req.app_index << " reserved " << reserve
+               << " but got " << got;
+            return os.str();
+          }
+        }
+        for (std::size_t i = 0; i < c.apps.size(); ++i) {
+          if (!is_qos[i]) be_caps += c.apps[i].apc_alone;
+        }
+        // Eq. 2 on the whole plan: QoS reservations plus the best-effort
+        // group's min(remainder, its demand).
+        const double expect_total =
+            plan.b_qos + std::min(plan.b_best_effort, be_caps);
+        const double total = std::accumulate(
+            plan.apc_shared.begin(), plan.apc_shared.end(), 0.0);
+        if (std::abs(total - expect_total) >
+            1e-9 * std::max(1.0, expect_total)) {
+          return "plan total != b_qos + min(b_best_effort, be demand)";
+        }
+        const double beta_sum =
+            std::accumulate(plan.beta.begin(), plan.beta.end(), 0.0);
+        if (std::abs(beta_sum - 1.0) > check::kShareSumTol) {
+          return "beta does not sum to 1";
+        }
+        for (const double x : plan.beta) {
+          if (!(x >= 0.0)) return "negative beta";
+        }
+        return {};
+      },
+      {}, nullptr, print_qos_case);
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_GE(r.cases_run, 200);
+}
+
+TEST(QosProperties, UnreachableTargetsAreAlwaysInfeasible) {
+  const pbt::Result r = pbt::for_all<QosCase>(
+      "qos-unreachable", qos_case_gen(),
+      [](const QosCase& c) -> std::string {
+        // Overshoot one app's standalone IPC: no budget can make this
+        // feasible (the app cannot consume that much bandwidth).
+        std::vector<QosRequirement> reqs = c.reqs;
+        reqs.front().ipc_target =
+            1.5 * c.apps[reqs.front().app_index].ipc_alone();
+        const QosPlan plan = qos_allocate(c.apps, reqs, c.b, c.be_scheme);
+        return plan.feasible ? "plan feasible despite unreachable target"
+                             : std::string();
+      },
+      {}, nullptr, print_qos_case);
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_GE(r.cases_run, 200);
+}
+
+}  // namespace
+}  // namespace bwpart::core
