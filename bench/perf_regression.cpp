@@ -1,0 +1,160 @@
+// Performance regression harness for the event-driven fast-forward engine.
+//
+// Runs a Fig. 2-shaped sweep (paper mixes x partitioning schemes, serial so
+// wall-clock is comparable) twice — once with SystemConfig::fast_forward on
+// (the default engine) and once with the reference cycle-by-cycle loop —
+// then checks the two sweeps are bit-identical via RunResult fingerprints
+// and reports the speedup.
+//
+//   perf_regression [--quick] [--seed N] [--out FILE]
+//
+// Emits a JSON report (default BENCH_perf.json) with wall-clock seconds,
+// simulated CPU cycles per second for both engines, the speedup, and the
+// divergence flag. The exit code is nonzero ONLY if the fast engine's
+// results diverge from the reference — a slow machine never fails the run,
+// so CI can gate on correctness while archiving the perf numbers.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/differential.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace bwpart;
+using Clock = std::chrono::steady_clock;
+
+struct SweepResult {
+  double seconds = 0.0;
+  std::uint64_t simulated_cycles = 0;
+  std::vector<std::uint64_t> fingerprints;
+};
+
+SweepResult run_sweep(bool fast_forward,
+                      std::span<const workload::MixSpec> mixes,
+                      const harness::PhaseConfig& phases) {
+  harness::SystemConfig machine;
+  machine.fast_forward = fast_forward;
+  const Cycle cycles_per_run =
+      phases.warmup_cycles + phases.profile_cycles + phases.measure_cycles;
+  SweepResult out;
+  const auto start = Clock::now();
+  for (const workload::MixSpec& mix : mixes) {
+    const auto apps = workload::resolve_mix(mix);
+    const harness::Experiment experiment(machine, apps, phases);
+    for (const core::Scheme s : core::kAllSchemes) {
+      out.fingerprints.push_back(harness::fingerprint(experiment.run(s)));
+      out.simulated_cycles += cycles_per_run;
+    }
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_perf.json";
+  // Strip --out before handing the rest to the shared option parser.
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const bench::Options opt = bench::parse_options(
+      static_cast<int>(rest.size()), rest.data(), 400'000);
+
+  // --quick (CI smoke): two mixes, quarter windows. Full: the complete
+  // Table IV portfolio (7 homogeneous + 7 heterogeneous mixes) — the same
+  // sweep the Fig. 2 evaluation runs, so the reported speedup is the one a
+  // real experiment sees.
+  std::vector<workload::MixSpec> mixes;
+  if (opt.quick) {
+    mixes = {workload::hetero_mixes()[0], workload::homo_mixes()[0]};
+  } else {
+    const auto all = workload::paper_mixes();
+    mixes.assign(all.begin(), all.end());
+  }
+
+  std::fprintf(stderr, "sweep: %zu mixes x %zu schemes, %llu cycles each\n",
+               mixes.size(), std::size(core::kAllSchemes),
+               static_cast<unsigned long long>(opt.phases.warmup_cycles +
+                                               opt.phases.profile_cycles +
+                                               opt.phases.measure_cycles));
+  std::fprintf(stderr, "running fast-forward engine...\n");
+  const SweepResult fast = run_sweep(true, mixes, opt.phases);
+  std::fprintf(stderr, "  %.3f s\nrunning reference engine...\n",
+               fast.seconds);
+  const SweepResult ref = run_sweep(false, mixes, opt.phases);
+  std::fprintf(stderr, "  %.3f s\n", ref.seconds);
+
+  bool identical = fast.fingerprints.size() == ref.fingerprints.size();
+  std::size_t first_mismatch = 0;
+  if (identical) {
+    for (std::size_t i = 0; i < fast.fingerprints.size(); ++i) {
+      if (fast.fingerprints[i] != ref.fingerprints[i]) {
+        identical = false;
+        first_mismatch = i;
+        break;
+      }
+    }
+  }
+
+  const double speedup =
+      fast.seconds > 0.0 ? ref.seconds / fast.seconds : 0.0;
+  const double fast_cps =
+      fast.seconds > 0.0
+          ? static_cast<double>(fast.simulated_cycles) / fast.seconds
+          : 0.0;
+  const double ref_cps =
+      ref.seconds > 0.0
+          ? static_cast<double>(ref.simulated_cycles) / ref.seconds
+          : 0.0;
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"sweep\": {\"mixes\": %zu, \"schemes\": %zu, "
+               "\"runs\": %zu, \"simulated_cycles\": %llu},\n"
+               "  \"fast_forward\": {\"seconds\": %.6f, "
+               "\"cycles_per_second\": %.0f},\n"
+               "  \"reference\": {\"seconds\": %.6f, "
+               "\"cycles_per_second\": %.0f},\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"identical\": %s\n"
+               "}\n",
+               mixes.size(), std::size(core::kAllSchemes),
+               fast.fingerprints.size(),
+               static_cast<unsigned long long>(fast.simulated_cycles),
+               fast.seconds, fast_cps, ref.seconds, ref_cps, speedup,
+               identical ? "true" : "false");
+  std::fclose(f);
+
+  std::printf("fast-forward: %8.3f s  (%.2fM simulated cycles/s)\n",
+              fast.seconds, fast_cps / 1e6);
+  std::printf("reference:    %8.3f s  (%.2fM simulated cycles/s)\n",
+              ref.seconds, ref_cps / 1e6);
+  std::printf("speedup:      %8.2fx\n", speedup);
+  if (!identical) {
+    std::fprintf(stderr,
+                 "DIVERGENCE: fast-forward results differ from the "
+                 "reference loop (first mismatch at run %zu)\n",
+                 first_mismatch);
+    return 1;
+  }
+  std::printf("results bit-identical across %zu runs\n",
+              fast.fingerprints.size());
+  return 0;
+}

@@ -35,6 +35,345 @@ void OoOCore::tick(Cycle now) {
   do_fetch(now);
 }
 
+Cycle OoOCore::next_wake(Cycle now) const {
+  // Fetch-side progress: room in the window and either non-memory work at
+  // the fetch head or a memory op that would not stall.
+  const std::uint64_t rob_space = retire_seq_ + cfg_.rob_size - fetch_seq_;
+  if (rob_space > 0 &&
+      (fetch_seq_ < next_mem_seq_ || !mem_op_would_stall())) {
+    return now + 1;
+  }
+  // Retire-side progress.
+  if (retire_seq_ < fetch_seq_) {
+    if (loads_.empty() || loads_.front().seq != retire_seq_) return now + 1;
+    const Load& head = loads_.front();
+    if (head.done_at != kNoCycle) return std::max(head.done_at, now + 1);
+    return kNoCycle;  // waiting on a completion the controller will deliver
+  }
+  // Empty window and a stalled fetch head: only a completion (possibly of
+  // another application's request, freeing queue space) can unblock.
+  return kNoCycle;
+}
+
+Cycle OoOCore::next_fetch_wake(Cycle now) const {
+  // Only an empty window is provably inert: with unretired instructions,
+  // retirement could progress (or flag a memory stall) every cycle. At
+  // nonmem_ipc >= 1 the very next budget add crosses 1.
+  if (retire_seq_ != fetch_seq_ || cfg_.nonmem_ipc >= 1.0) return now + 1;
+  // Replay the reference accumulation exactly — the crossing cycle of the
+  // rounded sequential sums, not of the analytic division.
+  double b = fetch_budget_;
+  Cycle j = 0;
+  do {
+    b += cfg_.nonmem_ipc;
+    ++j;
+  } while (b < 1.0);
+  return now + j;
+}
+
+void OoOCore::fast_forward_idle(Cycle n) {
+  if (n == 0) return;
+  stats_.cycles += n;
+  // No retirement: the retire budget resets every cycle; the window is
+  // empty, so there is no load to flag a memory stall. The fetch budget
+  // stays below 1 throughout (precondition), so the while-loop in
+  // do_fetch() never runs — no instruction, no stall flag, and the budget
+  // is never zeroed.
+  retire_budget_ = 0.0;
+  for (Cycle i = 0; i < n; ++i) fetch_budget_ += cfg_.nonmem_ipc;
+}
+
+WakeProof OoOCore::prove_sleep(Cycle now) const {
+  const Cycle w = next_wake(now);
+  if (w == now + 1) {
+    if (retire_seq_ == fetch_seq_ && cfg_.nonmem_ipc < 1.0) {
+      const Cycle wi = next_fetch_wake(now);
+      if (wi > w) return {wi, SleepFlavor::kIdle};
+    }
+    const Cycle wd = next_det_wake(now);
+    if (wd > w) return {wd, SleepFlavor::kDet};
+    return {w, SleepFlavor::kStallOwn};  // not sleeping; flavor unused
+  }
+  // Blocked. Shared-queue backpressure is the only block another
+  // application's completion can clear (conservatively: the two-slot
+  // reservation used with cache modelling counts as queue pressure too).
+  const bool shared_block =
+      controller_.admission_mode() == mem::AdmissionMode::Shared &&
+      !controller_.can_accept_n(app_, 2);
+  return {w, shared_block ? SleepFlavor::kStallShared
+                          : SleepFlavor::kStallOwn};
+}
+
+Cycle OoOCore::next_det_wake(Cycle now) const {
+  const double width = cfg_.issue_width;
+  const double ipc = cfg_.nonmem_ipc;
+  const std::uint64_t rob = cfg_.rob_size;
+  const std::uint64_t mem_seq = next_mem_seq_;
+  double rb = retire_budget_;
+  double fb = fetch_budget_;
+  std::uint64_t rs = retire_seq_;
+  std::uint64_t fs = fetch_seq_;
+  // First unretired load, advanced incrementally (a deque iterator bump is
+  // cheap; indexed deque access in this loop is not).
+  auto it = loads_.begin();
+  const auto loads_end = loads_.end();
+  std::uint64_t mem_stalls = 0;
+  std::uint64_t rob_stalls = 0;
+  // State after the previous (proved-clean) iteration, memoized into
+  // det_proof_ so the owner's replay of the range is O(1).
+  double rb_p = rb, fb_p = fb;
+  std::uint64_t rs_p = rs, fs_p = fs;
+  auto it_p = it;
+  std::uint64_t ms_p = 0, rbs_p = 0;
+  const Cycle cap =
+      offchip_loads_inflight_ == 0 ? kDetLookahead : kDetShortLookahead;
+  Cycle prefix = cap;
+  Cycle wake = now + cap + 1;  // clean cap unless proven otherwise
+  bool frozen = false;
+  Cycle j = 1;
+  for (; j <= cap && it != loads_end; ++j) {
+    // A window that cannot move — retirement blocked on a load whose
+    // completion has not been delivered, fetch blocked on the full window —
+    // stays that way until a completion arrives; the remaining cycles
+    // follow the fast_forward_stall() closed form exactly.
+    if (fs - rs == rob && it->seq == rs && it->done_at == kNoCycle) {
+      prefix = j - 1;
+      wake = kNoCycle;
+      frozen = true;
+      break;
+    }
+    rb_p = rb;
+    fb_p = fb;
+    rs_p = rs;
+    fs_p = fs;
+    it_p = it;
+    ms_p = mem_stalls;
+    rbs_p = rob_stalls;
+    // Mirror of do_retire(): drain completed loads, block on pending ones.
+    rb += width;
+    auto rbud = static_cast<std::uint64_t>(rb);
+    rb -= static_cast<double>(rbud);
+    const std::uint64_t start_rs = rs;
+    while (rbud > 0 && rs < fs) {
+      if (it != loads_end && it->seq == rs) {
+        if (it->done_at == kNoCycle || it->done_at > now + j) break;
+        ++it;
+      }
+      ++rs;
+      --rbud;
+    }
+    if (rs == start_rs) {
+      if (it != loads_end && it->seq == rs) ++mem_stalls;
+      rb = 0.0;
+    }
+    // Mirror of do_fetch() up to the first memory-op attempt.
+    fb += ipc;
+    auto bud = static_cast<std::uint64_t>(fb);
+    fb -= static_cast<double>(bud);
+    bool touches_memory = false;
+    bool stalled_on_rob = false;
+    while (bud > 0) {
+      const std::uint64_t rob_space = rs + rob - fs;
+      if (rob_space == 0) {
+        stalled_on_rob = true;
+        break;
+      }
+      if (fs >= mem_seq) {  // tick at now+j touches memory
+        touches_memory = true;
+        break;
+      }
+      const std::uint64_t adv = std::min({bud, rob_space, mem_seq - fs});
+      fs += adv;
+      bud -= adv;
+    }
+    if (touches_memory) {
+      prefix = j - 1;
+      wake = now + j;
+      // The clean range ends one cycle earlier; its end state is the
+      // snapshot taken before this iteration.
+      rb = rb_p;
+      fb = fb_p;
+      rs = rs_p;
+      fs = fs_p;
+      it = it_p;
+      mem_stalls = ms_p;
+      rob_stalls = rbs_p;
+      break;
+    }
+    if (stalled_on_rob) {
+      ++rob_stalls;
+      fb = 0.0;
+    }
+  }
+  // Load-free phase: fetch inside the range only adds non-memory
+  // instructions, so once the last window load retires no later cycle can
+  // see one — no frozen state, no memory stalls, and the retire mirror
+  // collapses to a bulk advance.
+  if (!frozen && wake == now + cap + 1) {
+    for (; j <= cap; ++j) {
+      rb_p = rb;
+      fb_p = fb;
+      rs_p = rs;
+      fs_p = fs;
+      rb += width;
+      auto rbud = static_cast<std::uint64_t>(rb);
+      rb -= static_cast<double>(rbud);
+      const std::uint64_t ret = std::min(rbud, fs - rs);
+      rs += ret;
+      if (ret == 0) rb = 0.0;
+      fb += ipc;
+      auto bud = static_cast<std::uint64_t>(fb);
+      fb -= static_cast<double>(bud);
+      bool touches_memory = false;
+      bool stalled_on_rob = false;
+      while (bud > 0) {
+        const std::uint64_t rob_space = rs + rob - fs;
+        if (rob_space == 0) {
+          stalled_on_rob = true;
+          break;
+        }
+        if (fs >= mem_seq) {
+          touches_memory = true;
+          break;
+        }
+        const std::uint64_t adv = std::min({bud, rob_space, mem_seq - fs});
+        fs += adv;
+        bud -= adv;
+      }
+      if (touches_memory) {
+        prefix = j - 1;
+        wake = now + j;
+        rb = rb_p;
+        fb = fb_p;
+        rs = rs_p;
+        fs = fs_p;
+        break;
+      }
+      if (stalled_on_rob) {
+        ++rob_stalls;
+        fb = 0.0;
+      }
+    }
+  }
+  det_proof_ = DetProof{
+      fetch_seq_, retire_seq_,
+      fetch_budget_, retire_budget_,
+      prefix, fs,
+      rs, fb,
+      rb, static_cast<std::size_t>(it - loads_.begin()),
+      mem_stalls, rob_stalls,
+      frozen, true};
+  return wake;
+}
+
+void OoOCore::fast_forward_det(Cycle start, Cycle n) {
+  if (n == 0) return;
+  // Common case: the range being replayed starts exactly where the proof
+  // simulated, so its memoized end state applies directly; a frozen proof
+  // covers any longer range via the stall closed form. The mirror loop
+  // below is the fallback for ranges truncated early (a read completion or
+  // the run-window edge).
+  const DetProof& p = det_proof_;
+  if (p.valid && (p.cycles == n || (p.frozen && p.cycles <= n)) &&
+      p.start_fetch_seq == fetch_seq_ && p.start_retire_seq == retire_seq_ &&
+      p.start_fetch_budget == fetch_budget_ &&
+      p.start_retire_budget == retire_budget_) {
+    const Cycle tail = n - p.cycles;
+    stats_.cycles += p.cycles;
+    stats_.instructions += p.end_retire_seq - retire_seq_;
+    stats_.mem_stall_cycles += p.mem_stalls;
+    stats_.rob_stall_cycles += p.rob_stalls;
+    fetch_seq_ = p.end_fetch_seq;
+    retire_seq_ = p.end_retire_seq;
+    fetch_budget_ = p.end_fetch_budget;
+    retire_budget_ = p.end_retire_budget;
+    loads_.erase(loads_.begin(),
+                 loads_.begin() + static_cast<std::ptrdiff_t>(p.loads_retired));
+    det_proof_.valid = false;
+    if (tail > 0) fast_forward_stall(tail);
+    return;
+  }
+  stats_.cycles += n;
+  for (Cycle i = 0; i < n; ++i) {
+    retire_budget_ += cfg_.issue_width;
+    auto rbud = static_cast<std::uint64_t>(retire_budget_);
+    retire_budget_ -= static_cast<double>(rbud);
+    const std::uint64_t start_rs = retire_seq_;
+    while (rbud > 0 && retire_seq_ < fetch_seq_) {
+      if (!loads_.empty() && loads_.front().seq == retire_seq_) {
+        const Load& head = loads_.front();
+        if (head.done_at == kNoCycle || head.done_at > start + i) break;
+        loads_.pop_front();
+      }
+      ++retire_seq_;
+      --rbud;
+    }
+    stats_.instructions += retire_seq_ - start_rs;
+    if (retire_seq_ == start_rs) {
+      if (!loads_.empty() && loads_.front().seq == retire_seq_) {
+        ++stats_.mem_stall_cycles;
+      }
+      retire_budget_ = 0.0;
+    }
+    fetch_budget_ += cfg_.nonmem_ipc;
+    auto bud = static_cast<std::uint64_t>(fetch_budget_);
+    fetch_budget_ -= static_cast<double>(bud);
+    bool stalled_on_rob = false;
+    while (bud > 0) {
+      const std::uint64_t rob_space = retire_seq_ + cfg_.rob_size - fetch_seq_;
+      if (rob_space == 0) {
+        stalled_on_rob = true;
+        break;
+      }
+      BWPART_ASSERT(fetch_seq_ < next_mem_seq_,
+                    "deterministic replay reached a memory operation");
+      const std::uint64_t adv =
+          std::min({bud, rob_space, next_mem_seq_ - fetch_seq_});
+      fetch_seq_ += adv;
+      bud -= adv;
+    }
+    if (stalled_on_rob) {
+      ++stats_.rob_stall_cycles;
+      fetch_budget_ = 0.0;
+    }
+  }
+}
+
+void OoOCore::fast_forward_stall(Cycle n) {
+  if (n == 0) return;
+  stats_.cycles += n;
+  // Retire side: nothing retires, so the budget resets every cycle and the
+  // memory-stall classification is constant across the range.
+  retire_budget_ = 0.0;
+  if (!loads_.empty() && loads_.front().seq == retire_seq_) {
+    stats_.mem_stall_cycles += n;
+  }
+  // Fetch side: the stall kind is frozen (the window stays full / the same
+  // memory op stays blocked), but a stall cycle is only *flagged* when the
+  // whole-instruction budget reaches 1 — and flagging zeroes the budget.
+  // At nonmem_ipc >= 1 every cycle flags; below 1 the fractional
+  // accumulation must be replayed add-for-add to stay bit-identical.
+  std::uint64_t flagged = 0;
+  if (cfg_.nonmem_ipc >= 1.0) {
+    flagged = n;
+    fetch_budget_ = 0.0;
+  } else {
+    for (Cycle i = 0; i < n; ++i) {
+      fetch_budget_ += cfg_.nonmem_ipc;
+      if (fetch_budget_ >= 1.0) {
+        ++flagged;
+        fetch_budget_ = 0.0;
+      }
+    }
+  }
+  const std::uint64_t rob_space = retire_seq_ + cfg_.rob_size - fetch_seq_;
+  if (rob_space == 0) {
+    stats_.rob_stall_cycles += flagged;
+  } else {
+    stats_.queue_stall_cycles += flagged;
+  }
+}
+
 void OoOCore::do_retire(Cycle now) {
   retire_budget_ += cfg_.issue_width;
   auto budget = static_cast<std::uint64_t>(retire_budget_);
@@ -94,6 +433,26 @@ void OoOCore::do_fetch(Cycle now) {
   if (stalled_on_queue) ++stats_.queue_stall_cycles;
   // Fetch bandwidth is not banked across stall cycles either.
   if (stalled_on_rob || stalled_on_queue) fetch_budget_ = 0.0;
+}
+
+bool OoOCore::mem_op_would_stall() const {
+  const AccessType type = current_op_.type;
+  if (current_op_.dependent && type == AccessType::Read &&
+      offchip_loads_inflight_ > 0) {
+    return true;
+  }
+  if (cfg_.model_caches) {
+    const bool may_need_load = type == AccessType::Read;
+    return (may_need_load && offchip_loads_inflight_ >= cfg_.mshrs) ||
+           stores_inflight_ + 1 >= cfg_.store_buffer ||
+           !controller_.can_accept_n(app_, 2);
+  }
+  if (type == AccessType::Read) {
+    return offchip_loads_inflight_ >= cfg_.mshrs ||
+           !controller_.can_accept(app_);
+  }
+  return stores_inflight_ >= cfg_.store_buffer ||
+         !controller_.can_accept(app_);
 }
 
 bool OoOCore::execute_mem_op(Cycle now) {

@@ -76,14 +76,114 @@ struct CoreStats {
   }
 };
 
+/// How a sleeping core's deferred cycles must be replayed, and which events
+/// can invalidate the sleep proof early. Stall flavors lean on external
+/// state a completion can free; the idle replay reads nothing outside the
+/// core, so its proof survives completions untouched. The deterministic-
+/// window replay reads the load queue, so the owner must replay its range
+/// *before* delivering one of this application's read completions (which
+/// mutate load state) and wake the core there.
+enum class SleepFlavor : std::uint8_t {
+  kStallOwn = 0,     ///< blocked; only this app's completions can unblock
+  kStallShared = 1,  ///< blocked on shared queue space; any completion can
+  kIdle = 2,         ///< empty window accumulating sub-1 fetch budget
+  kDet = 3,          ///< deterministic window run; own read completions wake
+};
+
+/// Result of OoOCore::prove_sleep(): the first cycle the core must tick
+/// again, and the replay/wake semantics of the cycles in between.
+struct WakeProof {
+  Cycle wake = 0;
+  SleepFlavor flavor = SleepFlavor::kStallOwn;
+};
+
 class OoOCore {
  public:
+  /// Cap on the cycles next_det_wake() will prove in one call; a longer run
+  /// simply re-proves after waking (bounds the cost of a proof that ends up
+  /// truncated by the run-window edge). Used when no off-chip read is
+  /// undelivered — then no event can truncate the proof, so every proved
+  /// cycle is replayed from the memo and long proofs amortize perfectly.
+  static constexpr Cycle kDetLookahead = 4096;
+  /// Lookahead while off-chip reads are in flight: their completions
+  /// truncate the proof (forcing a cycle-by-cycle replay of the partial
+  /// range and a fresh proof), so proving far past the typical completion
+  /// gap only burns mirror cycles that are thrown away.
+  static constexpr Cycle kDetShortLookahead = 128;
+
   OoOCore(AppId app, const CoreConfig& cfg, TraceSource& trace,
           mem::MemoryController& controller);
 
   /// Advances one CPU cycle. The owner must also tick the controller once
   /// per cycle and route its completion callbacks to on_mem_complete().
   void tick(Cycle now);
+
+  /// Earliest cycle > `now` at which tick() could make progress (retire or
+  /// fetch an instruction), given the state after ticking at `now` and
+  /// assuming no memory completion arrives first. Returns now + 1 when the
+  /// core is not provably stalled, the completion cycle of the oldest load
+  /// when retirement is waiting on a known completion, and kNoCycle when
+  /// the core is blocked purely on external events (an undelivered
+  /// completion, or controller backpressure that only a completion can
+  /// clear). The owner may replace the cycles in between with one
+  /// fast_forward_stall() call.
+  Cycle next_wake(Cycle now) const;
+
+  /// Earliest cycle > `now` at which the fetch budget can reach one whole
+  /// instruction. Refines next_wake()'s "not provably stalled" answer for a
+  /// core with an empty window and a sub-1 fetch rate: until the fractional
+  /// budget crosses 1, a tick changes nothing but the budget, so the owner
+  /// may replace those cycles with one fast_forward_idle() call. Returns
+  /// now + 1 when no such proof holds.
+  Cycle next_fetch_wake(Cycle now) const;
+
+  /// Replays `n` consecutive budget-accumulation cycles: cycle counters
+  /// advance and the fetch budget accumulates add-for-add (bit-identical to
+  /// n tick() calls), with no instruction and no stall flag. Precondition:
+  /// next_fetch_wake() proved the window empty and every intermediate
+  /// budget value below 1.
+  void fast_forward_idle(Cycle n);
+
+  /// Earliest cycle > `now` at which tick() would attempt to execute a
+  /// memory operation. Between memory-op attempts the core's evolution is
+  /// fully deterministic given the loads already in the window (their
+  /// completion cycles, known or still pending, are data, not events):
+  /// retirement drains completed loads and blocks on pending ones, fetch
+  /// consumes trace gap. Everything up to (excluding) the returned cycle
+  /// can be replayed by fast_forward_det() without consulting the memory
+  /// system — provided no new completion for this application's reads is
+  /// delivered inside the range (the owner must replay-then-wake at such a
+  /// delivery). Returns now + 1 when the memory op would be attempted on
+  /// the very next cycle, and kNoCycle when the window provably freezes
+  /// (retirement blocked on a pending load, window full) — the cycles
+  /// after the frozen point follow the fast_forward_stall() closed form.
+  /// The proof mirrors at most kDetLookahead cycles.
+  Cycle next_det_wake(Cycle now) const;
+
+  /// Replays the `n` consecutive cycles [start, start + n) of a
+  /// deterministic window run: retire/fetch sequence numbers, retired
+  /// loads, instruction and stall counters, and both fractional budgets
+  /// advance bit-identically to n tick() calls (`start` anchors the
+  /// load-completion comparisons). Precondition: next_det_wake() proved no
+  /// memory-op attempt within the range and no read completion was
+  /// delivered inside it.
+  void fast_forward_det(Cycle start, Cycle n);
+
+  /// One-shot sleep proof combining next_wake() with the idle and
+  /// deterministic-window refinements, plus the completion-sensitivity
+  /// classification: a stalled
+  /// core blocked on the shared transaction queue can be freed by any
+  /// application's completion, while MSHR, store-buffer, per-app-queue and
+  /// dependent-load blocks clear only on this application's completions.
+  WakeProof prove_sleep(Cycle now) const;
+
+  /// Replays `n` consecutive provably-stalled cycles in closed form:
+  /// cycle/stall counters advance exactly as n tick() calls would, and the
+  /// fractional issue budgets end bit-identical (the fetch budget's
+  /// sub-1-IPC accumulation is replayed exactly). Precondition: next_wake()
+  /// proved the next n cycles make no progress and no completion is
+  /// delivered within them.
+  void fast_forward_stall(Cycle n);
 
   /// Completion delivery for this core's controller requests.
   void on_mem_complete(const mem::MemRequest& req, Cycle done_cpu);
@@ -110,6 +210,11 @@ class OoOCore {
   /// Executes the memory op at the fetch head. Returns false if it must
   /// stall (MSHR/store-buffer/controller backpressure).
   bool execute_mem_op(Cycle now);
+  /// Side-effect-free mirror of execute_mem_op's stall decision: true iff
+  /// calling it now would return false. With model_caches the up-front
+  /// worst-case resource reservation is the only abort point, so the check
+  /// never needs to touch cache state.
+  bool mem_op_would_stall() const;
   void advance_trace();
 
   AppId app_;
@@ -130,6 +235,32 @@ class OoOCore {
   std::deque<Load> loads_;  ///< in program order
   std::uint32_t offchip_loads_inflight_ = 0;
   std::uint32_t stores_inflight_ = 0;
+
+  /// Memo written by next_det_wake(): the proof loop already simulates
+  /// every cycle it proves clean, so it records the architectural end state
+  /// of the proved range and fast_forward_det() applies it in O(1) instead
+  /// of replaying the same cycles a second time. Keyed on the full start
+  /// state; any mismatch (e.g. a replay truncated early by a completion or
+  /// the run-window edge) falls back to the cycle-by-cycle replay. When
+  /// `frozen` is set the proved prefix ends in a state that cannot make
+  /// progress, and cycles past it replay via fast_forward_stall().
+  struct DetProof {
+    std::uint64_t start_fetch_seq = 0;
+    std::uint64_t start_retire_seq = 0;
+    double start_fetch_budget = 0.0;
+    double start_retire_budget = 0.0;
+    Cycle cycles = 0;  ///< length of the proved prefix
+    std::uint64_t end_fetch_seq = 0;
+    std::uint64_t end_retire_seq = 0;
+    double end_fetch_budget = 0.0;
+    double end_retire_budget = 0.0;
+    std::size_t loads_retired = 0;   ///< front loads popped in the prefix
+    std::uint64_t mem_stalls = 0;    ///< retire-blocked cycles in the prefix
+    std::uint64_t rob_stalls = 0;    ///< ROB-full cycles in the prefix
+    bool frozen = false;
+    bool valid = false;
+  };
+  mutable DetProof det_proof_;
 
   CoreStats stats_;
 };

@@ -26,6 +26,12 @@ class Bank {
 
   /// Earliest tick an activate could be accepted (row must also be closed).
   Tick next_activate_tick() const { return next_act_; }
+  /// Earliest tick a read could be accepted (a row must also be open).
+  Tick next_read_tick() const { return next_read_; }
+  /// Earliest tick a write could be accepted (a row must also be open).
+  Tick next_write_tick() const { return next_write_; }
+  /// Earliest tick a precharge could be accepted (a row must also be open).
+  Tick next_precharge_tick() const { return next_pre_; }
 
   void activate(Tick now, std::uint64_t row, const TimingsTicks& t) {
     BWPART_ASSERT(can_activate(now), "activate violates bank timing");

@@ -79,6 +79,150 @@ void DramSystem::tick(Tick now) {
   }
 }
 
+Tick DramSystem::next_event_tick(
+    Tick from, std::span<const std::uint32_t> rank_pending) const {
+  if (!cfg_.enable_refresh && !cfg_.enable_powerdown) return kNoTick;
+  BWPART_ASSERT(rank_pending.size() == ranks_.size(),
+                "rank_pending span has wrong size");
+  Tick best = kNoTick;
+  for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
+    for (std::uint32_t rk = 0; rk < cfg_.ranks; ++rk) {
+      const RankState& r = rank_at(ch, rk);
+      const bool pending =
+          rank_pending[static_cast<std::size_t>(ch) * cfg_.ranks + rk] > 0;
+      if (cfg_.enable_refresh) {
+        if (!r.refresh_pending) {
+          best = std::min(best, std::max(r.next_refresh_due, from));
+        } else {
+          // Drain in progress: the next step is either a still-open bank
+          // becoming closable or, with all banks closed, the recovery
+          // windows expiring so the refresh fires.
+          bool any_open = false;
+          Tick recover = from;
+          for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
+            const Location loc{ch, rk, b, 0, 0};
+            const Bank& bank = bank_at(loc);
+            if (bank.row_open()) {
+              any_open = true;
+              best = std::min(best, std::max(bank.next_precharge_tick(), from));
+            } else {
+              recover = std::max(recover, bank.next_activate_tick());
+            }
+          }
+          if (!any_open) best = std::min(best, recover);
+        }
+      }
+      if (cfg_.enable_powerdown) {
+        if (r.pd) {
+          if (r.waking) {
+            best = std::min(best, std::max(r.wake_ready, from));
+          } else if (pending) {
+            // The controller's per-tick notify starts the wake-up; it must
+            // run, so the very next tick is an event.
+            best = std::min(best, from);
+          }
+        } else if (pending && pd_threshold_ <= 1) {
+          // Degenerate threshold: even a rank notified every tick can slip
+          // into power-down between notifies. Give up skipping.
+          best = std::min(best, from);
+        } else if (!pending && !r.refresh_pending) {
+          // Idle rank: power-down entry once every bank is closed and
+          // recovered and the idle threshold has elapsed. Banks cannot
+          // close without commands, so an open bank means no entry while
+          // the state stays frozen.
+          bool any_open = false;
+          Tick entry = r.last_activity + pd_threshold_;
+          for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
+            const Location loc{ch, rk, b, 0, 0};
+            const Bank& bank = bank_at(loc);
+            if (bank.row_open()) {
+              any_open = true;
+              break;
+            }
+            entry = std::max(entry, bank.next_activate_tick());
+          }
+          if (!any_open) best = std::min(best, std::max(entry, from));
+        }
+      }
+    }
+  }
+  return best;
+}
+
+Tick DramSystem::bus_ready_tick(const ChannelState& ch, Tick lat,
+                                std::uint32_t rank) const {
+  const Tick gap = ch.bus_has_last && ch.bus_last_rank != rank ? t_.rtrs : 0;
+  const Tick need = ch.bus_free_at + gap;
+  return need > lat ? need - lat : 0;
+}
+
+Tick DramSystem::earliest_issue_tick(const Command& cmd, Tick from) const {
+  const Location& loc = cmd.loc;
+  const Bank& bank = bank_at(loc);
+  const RankState& rank = rank_at(loc.channel, loc.rank);
+  const ChannelState& chan = chans_[loc.channel];
+  if (rank.pd) return kNoTick;  // wake is an event, not a timing expiry
+  Tick e = from;
+  switch (cmd.type) {
+    case CommandType::Activate: {
+      if (bank.row_open()) return kNoTick;
+      if (rank.refresh_pending) return kNoTick;
+      e = std::max(e, bank.next_activate_tick());
+      if (rank.any_act) e = std::max(e, rank.last_act + t_.rrd);
+      if (rank.act_count >= 4) {
+        e = std::max(e, rank.act_window[rank.act_count % 4] + t_.faw);
+      }
+      return e;
+    }
+    case CommandType::Read:
+    case CommandType::ReadAp: {
+      if (!bank.row_open() || bank.open_row() != loc.row) return kNoTick;
+      e = std::max(e, bank.next_read_tick());
+      if (rank.any_col) e = std::max(e, rank.last_col + t_.ccd);
+      if (rank.any_write) e = std::max(e, rank.write_data_end + t_.wtr);
+      return std::max(e, bus_ready_tick(chan, t_.cl, loc.rank));
+    }
+    case CommandType::Write:
+    case CommandType::WriteAp: {
+      if (!bank.row_open() || bank.open_row() != loc.row) return kNoTick;
+      e = std::max(e, bank.next_write_tick());
+      if (rank.any_col) e = std::max(e, rank.last_col + t_.ccd);
+      return std::max(e, bus_ready_tick(chan, t_.cwl, loc.rank));
+    }
+    case CommandType::Precharge: {
+      if (!bank.row_open()) return kNoTick;
+      return std::max(e, bank.next_precharge_tick());
+    }
+    case CommandType::Refresh:
+      return kNoTick;  // internal to tick()
+  }
+  return kNoTick;
+}
+
+void DramSystem::skip_ticks(Tick from, Tick to,
+                            std::span<const std::uint32_t> rank_pending) {
+  BWPART_ASSERT(to > from, "empty skip range");
+  BWPART_ASSERT(!ticked_ || from == last_tick_ + 1,
+                "skip_ticks must continue the tick sequence");
+  BWPART_ASSERT(rank_pending.size() == ranks_.size(),
+                "rank_pending span has wrong size");
+  const std::uint64_t n = to - from;
+  stats_.ticks += n;
+  if (cfg_.enable_powerdown) {
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+      RankState& r = ranks_[i];
+      if (r.pd) stats_.powerdown_rank_ticks += n;
+      // Per-tick notify_rank_pending calls would have pinned last_activity
+      // to each tick in the range; pin it to the last one.
+      if (rank_pending[i] > 0) {
+        r.last_activity = std::max(r.last_activity, to - 1);
+      }
+    }
+  }
+  last_tick_ = to - 1;
+  ticked_ = true;
+}
+
 void DramSystem::update_powerdown(RankState& r, std::uint32_t channel,
                                   std::uint32_t rank, Tick now) {
   if (r.pd) {

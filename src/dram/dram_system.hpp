@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -17,6 +19,9 @@
 #include "dram/protocol_checker.hpp"
 
 namespace bwpart::dram {
+
+/// "No such tick" sentinel for the event-query API (never a valid tick).
+inline constexpr Tick kNoTick = std::numeric_limits<Tick>::max();
 
 struct DramStats {
   std::uint64_t activates = 0;
@@ -65,6 +70,37 @@ class DramSystem {
   /// Advances device-internal housekeeping (refresh scheduling) to `now`.
   /// Must be called once per bus tick, before can_issue/issue.
   void tick(Tick now);
+
+  /// Earliest tick >= `from` at which tick() could change device state on
+  /// its own: a refresh deadline arriving, a refresh drain making progress
+  /// (a bank becoming closable or the refresh firing), or a power-down
+  /// transition (wake completing, or an idle rank becoming eligible to
+  /// enter). `rank_pending[channel * ranks + rank]` is the number of
+  /// controller requests waiting on each rank: the controller notifies
+  /// those ranks every tick, which keeps them out of power-down and, for a
+  /// powered-down rank, makes the notify itself the next event. Returns
+  /// kNoTick when no internal event can ever fire from the current state.
+  /// Conservative in the safe direction: it may report a tick at which
+  /// nothing happens, but never skips past a state change.
+  Tick next_event_tick(Tick from,
+                       std::span<const std::uint32_t> rank_pending) const;
+
+  /// Earliest tick >= `from` at which `cmd` could first pass can_issue(),
+  /// assuming device state stays frozen until then (no other command
+  /// issues, no refresh/power-down event fires). Exact for pure timing
+  /// constraints; returns kNoTick when the command is blocked on a state
+  /// change instead (powered-down rank, refresh-pending Activate, wrong /
+  /// missing open row), whose timing next_event_tick() covers.
+  Tick earliest_issue_tick(const Command& cmd, Tick from) const;
+
+  /// Batch-advances time over [from, to), a range tick() proved dead via
+  /// next_event_tick(): accounts the skipped ticks in the stats (including
+  /// per-rank power-down residency) and keeps `last_activity` of ranks with
+  /// pending work pinned, exactly as per-tick notify_rank_pending calls
+  /// would have. `from` must continue the tick sequence and `to` must not
+  /// exceed the next event tick.
+  void skip_ticks(Tick from, Tick to,
+                  std::span<const std::uint32_t> rank_pending);
 
   /// True if the bank addressed by `loc` currently has `loc.row` open.
   bool is_row_hit(const Location& loc) const;
@@ -140,6 +176,10 @@ class DramSystem {
   bool rank_allows_activate(const RankState& r, Tick now) const;
   bool bus_allows(const ChannelState& ch, Tick data_start,
                   std::uint32_t rank) const;
+  /// Earliest tick a column command with data latency `lat` clears the
+  /// data-bus constraint (tRTRS gap included).
+  Tick bus_ready_tick(const ChannelState& ch, Tick lat,
+                      std::uint32_t rank) const;
   bool can_issue_impl(const Command& cmd, Tick now, bool check_bus) const;
   void update_powerdown(RankState& r, std::uint32_t channel,
                         std::uint32_t rank, Tick now);

@@ -1,5 +1,6 @@
 #include "harness/system.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/assert.hpp"
@@ -74,6 +75,7 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
       cfg_.dram, cfg_.cpu_clock, n, std::make_unique<mem::FcfsScheduler>(),
       cfg_.queue_capacity_per_app, dram::MapScheme::ChanRowColBankRank,
       cfg_.queue_capacity_shared, mem::AdmissionMode::Shared);
+  controller_->set_fast_forward(cfg_.fast_forward);
   controller_->set_interference_observer(&interference_);
 
   traces_.reserve(n);
@@ -86,19 +88,149 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
     cores_.push_back(std::make_unique<cpu::OoOCore>(a, cc, *traces_[a],
                                                     *controller_));
   }
+  sleep_until_.assign(n, 0);
+  slept_from_.assign(n, 0);
+  sleep_kind_.assign(n, cpu::SleepFlavor::kStallOwn);
   controller_->set_completion_callback(
       [this](const mem::MemRequest& req, Cycle done_cpu) {
+        // A read completion writes the load queue the deterministic-window
+        // replay reads. In the reference loop the core's ticks at cycles
+        // <= now_ ran before this delivery, so a kDet sleeper's deferred
+        // range must be replayed with the pre-delivery load state first.
+        const bool read = req.type == AccessType::Read;
+        if (read && sleep_kind_[req.app] == cpu::SleepFlavor::kDet) {
+          flush_deferred_stalls(req.app, now_ + 1);
+        }
         cores_[req.app]->on_mem_complete(req, done_cpu);
+        // A completion can unblock the completing application's own
+        // stall-sleeping core (MSHR, store buffer, per-app queue slice,
+        // dependent load) and any core stall-sleeping on shared queue
+        // space, so those sleep proofs are void past this cycle; a read
+        // completion additionally invalidates its own core's
+        // deterministic-window proof. Idle proofs (and det proofs under
+        // write completions) read nothing the completion touched and stay
+        // valid.
+        wake_sleepers(req.app, read);
       });
+}
+
+void CmpSystem::wake_sleepers(AppId app, bool read) {
+  for (std::size_t i = 0; i < sleep_until_.size(); ++i) {
+    const cpu::SleepFlavor f = sleep_kind_[i];
+    if (f == cpu::SleepFlavor::kStallShared ||
+        (i == app && (f == cpu::SleepFlavor::kStallOwn ||
+                      (read && f == cpu::SleepFlavor::kDet)))) {
+      sleep_until_[i] = std::min(sleep_until_[i], now_ + 1);
+    }
+  }
+}
+
+void CmpSystem::flush_deferred_stalls(std::size_t i, Cycle upto) {
+  if (slept_from_[i] < upto) {
+    const Cycle owed = upto - slept_from_[i];
+    switch (sleep_kind_[i]) {
+      case cpu::SleepFlavor::kIdle:
+        cores_[i]->fast_forward_idle(owed);
+        break;
+      case cpu::SleepFlavor::kDet:
+        cores_[i]->fast_forward_det(slept_from_[i], owed);
+        break;
+      default:
+        cores_[i]->fast_forward_stall(owed);
+        break;
+    }
+    slept_from_[i] = upto;
+  }
 }
 
 void CmpSystem::run(Cycle cycles) {
   const Cycle end = now_ + cycles;
+  if (!cfg_.fast_forward) {
+    while (now_ < end) {
+      for (auto& c : cores_) c->tick(now_);
+      controller_->tick(now_);
+      ++now_;
+    }
+    return;
+  }
+  // Event-driven engine. Each core that proves itself stalled sleeps until
+  // its own wake cycle (or a completion — the only event that can unblock a
+  // core early — cuts the sleep short); its deferred cycles are replayed in
+  // closed form by fast_forward_stall() when it next ticks, so the stats
+  // stay bit-identical to ticking every cycle. When every core sleeps, the
+  // whole system additionally jumps to the controller's next event. Sleep
+  // proofs do not survive external reconfiguration between run() calls
+  // (scheduler swaps, admission/write-drain changes), so all cores start
+  // awake.
+  const std::size_t n = cores_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    sleep_until_[i] = now_;
+    slept_from_[i] = now_;
+  }
+  // Controller tick() calls on CPU cycles with no due bus tick are no-ops
+  // (the clock-crossing target does not advance); elide them.
+  Cycle ctrl_due = 0;
   while (now_ < end) {
-    for (auto& c : cores_) c->tick(now_);
-    controller_->tick(now_);
+    Cycle min_wake = end;
+    bool all_asleep = true;
+    for (const Cycle s : sleep_until_) {
+      if (s <= now_) {
+        all_asleep = false;
+        break;
+      }
+      min_wake = std::min(min_wake, s);  // kNoCycle compares greater
+    }
+    if (all_asleep) {
+      // Jump to the earliest core wake or controller event (completion
+      // delivery, command issue, refresh/power-down transition). The
+      // controller bound means no completion lands inside the skipped
+      // range, so the sleep proofs hold across it. Cores tick before the
+      // controller within a cycle, so resuming at `wake` preserves the
+      // reference interleaving exactly.
+      const Cycle ctrl = controller_->next_event_cpu_cycle();
+      const Cycle wake = std::min(min_wake, ctrl);  // min_wake caps at end
+      if (wake >= end) {
+        skipped_cycles_ += end - now_;
+        now_ = end;
+        // Keep the controller caught up with the cycles the reference loop
+        // would have ticked it through before exiting.
+        controller_->tick(end - 1);
+        break;
+      }
+      if (wake > now_) {
+        skipped_cycles_ += wake - now_;
+        now_ = wake;
+      }
+      // A controller event due at now_ itself: fall through — no core
+      // ticks, the controller tick below processes it.
+    }
+    if (ctrl_due < now_) {
+      // Catch up on bus ticks that fell due before this cycle (a jump can
+      // pass over dead ticks). The reference loop processed them before any
+      // core acted at now_, so requests enqueued this cycle must not be
+      // visible to them — attribution and issue decisions for those ticks
+      // would otherwise see queue state from the future.
+      controller_->tick(now_ - 1);
+      ctrl_due = controller_->next_bus_activity_cpu_cycle();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sleep_until_[i] > now_) continue;
+      if (slept_from_[i] < now_) flush_deferred_stalls(i, now_);
+      cores_[i]->tick(now_);
+      const cpu::WakeProof p = cores_[i]->prove_sleep(now_);
+      sleep_kind_[i] = p.flavor;
+      sleep_until_[i] = std::max(p.wake, now_ + 1);  // kNoCycle stays put
+      slept_from_[i] = now_ + 1;
+    }
+    if (now_ >= ctrl_due) {
+      controller_->tick(now_);
+      ctrl_due = controller_->next_bus_activity_cpu_cycle();
+    }
     ++now_;
   }
+  // Replay any still-deferred stall cycles so stats reads see a state
+  // identical to the reference loop's at `end`.
+  for (std::size_t i = 0; i < n; ++i) flush_deferred_stalls(i, end);
 }
 
 void CmpSystem::reset_measurement() {

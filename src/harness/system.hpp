@@ -32,6 +32,12 @@ struct SystemConfig {
   /// Row-hit bypass window for the share-based scheduler (0 = strict tag
   /// order); see StartTimeFairScheduler.
   double dstf_row_hit_window = 0.0;
+  /// Event-driven fast-forwarding (default): run() jumps over cycle ranges
+  /// where every core is provably stalled and the controller has no event,
+  /// and the controller skips dead bus-tick ranges internally. Cycle-exact:
+  /// all stats and scheduling decisions are bit-identical to the reference
+  /// cycle-by-cycle loop (set false to force it, e.g. for debugging).
+  bool fast_forward = true;
 
   /// Peak off-chip bandwidth expressed in the model's APC unit.
   double peak_apc() const {
@@ -61,6 +67,10 @@ class CmpSystem {
   void run(Cycle cycles);
 
   Cycle now() const { return now_; }
+  /// Cycles replayed in closed form by the fast-forward engine (0 when it
+  /// is disabled) — skipped/now() is the fraction of the simulation that
+  /// never executed a per-cycle tick.
+  Cycle skipped_cycles() const { return skipped_cycles_; }
   std::uint32_t num_apps() const {
     return static_cast<std::uint32_t>(cores_.size());
   }
@@ -70,6 +80,9 @@ class CmpSystem {
   mem::MemoryController& controller() { return *controller_; }
   const mem::MemoryController& controller() const { return *controller_; }
   profile::InterferenceCounters& interference() { return interference_; }
+  const profile::InterferenceCounters& interference() const {
+    return interference_;
+  }
 
   const SystemConfig& config() const { return cfg_; }
   const workload::BenchmarkSpec& benchmark(AppId app) const {
@@ -103,8 +116,30 @@ class CmpSystem {
   std::unique_ptr<mem::MemoryController> controller_;
   std::vector<std::unique_ptr<cpu::OoOCore>> cores_;
   profile::InterferenceCounters interference_;
+  /// Caps completion-sensitive sleeps at the next cycle when `app`'s
+  /// request completes: the completing application's own stall-sleep, its
+  /// deterministic-window sleep when the completion is a read (`read`),
+  /// plus every core stall-sleeping on shared queue space (a delivered
+  /// completion is the only event that can unblock a core earlier than its
+  /// own prove_sleep() proof; idle proofs — and det proofs under write
+  /// completions — are completion-immune).
+  void wake_sleepers(AppId app, bool read);
+  /// Replays core `i`'s deferred cycles up to (excluding) `upto` using the
+  /// closed form recorded for its sleep flavor.
+  void flush_deferred_stalls(std::size_t i, Cycle upto);
+
   Cycle now_ = 0;
   Cycle window_start_ = 0;
+  Cycle skipped_cycles_ = 0;
+  /// Per-core sleep state: core i's tick() calls are deferred while
+  /// now_ < sleep_until_[i]; slept_from_[i] marks the first deferred cycle,
+  /// and sleep_kind_[i] records which closed-form replay applies
+  /// (cpu::SleepFlavor) — the flavor must be captured at sleep time because
+  /// other cores' enqueues/completions can change what a re-evaluation at
+  /// wake time would conclude.
+  std::vector<Cycle> sleep_until_;
+  std::vector<Cycle> slept_from_;
+  std::vector<cpu::SleepFlavor> sleep_kind_;
 };
 
 }  // namespace bwpart::harness

@@ -21,15 +21,27 @@ MemoryController::MemoryController(const dram::DramConfig& cfg,
       shared_capacity_(shared_queue_capacity),
       admission_(admission),
       num_apps_(num_apps),
+      channels_(cfg.channels),
+      ranks_(cfg.ranks),
+      banks_per_rank_(cfg.banks_per_rank),
+      pending_by_channel_(cfg.channels),
+      rank_pending_(static_cast<std::size_t>(cfg.channels) * cfg.ranks, 0),
       per_app_count_(num_apps, 0),
       app_stats_(num_apps),
       bank_last_user_(cfg.total_banks(), kNoApp),
       bus_user_(cfg.channels, kNoApp),
-      bus_busy_until_(cfg.channels, 0) {
+      bus_busy_until_(cfg.channels, 0),
+      oldest_pending_(num_apps, kNoSlot) {
   BWPART_ASSERT(scheduler_ != nullptr, "controller needs a scheduler");
   BWPART_ASSERT(num_apps > 0, "controller needs at least one app");
   BWPART_ASSERT(per_app_queue_capacity > 0, "zero queue capacity");
-  queue_.reserve(static_cast<std::size_t>(num_apps) * per_app_queue_capacity);
+  const std::size_t bound = queue_capacity_bound();
+  slots_.reserve(bound);
+  free_slots_.reserve(bound);
+  inflight_slots_.reserve(bound);
+  scratch_.reserve(bound);
+  for (auto& pend : pending_by_channel_) pend.reserve(bound);
+  issued_scratch_.reserve(channels_);
 }
 
 bool MemoryController::can_accept(AppId app) const {
@@ -39,7 +51,7 @@ bool MemoryController::can_accept(AppId app) const {
 bool MemoryController::can_accept_n(AppId app, std::size_t n) const {
   BWPART_ASSERT(app < num_apps_, "app id out of range");
   if (admission_ == AdmissionMode::Shared) {
-    return queue_.size() + n <= shared_capacity_;
+    return active_ + n <= shared_capacity_;
   }
   return per_app_count_[app] + n <= per_app_capacity_;
 }
@@ -47,7 +59,16 @@ bool MemoryController::can_accept_n(AppId app, std::size_t n) const {
 std::uint64_t MemoryController::enqueue(AppId app, Addr addr, AccessType type,
                                         Cycle now_cpu) {
   BWPART_ASSERT(can_accept(app), "enqueue into full queue");
-  MemRequest req;
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  MemRequest& req = slots_[slot];
+  req = MemRequest{};
   req.id = next_req_id_++;
   req.app = app;
   req.addr = addr;
@@ -56,7 +77,12 @@ std::uint64_t MemoryController::enqueue(AppId app, Addr addr, AccessType type,
   req.arrival_cpu = now_cpu;
   req.arrival_tick = bus_ticks_done_;
   scheduler_->on_enqueue(req, now_cpu);
-  queue_.push_back(req);
+  pending_by_channel_[req.loc.channel].push_back(slot);
+  // Arrival times are monotone (and ids tie-break upward), so a new request
+  // can only become the app's oldest when it had none pending.
+  if (oldest_pending_[app] == kNoSlot) oldest_pending_[app] = slot;
+  ++rank_pending_[rank_index(req.loc)];
+  ++active_;
   ++per_app_count_[app];
   ++app_stats_[app].enqueued;
   if (type == AccessType::Write) {
@@ -64,6 +90,7 @@ std::uint64_t MemoryController::enqueue(AppId app, Addr addr, AccessType type,
   } else {
     ++pending_reads_;
   }
+  ++state_version_;
   return req.id;
 }
 
@@ -72,6 +99,7 @@ void MemoryController::set_write_drain(const WriteDrainConfig& cfg) {
                 "write-drain watermarks inverted");
   write_drain_ = cfg;
   draining_ = false;
+  ++state_version_;
 }
 
 void MemoryController::tick(Cycle now_cpu) {
@@ -81,14 +109,41 @@ void MemoryController::tick(Cycle now_cpu) {
   last_cpu_cycle_ = now_cpu;
   const std::uint64_t target = crossing_.device_ticks_at(now_cpu);
   while (bus_ticks_done_ < target) {
+    if (fast_forward_ && !last_tick_active_) {
+      const dram::Tick quiet_to =
+          std::min<dram::Tick>(cached_next_event_tick(), target);
+      if (quiet_to > bus_ticks_done_) {
+        skip_bus_ticks(bus_ticks_done_, quiet_to);
+        bus_ticks_done_ = quiet_to;
+        ++state_version_;
+        // An event (or the target) lands here; run it without re-probing.
+        last_tick_active_ = true;
+        continue;
+      }
+    }
     run_bus_tick(bus_ticks_done_);
     ++bus_ticks_done_;
+    ++state_version_;
   }
+}
+
+dram::Tick MemoryController::cached_next_event_tick() const {
+  if (cached_event_version_ != state_version_) {
+    cached_event_tick_ = next_event_tick(bus_ticks_done_);
+    cached_event_version_ = state_version_;
+  }
+  return cached_event_tick_;
+}
+
+Cycle MemoryController::next_event_cpu_cycle() const {
+  const dram::Tick e = cached_next_event_tick();
+  return e == dram::kNoTick ? kNoCycle : crossing_.cpu_cycle_of_tick(e);
 }
 
 void MemoryController::replace_scheduler(std::unique_ptr<Scheduler> scheduler) {
   BWPART_ASSERT(scheduler != nullptr, "controller needs a scheduler");
   scheduler_ = std::move(scheduler);
+  ++state_version_;
 }
 
 const AppMemStats& MemoryController::app_stats(AppId app) const {
@@ -106,22 +161,107 @@ std::size_t MemoryController::pending_requests(AppId app) const {
   return per_app_count_[app];
 }
 
+bool MemoryController::writes_would_be_eligible() const {
+  if (!write_drain_.enabled) return true;
+  bool draining = draining_;
+  if (!draining && pending_writes_ >= write_drain_.high_watermark) {
+    draining = true;
+  } else if (draining && pending_writes_ <= write_drain_.low_watermark) {
+    draining = false;
+  }
+  return draining || pending_reads_ == 0;
+}
+
+void MemoryController::recompute_oldest(AppId app) {
+  std::uint32_t o = kNoSlot;
+  for (const auto& pend : pending_by_channel_) {
+    for (const std::uint32_t slot : pend) {
+      const MemRequest& r = slots_[slot];
+      if (r.app != app) continue;
+      if (o == kNoSlot) {
+        o = slot;
+        continue;
+      }
+      const MemRequest& cur = slots_[o];
+      if (r.arrival_cpu < cur.arrival_cpu ||
+          (r.arrival_cpu == cur.arrival_cpu && r.id < cur.id)) {
+        o = slot;
+      }
+    }
+  }
+  oldest_pending_[app] = o;
+}
+
+dram::Tick MemoryController::next_event_tick(dram::Tick from) const {
+  dram::Tick best = dram_.next_event_tick(from, rank_pending_);
+  best = std::min(best, next_completion_);
+  if (best <= from) return from;
+  const bool writes_eligible = writes_would_be_eligible();
+  for (const auto& pend : pending_by_channel_) {
+    for (const std::uint32_t slot : pend) {
+      const MemRequest& r = slots_[slot];
+      if (!writes_eligible && r.type == AccessType::Write) continue;
+      const dram::CommandType need = dram_.required_command(r.loc, r.type);
+      const dram::Tick e =
+          dram_.earliest_issue_tick({need, r.loc, r.app, r.id}, from);
+      if (e != dram::kNoTick) best = std::min(best, e);
+      if (best <= from) return from;
+    }
+  }
+  if (observer_ != nullptr) {
+    // A victim's attribution can also flip when its blocking data burst
+    // drains, or when a drain-held write becomes issue-ready (moving it
+    // from "blocked on a resource" to "ready but not picked").
+    const dram::TimingsTicks& t = dram_.timings();
+    for (AppId app = 0; app < num_apps_; ++app) {
+      const std::uint32_t slot = oldest_pending_[app];
+      if (slot == kNoSlot) continue;
+      const MemRequest& r = slots_[slot];
+      const dram::CommandType need = dram_.required_command(r.loc, r.type);
+      if (!writes_eligible && r.type == AccessType::Write) {
+        const dram::Tick e =
+            dram_.earliest_issue_tick({need, r.loc, r.app, r.id}, from);
+        if (e != dram::kNoTick) best = std::min(best, e);
+      }
+      if (dram::is_column_command(need)) {
+        const dram::Tick lat = dram::is_read_command(need) ? t.cl : t.cwl;
+        const dram::Tick until = bus_busy_until_[r.loc.channel];
+        if (until > lat && until - lat > from) {
+          best = std::min(best, until - lat);
+        }
+      }
+      if (best <= from) return from;
+    }
+  }
+  return best;
+}
+
+void MemoryController::skip_bus_ticks(dram::Tick from, dram::Tick to) {
+  dram_.skip_ticks(from, to, rank_pending_);
+  if (observer_ != nullptr) account_interference_range(from, to);
+}
+
 void MemoryController::run_bus_tick(dram::Tick now) {
   dram_.tick(now);
+  const std::size_t active_before = active_;
   deliver_completions(now);
   // Wake powered-down ranks that have work waiting.
   if (dram_.config().enable_powerdown) {
-    for (const MemRequest& r : queue_) {
-      if (!r.in_flight) {
-        dram_.notify_rank_pending(r.loc.channel, r.loc.rank, now);
+    for (std::uint32_t ch = 0; ch < channels_; ++ch) {
+      for (std::uint32_t rk = 0; rk < ranks_; ++rk) {
+        if (rank_pending_[static_cast<std::size_t>(ch) * ranks_ + rk] > 0) {
+          dram_.notify_rank_pending(ch, rk, now);
+        }
       }
     }
   }
   // One command per channel per tick (shared command bus per channel).
-  issued_scratch_.assign(dram_.config().channels, kNoApp);
-  for (std::uint32_t ch = 0; ch < dram_.config().channels; ++ch) {
+  issued_scratch_.assign(channels_, kNoApp);
+  bool any_issued = false;
+  for (std::uint32_t ch = 0; ch < channels_; ++ch) {
     if (try_issue_one(ch, now)) {
       issued_scratch_[ch] = issued_app_scratch_;
+      any_issued = true;
     }
   }
   if (observer_ != nullptr) {
@@ -130,12 +270,17 @@ void MemoryController::run_bus_tick(dram::Tick now) {
                          crossing_.cpu_cycle_of_tick(now);
     account_interference(now, issued_scratch_, weight);
   }
+  last_tick_active_ = any_issued || active_ != active_before;
 }
 
 void MemoryController::deliver_completions(dram::Tick now) {
-  for (std::size_t i = 0; i < queue_.size();) {
-    MemRequest& req = queue_[i];
-    if (req.in_flight && req.data_finish <= now) {
+  if (next_completion_ > now) return;
+  dram::Tick next = dram::kNoTick;
+  for (std::size_t i = 0; i < inflight_slots_.size();) {
+    const std::uint32_t slot = inflight_slots_[i];
+    MemRequest& req = slots_[slot];
+    BWPART_ASSERT(req.in_flight, "pending request on the in-flight list");
+    if (req.data_finish <= now) {
       const Cycle done_cpu = crossing_.cpu_cycle_of_tick(req.data_finish);
       AppMemStats& s = app_stats_[req.app];
       if (req.type == AccessType::Read) {
@@ -146,15 +291,19 @@ void MemoryController::deliver_completions(dram::Tick now) {
       s.sum_queue_cycles +=
           done_cpu > req.arrival_cpu ? done_cpu - req.arrival_cpu : 0;
       --per_app_count_[req.app];
+      --active_;
       const MemRequest done = req;
-      queue_[i] = queue_.back();
-      queue_.pop_back();
+      inflight_slots_[i] = inflight_slots_.back();
+      inflight_slots_.pop_back();
+      free_slots_.push_back(slot);
       if (on_complete_) on_complete_(done, done_cpu);
-      // re-examine the element swapped into slot i
+      // re-examine the element swapped into position i
     } else {
+      next = std::min(next, req.data_finish);
       ++i;
     }
   }
+  next_completion_ = next;
 }
 
 bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
@@ -170,23 +319,33 @@ bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
   const bool writes_eligible =
       !write_drain_.enabled || draining_ || pending_reads_ == 0;
 
-  // Gather schedulable requests on this channel, policy-ordered.
+  // Gather schedulable requests on this channel.
+  auto& pend = pending_by_channel_[channel];
   scratch_.clear();
-  for (std::size_t i = 0; i < queue_.size(); ++i) {
-    const MemRequest& r = queue_[i];
-    if (!r.in_flight && r.loc.channel == channel && r.arrival_tick <= now &&
+  for (const std::uint32_t slot : pend) {
+    const MemRequest& r = slots_[slot];
+    if (r.arrival_tick <= now &&
         (writes_eligible || r.type == AccessType::Read)) {
-      scratch_.push_back(i);
+      scratch_.push_back(slot);
     }
   }
   if (scratch_.empty()) return false;
-  std::sort(scratch_.begin(), scratch_.end(),
-            [this](std::size_t a, std::size_t b) {
-              return scheduler_->before(queue_[a], queue_[b], dram_);
-            });
   bool bus_reserved = false;
   for (std::size_t pos = 0; pos < scratch_.size(); ++pos) {
-    MemRequest& req = queue_[scratch_[pos]];
+    // Top-1 selection on demand: move the policy minimum of the unexamined
+    // tail to `pos`. Most ticks issue the first pick, so this does O(K)
+    // comparator calls instead of sorting the whole candidate set; when a
+    // pick is vetoed below, the next minimum is extracted, reproducing the
+    // fully sorted visit order.
+    std::size_t min_at = pos;
+    for (std::size_t k = pos + 1; k < scratch_.size(); ++k) {
+      if (scheduler_->before(slots_[scratch_[k]], slots_[scratch_[min_at]],
+                             dram_)) {
+        min_at = k;
+      }
+    }
+    std::swap(scratch_[pos], scratch_[min_at]);
+    MemRequest& req = slots_[scratch_[pos]];
     const dram::CommandType need =
         dram_.required_command(req.loc, req.type);
     // Bus reservation: once a higher-priority column command is blocked
@@ -203,7 +362,7 @@ bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
     if (need == dram::CommandType::Precharge) {
       bool protected_row = false;
       for (std::size_t k = 0; k < pos; ++k) {
-        const MemRequest& earlier = queue_[scratch_[k]];
+        const MemRequest& earlier = slots_[scratch_[k]];
         if (earlier.loc.rank == req.loc.rank &&
             earlier.loc.bank == req.loc.bank &&
             dram_.is_row_hit(earlier.loc)) {
@@ -222,12 +381,7 @@ bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
       continue;
     }
     const dram::IssueResult result = dram_.issue(cmd, now);
-    const std::size_t bank_idx =
-        (static_cast<std::size_t>(req.loc.channel) * dram_.config().ranks +
-         req.loc.rank) *
-            dram_.config().banks_per_rank +
-        req.loc.bank;
-    bank_last_user_[bank_idx] = req.app;
+    bank_last_user_[bank_index(req.loc)] = req.app;
     if (dram::is_column_command(need)) {
       req.in_flight = true;
       req.data_finish = result.data_finish;
@@ -241,6 +395,18 @@ bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
         --pending_reads_;
       }
       scheduler_->on_issue(req);
+      // Move the slot from the pending list to the in-flight list.
+      const std::uint32_t slot = scratch_[pos];
+      const auto it = std::find(pend.begin(), pend.end(), slot);
+      BWPART_ASSERT(it != pend.end(), "issued slot missing from channel list");
+      *it = pend.back();
+      pend.pop_back();
+      if (oldest_pending_[req.app] == slot) recompute_oldest(req.app);
+      inflight_slots_.push_back(slot);
+      next_completion_ = std::min(next_completion_, result.data_finish);
+      BWPART_ASSERT(rank_pending_[rank_index(req.loc)] > 0,
+                    "rank pending counter underflow");
+      --rank_pending_[rank_index(req.loc)];
     }
     issued_app_scratch_ = req.app;
     return true;
@@ -256,25 +422,18 @@ void MemoryController::account_interference(dram::Tick now,
   // request is delayed by another application's use of the bus or bank
   // (paper Section IV-C; detection per STFM / FST).
   for (AppId app = 0; app < num_apps_; ++app) {
-    // Find the oldest non-in-flight request of this app.
-    const MemRequest* oldest = nullptr;
-    for (const MemRequest& r : queue_) {
-      if (r.app != app || r.in_flight) continue;
-      if (oldest == nullptr || r.arrival_cpu < oldest->arrival_cpu ||
-          (r.arrival_cpu == oldest->arrival_cpu && r.id < oldest->id)) {
-        oldest = &r;
-      }
-    }
-    if (oldest == nullptr) continue;
-    const std::uint32_t ch = oldest->loc.channel;
+    const std::uint32_t slot = oldest_pending_[app];
+    if (slot == kNoSlot) continue;
+    const MemRequest& oldest = slots_[slot];
+    const std::uint32_t ch = oldest.loc.channel;
     const dram::CommandType need =
-        dram_.required_command(oldest->loc, oldest->type);
-    const dram::Command cmd{need, oldest->loc, app, oldest->id};
+        dram_.required_command(oldest.loc, oldest.type);
+    const dram::Command cmd{need, oldest.loc, app, oldest.id};
     bool interfered = false;
     if (dram_.can_issue(cmd, now)) {
       // Ready but a different application's command won the slot.
       interfered = issued_app[ch] != kNoApp && issued_app[ch] != app;
-    } else if (dram_.refresh_blocked(ch, oldest->loc.rank)) {
+    } else if (dram_.refresh_blocked(ch, oldest.loc.rank)) {
       interfered = false;  // refresh is not inter-application interference
     } else {
       // Blocked on a resource: data bus or bank; attribute to its last user.
@@ -286,12 +445,46 @@ void MemoryController::account_interference(dram::Tick now,
       if (bus_block) {
         interfered = bus_user_[ch] != kNoApp && bus_user_[ch] != app;
       } else {
-        const std::size_t bank_idx =
-            (static_cast<std::size_t>(ch) * dram_.config().ranks +
-             oldest->loc.rank) *
-                dram_.config().banks_per_rank +
-            oldest->loc.bank;
-        const AppId owner = bank_last_user_[bank_idx];
+        const AppId owner = bank_last_user_[bank_index(oldest.loc)];
+        interfered = owner != kNoApp && owner != app;
+      }
+    }
+    if (interfered) observer_->on_interference(app, weight);
+  }
+}
+
+void MemoryController::account_interference_range(dram::Tick from,
+                                                  dram::Tick to) {
+  // Every classification input is frozen over a dead range: nothing issues
+  // or completes, device state only ages, and every flip tick (earliest
+  // legal issue, bus drain, refresh events) bounds the skip. The per-tick
+  // weights telescope: sum of (cpu_of(n+1) - cpu_of(n)) over [from, to).
+  const Cycle weight = crossing_.cpu_cycle_of_tick(to) -
+                       crossing_.cpu_cycle_of_tick(from);
+  for (AppId app = 0; app < num_apps_; ++app) {
+    const std::uint32_t slot = oldest_pending_[app];
+    if (slot == kNoSlot) continue;
+    const MemRequest& oldest = slots_[slot];
+    const std::uint32_t ch = oldest.loc.channel;
+    const dram::CommandType need =
+        dram_.required_command(oldest.loc, oldest.type);
+    const dram::Command cmd{need, oldest.loc, app, oldest.id};
+    bool interfered = false;
+    if (dram_.can_issue(cmd, from)) {
+      // Ready the whole range, but a dead range issues nothing: no victim.
+      interfered = false;
+    } else if (dram_.refresh_blocked(ch, oldest.loc.rank)) {
+      interfered = false;
+    } else {
+      const dram::TimingsTicks& t = dram_.timings();
+      const bool bus_block =
+          dram::is_column_command(need) &&
+          from + (dram::is_read_command(need) ? t.cl : t.cwl) <
+              bus_busy_until_[ch];
+      if (bus_block) {
+        interfered = bus_user_[ch] != kNoApp && bus_user_[ch] != app;
+      } else {
+        const AppId owner = bank_last_user_[bank_index(oldest.loc)];
         interfered = owner != kNoApp && owner != app;
       }
     }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
@@ -95,11 +96,39 @@ class MemoryController {
 
   /// Advances the controller to CPU cycle `now_cpu`, running every DRAM bus
   /// tick that fires at or before it. Must be called with non-decreasing
-  /// cycles, once per cycle.
+  /// cycles; cycles may be skipped (each call catches up on all bus ticks
+  /// due since the previous call).
   void tick(Cycle now_cpu);
 
+  /// Selects between the event-driven engine (default), which proves tick
+  /// ranges dead via next_event_tick() and jumps over them, and the
+  /// reference engine that runs run_bus_tick() for every tick. Both produce
+  /// bit-identical stats and scheduling decisions; the reference loop
+  /// exists for debugging and differential testing.
+  void set_fast_forward(bool on) { fast_forward_ = on; }
+  bool fast_forward() const { return fast_forward_; }
+
+  /// First CPU cycle at which the controller can next act on its own —
+  /// deliver a completion, issue a command, or advance device housekeeping
+  /// (refresh, power-down). Valid between tick() calls; kNoCycle when the
+  /// controller is empty and the device has no scheduled events. The system
+  /// loop may skip straight to min(core wakes, this) without simulating the
+  /// cycles in between.
+  Cycle next_event_cpu_cycle() const;
+
+  /// First CPU cycle > the last tick() call at which a new bus tick falls
+  /// due. tick() calls at earlier cycles are no-ops; the system loop may
+  /// elide them (completions and issues still land on their exact cycles,
+  /// because they only ever happen when a due bus tick is processed).
+  Cycle next_bus_activity_cpu_cycle() const {
+    return crossing_.cpu_cycle_of_tick(bus_ticks_done_);
+  }
+
   void set_completion_callback(CompletionCallback cb) { on_complete_ = std::move(cb); }
-  void set_interference_observer(InterferenceObserver* obs) { observer_ = obs; }
+  void set_interference_observer(InterferenceObserver* obs) {
+    observer_ = obs;
+    ++state_version_;
+  }
 
   Scheduler& scheduler() { return *scheduler_; }
   const Scheduler& scheduler() const { return *scheduler_; }
@@ -115,7 +144,7 @@ class MemoryController {
   void reset_stats();
 
   std::size_t pending_requests(AppId app) const;
-  std::size_t pending_requests_total() const { return queue_.size(); }
+  std::size_t pending_requests_total() const { return active_; }
 
   /// Upper bound on requests that can ever be queued or in flight at once,
   /// across both admission modes — the slack term for cross-layer
@@ -127,11 +156,51 @@ class MemoryController {
   }
 
  private:
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
   void run_bus_tick(dram::Tick now);
+  /// Batch-advances over [from, to), a range next_event_tick() proved dead:
+  /// no completion, no legal issue, no device event. Device tick/power-down
+  /// stats and interference attribution are accounted in closed form.
+  void skip_bus_ticks(dram::Tick from, dram::Tick to);
+  /// Earliest bus tick >= `from` at which the controller could act:
+  /// min over device events, the tracked next completion, each pending
+  /// request's earliest legal issue tick, and (when an interference
+  /// observer is attached) the ticks at which a victim's blocked/ready
+  /// classification can flip.
+  dram::Tick next_event_tick(dram::Tick from) const;
+  /// next_event_tick(bus_ticks_done_) memoized on state_version_: between
+  /// mutations (enqueue, an executed or skipped bus tick, a config change)
+  /// the controller's event horizon cannot move, so the system loop can
+  /// poll next_event_cpu_cycle() every blocked CPU cycle at O(1).
+  dram::Tick cached_next_event_tick() const;
   void deliver_completions(dram::Tick now);
   bool try_issue_one(std::uint32_t channel, dram::Tick now);
+  /// Write eligibility the next try_issue_one() will compute, without
+  /// mutating the drain-hysteresis state (the update is idempotent while no
+  /// request is enqueued or issued, so this is exact across a dead range).
+  bool writes_would_be_eligible() const;
   void account_interference(dram::Tick now, std::span<const AppId> issued_app,
                             Cycle weight);
+  /// Closed-form interference attribution for a dead tick range: each
+  /// victim's classification is constant over [from, to), and the per-tick
+  /// CPU-cycle weights telescope to an exact total.
+  void account_interference_range(dram::Tick from, dram::Tick to);
+  /// Rebuilds oldest_pending_[app] by scanning the pending lists (arrival_cpu
+  /// then id order; kNoSlot when the app has none). Only needed when the
+  /// app's current oldest leaves the pending set — new arrivals are never
+  /// older than the incumbent, so enqueue maintains the index in O(1).
+  void recompute_oldest(AppId app);
+
+  std::size_t bank_index(const dram::Location& loc) const {
+    return (static_cast<std::size_t>(loc.channel) * ranks_ + loc.rank) *
+               banks_per_rank_ +
+           loc.bank;
+  }
+  std::size_t rank_index(const dram::Location& loc) const {
+    return static_cast<std::size_t>(loc.channel) * ranks_ + loc.rank;
+  }
 
   dram::DramSystem dram_;
   ClockCrossing crossing_;
@@ -140,8 +209,27 @@ class MemoryController {
   std::size_t shared_capacity_;
   AdmissionMode admission_;
   std::uint32_t num_apps_;
+  // Geometry strides cached from dram_.config() (hot-path satellite).
+  std::uint32_t channels_;
+  std::uint32_t ranks_;
+  std::uint32_t banks_per_rank_;
 
-  std::vector<MemRequest> queue_;  ///< pending + in-flight requests
+  // Request storage: a slot pool with stable indices plus per-channel
+  // pending lists and an in-flight list, all maintained incrementally at
+  // enqueue/issue/complete so the per-tick work is proportional to the
+  // relevant channel's queue, not the whole transaction queue.
+  std::vector<MemRequest> slots_;
+  std::vector<std::uint32_t> free_slots_;  ///< LIFO free list into slots_
+  std::vector<std::vector<std::uint32_t>> pending_by_channel_;
+  std::vector<std::uint32_t> inflight_slots_;
+  std::size_t active_ = 0;  ///< pending + in-flight requests
+  /// Min over in-flight requests' data_finish; deliver_completions()
+  /// early-exits on it, and the fast path skips straight to it.
+  dram::Tick next_completion_ = dram::kNoTick;
+  /// Pending (not yet issued) requests per (channel, rank); drives the
+  /// power-down notify loop and DramSystem::next_event_tick().
+  std::vector<std::uint32_t> rank_pending_;
+
   std::vector<std::size_t> per_app_count_;
   std::vector<AppMemStats> app_stats_;
 
@@ -162,10 +250,28 @@ class MemoryController {
   std::uint64_t bus_ticks_done_ = 0;
   Cycle last_cpu_cycle_ = 0;
   bool started_ = false;
+  bool fast_forward_ = true;
+  /// Probe heuristic: after a tick that issued or delivered nothing, the
+  /// next tick() iteration checks next_event_tick() for a skippable range;
+  /// after an active tick it runs the next tick directly (a saturated
+  /// controller never pays the event-query cost).
+  bool last_tick_active_ = true;
+  /// Bumped on every state mutation that can move the event horizon;
+  /// invalidates the cached_next_event_tick() memo.
+  std::uint64_t state_version_ = 0;
+  mutable std::uint64_t cached_event_version_ =
+      std::numeric_limits<std::uint64_t>::max();
+  mutable dram::Tick cached_event_tick_ = 0;
+
+  /// Each app's oldest pending request slot, maintained incrementally
+  /// (set at enqueue when empty, recomputed only when the incumbent is
+  /// issued) — the interference-attribution and event-horizon paths read it
+  /// every bus tick, so a full rescan there would dominate the tick cost.
+  std::vector<std::uint32_t> oldest_pending_;
 
   // Per-tick scratch storage (kept as members to avoid reallocation in the
   // bus-tick hot path).
-  std::vector<std::size_t> scratch_;
+  std::vector<std::uint32_t> scratch_;
   std::vector<AppId> issued_scratch_;
   AppId issued_app_scratch_ = kNoApp;
 };

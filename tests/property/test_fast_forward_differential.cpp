@@ -1,0 +1,236 @@
+// Differential properties of the event-driven fast-forward engine: the
+// fast path (SystemConfig::fast_forward = true, the default) must be
+// cycle-exact — bit-identical per-app controller stats, DRAM stats,
+// interference attribution, core stats and IPC against the reference
+// cycle-by-cycle loop — across random machines, mixes, schemes and seeds,
+// including power-down and write-drain configurations that exercise every
+// skip-bounding event source.
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/pbt.hpp"
+#include "harness/differential.hpp"
+#include "harness/experiment.hpp"
+#include "harness/generators.hpp"
+#include "harness/system.hpp"
+#include "mem/controller.hpp"
+#include "workload/mixes.hpp"
+
+namespace bwpart::harness {
+namespace {
+
+struct FfCase {
+  SystemConfig cfg;
+  std::vector<workload::BenchmarkSpec> mix;
+  std::vector<core::AppParams> params;  ///< knobs for the installed scheme
+  PhaseConfig phases;
+  core::Scheme scheme = core::Scheme::NoPartitioning;
+  mem::WriteDrainConfig write_drain{};
+  mem::AdmissionMode admission = mem::AdmissionMode::Shared;
+};
+
+pbt::GenFn<FfCase> ff_case_gen() {
+  return [](Rng& rng) {
+    FfCase c;
+    c.cfg = gen::system_config(rng);
+    // The stock generator leaves power-down off; the skip logic has
+    // dedicated event sources for it, so force coverage.
+    c.cfg.dram.enable_powerdown = rng.next_bool(0.3);
+    c.mix = gen::mix(rng, 2, 4);
+    c.params = gen::workload(rng, c.mix.size(), c.mix.size());
+    c.phases = gen::phase_config(rng);
+    c.scheme = gen::scheme(rng);
+    if (rng.next_bool(0.35)) {
+      c.write_drain.enabled = true;
+      c.write_drain.high_watermark = pbt::gen_uint(rng, 6, 24);
+      c.write_drain.low_watermark =
+          pbt::gen_uint(rng, 1, c.write_drain.high_watermark - 1);
+    }
+    c.admission = rng.next_bool(0.5) ? mem::AdmissionMode::PerApp
+                                     : mem::AdmissionMode::Shared;
+    return c;
+  };
+}
+
+std::string print_ff_case(const FfCase& c) {
+  std::ostringstream os;
+  os << "scheme=" << core::to_string(c.scheme) << " seed=" << c.phases.seed
+     << " measure=" << c.phases.measure_cycles << " mix={";
+  for (const workload::BenchmarkSpec& b : c.mix) os << b.name << " ";
+  os << "} ch=" << c.cfg.dram.channels << " ranks=" << c.cfg.dram.ranks
+     << " banks=" << c.cfg.dram.banks_per_rank
+     << " pd=" << c.cfg.dram.enable_powerdown
+     << " refresh=" << c.cfg.dram.enable_refresh
+     << " wdrain=" << c.write_drain.enabled
+     << " perapp=" << (c.admission == mem::AdmissionMode::PerApp)
+     << " window=" << c.cfg.dstf_row_hit_window;
+  return os.str();
+}
+
+/// Builds a CmpSystem for `c` with the given engine, installs the scheme's
+/// scheduler plus the write-drain/admission knobs, and runs
+/// warmup + reset + measure.
+void run_system(const FfCase& c, bool fast_forward, CmpSystem& sys) {
+  (void)fast_forward;
+  if (c.write_drain.enabled) sys.controller().set_write_drain(c.write_drain);
+  sys.controller().set_admission_mode(c.admission);
+  sys.controller().replace_scheduler(make_scheduler(
+      c.scheme, c.mix.size(), c.params, c.cfg.dstf_row_hit_window));
+  sys.run(c.phases.warmup_cycles);
+  sys.reset_measurement();
+  sys.run(c.phases.measure_cycles);
+}
+
+/// Field-by-field bit comparison of everything the two systems measured.
+/// Returns an empty string when identical.
+std::string compare_systems(const CmpSystem& fast, const CmpSystem& ref) {
+  std::ostringstream os;
+  const std::uint32_t n = fast.num_apps();
+  for (AppId a = 0; a < n; ++a) {
+    const mem::AppMemStats& f = fast.controller().app_stats(a);
+    const mem::AppMemStats& r = ref.controller().app_stats(a);
+    if (f.enqueued != r.enqueued || f.served_reads != r.served_reads ||
+        f.served_writes != r.served_writes ||
+        f.sum_queue_cycles != r.sum_queue_cycles) {
+      os << "AppMemStats diverge for app " << a << ": enqueued " << f.enqueued
+         << "/" << r.enqueued << " reads " << f.served_reads << "/"
+         << r.served_reads << " writes " << f.served_writes << "/"
+         << r.served_writes << " queue-cycles " << f.sum_queue_cycles << "/"
+         << r.sum_queue_cycles;
+      return os.str();
+    }
+    const cpu::CoreStats& fc = fast.core(a).stats();
+    const cpu::CoreStats& rc = ref.core(a).stats();
+    if (fc.cycles != rc.cycles || fc.instructions != rc.instructions ||
+        fc.offchip_reads != rc.offchip_reads ||
+        fc.offchip_writes != rc.offchip_writes ||
+        fc.rob_stall_cycles != rc.rob_stall_cycles ||
+        fc.mem_stall_cycles != rc.mem_stall_cycles ||
+        fc.queue_stall_cycles != rc.queue_stall_cycles) {
+      os << "CoreStats diverge for app " << a << ": instr " << fc.instructions
+         << "/" << rc.instructions << " rob-stall " << fc.rob_stall_cycles
+         << "/" << rc.rob_stall_cycles << " mem-stall "
+         << fc.mem_stall_cycles << "/" << rc.mem_stall_cycles
+         << " queue-stall " << fc.queue_stall_cycles << "/"
+         << rc.queue_stall_cycles;
+      return os.str();
+    }
+    const Cycle fi = fast.interference().interference_cycles(a);
+    const Cycle ri = ref.interference().interference_cycles(a);
+    if (fi != ri) {
+      os << "interference cycles diverge for app " << a << ": " << fi << "/"
+         << ri;
+      return os.str();
+    }
+  }
+  const dram::DramStats& fd = fast.controller().dram().stats();
+  const dram::DramStats& rd = ref.controller().dram().stats();
+  if (fd.activates != rd.activates || fd.reads != rd.reads ||
+      fd.writes != rd.writes || fd.precharges != rd.precharges ||
+      fd.refreshes != rd.refreshes ||
+      fd.data_bus_busy_ticks != rd.data_bus_busy_ticks ||
+      fd.ticks != rd.ticks ||
+      fd.powerdown_rank_ticks != rd.powerdown_rank_ticks) {
+    os << "DramStats diverge: act " << fd.activates << "/" << rd.activates
+       << " rd " << fd.reads << "/" << rd.reads << " wr " << fd.writes << "/"
+       << rd.writes << " pre " << fd.precharges << "/" << rd.precharges
+       << " ref " << fd.refreshes << "/" << rd.refreshes << " bus "
+       << fd.data_bus_busy_ticks << "/" << rd.data_bus_busy_ticks
+       << " ticks " << fd.ticks << "/" << rd.ticks << " pd-ticks "
+       << fd.powerdown_rank_ticks << "/" << rd.powerdown_rank_ticks;
+    return os.str();
+  }
+  const std::vector<double> f_ipc = fast.measured_ipc();
+  const std::vector<double> r_ipc = ref.measured_ipc();
+  for (std::size_t a = 0; a < f_ipc.size(); ++a) {
+    if (hash_doubles({&f_ipc[a], 1}) != hash_doubles({&r_ipc[a], 1})) {
+      os << "IPC diverges for app " << a << ": " << f_ipc[a] << " vs "
+         << r_ipc[a];
+      return os.str();
+    }
+  }
+  return {};
+}
+
+// Fast vs reference at the CmpSystem level, field-by-field, over random
+// machines including power-down, write-drain, per-app admission and every
+// scheme's scheduler — the configurations the Experiment driver never sets.
+TEST(FastForwardDifferential, SystemStatsBitIdenticalAcrossRandomCases) {
+  check::Recorder rec;
+  const pbt::Result r = pbt::for_all<FfCase>(
+      "fast-forward-differential", ff_case_gen(),
+      [&rec](const FfCase& c) -> std::string {
+        rec.clear();
+        SystemConfig fast_cfg = c.cfg;
+        fast_cfg.fast_forward = true;
+        SystemConfig ref_cfg = c.cfg;
+        ref_cfg.fast_forward = false;
+        CmpSystem fast(fast_cfg, c.mix, c.phases.seed);
+        CmpSystem ref(ref_cfg, c.mix, c.phases.seed);
+        run_system(c, true, fast);
+        run_system(c, false, ref);
+        if (fast.now() != ref.now()) return "simulated time diverged";
+        const std::string diff = compare_systems(fast, ref);
+        if (!diff.empty()) return diff;
+        if (rec.count() != 0) {
+          return "invariant violation: " + rec.violations().front().what;
+        }
+        return {};
+      },
+      {}, nullptr, print_ff_case);
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_GE(r.cases_run, 200);
+}
+
+// The full Experiment pipeline (profile -> partition -> measure, scheduler
+// swaps at phase boundaries) fingerprinted fast vs reference.
+TEST(FastForwardDifferential, ExperimentResultsBitIdenticalToReference) {
+  const pbt::Result r = pbt::for_all<FfCase>(
+      "fast-forward-experiment", ff_case_gen(),
+      [](const FfCase& c) -> std::string {
+        SystemConfig fast_cfg = c.cfg;
+        fast_cfg.fast_forward = true;
+        SystemConfig ref_cfg = c.cfg;
+        ref_cfg.fast_forward = false;
+        const Experiment fast_exp(fast_cfg, c.mix, c.phases);
+        const Experiment ref_exp(ref_cfg, c.mix, c.phases);
+        const RunResult fast = fast_exp.run(c.scheme);
+        const RunResult ref = ref_exp.run(c.scheme);
+        if (fingerprint(fast) != fingerprint(ref)) {
+          return "fast-forward Experiment diverged from reference";
+        }
+        return {};
+      },
+      {}, nullptr, print_ff_case);
+  EXPECT_TRUE(r.ok) << r.report();
+  EXPECT_GE(r.cases_run, 200);
+}
+
+// Every scheme on one substantial mix: scheduler decisions (and hence every
+// derived stat) must match the reference loop exactly.
+TEST(FastForwardDifferential, AllSevenSchemesMatchReference) {
+  Rng rng(pbt::case_seed(pbt::base_seed(), 7177));
+  const std::vector<workload::BenchmarkSpec> mix = gen::mix(rng, 3, 4);
+  PhaseConfig phases;
+  phases.warmup_cycles = 5'000;
+  phases.profile_cycles = 60'000;
+  phases.measure_cycles = 60'000;
+  SystemConfig fast_cfg;
+  fast_cfg.fast_forward = true;
+  SystemConfig ref_cfg;
+  ref_cfg.fast_forward = false;
+  const Experiment fast_exp(fast_cfg, mix, phases);
+  const Experiment ref_exp(ref_cfg, mix, phases);
+  for (const core::Scheme s : core::kAllSchemes) {
+    const RunResult fast = fast_exp.run(s);
+    const RunResult ref = ref_exp.run(s);
+    EXPECT_EQ(fingerprint(fast), fingerprint(ref)) << core::to_string(s);
+  }
+}
+
+}  // namespace
+}  // namespace bwpart::harness
