@@ -190,6 +190,15 @@ class OoOCore {
 
   AppId app() const { return app_; }
   const CoreStats& stats() const { return stats_; }
+
+  /// Observability probes (instantaneous microarchitectural occupancy; pure
+  /// reads, sampled by the epoch time-series).
+  /// Instructions currently in the window (fetched, not yet retired).
+  std::uint64_t window_occupancy() const { return fetch_seq_ - retire_seq_; }
+  /// Off-chip load misses outstanding right now (instantaneous MLP).
+  std::uint32_t offchip_loads_inflight() const {
+    return offchip_loads_inflight_;
+  }
   /// Zeroes the measurement counters at a phase boundary without touching
   /// microarchitectural state (ROB, caches, in-flight requests).
   void reset_stats();

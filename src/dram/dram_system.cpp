@@ -27,6 +27,7 @@ DramSystem::DramSystem(const DramConfig& cfg, MapScheme scheme)
   pd_threshold_ =
       static_cast<Tick>(std::ceil(cfg_.powerdown_idle_ns / tick_ns));
   stats_.channels = cfg_.channels;
+  stats_.channel_busy_ticks.assign(cfg_.channels, 0);
   if constexpr (check::kEnabled) {
     checker_ = std::make_unique<ProtocolChecker>(cfg_);
   }
@@ -419,6 +420,7 @@ IssueResult DramSystem::issue(const Command& cmd, Tick now) {
       chan.bus_last_rank = loc.rank;
       chan.bus_has_last = true;
       stats_.data_bus_busy_ticks += t_.burst;
+      stats_.channel_busy_ticks[loc.channel] += t_.burst;
       ++stats_.reads;
       result.data_finish = data_start + t_.burst;
       break;
@@ -435,6 +437,7 @@ IssueResult DramSystem::issue(const Command& cmd, Tick now) {
       rank.write_data_end = data_start + t_.burst;
       rank.any_write = true;
       stats_.data_bus_busy_ticks += t_.burst;
+      stats_.channel_busy_ticks[loc.channel] += t_.burst;
       ++stats_.writes;
       result.data_finish = data_start + t_.burst;
       break;

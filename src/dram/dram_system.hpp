@@ -36,6 +36,11 @@ struct DramStats {
   /// Number of channels busy ticks are summed over (set by DramSystem).
   std::uint32_t channels = 1;
 
+  /// Per-channel split of data_bus_busy_ticks (observability: the epoch
+  /// sampler derives per-channel utilization from deltas of these). Always
+  /// sums to data_bus_busy_ticks; sized to `channels`.
+  std::vector<std::uint64_t> channel_busy_ticks;
+
   std::uint64_t column_accesses() const { return reads + writes; }
   /// Fraction of tick-channel slots that carried data (bandwidth
   /// utilization across the whole memory system, always in [0, 1]).
@@ -44,6 +49,12 @@ struct DramStats {
                       : static_cast<double>(data_bus_busy_ticks) /
                             (static_cast<double>(ticks) *
                              static_cast<double>(channels));
+  }
+  /// Utilization of one channel's data bus, in [0, 1].
+  double channel_utilization(std::uint32_t channel) const {
+    return ticks == 0 ? 0.0
+                      : static_cast<double>(channel_busy_ticks[channel]) /
+                            static_cast<double>(ticks);
   }
 };
 
@@ -65,6 +76,7 @@ class DramSystem {
   void reset_stats() {
     stats_ = DramStats{};
     stats_.channels = cfg_.channels;
+    stats_.channel_busy_ticks.assign(cfg_.channels, 0);
   }
 
   /// Advances device-internal housekeeping (refresh scheduling) to `now`.

@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/assert.hpp"
 #include "profile/alone_profiler.hpp"
@@ -27,10 +28,65 @@ Experiment::Experiment(const SystemConfig& cfg,
                 "profile/measure windows must be positive");
 }
 
+namespace {
+
+/// Phase span on the system trace track, or a dormant span when no hub is
+/// attached/enabled (ScopedSpan tolerates a null emitter).
+obs::ScopedSpan phase_span(const CmpSystem& sys, std::string name) {
+  obs::Hub* hub = sys.observability();
+  obs::TraceEmitter* em =
+      (obs::kEnabled && hub != nullptr && hub->enabled()) ? &hub->trace()
+                                                          : nullptr;
+  return obs::ScopedSpan(em, std::move(name), obs::TraceEmitter::kSystemTrack,
+                         sys.cycle_clock());
+}
+
+/// Accumulates this scope's wall-clock time into a hub counter (so hosts
+/// like bench/perf_regression can attribute wall time to warmup / profile /
+/// measure). Dormant when the hub is absent, disabled or compiled out.
+class PhaseTimer {
+ public:
+  PhaseTimer(obs::Hub* hub, const char* key) : key_(key) {
+    if constexpr (obs::kEnabled) {
+      if (hub != nullptr && hub->enabled()) {
+        hub_ = hub;
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+  }
+  ~PhaseTimer() {
+    if constexpr (obs::kEnabled) {
+      if (hub_ != nullptr) {
+        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+        hub_->metrics().counter(key_).add(static_cast<std::uint64_t>(ns));
+      }
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  obs::Hub* hub_ = nullptr;
+  const char* key_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 std::vector<core::AppParams> Experiment::profile_phase(CmpSystem& sys) const {
-  sys.run(phases_.warmup_cycles);
+  {
+    obs::ScopedSpan span = phase_span(sys, "warmup");
+    PhaseTimer timer(hub_, "harness.wall_ns.warmup");
+    sys.run(phases_.warmup_cycles);
+  }
   sys.reset_measurement();
-  sys.run(phases_.profile_cycles);
+  {
+    obs::ScopedSpan span = phase_span(sys, "profile");
+    PhaseTimer timer(hub_, "harness.wall_ns.profile");
+    sys.run(phases_.profile_cycles);
+  }
   if (phases_.oracle_alone) return profile_alone_oracle();
   const auto counters = sys.profiler_counters();
   std::vector<core::AppParams> params;
@@ -62,24 +118,29 @@ RunResult Experiment::measure_phase(
           ? mem::AdmissionMode::Shared
           : mem::AdmissionMode::PerApp);
   sys.reset_measurement();
-
-  if (phases_.reprofile_period > 0 && shares_override.empty()) {
-    profile::RollingProfiler rolling(
-        static_cast<std::uint32_t>(n), phases_.reprofile_period);
-    Cycle done = 0;
-    while (done < phases_.measure_cycles) {
-      const Cycle chunk =
-          std::min<Cycle>(phases_.reprofile_period,
-                          phases_.measure_cycles - done);
-      sys.run(chunk);
-      done += chunk;
-      if (auto fresh = rolling.update(done, sys.profiler_counters())) {
-        apply_scheme(sys.controller().scheduler(), scheme, *fresh);
-        params = std::move(*fresh);
+  {
+    obs::ScopedSpan span =
+        phase_span(sys, "measure:" + core::to_string(scheme));
+    PhaseTimer timer(hub_, "harness.wall_ns.measure");
+    if (phases_.reprofile_period > 0 && shares_override.empty()) {
+      profile::RollingProfiler rolling(
+          static_cast<std::uint32_t>(n), phases_.reprofile_period);
+      rolling.set_observability(sys.observability());
+      Cycle done = 0;
+      while (done < phases_.measure_cycles) {
+        const Cycle chunk =
+            std::min<Cycle>(phases_.reprofile_period,
+                            phases_.measure_cycles - done);
+        sys.run(chunk);
+        done += chunk;
+        if (auto fresh = rolling.update(done, sys.profiler_counters())) {
+          apply_scheme(sys.controller().scheduler(), scheme, *fresh);
+          params = std::move(*fresh);
+        }
       }
+    } else {
+      sys.run(phases_.measure_cycles);
     }
-  } else {
-    sys.run(phases_.measure_cycles);
   }
 
   sys.check_conservation("Experiment::measure_phase");
@@ -109,6 +170,8 @@ RunResult Experiment::measure_phase(
 
 RunResult Experiment::run(core::Scheme scheme) const {
   CmpSystem sys(cfg_, apps_, phases_.seed);
+  sys.set_observability(hub_);
+  sys.set_obs_track(core::to_string(scheme));
   std::vector<core::AppParams> params = profile_phase(sys);
   return measure_phase(sys, scheme, std::move(params), {});
 }
@@ -117,6 +180,8 @@ RunResult Experiment::run_qos(
     std::span<const core::QosRequirement> requirements,
     core::Scheme best_effort_scheme) const {
   CmpSystem sys(cfg_, apps_, phases_.seed);
+  sys.set_observability(hub_);
+  sys.set_obs_track("qos:" + core::to_string(best_effort_scheme));
   std::vector<core::AppParams> params = profile_phase(sys);
   // B: the bandwidth actually utilized during the profile window.
   const double b = sys.measured_total_apc();

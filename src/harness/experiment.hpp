@@ -83,6 +83,14 @@ class Experiment {
   /// full machine).
   std::vector<core::AppParams> profile_alone_oracle() const;
 
+  /// Attaches an observability hub: every system this experiment creates
+  /// gets the hub plus a track label ("<scheme>" or "qos:<scheme>"), phase
+  /// boundaries become Chrome-trace spans (warmup/profile/measure on the
+  /// system track), and the rolling re-profiler reports through it.
+  /// Telemetry only; results are bit-identical with or without it.
+  void set_observability(obs::Hub* hub) { hub_ = hub; }
+  obs::Hub* observability() const { return hub_; }
+
   const SystemConfig& system_config() const { return cfg_; }
   const PhaseConfig& phases() const { return phases_; }
   std::span<const workload::BenchmarkSpec> apps() const { return apps_; }
@@ -98,6 +106,7 @@ class Experiment {
   SystemConfig cfg_;
   std::vector<workload::BenchmarkSpec> apps_;
   PhaseConfig phases_;
+  obs::Hub* hub_ = nullptr;
 };
 
 /// Standalone profile of a single benchmark on the given machine

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 
 #include "common/assert.hpp"
 #include "common/check.hpp"
@@ -143,7 +144,119 @@ void CmpSystem::flush_deferred_stalls(std::size_t i, Cycle upto) {
   }
 }
 
+void CmpSystem::set_observability(obs::Hub* hub) {
+  if constexpr (!obs::kEnabled) {
+    (void)hub;
+    return;
+  }
+  hub_ = hub;
+  controller_->set_observability(hub);
+  if (hub_ != nullptr) obs_resnapshot();
+}
+
+void CmpSystem::obs_resnapshot() {
+  const std::size_t n = cores_.size();
+  obs_snap_.cycle = now_;
+  obs_snap_.served.resize(n);
+  obs_snap_.instructions.resize(n);
+  for (AppId a = 0; a < n; ++a) {
+    obs_snap_.served[a] = controller_->app_stats(a).served();
+    obs_snap_.instructions[a] = cores_[a]->stats().instructions;
+  }
+  const dram::DramStats& d = controller_->dram().stats();
+  obs_snap_.channel_busy = d.channel_busy_ticks;
+  obs_snap_.dram_ticks = d.ticks;
+}
+
+void CmpSystem::obs_sample() {
+  const Cycle span = now_ - obs_snap_.cycle;
+  if (span == 0) return;
+  const double dspan = static_cast<double>(span);
+  obs::EpochRow row;
+  row.track = obs_track_;
+  row.cycle = now_;
+  row.span = span;
+  row.pending_total = controller_->pending_requests_total();
+  row.dstf_lag = controller_->scheduler().virtual_time_lag();
+
+  const dram::DramStats& d = controller_->dram().stats();
+  const std::uint64_t dticks = d.ticks - obs_snap_.dram_ticks;
+  row.channel_util.resize(d.channels);
+  for (std::uint32_t c = 0; c < d.channels; ++c) {
+    const std::uint64_t busy =
+        d.channel_busy_ticks[c] - obs_snap_.channel_busy[c];
+    // Busy ticks are credited at column-issue time for a burst that occupies
+    // the bus a few ticks later, so a short epoch can see more credited
+    // burst ticks than elapsed bus ticks; clamp to keep the documented
+    // [0, 1] range (the overhang belongs to the next epoch).
+    row.channel_util[c] =
+        dticks == 0 ? 0.0
+                    : std::min(1.0, static_cast<double>(busy) /
+                                        static_cast<double>(dticks));
+    obs_snap_.channel_busy[c] = d.channel_busy_ticks[c];
+  }
+  obs_snap_.dram_ticks = d.ticks;
+
+  std::ostringstream apc_args;
+  std::ostringstream queue_args;
+  row.apps.resize(cores_.size());
+  for (AppId a = 0; a < cores_.size(); ++a) {
+    obs::AppEpochSample& s = row.apps[a];
+    const std::uint64_t served = controller_->app_stats(a).served();
+    const std::uint64_t instr = cores_[a]->stats().instructions;
+    s.served = served - obs_snap_.served[a];
+    s.instructions = instr - obs_snap_.instructions[a];
+    s.apc = static_cast<double>(s.served) / dspan;
+    s.ipc = static_cast<double>(s.instructions) / dspan;
+    s.api = s.instructions == 0 ? 0.0
+                                : static_cast<double>(s.served) /
+                                      static_cast<double>(s.instructions);
+    s.queue_depth = controller_->pending_requests(a);
+    s.window_occupancy = cores_[a]->window_occupancy();
+    s.loads_inflight = cores_[a]->offchip_loads_inflight();
+    obs_snap_.served[a] = served;
+    obs_snap_.instructions[a] = instr;
+    hub_->metrics()
+        .histogram("sys.queue_depth.app" + std::to_string(a))
+        .record(s.queue_depth);
+    if (a != 0) {
+      apc_args << ',';
+      queue_args << ',';
+    }
+    apc_args << "\"app" << a << "\":" << s.apc;
+    queue_args << "\"app" << a << "\":" << s.queue_depth;
+  }
+  obs_snap_.cycle = now_;
+  hub_->metrics().counter("sys.epochs_sampled").add();
+  hub_->metrics().gauge("sys.dstf_lag").set(row.dstf_lag);
+  hub_->trace().counter("apc", obs::TraceEmitter::kSystemTrack, now_,
+                        apc_args.str());
+  hub_->trace().counter("queue_depth", obs::TraceEmitter::kSystemTrack, now_,
+                        queue_args.str());
+  hub_->series().add(std::move(row));
+}
+
 void CmpSystem::run(Cycle cycles) {
+  if constexpr (obs::kEnabled) {
+    if (hub_ != nullptr && hub_->enabled() && hub_->epoch_cycles() > 0) {
+      // Chunk the run at absolute epoch boundaries and sample each one.
+      // run_engine() is bit-identical to the reference loop regardless of
+      // chunking, so sampling never perturbs results — a chunk start only
+      // voids sleep proofs, which re-prove at the same decisions.
+      const Cycle end = now_ + cycles;
+      const Cycle epoch = hub_->epoch_cycles();
+      while (now_ < end) {
+        const Cycle boundary = (now_ / epoch + 1) * epoch;
+        run_engine(std::min(end, boundary) - now_);
+        if (now_ == boundary) obs_sample();
+      }
+      return;
+    }
+  }
+  run_engine(cycles);
+}
+
+void CmpSystem::run_engine(Cycle cycles) {
   const Cycle end = now_ + cycles;
   if (!cfg_.fast_forward) {
     while (now_ < end) {
@@ -238,6 +351,11 @@ void CmpSystem::reset_measurement() {
   controller_->reset_stats();
   interference_.reset();
   window_start_ = now_;
+  if constexpr (obs::kEnabled) {
+    // Counters just went back to zero; re-base the epoch sampler so the
+    // next epoch's deltas cannot underflow.
+    if (hub_ != nullptr) obs_resnapshot();
+  }
 }
 
 std::vector<profile::AppCounters> CmpSystem::profiler_counters() const {

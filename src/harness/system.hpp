@@ -5,10 +5,12 @@
 
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
 #include "common/units.hpp"
+#include "obs/hub.hpp"
 #include "core/app_params.hpp"
 #include "core/partition.hpp"
 #include "cpu/core.hpp"
@@ -63,10 +65,27 @@ class CmpSystem {
   CmpSystem(const SystemConfig& cfg,
             std::span<const workload::BenchmarkSpec> apps, std::uint64_t seed);
 
-  /// Runs for `cycles` CPU cycles.
+  /// Runs for `cycles` CPU cycles. With an observability hub attached and a
+  /// nonzero epoch, the run is chunked at epoch boundaries and one
+  /// EpochSeries row is appended per completed epoch; chunking is
+  /// result-neutral (both engines are bit-identical to the reference
+  /// cycle-by-cycle loop however a run is split), so sampling can never
+  /// change what is being measured.
   void run(Cycle cycles);
 
+  /// Attaches the observability hub to this system and its controller
+  /// (nullptr detaches). Pure telemetry: every obs read is const, so
+  /// results are bit-identical with the hub attached, detached, disabled or
+  /// compiled out (BWPART_OBS=OFF turns this into a no-op).
+  void set_observability(obs::Hub* hub);
+  obs::Hub* observability() const { return hub_; }
+  /// Label stamped on every epoch row this system emits (e.g.
+  /// "measure:Equal"); also the default Chrome-trace track grouping.
+  void set_obs_track(std::string track) { obs_track_ = std::move(track); }
+
   Cycle now() const { return now_; }
+  /// Stable pointer to the cycle counter, for obs::ScopedSpan timestamping.
+  const Cycle* cycle_clock() const { return &now_; }
   /// Cycles replayed in closed form by the fast-forward engine (0 when it
   /// is disabled) — skipped/now() is the fraction of the simulation that
   /// never executed a per-cycle tick.
@@ -127,6 +146,14 @@ class CmpSystem {
   /// Replays core `i`'s deferred cycles up to (excluding) `upto` using the
   /// closed form recorded for its sleep flavor.
   void flush_deferred_stalls(std::size_t i, Cycle upto);
+  /// The engine proper (fast-forward or reference loop), one contiguous
+  /// chunk; run() wraps it with the epoch-sampling chunker.
+  void run_engine(Cycle cycles);
+  /// Re-bases the epoch sampler's cumulative-counter snapshot on the
+  /// current counters (after attach or a measurement reset).
+  void obs_resnapshot();
+  /// Appends one epoch row covering (snapshot cycle, now_].
+  void obs_sample();
 
   Cycle now_ = 0;
   Cycle window_start_ = 0;
@@ -140,6 +167,18 @@ class CmpSystem {
   std::vector<Cycle> sleep_until_;
   std::vector<Cycle> slept_from_;
   std::vector<cpu::SleepFlavor> sleep_kind_;
+
+  obs::Hub* hub_ = nullptr;
+  std::string obs_track_;
+  /// Cumulative counters at the previous epoch sample (or measurement
+  /// reset); per-epoch deltas are differences against these.
+  struct ObsSnapshot {
+    Cycle cycle = 0;
+    std::vector<std::uint64_t> served;
+    std::vector<std::uint64_t> instructions;
+    std::vector<std::uint64_t> channel_busy;
+    std::uint64_t dram_ticks = 0;
+  } obs_snap_;
 };
 
 }  // namespace bwpart::harness

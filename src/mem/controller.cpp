@@ -1,6 +1,7 @@
 #include "mem/controller.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/assert.hpp"
 
@@ -144,6 +145,29 @@ void MemoryController::replace_scheduler(std::unique_ptr<Scheduler> scheduler) {
   BWPART_ASSERT(scheduler != nullptr, "controller needs a scheduler");
   scheduler_ = std::move(scheduler);
   ++state_version_;
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr && obs_->enabled()) {
+      obs_->trace().instant("scheduler:" + scheduler_->name(),
+                            obs::TraceEmitter::kSystemTrack, last_cpu_cycle_);
+      obs_->metrics().counter("mem.scheduler_swaps").add();
+    }
+  }
+}
+
+void MemoryController::set_observability(obs::Hub* hub) {
+  if constexpr (!obs::kEnabled) {
+    (void)hub;
+    return;
+  }
+  obs_ = hub;
+  obs_latency_.clear();
+  if (hub != nullptr) {
+    obs_latency_.reserve(num_apps_);
+    for (AppId a = 0; a < num_apps_; ++a) {
+      obs_latency_.push_back(&hub->metrics().histogram(
+          "mem.latency_cycles.app" + std::to_string(a)));
+    }
+  }
 }
 
 const AppMemStats& MemoryController::app_stats(AppId app) const {
@@ -290,6 +314,12 @@ void MemoryController::deliver_completions(dram::Tick now) {
       }
       s.sum_queue_cycles +=
           done_cpu > req.arrival_cpu ? done_cpu - req.arrival_cpu : 0;
+      if constexpr (obs::kEnabled) {
+        if (obs_ != nullptr && obs_->enabled()) {
+          obs_latency_[req.app]->record(
+              done_cpu > req.arrival_cpu ? done_cpu - req.arrival_cpu : 0);
+        }
+      }
       --per_app_count_[req.app];
       --active_;
       const MemRequest done = req;

@@ -19,6 +19,7 @@
 #include "dram/dram_system.hpp"
 #include "mem/request.hpp"
 #include "mem/scheduler.hpp"
+#include "obs/hub.hpp"
 
 namespace bwpart::mem {
 
@@ -129,6 +130,13 @@ class MemoryController {
     observer_ = obs;
     ++state_version_;
   }
+
+  /// Attaches the observability hub (nullptr detaches). The controller
+  /// records per-app request-latency histograms (arrival to data delivery,
+  /// CPU cycles) and marks scheduler swaps in the trace. Pure telemetry:
+  /// never consulted by any scheduling or timing decision, so attaching it
+  /// cannot change simulation results. Compiled out under BWPART_OBS=OFF.
+  void set_observability(obs::Hub* hub);
 
   Scheduler& scheduler() { return *scheduler_; }
   const Scheduler& scheduler() const { return *scheduler_; }
@@ -245,6 +253,10 @@ class MemoryController {
 
   CompletionCallback on_complete_;
   InterferenceObserver* observer_ = nullptr;
+  obs::Hub* obs_ = nullptr;
+  /// Per-app latency histograms resolved once at attach (hot-path hook does
+  /// one pointer load + relaxed atomics).
+  std::vector<obs::Histogram*> obs_latency_;
 
   std::uint64_t next_req_id_ = 0;
   std::uint64_t bus_ticks_done_ = 0;

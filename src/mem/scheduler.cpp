@@ -132,6 +132,16 @@ double StartTimeFairScheduler::virtual_clock(AppId app) const {
   return next_tag_[app];
 }
 
+double StartTimeFairScheduler::virtual_time_lag() const {
+  double lo = next_tag_[0];
+  double hi = next_tag_[0];
+  for (const double t : next_tag_) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  return hi - lo;
+}
+
 ClassicDstfScheduler::ClassicDstfScheduler(std::size_t num_apps)
     : last_finish_(num_apps, 0.0),
       increment_(num_apps, static_cast<double>(num_apps)) {
@@ -155,6 +165,16 @@ bool ClassicDstfScheduler::before(const MemRequest& a, const MemRequest& b,
   (void)dram;
   if (a.start_tag != b.start_tag) return a.start_tag < b.start_tag;
   return older(a, b);
+}
+
+double ClassicDstfScheduler::virtual_time_lag() const {
+  double lo = last_finish_[0];
+  double hi = last_finish_[0];
+  for (const double f : last_finish_) {
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  return hi - lo;
 }
 
 void ClassicDstfScheduler::set_shares(std::span<const double> beta) {

@@ -50,6 +50,12 @@ class Scheduler {
     (void)ranks;
   }
 
+  /// Observability probe: spread between the most-ahead and most-behind
+  /// application virtual clock of a fair-queueing policy (how far DSTF
+  /// enforcement currently lets applications drift apart). Policies with no
+  /// virtual-time notion report 0.
+  virtual double virtual_time_lag() const { return 0.0; }
+
   virtual std::string name() const = 0;
 };
 
@@ -132,6 +138,7 @@ class StartTimeFairScheduler final : public Scheduler {
               const dram::DramSystem& dram) const override;
   void set_shares(std::span<const double> beta) override;
   std::string name() const override { return "StartTimeFair"; }
+  double virtual_time_lag() const override;
 
   /// The running virtual clock of one application (exposed for tests).
   double virtual_clock(AppId app) const;
@@ -163,6 +170,7 @@ class ClassicDstfScheduler final : public Scheduler {
               const dram::DramSystem& dram) const override;
   void set_shares(std::span<const double> beta) override;
   std::string name() const override { return "ClassicDSTF"; }
+  double virtual_time_lag() const override;
 
   double virtual_time() const { return virtual_time_; }
 

@@ -1,0 +1,14 @@
+#include "obs/hub.hpp"
+
+namespace bwpart::obs {
+
+void Hub::write_metrics_json(std::ostream& os) const {
+  os << "{\"schema\":1,\"obs_compiled_in\":" << (kEnabled ? "true" : "false")
+     << ",\"metrics\":";
+  registry_.write_json(os);
+  os << ",\"epochs\":";
+  series_.write_json(os);
+  os << "}\n";
+}
+
+}  // namespace bwpart::obs

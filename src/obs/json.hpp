@@ -1,0 +1,47 @@
+// Tiny JSON writing helpers shared by the obs exporters. Not a JSON
+// library — just enough to emit valid RFC 8259 output (escaped strings,
+// finite-safe numbers) without pulling in a dependency.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+#include <string_view>
+
+namespace bwpart::obs::json {
+
+/// Writes `s` as a quoted, escaped JSON string.
+inline void write_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Writes a double; JSON has no Inf/NaN, so non-finite values become null.
+inline void write_double(std::ostream& os, double x) {
+  if (!std::isfinite(x)) {
+    os << "null";
+    return;
+  }
+  // ostream default precision (6) loses counter-derived ratios; use enough
+  // digits to round-trip.
+  const auto old = os.precision(17);
+  os << x;
+  os.precision(old);
+}
+
+}  // namespace bwpart::obs::json

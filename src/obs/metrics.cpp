@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace bwpart::obs {
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+template <typename Map, typename Make>
+decltype(auto) resolve(std::mutex& mu, Map& map, std::string_view name,
+                       Make make) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return resolve(mu_, counters_, name,
+                 [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return resolve(mu_, gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return resolve(mu_, histograms_, name,
+                 [] { return std::make_unique<Histogram>(); });
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << '{';
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const auto& [name, c] : counters_) {
+    sep();
+    json::write_string(os, name);
+    os << ':' << c->value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    sep();
+    json::write_string(os, name);
+    os << ':';
+    json::write_double(os, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    sep();
+    json::write_string(os, name);
+    os << ":{\"count\":" << h->count() << ",\"sum\":" << h->sum();
+    if (h->count() > 0) {
+      os << ",\"min\":" << h->min() << ",\"max\":" << h->max();
+    }
+    os << ",\"mean\":";
+    json::write_double(os, h->mean());
+    os << ",\"buckets\":{";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << '"' << Histogram::bucket_lower(i) << "\":" << n;
+    }
+    os << "}}";
+  }
+  os << '}';
+}
+
+}  // namespace bwpart::obs

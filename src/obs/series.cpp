@@ -1,0 +1,53 @@
+#include "obs/series.hpp"
+
+#include "obs/json.hpp"
+
+namespace bwpart::obs {
+
+void EpochSeries::write_row(std::ostream& os, const EpochRow& row) const {
+  os << "{\"track\":";
+  json::write_string(os, row.track);
+  os << ",\"cycle\":" << row.cycle << ",\"span\":" << row.span
+     << ",\"pending_total\":" << row.pending_total << ",\"dstf_lag\":";
+  json::write_double(os, row.dstf_lag);
+  os << ",\"channel_util\":[";
+  for (std::size_t c = 0; c < row.channel_util.size(); ++c) {
+    if (c != 0) os << ',';
+    json::write_double(os, row.channel_util[c]);
+  }
+  os << "],\"apps\":[";
+  for (std::size_t a = 0; a < row.apps.size(); ++a) {
+    const AppEpochSample& s = row.apps[a];
+    if (a != 0) os << ',';
+    os << "{\"apc\":";
+    json::write_double(os, s.apc);
+    os << ",\"api\":";
+    json::write_double(os, s.api);
+    os << ",\"ipc\":";
+    json::write_double(os, s.ipc);
+    os << ",\"served\":" << s.served
+       << ",\"instructions\":" << s.instructions
+       << ",\"queue_depth\":" << s.queue_depth
+       << ",\"window_occupancy\":" << s.window_occupancy
+       << ",\"loads_inflight\":" << s.loads_inflight << '}';
+  }
+  os << "]}";
+}
+
+void EpochSeries::write_json(std::ostream& os) const {
+  os << '[';
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i != 0) os << ',';
+    write_row(os, rows_[i]);
+  }
+  os << ']';
+}
+
+void EpochSeries::write_jsonl(std::ostream& os) const {
+  for (const EpochRow& row : rows_) {
+    write_row(os, row);
+    os << '\n';
+  }
+}
+
+}  // namespace bwpart::obs

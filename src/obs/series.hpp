@@ -1,0 +1,66 @@
+// Epoch time-series: phase-resolved samples of the quantities the paper's
+// model reasons about. Every N cycles (SystemConfig-independent; the hub
+// carries the epoch length) the harness appends one row with per-app
+// APC/API/IPC over the epoch, per-channel bus utilization, queue depths and
+// the DSTF virtual-time lag — the telemetry needed to attribute bandwidth
+// to applications *over time* instead of only end-of-run (Eq. 1-2 resolved
+// per phase).
+//
+// Rows are pure derived data: the sampler only reads counters the simulator
+// already maintains, so sampling can never perturb a result.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bwpart::obs {
+
+/// One application's activity over one epoch.
+struct AppEpochSample {
+  double apc = 0.0;  ///< served accesses / epoch cycles (Eq. 2 occupancy)
+  double api = 0.0;  ///< served accesses / retired instructions
+  double ipc = 0.0;  ///< retired instructions / epoch cycles
+  std::uint64_t served = 0;        ///< accesses served this epoch
+  std::uint64_t instructions = 0;  ///< instructions retired this epoch
+  std::size_t queue_depth = 0;     ///< pending requests at the sample point
+  std::uint64_t window_occupancy = 0;  ///< ROB entries at the sample point
+  std::uint32_t loads_inflight = 0;    ///< off-chip MLP at the sample point
+};
+
+struct EpochRow {
+  std::string track;  ///< run label, e.g. "measure:Equal"
+  Cycle cycle = 0;    ///< absolute sample cycle (end of the epoch)
+  Cycle span = 0;     ///< cycles covered (== epoch, shorter for a partial)
+  std::vector<AppEpochSample> apps;
+  /// Per-channel data-bus utilization over the epoch, each in [0, 1].
+  std::vector<double> channel_util;
+  /// Spread between the most-ahead and most-behind application virtual
+  /// clock of a share-based (DSTF) scheduler; 0 for other policies.
+  double dstf_lag = 0.0;
+  std::size_t pending_total = 0;  ///< controller-wide queued + in-flight
+};
+
+class EpochSeries {
+ public:
+  void add(EpochRow row) { rows_.push_back(std::move(row)); }
+  const std::vector<EpochRow>& rows() const { return rows_; }
+  std::size_t size() const { return rows_.size(); }
+  void clear() { rows_.clear(); }
+
+  /// JSON array of row objects.
+  void write_json(std::ostream& os) const;
+  /// JSONL: one row object per line (streaming-friendly).
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  void write_row(std::ostream& os, const EpochRow& row) const;
+
+  std::vector<EpochRow> rows_;
+};
+
+}  // namespace bwpart::obs

@@ -1,0 +1,73 @@
+#include "obs/trace.hpp"
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace bwpart::obs {
+
+TraceEmitter::TraceEmitter(std::size_t capacity) : capacity_(capacity) {
+  BWPART_ASSERT(capacity > 0, "trace ring needs capacity");
+}
+
+void TraceEmitter::emit(TraceEvent ev) {
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void TraceEmitter::begin(std::string name, std::uint32_t tid, std::uint64_t ts,
+                         std::string args) {
+  emit({std::move(name), TraceEvent::Phase::kBegin, tid, ts, 0,
+        std::move(args)});
+}
+
+void TraceEmitter::end(std::string name, std::uint32_t tid, std::uint64_t ts) {
+  emit({std::move(name), TraceEvent::Phase::kEnd, tid, ts, 0, {}});
+}
+
+void TraceEmitter::complete(std::string name, std::uint32_t tid,
+                            std::uint64_t ts, std::uint64_t dur,
+                            std::string args) {
+  emit({std::move(name), TraceEvent::Phase::kComplete, tid, ts, dur,
+        std::move(args)});
+}
+
+void TraceEmitter::instant(std::string name, std::uint32_t tid,
+                           std::uint64_t ts, std::string args) {
+  emit({std::move(name), TraceEvent::Phase::kInstant, tid, ts, 0,
+        std::move(args)});
+}
+
+void TraceEmitter::counter(std::string name, std::uint32_t tid,
+                           std::uint64_t ts, std::string args) {
+  emit({std::move(name), TraceEvent::Phase::kCounter, tid, ts, 0,
+        std::move(args)});
+}
+
+void TraceEmitter::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceEmitter::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    json::write_string(os, ev.name);
+    os << ",\"ph\":\"" << static_cast<char>(ev.ph) << "\""
+       << ",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":" << ev.ts;
+    if (ev.ph == TraceEvent::Phase::kComplete) os << ",\"dur\":" << ev.dur;
+    if (ev.ph == TraceEvent::Phase::kInstant) os << ",\"s\":\"t\"";
+    if (!ev.args.empty()) os << ",\"args\":{" << ev.args << '}';
+    os << '}';
+  }
+  os << "],\"otherData\":{\"dropped_events\":" << dropped_
+     << ",\"clock\":\"cpu-cycles\"}}";
+}
+
+}  // namespace bwpart::obs

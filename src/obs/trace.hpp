@@ -1,0 +1,114 @@
+// Bounded-ring Chrome-trace event emitter.
+//
+// Events use the chrome://tracing / Perfetto "Trace Event Format": begin/end
+// pairs ("B"/"E"), complete spans ("X" with a duration), instants ("i") and
+// counter samples ("C"). Timestamps are simulated CPU cycles written into
+// the format's `ts` field (the viewer displays them as microseconds; the
+// scale is arbitrary for a simulator). The buffer is a bounded ring: when
+// full, the *oldest* event is dropped and a drop counter is incremented, so
+// an exported trace always says how much it is missing — it never silently
+// lies about coverage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bwpart::obs {
+
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kComplete = 'X',
+    kInstant = 'i',
+    kCounter = 'C',
+  };
+
+  std::string name;
+  Phase ph = Phase::kInstant;
+  std::uint32_t tid = 0;     ///< track: app id, or kSystemTrack
+  std::uint64_t ts = 0;      ///< simulated CPU cycle
+  std::uint64_t dur = 0;     ///< kComplete only
+  /// Preformatted JSON object body for "args" (without braces), e.g.
+  /// "\"app0\":0.12,\"app1\":0.3"; empty = no args.
+  std::string args;
+};
+
+class TraceEmitter {
+ public:
+  /// Track id used for system-wide (not per-app) events.
+  static constexpr std::uint32_t kSystemTrack = 0xffff;
+
+  explicit TraceEmitter(std::size_t capacity = std::size_t{1} << 16);
+
+  void emit(TraceEvent ev);
+
+  void begin(std::string name, std::uint32_t tid, std::uint64_t ts,
+             std::string args = {});
+  void end(std::string name, std::uint32_t tid, std::uint64_t ts);
+  void complete(std::string name, std::uint32_t tid, std::uint64_t ts,
+                std::uint64_t dur, std::string args = {});
+  void instant(std::string name, std::uint32_t tid, std::uint64_t ts,
+               std::string args = {});
+  /// One Perfetto counter sample; `args` carries the series values.
+  void counter(std::string name, std::uint32_t tid, std::uint64_t ts,
+               std::string args);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return events_.size(); }
+  /// Events evicted from the ring so far (0 == the trace is complete).
+  std::uint64_t dropped() const { return dropped_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
+  void clear();
+
+  /// Chrome trace JSON object: {"traceEvents": [...], "otherData":
+  /// {"dropped_events": N, ...}}. Loads directly in chrome://tracing and
+  /// ui.perfetto.dev.
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII helper for a span whose timestamps come from a cycle source (the
+/// owning system's clock): emits "B" at construction and "E" at scope exit,
+/// reading the clock through a stable pointer. Move-only.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceEmitter* emitter, std::string name, std::uint32_t tid,
+             const std::uint64_t* clock, std::string args = {})
+      : emitter_(emitter), name_(std::move(name)), tid_(tid), clock_(clock) {
+    if (emitter_ != nullptr) emitter_->begin(name_, tid_, *clock_,
+                                             std::move(args));
+  }
+  ~ScopedSpan() { close(); }
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : emitter_(std::exchange(other.emitter_, nullptr)),
+        name_(std::move(other.name_)),
+        tid_(other.tid_),
+        clock_(other.clock_) {}
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Ends the span now (idempotent).
+  void close() {
+    if (emitter_ != nullptr) emitter_->end(name_, tid_, *clock_);
+    emitter_ = nullptr;
+  }
+
+ private:
+  TraceEmitter* emitter_;
+  std::string name_;
+  std::uint32_t tid_;
+  const std::uint64_t* clock_;
+};
+
+}  // namespace bwpart::obs

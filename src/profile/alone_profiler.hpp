@@ -17,6 +17,7 @@
 
 #include "common/types.hpp"
 #include "core/app_params.hpp"
+#include "obs/hub.hpp"
 
 namespace bwpart::profile {
 
@@ -47,7 +48,14 @@ class RollingProfiler {
 
   Cycle period() const { return period_; }
 
+  /// Attaches the observability hub: each re-profiling boundary then emits
+  /// an instant trace event and refreshes per-app APC_alone/API estimate
+  /// gauges. Telemetry only — never read back. Compiled out with
+  /// BWPART_OBS=OFF.
+  void set_observability(obs::Hub* hub);
+
  private:
+  obs::Hub* obs_ = nullptr;
   Cycle period_;
   double smoothing_;
   Cycle next_boundary_;

@@ -14,8 +14,13 @@
 //   --seed N            trace seed
 //   --oracle            ground-truth standalone profiling
 //   --csv               machine-readable output
+//   --metrics-out FILE  write metrics registry + epoch series JSON
+//   --trace-out FILE    write Chrome-trace JSON (chrome://tracing, Perfetto)
+//   --epochs-out FILE   write the epoch series alone as JSONL (streaming)
+//   --epoch-cycles N    time-series sampling epoch (default 100000)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -24,6 +29,7 @@
 
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
+#include "obs/hub.hpp"
 #include "workload/mixes.hpp"
 
 namespace {
@@ -50,7 +56,9 @@ int usage(const char* argv0) {
                "usage: %s [--mix NAME | --benchmarks A,B,...] "
                "[--scheme NAME|all] [--cycles N]\n"
                "       [--copies N] [--bandwidth 3.2|6.4|12.8] [--seed N] "
-               "[--oracle] [--csv]\n",
+               "[--oracle] [--csv]\n"
+               "       [--metrics-out FILE] [--trace-out FILE] "
+               "[--epochs-out FILE] [--epoch-cycles N]\n",
                argv0);
   return 2;
 }
@@ -67,6 +75,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   bool oracle = false;
   bool csv = false;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string epochs_out;
+  Cycle epoch_cycles = 100'000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -96,6 +108,15 @@ int main(int argc, char** argv) {
       oracle = true;
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--metrics-out") {
+      if (const char* v = next()) metrics_out = v; else return usage(argv[0]);
+    } else if (arg == "--trace-out") {
+      if (const char* v = next()) trace_out = v; else return usage(argv[0]);
+    } else if (arg == "--epochs-out") {
+      if (const char* v = next()) epochs_out = v; else return usage(argv[0]);
+    } else if (arg == "--epoch-cycles") {
+      if (const char* v = next()) epoch_cycles = std::strtoull(v, nullptr, 10);
+      else return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -140,7 +161,17 @@ int main(int argc, char** argv) {
   phases.oracle_alone = oracle;
   phases.seed = seed;
 
-  const harness::Experiment experiment(machine, apps, phases);
+  harness::Experiment experiment(machine, apps, phases);
+
+  // Observability is opt-in: an output path enables the hub (compiled out
+  // entirely under BWPART_OBS=OFF — the flags then produce empty documents).
+  const bool want_obs =
+      !metrics_out.empty() || !trace_out.empty() || !epochs_out.empty();
+  obs::Hub hub;
+  if (want_obs) {
+    hub.set_epoch_cycles(epoch_cycles);
+    experiment.set_observability(&hub);
+  }
 
   std::vector<core::Scheme> schemes;
   if (scheme_name == "all") {
@@ -187,6 +218,33 @@ int main(int argc, char** argv) {
     std::printf("  (%.1f GB/s, %zu cores)\n\n", machine.dram.peak_gbps(),
                 apps.size());
     table.print(std::cout);
+  }
+
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open '%s'\n", metrics_out.c_str());
+      return 1;
+    }
+    hub.write_metrics_json(os);
+    os << '\n';
+  }
+  if (!trace_out.empty()) {
+    std::ofstream os(trace_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    hub.trace().write_json(os);
+    os << '\n';
+  }
+  if (!epochs_out.empty()) {
+    std::ofstream os(epochs_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open '%s'\n", epochs_out.c_str());
+      return 1;
+    }
+    hub.series().write_jsonl(os);
   }
   return 0;
 }

@@ -1,0 +1,204 @@
+// Minimal recursive-descent JSON parser for validating the observability
+// subsystem's exported documents in tests. Supports the full value grammar
+// the exporters emit (objects, arrays, strings with escapes, numbers,
+// true/false/null); parse failures throw std::runtime_error with a byte
+// offset so a malformed export pinpoints itself.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bwpart::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<ValuePtr> arr;
+  std::map<std::string, ValuePtr> obj;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member access; throws when absent or not an object.
+  const Value& at(const std::string& key) const {
+    if (kind != Kind::kObject) throw std::runtime_error("not an object");
+    const auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key: " + key);
+    return *it->second;
+  }
+  bool has(const std::string& key) const {
+    return kind == Kind::kObject && obj.count(key) != 0;
+  }
+  const Value& operator[](std::size_t i) const {
+    if (kind != Kind::kArray) throw std::runtime_error("not an array");
+    return *arr.at(i);
+  }
+  std::size_t size() const {
+    return kind == Kind::kArray ? arr.size() : obj.size();
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr value() {
+    skip_ws();
+    auto v = std::make_shared<Value>();
+    const char c = peek();
+    if (c == '{') {
+      v->kind = Value::Kind::kObject;
+      ++pos_;
+      skip_ws();
+      if (!consume('}')) {
+        do {
+          skip_ws();
+          std::string key = string_body();
+          skip_ws();
+          expect(':');
+          v->obj.emplace(std::move(key), value());
+          skip_ws();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      v->kind = Value::Kind::kArray;
+      ++pos_;
+      skip_ws();
+      if (!consume(']')) {
+        do {
+          v->arr.push_back(value());
+          skip_ws();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      v->kind = Value::Kind::kString;
+      v->str = string_body();
+    } else if (consume_word("true")) {
+      v->kind = Value::Kind::kBool;
+      v->b = true;
+    } else if (consume_word("false")) {
+      v->kind = Value::Kind::kBool;
+      v->b = false;
+    } else if (consume_word("null")) {
+      v->kind = Value::Kind::kNull;
+    } else {
+      v->kind = Value::Kind::kNumber;
+      v->num = number();
+    }
+    return v;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const unsigned long cp = std::stoul(hex, nullptr, 16);
+          // Exporters only \u-escape control characters (< 0x20); that is
+          // all this parser needs to map back.
+          if (cp > 0x7f) fail("non-ASCII \\u escape unsupported");
+          out.push_back(static_cast<char>(cp));
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    return std::stod(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+inline ValuePtr parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace bwpart::testjson

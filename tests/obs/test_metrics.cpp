@@ -1,0 +1,122 @@
+// Unit tests for the observability metrics registry: instrument semantics,
+// stable resolution, and a JSON export that parses back to the recorded
+// values.
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "mini_json.hpp"
+#include "obs/metrics.hpp"
+
+namespace bwpart::obs {
+namespace {
+
+TEST(ObsCounter, AccumulatesExactly) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsGauge, HoldsLastWrite) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.25);
+  EXPECT_EQ(g.value(), 3.25);
+  g.set(-0.5);
+  EXPECT_EQ(g.value(), -0.5);
+}
+
+TEST(ObsHistogram, BucketIndexMatchesLog2Layout) {
+  // Bucket 0 holds only 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+  for (std::size_t i = 1; i < Histogram::kBuckets; ++i) {
+    // The lower edge of each bucket indexes into that bucket, and the value
+    // just below it into the previous one.
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i) - 1), i - 1);
+  }
+}
+
+TEST(ObsHistogram, TracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.max(), 0u);
+  h.record(7);
+  h.record(0);
+  h.record(1024);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1031u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1024u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1031.0 / 3.0);
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(7)), 1u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(11), 1u);  // 1024 = 2^10 -> bucket 11
+}
+
+TEST(ObsRegistry, ResolvesStableReferences) {
+  Registry reg;
+  Counter& a = reg.counter("mem.requests");
+  Counter& b = reg.counter("mem.requests");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  // Same name in different instrument families is a distinct instrument.
+  reg.gauge("mem.requests").set(1.5);
+  EXPECT_EQ(reg.counter("mem.requests").value(), 3u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(ObsRegistry, JsonExportRoundTrips) {
+  Registry reg;
+  reg.counter("a.count").add(7);
+  reg.gauge("g\"quoted\"\n").set(0.25);
+  Histogram& h = reg.histogram("lat");
+  h.record(0);
+  h.record(5);
+  h.record(5);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const testjson::ValuePtr doc = testjson::parse(os.str());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->at("a.count").num, 7.0);
+  // Escaped names survive the round trip.
+  EXPECT_EQ(doc->at("g\"quoted\"\n").num, 0.25);
+  const testjson::Value& lat = doc->at("lat");
+  EXPECT_EQ(lat.at("count").num, 3.0);
+  EXPECT_EQ(lat.at("sum").num, 10.0);
+  EXPECT_EQ(lat.at("min").num, 0.0);
+  EXPECT_EQ(lat.at("max").num, 5.0);
+  const testjson::Value& buckets = lat.at("buckets");
+  EXPECT_EQ(buckets.at("0").num, 1.0);  // value 0
+  EXPECT_EQ(buckets.at("4").num, 2.0);  // 5 lands in [4, 8)
+  // Empty buckets are omitted.
+  EXPECT_FALSE(buckets.has("1"));
+}
+
+TEST(ObsRegistry, EmptyHistogramExportsWithoutMinMax) {
+  Registry reg;
+  reg.histogram("empty");
+  std::ostringstream os;
+  reg.write_json(os);
+  const testjson::ValuePtr doc = testjson::parse(os.str());
+  const testjson::Value& h = doc->at("empty");
+  EXPECT_EQ(h.at("count").num, 0.0);
+  EXPECT_FALSE(h.has("min"));
+  EXPECT_FALSE(h.has("max"));
+}
+
+}  // namespace
+}  // namespace bwpart::obs

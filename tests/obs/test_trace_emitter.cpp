@@ -1,0 +1,141 @@
+// Chrome-trace emitter tests: the exported JSON parses, spans nest
+// correctly per track, and the bounded ring drops the oldest events while
+// reporting exactly how many it dropped.
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mini_json.hpp"
+#include "obs/trace.hpp"
+
+namespace bwpart::obs {
+namespace {
+
+std::string export_json(const TraceEmitter& em) {
+  std::ostringstream os;
+  em.write_json(os);
+  return os.str();
+}
+
+TEST(TraceEmitter, ExportParsesAndCarriesEventFields) {
+  TraceEmitter em;
+  em.begin("phase", 3, 100);
+  em.instant("swap \"x\"", TraceEmitter::kSystemTrack, 150);
+  em.counter("apc", TraceEmitter::kSystemTrack, 160,
+             "\"app0\":0.5,\"app1\":0.25");
+  em.complete("burst", 1, 170, 8);
+  em.end("phase", 3, 200);
+
+  const testjson::ValuePtr doc = testjson::parse(export_json(em));
+  const testjson::Value& events = doc->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.size(), 5u);
+
+  EXPECT_EQ(events[0].at("name").str, "phase");
+  EXPECT_EQ(events[0].at("ph").str, "B");
+  EXPECT_EQ(events[0].at("tid").num, 3.0);
+  EXPECT_EQ(events[0].at("ts").num, 100.0);
+
+  EXPECT_EQ(events[1].at("name").str, "swap \"x\"");
+  EXPECT_EQ(events[1].at("ph").str, "i");
+
+  EXPECT_EQ(events[2].at("ph").str, "C");
+  EXPECT_EQ(events[2].at("args").at("app1").num, 0.25);
+
+  EXPECT_EQ(events[3].at("ph").str, "X");
+  EXPECT_EQ(events[3].at("dur").num, 8.0);
+
+  EXPECT_EQ(events[4].at("ph").str, "E");
+  EXPECT_EQ(events[4].at("ts").num, 200.0);
+
+  EXPECT_EQ(doc->at("otherData").at("dropped_events").num, 0.0);
+}
+
+TEST(TraceEmitter, SpansNestPerTrack) {
+  TraceEmitter em;
+  std::uint64_t clock = 10;
+  {
+    ScopedSpan outer(&em, "outer", 1, &clock);
+    clock = 20;
+    {
+      ScopedSpan inner(&em, "inner", 1, &clock);
+      clock = 30;
+    }  // inner E at 30
+    clock = 40;
+  }  // outer E at 40
+
+  const testjson::ValuePtr doc = testjson::parse(export_json(em));
+  const testjson::Value& events = doc->at("traceEvents");
+  ASSERT_EQ(events.size(), 4u);
+
+  // Replay the event stream per track with a stack: every E must close the
+  // most recent open B of the same name, timestamps must not go backwards,
+  // and nothing may stay open — i.e. the spans nest.
+  std::vector<std::string> stack;
+  std::uint64_t last_ts = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const testjson::Value& ev = events[i];
+    const std::uint64_t ts = static_cast<std::uint64_t>(ev.at("ts").num);
+    EXPECT_GE(ts, last_ts);
+    last_ts = ts;
+    if (ev.at("ph").str == "B") {
+      stack.push_back(ev.at("name").str);
+    } else if (ev.at("ph").str == "E") {
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), ev.at("name").str);
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(TraceEmitter, ScopedSpanCloseIsIdempotentAndNullTolerant) {
+  TraceEmitter em;
+  std::uint64_t clock = 5;
+  ScopedSpan span(&em, "s", 0, &clock);
+  span.close();
+  span.close();  // no second E
+  EXPECT_EQ(em.size(), 2u);
+  // A null emitter span is inert (the harness uses this when the hub is
+  // absent or disabled).
+  ScopedSpan inert(nullptr, "t", 0, &clock);
+  inert.close();
+  EXPECT_EQ(em.size(), 2u);
+}
+
+TEST(TraceEmitter, RingDropsOldestAndCountsDrops) {
+  TraceEmitter em(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    em.instant("ev" + std::to_string(i), 0, i);
+  }
+  EXPECT_EQ(em.size(), 4u);
+  EXPECT_EQ(em.dropped(), 6u);
+  // The survivors are the newest four, in order.
+  const auto& events = em.events();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].name, "ev" + std::to_string(i + 6));
+    EXPECT_EQ(events[i].ts, i + 6);
+  }
+  const testjson::ValuePtr doc = testjson::parse(export_json(em));
+  EXPECT_EQ(doc->at("otherData").at("dropped_events").num, 6.0);
+  EXPECT_EQ(doc->at("traceEvents").size(), 4u);
+}
+
+TEST(TraceEmitter, ClearResetsEventsButNotCapacity) {
+  TraceEmitter em(2);
+  em.instant("a", 0, 1);
+  em.instant("b", 0, 2);
+  em.instant("c", 0, 3);
+  EXPECT_EQ(em.dropped(), 1u);
+  em.clear();
+  EXPECT_EQ(em.size(), 0u);
+  em.instant("d", 0, 4);
+  EXPECT_EQ(em.size(), 1u);
+  EXPECT_EQ(em.capacity(), 2u);
+}
+
+}  // namespace
+}  // namespace bwpart::obs
