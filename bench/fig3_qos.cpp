@@ -48,13 +48,27 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 2; ++i) {
     const auto apps = workload::resolve_mix(*mixes[i]);
     const harness::Experiment experiment(machine, apps, opt.phases);
-    data[i].base = experiment.run(core::Scheme::NoPartitioning);
-    data[i].qos_hsp =
-        experiment.run_qos(std::span(&req, 1), core::Scheme::SquareRoot);
-    data[i].qos_wsp =
-        experiment.run_qos(std::span(&req, 1), core::Scheme::PriorityApc);
-    data[i].qos_ipc =
-        experiment.run_qos(std::span(&req, 1), core::Scheme::PriorityApi);
+    if (experiment.snapshot_reuse()) {
+      // One profile per mix; the baseline and all three QoS variants fork
+      // from it (bit-identical to the straight run/run_qos calls below).
+      const harness::ProfileSnapshot snap = experiment.capture_profile();
+      data[i].base =
+          experiment.measure_from(snap, core::Scheme::NoPartitioning);
+      data[i].qos_hsp = experiment.measure_qos_from(snap, std::span(&req, 1),
+                                                    core::Scheme::SquareRoot);
+      data[i].qos_wsp = experiment.measure_qos_from(snap, std::span(&req, 1),
+                                                    core::Scheme::PriorityApc);
+      data[i].qos_ipc = experiment.measure_qos_from(snap, std::span(&req, 1),
+                                                    core::Scheme::PriorityApi);
+    } else {
+      data[i].base = experiment.run(core::Scheme::NoPartitioning);
+      data[i].qos_hsp =
+          experiment.run_qos(std::span(&req, 1), core::Scheme::SquareRoot);
+      data[i].qos_wsp =
+          experiment.run_qos(std::span(&req, 1), core::Scheme::PriorityApc);
+      data[i].qos_ipc =
+          experiment.run_qos(std::span(&req, 1), core::Scheme::PriorityApi);
+    }
   }
 
   table.add_row({"hmmer IPC, No_partitioning",

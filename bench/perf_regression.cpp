@@ -1,16 +1,20 @@
-// Performance regression harness for the event-driven fast-forward engine.
+// Performance regression harness for the event-driven fast-forward engine
+// and the snapshot/fork sweep engine.
 //
 // Runs a Fig. 2-shaped sweep (paper mixes x partitioning schemes, serial so
 // wall-clock is comparable) twice — once with SystemConfig::fast_forward on
 // (the default engine) and once with the reference cycle-by-cycle loop —
 // then checks the two sweeps are bit-identical via RunResult fingerprints
-// and reports the speedup.
+// and reports the speedup. A third sweep runs Experiment::run_all (profile
+// once, fork every scheme's measure phase from the snapshot, schemes in
+// parallel) and must reproduce the per-scheme fingerprints exactly; its
+// wall time against the serial per-scheme sweep is the sweep speedup.
 //
 //   perf_regression [--quick] [--seed N] [--out FILE]
 //
 // Emits a JSON report (default BENCH_perf.json) with wall-clock seconds,
-// simulated CPU cycles per second for both engines, the speedup, and the
-// divergence flag. The exit code is nonzero ONLY if the fast engine's
+// simulated CPU cycles per second for both engines, the speedups, and the
+// divergence flag. The exit code is nonzero ONLY if an optimized path's
 // results diverge from the reference — a slow machine never fails the run,
 // so CI can gate on correctness while archiving the perf numbers.
 #include <chrono>
@@ -75,6 +79,40 @@ SweepResult run_sweep(bool fast_forward,
   return out;
 }
 
+/// The same sweep through Experiment::run_all: one profile per mix, every
+/// scheme's measure phase forked from the snapshot, schemes in parallel
+/// (default thread count). Must be bit-identical to the per-scheme sweep.
+SweepResult run_sweep_run_all(std::span<const workload::MixSpec> mixes,
+                              const harness::PhaseConfig& phases) {
+  const harness::SystemConfig machine;
+  const Cycle cycles_per_run =
+      phases.warmup_cycles + phases.profile_cycles + phases.measure_cycles;
+  SweepResult out;
+  const auto start = Clock::now();
+  for (const workload::MixSpec& mix : mixes) {
+    const auto apps = workload::resolve_mix(mix);
+    const harness::Experiment experiment(machine, apps, phases);
+    const std::vector<harness::RunResult> results =
+        experiment.run_all(core::kAllSchemes);
+    for (const harness::RunResult& r : results) {
+      out.fingerprints.push_back(harness::fingerprint(r));
+      out.simulated_cycles += cycles_per_run;
+    }
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+/// First index where the two fingerprint sequences differ, or npos.
+std::size_t first_divergence(const std::vector<std::uint64_t>& a,
+                             const std::vector<std::uint64_t>& b) {
+  if (a.size() != b.size()) return 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,19 +152,17 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "  %.3f s\nrunning reference engine...\n",
                fast.seconds);
   const SweepResult ref = run_sweep(false, mixes, opt.phases);
-  std::fprintf(stderr, "  %.3f s\n", ref.seconds);
+  std::fprintf(stderr, "  %.3f s\nrunning snapshot/fork sweep (run_all)...\n",
+               ref.seconds);
+  const SweepResult sweep = run_sweep_run_all(mixes, opt.phases);
+  std::fprintf(stderr, "  %.3f s\n", sweep.seconds);
 
-  bool identical = fast.fingerprints.size() == ref.fingerprints.size();
-  std::size_t first_mismatch = 0;
-  if (identical) {
-    for (std::size_t i = 0; i < fast.fingerprints.size(); ++i) {
-      if (fast.fingerprints[i] != ref.fingerprints[i]) {
-        identical = false;
-        first_mismatch = i;
-        break;
-      }
-    }
-  }
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  const std::size_t first_mismatch =
+      first_divergence(fast.fingerprints, ref.fingerprints);
+  const std::size_t sweep_mismatch =
+      first_divergence(sweep.fingerprints, fast.fingerprints);
+  const bool identical = first_mismatch == npos && sweep_mismatch == npos;
 
   const double speedup =
       fast.seconds > 0.0 ? ref.seconds / fast.seconds : 0.0;
@@ -145,20 +181,29 @@ int main(int argc, char** argv) {
       ref.seconds > 0.0
           ? static_cast<double>(ref.simulated_cycles) / ref.seconds
           : 0.0;
+  // Sweep speedup: the run_all fork engine against the serial per-scheme
+  // sweep on the same (fast-forward) engine — profile reuse + parallel
+  // measure phases, results proven identical above.
+  const double sweep_speedup =
+      sweep.seconds > 0.0 ? fast.seconds / sweep.seconds : 0.0;
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 2;
   }
-  // Schema 2: adds per-phase wall-clock attribution (schema 1 folded
-  // warm-up into "seconds"). The schema-1 keys keep their old meaning so
-  // existing consumers read the file unchanged.
+  // Schema 3: adds the snapshot/fork sweep-engine numbers inside "sweep"
+  // (run_all_seconds, per_scheme_seconds, speedup, snapshot_reuse). Schema
+  // 2 added per-phase wall-clock attribution (schema 1 folded warm-up into
+  // "seconds"). All older keys keep their old meaning so existing consumers
+  // read the file unchanged.
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 2,\n"
+               "  \"schema\": 3,\n"
                "  \"sweep\": {\"mixes\": %zu, \"schemes\": %zu, "
-               "\"runs\": %zu, \"simulated_cycles\": %llu},\n"
+               "\"runs\": %zu, \"simulated_cycles\": %llu,\n"
+               "    \"run_all_seconds\": %.6f, \"per_scheme_seconds\": %.6f, "
+               "\"speedup\": %.3f, \"snapshot_reuse\": %s},\n"
                "  \"fast_forward\": {\"seconds\": %.6f, "
                "\"cycles_per_second\": %.0f,\n"
                "    \"warmup_seconds\": %.6f, \"profile_seconds\": %.6f, "
@@ -174,6 +219,8 @@ int main(int argc, char** argv) {
                mixes.size(), std::size(core::kAllSchemes),
                fast.fingerprints.size(),
                static_cast<unsigned long long>(fast.simulated_cycles),
+               sweep.seconds, fast.seconds, sweep_speedup,
+               harness::kSnapshotEnabled ? "true" : "false",
                fast.seconds, fast_cps, fast.warmup_seconds,
                fast.profile_seconds, fast.measure_seconds, ref.seconds,
                ref_cps, ref.warmup_seconds, ref.profile_seconds,
@@ -190,11 +237,21 @@ int main(int argc, char** argv) {
     std::printf("  (measure phase only: %.2fx)", measure_speedup);
   }
   std::printf("\n");
-  if (!identical) {
+  std::printf("run_all:      %8.3f s  (sweep speedup %.2fx, snapshot reuse %s)\n",
+              sweep.seconds, sweep_speedup,
+              harness::kSnapshotEnabled ? "on" : "off");
+  if (first_mismatch != npos) {
     std::fprintf(stderr,
                  "DIVERGENCE: fast-forward results differ from the "
                  "reference loop (first mismatch at run %zu)\n",
                  first_mismatch);
+    return 1;
+  }
+  if (sweep_mismatch != npos) {
+    std::fprintf(stderr,
+                 "DIVERGENCE: run_all sweep results differ from the "
+                 "per-scheme runs (first mismatch at run %zu)\n",
+                 sweep_mismatch);
     return 1;
   }
   std::printf("results bit-identical across %zu runs\n",

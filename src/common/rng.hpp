@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/assert.hpp"
+#include "common/snapshot_io.hpp"
 
 namespace bwpart {
 
@@ -62,6 +63,15 @@ class Rng {
   /// Geometric number of failures before first success, success prob p.
   /// Used for inter-arrival gaps in the trace generators.
   std::uint64_t next_geometric(double p);
+
+  /// Snapshot hooks: the full xoshiro256** state, so a restored stream
+  /// continues bit-identically to the uninterrupted one.
+  void save_state(snap::Writer& w) const {
+    for (const std::uint64_t word : state_) w.u64(word);
+  }
+  void restore_state(snap::Reader& r) {
+    for (std::uint64_t& word : state_) word = r.u64();
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -68,4 +68,33 @@ void Cache::invalidate_all() {
   for (auto& line : lines_) line = Line{};
 }
 
+void Cache::save_state(snap::Writer& w) const {
+  w.tag("CACH");
+  w.u64(lines_.size());
+  for (const Line& line : lines_) {
+    w.u64(line.tag);
+    w.u64(line.lru_stamp);
+    w.b(line.valid);
+    w.b(line.dirty);
+  }
+  w.u64(stamp_);
+  w.u64(hits_);
+  w.u64(misses_);
+}
+
+void Cache::restore_state(snap::Reader& r) {
+  r.expect_tag("CACH");
+  snap::require(r.u64() == lines_.size(),
+                "cache geometry differs from the snapshot's");
+  for (Line& line : lines_) {
+    line.tag = r.u64();
+    line.lru_stamp = r.u64();
+    line.valid = r.b();
+    line.dirty = r.b();
+  }
+  stamp_ = r.u64();
+  hits_ = r.u64();
+  misses_ = r.u64();
+}
+
 }  // namespace bwpart::cpu

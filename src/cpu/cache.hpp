@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot_io.hpp"
 #include "common/types.hpp"
 
 namespace bwpart::cpu {
@@ -50,6 +51,12 @@ class Cache {
                       : static_cast<double>(hits_) / static_cast<double>(total);
   }
   void reset_stats() { hits_ = misses_ = 0; }
+
+  /// Snapshot hooks: every line (tags, LRU stamps, dirty bits), the LRU
+  /// clock and the hit/miss counters. Geometry is configuration and must
+  /// match the snapshot (checked on restore).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   struct Line {

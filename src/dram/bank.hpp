@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/assert.hpp"
+#include "common/snapshot_io.hpp"
 #include "dram/config.hpp"
 
 namespace bwpart::dram {
@@ -70,6 +71,23 @@ class Bank {
   void refresh(Tick now, const TimingsTicks& t) {
     BWPART_ASSERT(!row_open_, "refresh with open row");
     next_act_ = std::max(next_act_, now + t.rfc);
+  }
+
+  void save_state(snap::Writer& w) const {
+    w.b(row_open_);
+    w.u64(open_row_);
+    w.u64(next_act_);
+    w.u64(next_read_);
+    w.u64(next_write_);
+    w.u64(next_pre_);
+  }
+  void restore_state(snap::Reader& r) {
+    row_open_ = r.b();
+    open_row_ = r.u64();
+    next_act_ = r.u64();
+    next_read_ = r.u64();
+    next_write_ = r.u64();
+    next_pre_ = r.u64();
   }
 
  private:

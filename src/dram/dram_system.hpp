@@ -155,6 +155,15 @@ class DramSystem {
   /// nullptr when the build was configured with BWPART_CHECK=OFF.
   const ProtocolChecker* protocol_checker() const { return checker_.get(); }
 
+  /// Snapshot hooks: every bank/rank/channel state machine, the stats block
+  /// and the tick cursor. The shadow protocol checker travels as an
+  /// optional length-prefixed section: a checker-less build skips a
+  /// checker-carrying snapshot's section, while restoring a checker-less
+  /// snapshot into a checking build fails loudly (the shadow would be out
+  /// of sync and report false violations).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   struct RankState {
     Tick last_act = 0;           // tRRD reference; 0 means "none yet"

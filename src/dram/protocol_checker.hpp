@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/snapshot_io.hpp"
 #include "dram/command.hpp"
 #include "dram/config.hpp"
 
@@ -39,6 +40,11 @@ class ProtocolChecker {
 
   std::uint64_t commands_checked() const { return commands_checked_; }
   std::uint64_t violations() const { return violations_; }
+
+  /// Snapshot hooks: the complete shadow state, so a restored checker keeps
+  /// validating from the cut point without spurious violations.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
  private:
   struct BankShadow {

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/assert.hpp"
+#include "common/parallel.hpp"
 #include "profile/alone_profiler.hpp"
 
 namespace bwpart::harness {
@@ -189,6 +190,76 @@ RunResult Experiment::run_qos(
       core::qos_allocate(params, requirements, b, best_effort_scheme);
   BWPART_ASSERT(plan.feasible, "QoS targets infeasible at measured bandwidth");
   return measure_phase(sys, best_effort_scheme, std::move(params), plan.beta);
+}
+
+ProfileSnapshot Experiment::capture_profile() const {
+  CmpSystem sys(cfg_, apps_, phases_.seed);
+  sys.set_observability(hub_);
+  sys.set_obs_track("profile");
+  ProfileSnapshot snap;
+  snap.config_fp = config_fingerprint();
+  snap.params = profile_phase(sys);
+  // The bandwidth utilized during the profile window, exactly as run_qos()
+  // measures it before allocating — stored so QoS forks plan identically.
+  snap.profiled_b = sys.measured_total_apc();
+  snap::Writer w;
+  sys.save_state(w);
+  snap.state = w.take();
+  return snap;
+}
+
+void Experiment::restore_into(CmpSystem& sys,
+                              const ProfileSnapshot& snapshot) const {
+  snap::require(snapshot.config_fp == config_fingerprint(),
+                "snapshot was captured under a different configuration "
+                "(machine, workload, phases or seed differ)");
+  snap::Reader r(snapshot.state);
+  sys.restore_state(r);
+  snap::require(r.at_end(), "trailing bytes after the system state blob");
+}
+
+RunResult Experiment::measure_from(const ProfileSnapshot& snapshot,
+                                   core::Scheme scheme) const {
+  CmpSystem sys(cfg_, apps_, phases_.seed);
+  sys.set_observability(hub_);
+  sys.set_obs_track(core::to_string(scheme));
+  restore_into(sys, snapshot);
+  return measure_phase(sys, scheme, snapshot.params, {});
+}
+
+RunResult Experiment::measure_qos_from(
+    const ProfileSnapshot& snapshot,
+    std::span<const core::QosRequirement> requirements,
+    core::Scheme best_effort_scheme) const {
+  CmpSystem sys(cfg_, apps_, phases_.seed);
+  sys.set_observability(hub_);
+  sys.set_obs_track("qos:" + core::to_string(best_effort_scheme));
+  restore_into(sys, snapshot);
+  const core::QosPlan plan = core::qos_allocate(
+      snapshot.params, requirements, snapshot.profiled_b, best_effort_scheme);
+  BWPART_ASSERT(plan.feasible, "QoS targets infeasible at measured bandwidth");
+  return measure_phase(sys, best_effort_scheme, snapshot.params, plan.beta);
+}
+
+std::vector<RunResult> Experiment::run_all(
+    std::span<const core::Scheme> schemes, std::size_t threads) const {
+  std::vector<RunResult> results(schemes.size());
+  if (snapshot_reuse_) {
+    const ProfileSnapshot snapshot = capture_profile();
+    parallel_for(
+        schemes.size(),
+        [&](std::size_t i) { results[i] = measure_from(snapshot, schemes[i]); },
+        threads);
+  } else {
+    parallel_for(
+        schemes.size(),
+        [&](std::size_t i) { results[i] = run(schemes[i]); }, threads);
+  }
+  return results;
+}
+
+std::uint64_t Experiment::config_fingerprint() const {
+  return harness::config_fingerprint(cfg_, apps_, phases_);
 }
 
 std::vector<core::AppParams> Experiment::profile_alone_oracle() const {

@@ -11,6 +11,7 @@
 #include "core/metrics.hpp"
 #include "core/partition.hpp"
 #include "core/qos.hpp"
+#include "harness/snapshot.hpp"
 #include "harness/system.hpp"
 #include "workload/mixes.hpp"
 
@@ -83,6 +84,44 @@ class Experiment {
   /// full machine).
   std::vector<core::AppParams> profile_alone_oracle() const;
 
+  /// Runs the warmup + profile phases once and captures the system at the
+  /// measure-phase boundary. Every scheme's measure phase can then fork from
+  /// the snapshot via measure_from() — bit-identical to run(scheme), since
+  /// with a fixed seed the pre-measure phases are scheme-independent.
+  ProfileSnapshot capture_profile() const;
+
+  /// Forks `scheme`'s measure phase from a profile snapshot. The snapshot's
+  /// config fingerprint must match this experiment's (else
+  /// snap::SnapshotError). Bit-identical to run(scheme) in every metric.
+  RunResult measure_from(const ProfileSnapshot& snapshot,
+                         core::Scheme scheme) const;
+
+  /// QoS fork: allocates from the snapshot's profiled bandwidth exactly as
+  /// run_qos() would from its own profile phase, then forks the measure
+  /// phase. Bit-identical to run_qos(requirements, best_effort_scheme).
+  RunResult measure_qos_from(const ProfileSnapshot& snapshot,
+                             std::span<const core::QosRequirement> requirements,
+                             core::Scheme best_effort_scheme) const;
+
+  /// Sweeps every scheme, profiling once and forking each measure phase from
+  /// the in-memory snapshot (when snapshot reuse is on; otherwise falls back
+  /// to an independent run() per scheme). Results are bit-identical to
+  /// calling run() per scheme either way; with reuse the redundant
+  /// warmup+profile replays are skipped, which is where the sweep speedup
+  /// reported by bench/perf_regression comes from. `threads` is forwarded to
+  /// parallel_for (0 = default parallelism, 1 = serial).
+  std::vector<RunResult> run_all(std::span<const core::Scheme> schemes,
+                                 std::size_t threads = 0) const;
+
+  /// Toggles snapshot reuse for run_all(). Defaults to the compile-time
+  /// BWPART_SNAPSHOT option.
+  void set_snapshot_reuse(bool on) { snapshot_reuse_ = on; }
+  bool snapshot_reuse() const { return snapshot_reuse_; }
+
+  /// Fingerprint of (machine config, workload, phase config) binding
+  /// snapshots to this experiment.
+  std::uint64_t config_fingerprint() const;
+
   /// Attaches an observability hub: every system this experiment creates
   /// gets the hub plus a track label ("<scheme>" or "qos:<scheme>"), phase
   /// boundaries become Chrome-trace spans (warmup/profile/measure on the
@@ -103,10 +142,15 @@ class Experiment {
                           std::vector<core::AppParams> params,
                           std::span<const double> shares_override) const;
 
+  /// Restores `snapshot` into the freshly-built `sys` (fingerprint-checked),
+  /// leaving it positioned at the measure-phase boundary.
+  void restore_into(CmpSystem& sys, const ProfileSnapshot& snapshot) const;
+
   SystemConfig cfg_;
   std::vector<workload::BenchmarkSpec> apps_;
   PhaseConfig phases_;
   obs::Hub* hub_ = nullptr;
+  bool snapshot_reuse_ = kSnapshotEnabled;
 };
 
 /// Standalone profile of a single benchmark on the given machine

@@ -1,0 +1,208 @@
+#include "harness/snapshot.hpp"
+
+#include <fstream>
+#include <iterator>
+
+#include "harness/differential.hpp"
+#include "harness/experiment.hpp"
+
+namespace bwpart::harness {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'W', 'P', 'S'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+std::uint64_t hash_u64(std::uint64_t v, std::uint64_t h) {
+  return hash_bytes(&v, sizeof(v), h);
+}
+
+std::uint64_t hash_u32(std::uint32_t v, std::uint64_t h) {
+  return hash_u64(v, h);
+}
+
+std::uint64_t hash_f64(double v, std::uint64_t h) {
+  return hash_doubles(std::span<const double>(&v, 1), h);
+}
+
+std::uint64_t hash_bool(bool v, std::uint64_t h) {
+  return hash_u64(static_cast<std::uint64_t>(v), h);
+}
+
+std::uint64_t hash_str(std::string_view s, std::uint64_t h) {
+  h = hash_u64(s.size(), h);
+  return hash_bytes(s.data(), s.size(), h);
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const SystemConfig& cfg,
+                                 std::span<const workload::BenchmarkSpec> apps,
+                                 const PhaseConfig& phases) {
+  // Every field that influences simulation results is folded in, one by one
+  // (never memcpy of whole structs — padding bytes are indeterminate). The
+  // fast_forward flag is deliberately excluded: snapshots are
+  // engine-independent, and cross-engine restores must be accepted.
+  std::uint64_t h = hash_u64(cfg.cpu_clock.hz, 0xcbf29ce484222325ULL);
+
+  const dram::DramConfig& d = cfg.dram;
+  h = hash_u64(d.bus_clock.hz, h);
+  h = hash_u32(d.bus_bytes, h);
+  h = hash_u32(d.burst_beats, h);
+  h = hash_u32(d.channels, h);
+  h = hash_u32(d.ranks, h);
+  h = hash_u32(d.banks_per_rank, h);
+  h = hash_u64(d.rows_per_bank, h);
+  h = hash_u32(d.columns_per_row, h);
+  h = hash_u64(static_cast<std::uint64_t>(d.page_policy), h);
+  h = hash_f64(d.t.trp, h);
+  h = hash_f64(d.t.trcd, h);
+  h = hash_f64(d.t.tcl, h);
+  h = hash_f64(d.t.tcwl, h);
+  h = hash_f64(d.t.tras, h);
+  h = hash_f64(d.t.twr, h);
+  h = hash_f64(d.t.twtr, h);
+  h = hash_f64(d.t.trtp, h);
+  h = hash_f64(d.t.tccd, h);
+  h = hash_f64(d.t.trrd, h);
+  h = hash_f64(d.t.tfaw, h);
+  h = hash_f64(d.t.trfc, h);
+  h = hash_f64(d.t.trefi, h);
+  h = hash_f64(d.t.trtrs, h);
+  h = hash_f64(d.t.txp, h);
+  h = hash_bool(d.enable_refresh, h);
+  h = hash_bool(d.enable_powerdown, h);
+  h = hash_f64(d.powerdown_idle_ns, h);
+
+  const cpu::CoreConfig& c = cfg.core;
+  h = hash_u32(c.rob_size, h);
+  h = hash_f64(c.issue_width, h);
+  h = hash_f64(c.nonmem_ipc, h);
+  h = hash_u32(c.mshrs, h);
+  h = hash_u32(c.store_buffer, h);
+  h = hash_u64(c.l1_latency, h);
+  h = hash_u64(c.l2_latency, h);
+  h = hash_bool(c.model_caches, h);
+  h = hash_u32(c.l1.size_bytes, h);
+  h = hash_u32(c.l1.line_bytes, h);
+  h = hash_u32(c.l1.ways, h);
+  h = hash_u32(c.l2.size_bytes, h);
+  h = hash_u32(c.l2.line_bytes, h);
+  h = hash_u32(c.l2.ways, h);
+
+  h = hash_u64(cfg.queue_capacity_per_app, h);
+  h = hash_u64(cfg.queue_capacity_shared, h);
+  h = hash_f64(cfg.dstf_row_hit_window, h);
+
+  h = hash_u64(apps.size(), h);
+  for (const workload::BenchmarkSpec& b : apps) {
+    h = hash_str(b.name, h);
+    h = hash_bool(b.is_fp, h);
+    h = hash_f64(b.paper_apkc, h);
+    h = hash_f64(b.paper_apki, h);
+    h = hash_f64(b.api, h);
+    h = hash_f64(b.mean_cluster, h);
+    h = hash_f64(b.nonmem_ipc, h);
+    h = hash_f64(b.write_fraction, h);
+    h = hash_u64(b.seq_run_lines, h);
+    h = hash_f64(b.dependent_fraction, h);
+  }
+
+  h = hash_u64(phases.warmup_cycles, h);
+  h = hash_u64(phases.profile_cycles, h);
+  h = hash_u64(phases.measure_cycles, h);
+  h = hash_bool(phases.oracle_alone, h);
+  h = hash_u64(phases.reprofile_period, h);
+  h = hash_u64(phases.seed, h);
+  return h;
+}
+
+namespace {
+
+/// Serializes the payload (everything the checksum and length prefix cover
+/// beyond the fixed header): params, profiled B, system state blob.
+std::vector<std::uint8_t> encode_payload(const ProfileSnapshot& s) {
+  snap::Writer w;
+  w.sz(s.params.size());
+  for (const core::AppParams& p : s.params) {
+    w.f64(p.apc_alone);
+    w.f64(p.api);
+  }
+  w.f64(s.profiled_b);
+  w.sz(s.state.size());
+  for (const std::uint8_t byte : s.state) w.u8(byte);
+  return w.take();
+}
+
+}  // namespace
+
+void write_profile_snapshot(const std::string& path,
+                            const ProfileSnapshot& snapshot) {
+  const std::vector<std::uint8_t> payload = encode_payload(snapshot);
+
+  snap::Writer w;
+  for (const char m : kMagic) w.u8(static_cast<std::uint8_t>(m));
+  w.u32(kFormatVersion);
+  w.u64(snapshot.config_fp);
+  w.u64(payload.size());
+  for (const std::uint8_t byte : payload) w.u8(byte);
+  // The checksum covers everything before it (magic through payload), so a
+  // flipped bit anywhere in the file — header included — fails the read.
+  const std::span<const std::uint8_t> body = w.bytes();
+  w.u64(hash_bytes(body.data(), body.size()));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  snap::require(out.good(), "cannot open snapshot file for writing");
+  const std::span<const std::uint8_t> all = w.bytes();
+  out.write(reinterpret_cast<const char*>(all.data()),
+            static_cast<std::streamsize>(all.size()));
+  out.flush();
+  snap::require(out.good(), "write to snapshot file failed");
+}
+
+ProfileSnapshot read_profile_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  snap::require(in.good(), "cannot open snapshot file for reading");
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  snap::require(!in.bad(), "read from snapshot file failed");
+
+  snap::Reader r(raw);
+  for (const char m : kMagic) {
+    snap::require(r.u8() == static_cast<std::uint8_t>(m),
+                  "not a BWPS snapshot file (bad magic)");
+  }
+  const std::uint32_t version = r.u32();
+  snap::require(version == kFormatVersion,
+                "unsupported BWPS snapshot format version");
+
+  ProfileSnapshot s;
+  s.config_fp = r.u64();
+  const std::size_t payload_len = r.sz();
+
+  const std::size_t body_len = r.position() + payload_len;
+  snap::require(body_len + 8 <= raw.size(),
+                "truncated snapshot file (payload shorter than its header "
+                "claims)");
+  const std::uint64_t want = hash_bytes(raw.data(), body_len);
+
+  const std::size_t count = r.sz();
+  s.params.resize(count);
+  for (core::AppParams& p : s.params) {
+    p.apc_alone = r.f64();
+    p.api = r.f64();
+  }
+  s.profiled_b = r.f64();
+  const std::size_t state_len = r.sz();
+  s.state.resize(state_len);
+  for (std::uint8_t& byte : s.state) byte = r.u8();
+  snap::require(r.position() == body_len,
+                "snapshot payload length disagrees with its contents");
+
+  const std::uint64_t got = r.u64();
+  snap::require(got == want, "snapshot checksum mismatch (file corrupted)");
+  snap::require(r.at_end(), "trailing bytes after snapshot checksum");
+  return s;
+}
+
+}  // namespace bwpart::harness

@@ -346,6 +346,47 @@ void CmpSystem::run_engine(Cycle cycles) {
   for (std::size_t i = 0; i < n; ++i) flush_deferred_stalls(i, end);
 }
 
+void CmpSystem::save_state(snap::Writer& w) const {
+  w.tag("SYS0");
+  w.u64(now_);
+  w.u64(window_start_);
+  w.u64(skipped_cycles_);
+  w.u64(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    traces_[i]->save_state(w);
+    cores_[i]->save_state(w);
+  }
+  controller_->save_state(w);
+  interference_.save_state(w);
+}
+
+void CmpSystem::restore_state(snap::Reader& r) {
+  r.expect_tag("SYS0");
+  now_ = r.u64();
+  window_start_ = r.u64();
+  skipped_cycles_ = r.u64();
+  snap::require(r.u64() == cores_.size(),
+                "application count differs from the snapshot's");
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    traces_[i]->restore_state(r);
+    cores_[i]->restore_state(r);
+  }
+  controller_->restore_state(r);
+  interference_.restore_state(r);
+  // Sleep proofs never cross a run() boundary; clear them so nothing stale
+  // outlives the restore.
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    sleep_until_[i] = now_;
+    slept_from_[i] = now_;
+    sleep_kind_[i] = cpu::SleepFlavor::kStallOwn;
+  }
+  if constexpr (obs::kEnabled) {
+    // The epoch sampler's cumulative snapshot belongs to the pre-restore
+    // counters; re-base it on the restored ones.
+    if (hub_ != nullptr) obs_resnapshot();
+  }
+}
+
 void CmpSystem::reset_measurement() {
   for (auto& c : cores_) c->reset_stats();
   controller_->reset_stats();

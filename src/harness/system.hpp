@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot_io.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "obs/hub.hpp"
@@ -121,6 +122,20 @@ class CmpSystem {
   std::vector<double> measured_apc() const;
   /// Total utilized bandwidth in APC units over the window (the model's B).
   double measured_total_apc() const;
+
+  /// Snapshot hooks: captures (restores) the complete mutable state — the
+  /// cycle clock, every trace generator's RNG stream, every core including
+  /// private caches and in-flight loads, the controller with its queues,
+  /// scheduler and DRAM engine, and the interference counters. restore_state
+  /// targets a freshly-constructed CmpSystem built with the identical
+  /// (config, apps, seed) triple; construction rebuilds all wiring
+  /// (callbacks, observers), restore overwrites only the mutable state.
+  /// A restored system continues bit-identically to the one that was saved
+  /// — the contract the snapshot/fork sweep engine and its differential
+  /// tests enforce. Sleep bookkeeping is not serialized: proofs never
+  /// survive a run() boundary (run() re-arms them at entry).
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
 
   /// Eq. 2 conservation audit (compiled in under BWPART_CHECK): per-app APC
   /// must sum to B, and the controller's per-app served counters must agree

@@ -522,4 +522,176 @@ void MemoryController::account_interference_range(dram::Tick from,
   }
 }
 
+namespace {
+
+void save_request(snap::Writer& w, const MemRequest& req) {
+  w.u64(req.id);
+  w.u32(req.app);
+  w.u64(req.addr);
+  w.u8(static_cast<std::uint8_t>(req.type));
+  w.u32(req.loc.channel);
+  w.u32(req.loc.rank);
+  w.u32(req.loc.bank);
+  w.u64(req.loc.row);
+  w.u32(req.loc.column);
+  w.u64(req.arrival_cpu);
+  w.u64(req.arrival_tick);
+  w.f64(req.start_tag);
+  w.b(req.in_flight);
+  w.u64(req.data_finish);
+}
+
+void restore_request(snap::Reader& r, MemRequest& req) {
+  req.id = r.u64();
+  req.app = r.u32();
+  req.addr = r.u64();
+  const std::uint8_t type = r.u8();
+  snap::require(type <= 1, "request access-type byte out of range");
+  req.type = static_cast<AccessType>(type);
+  req.loc.channel = r.u32();
+  req.loc.rank = r.u32();
+  req.loc.bank = r.u32();
+  req.loc.row = r.u64();
+  req.loc.column = r.u32();
+  req.arrival_cpu = r.u64();
+  req.arrival_tick = r.u64();
+  req.start_tag = r.f64();
+  req.in_flight = r.b();
+  req.data_finish = r.u64();
+}
+
+void save_u32_vec(snap::Writer& w, const std::vector<std::uint32_t>& v) {
+  w.u64(v.size());
+  for (const std::uint32_t x : v) w.u32(x);
+}
+
+/// Restores a variable-length index list (free list, pending list, ...).
+void restore_u32_list(snap::Reader& r, std::vector<std::uint32_t>& v) {
+  const std::uint64_t n = r.u64();
+  v.clear();
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(r.u32());
+}
+
+/// Restores a fixed-arity index vector (sized by configuration).
+void restore_u32_fixed(snap::Reader& r, std::vector<std::uint32_t>& v) {
+  snap::require(r.u64() == v.size(),
+                "controller vector arity differs from the snapshot's");
+  for (std::uint32_t& x : v) x = r.u32();
+}
+
+}  // namespace
+
+void MemoryController::save_state(snap::Writer& w) const {
+  w.tag("CTRL");
+  w.u8(static_cast<std::uint8_t>(admission_));
+  w.b(write_drain_.enabled);
+  w.sz(write_drain_.high_watermark);
+  w.sz(write_drain_.low_watermark);
+  w.b(draining_);
+  w.sz(pending_writes_);
+  w.sz(pending_reads_);
+  // The whole slot pool travels verbatim, free slots included: their stale
+  // contents are a deterministic function of the simulation history, so the
+  // byte stream itself is reproducible run-to-run.
+  w.u64(slots_.size());
+  for (const MemRequest& req : slots_) save_request(w, req);
+  save_u32_vec(w, free_slots_);
+  w.u64(pending_by_channel_.size());
+  for (const std::vector<std::uint32_t>& list : pending_by_channel_) {
+    save_u32_vec(w, list);
+  }
+  save_u32_vec(w, inflight_slots_);
+  w.sz(active_);
+  w.u64(next_completion_);
+  save_u32_vec(w, rank_pending_);
+  w.u64(per_app_count_.size());
+  for (const std::size_t c : per_app_count_) w.sz(c);
+  w.u64(app_stats_.size());
+  for (const AppMemStats& s : app_stats_) {
+    w.u64(s.enqueued);
+    w.u64(s.served_reads);
+    w.u64(s.served_writes);
+    w.u64(s.sum_queue_cycles);
+  }
+  w.u64(bank_last_user_.size());
+  for (const AppId a : bank_last_user_) w.u32(a);
+  w.u64(bus_user_.size());
+  for (const AppId a : bus_user_) w.u32(a);
+  w.u64(bus_busy_until_.size());
+  for (const dram::Tick t : bus_busy_until_) w.u64(t);
+  w.u64(next_req_id_);
+  w.u64(bus_ticks_done_);
+  w.u64(last_cpu_cycle_);
+  w.b(started_);
+  w.b(last_tick_active_);
+  save_u32_vec(w, oldest_pending_);
+  w.str(scheduler_->name());
+  scheduler_->save_state(w);
+  dram_.save_state(w);
+}
+
+void MemoryController::restore_state(snap::Reader& r) {
+  r.expect_tag("CTRL");
+  const std::uint8_t admission = r.u8();
+  snap::require(admission <= 1, "admission-mode byte out of range");
+  admission_ = static_cast<AdmissionMode>(admission);
+  write_drain_.enabled = r.b();
+  write_drain_.high_watermark = r.sz();
+  write_drain_.low_watermark = r.sz();
+  draining_ = r.b();
+  pending_writes_ = r.sz();
+  pending_reads_ = r.sz();
+  const std::uint64_t n_slots = r.u64();
+  slots_.resize(static_cast<std::size_t>(n_slots));
+  for (MemRequest& req : slots_) restore_request(r, req);
+  restore_u32_list(r, free_slots_);
+  snap::require(r.u64() == pending_by_channel_.size(),
+                "channel count differs from the snapshot's");
+  for (std::vector<std::uint32_t>& list : pending_by_channel_) {
+    restore_u32_list(r, list);
+  }
+  restore_u32_list(r, inflight_slots_);
+  active_ = r.sz();
+  next_completion_ = r.u64();
+  restore_u32_fixed(r, rank_pending_);
+  snap::require(r.u64() == per_app_count_.size(),
+                "app count differs from the snapshot's");
+  for (std::size_t& c : per_app_count_) c = r.sz();
+  snap::require(r.u64() == app_stats_.size(),
+                "app count differs from the snapshot's");
+  for (AppMemStats& s : app_stats_) {
+    s.enqueued = r.u64();
+    s.served_reads = r.u64();
+    s.served_writes = r.u64();
+    s.sum_queue_cycles = r.u64();
+  }
+  snap::require(r.u64() == bank_last_user_.size(),
+                "bank count differs from the snapshot's");
+  for (AppId& a : bank_last_user_) a = r.u32();
+  snap::require(r.u64() == bus_user_.size(),
+                "channel count differs from the snapshot's");
+  for (AppId& a : bus_user_) a = r.u32();
+  snap::require(r.u64() == bus_busy_until_.size(),
+                "channel count differs from the snapshot's");
+  for (dram::Tick& t : bus_busy_until_) t = r.u64();
+  next_req_id_ = r.u64();
+  bus_ticks_done_ = r.u64();
+  last_cpu_cycle_ = r.u64();
+  started_ = r.b();
+  last_tick_active_ = r.b();
+  restore_u32_fixed(r, oldest_pending_);
+  const std::string policy = r.str();
+  if (scheduler_->name() != policy) {
+    std::unique_ptr<Scheduler> rebuilt =
+        make_scheduler_by_name(policy, num_apps_);
+    snap::require(rebuilt != nullptr,
+                  "snapshot names an unknown scheduling policy");
+    scheduler_ = std::move(rebuilt);
+  }
+  scheduler_->restore_state(r);
+  dram_.restore_state(r);
+  ++state_version_;  // the event-horizon memo is stale for the new state
+}
+
 }  // namespace bwpart::mem

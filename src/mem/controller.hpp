@@ -163,6 +163,17 @@ class MemoryController {
                     static_cast<std::size_t>(num_apps_) * per_app_capacity_);
   }
 
+  /// Snapshot hooks: the full queue/slot state, per-app accounting, the
+  /// DRAM engine and the scheduler (serialized by name() + policy blob; a
+  /// restore into a controller running a different policy rebuilds the
+  /// saved one via make_scheduler_by_name). Deliberately excluded as
+  /// engine/wiring, not state: the fast_forward_ switch (snapshots restore
+  /// bit-identically into either engine), the event-horizon memo (restore
+  /// bumps state_version_), completion/observer/obs hooks (the host rewires
+  /// them) and the per-tick scratch vectors.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   static constexpr std::uint32_t kNoSlot =
       std::numeric_limits<std::uint32_t>::max();

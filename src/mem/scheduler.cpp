@@ -300,4 +300,142 @@ void StrictPriorityScheduler::set_priority_ranks(
   rank_.assign(ranks.begin(), ranks.end());
 }
 
+namespace {
+
+void save_vec(snap::Writer& w, const std::vector<double>& v) {
+  w.u64(v.size());
+  for (const double x : v) w.f64(x);
+}
+
+void restore_vec(snap::Reader& r, std::vector<double>& v) {
+  snap::require(r.u64() == v.size(),
+                "scheduler per-app vector arity differs from the snapshot's");
+  for (double& x : v) x = r.f64();
+}
+
+}  // namespace
+
+void FrFcfsScheduler::save_state(snap::Writer& w) const {
+  w.u32(streak_cap_);
+  w.u32(streak_);
+  w.u32(last_rank_);
+  w.u32(last_bank_);
+  w.b(has_last_);
+}
+
+void FrFcfsScheduler::restore_state(snap::Reader& r) {
+  streak_cap_ = r.u32();
+  streak_ = r.u32();
+  last_rank_ = r.u32();
+  last_bank_ = r.u32();
+  has_last_ = r.b();
+}
+
+void BatchScheduler::save_state(snap::Writer& w) const {
+  w.sz(per_app_cap_);
+  w.u64(arrival_count_.size());
+  for (const std::uint64_t c : arrival_count_) w.u64(c);
+}
+
+void BatchScheduler::restore_state(snap::Reader& r) {
+  per_app_cap_ = r.sz();
+  snap::require(r.u64() == arrival_count_.size(),
+                "scheduler per-app vector arity differs from the snapshot's");
+  for (std::uint64_t& c : arrival_count_) c = r.u64();
+}
+
+void StartTimeFairScheduler::save_state(snap::Writer& w) const {
+  w.f64(row_hit_window_);
+  save_vec(w, next_tag_);
+  save_vec(w, increment_);
+}
+
+void StartTimeFairScheduler::restore_state(snap::Reader& r) {
+  row_hit_window_ = r.f64();
+  restore_vec(r, next_tag_);
+  restore_vec(r, increment_);
+}
+
+void ClassicDstfScheduler::save_state(snap::Writer& w) const {
+  save_vec(w, last_finish_);
+  save_vec(w, increment_);
+  w.f64(virtual_time_);
+}
+
+void ClassicDstfScheduler::restore_state(snap::Reader& r) {
+  restore_vec(r, last_finish_);
+  restore_vec(r, increment_);
+  virtual_time_ = r.f64();
+}
+
+void StfmScheduler::save_state(snap::Writer& w) const {
+  w.f64(alpha_);
+  save_vec(w, slowdown_);
+}
+
+void StfmScheduler::restore_state(snap::Reader& r) {
+  alpha_ = r.f64();
+  restore_vec(r, slowdown_);
+}
+
+void AtlasScheduler::save_state(snap::Writer& w) const {
+  w.u64(quantum_);
+  w.f64(decay_);
+  w.u64(served_in_quantum_);
+  save_vec(w, attained_);
+}
+
+void AtlasScheduler::restore_state(snap::Reader& r) {
+  quantum_ = r.u64();
+  decay_ = r.f64();
+  served_in_quantum_ = r.u64();
+  restore_vec(r, attained_);
+}
+
+void TcmScheduler::save_state(snap::Writer& w) const {
+  w.u64(latency_cluster_.size());
+  for (const bool lat : latency_cluster_) w.b(lat);
+  save_vec(w, attained_);
+}
+
+void TcmScheduler::restore_state(snap::Reader& r) {
+  snap::require(r.u64() == latency_cluster_.size(),
+                "scheduler per-app vector arity differs from the snapshot's");
+  for (std::size_t i = 0; i < latency_cluster_.size(); ++i) {
+    latency_cluster_[i] = r.b();
+  }
+  restore_vec(r, attained_);
+}
+
+void StrictPriorityScheduler::save_state(snap::Writer& w) const {
+  w.u64(rank_.size());
+  for (const std::uint32_t rk : rank_) w.u32(rk);
+}
+
+void StrictPriorityScheduler::restore_state(snap::Reader& r) {
+  snap::require(r.u64() == rank_.size(),
+                "scheduler per-app vector arity differs from the snapshot's");
+  for (std::uint32_t& rk : rank_) rk = r.u32();
+}
+
+std::unique_ptr<Scheduler> make_scheduler_by_name(std::string_view name,
+                                                  std::size_t num_apps) {
+  if (name == "FCFS") return std::make_unique<FcfsScheduler>();
+  if (name == "FR-FCFS") return std::make_unique<FrFcfsScheduler>();
+  if (name == "PAR-BS") return std::make_unique<BatchScheduler>(num_apps);
+  if (name == "StartTimeFair") {
+    return std::make_unique<StartTimeFairScheduler>(num_apps);
+  }
+  if (name == "ClassicDSTF") {
+    return std::make_unique<ClassicDstfScheduler>(num_apps);
+  }
+  if (name == "STFM") return std::make_unique<StfmScheduler>(num_apps);
+  if (name == "ATLAS") return std::make_unique<AtlasScheduler>(num_apps);
+  if (name == "TCM") return std::make_unique<TcmScheduler>(num_apps);
+  if (name == "StrictPriority") {
+    return std::make_unique<StrictPriorityScheduler>(num_apps);
+  }
+  return nullptr;
+}
+
 }  // namespace bwpart::mem

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/snapshot_io.hpp"
 #include "common/types.hpp"
 #include "dram/dram_system.hpp"
 #include "mem/request.hpp"
@@ -56,8 +57,21 @@ class Scheduler {
   /// virtual-time notion report 0.
   virtual double virtual_time_lag() const { return 0.0; }
 
+  /// Snapshot hooks: a policy serializes its mutable decision state plus
+  /// its constructor knobs (so make_scheduler_by_name() can rebuild an
+  /// identical instance and then overwrite it); stateless policies write
+  /// nothing.
+  virtual void save_state(snap::Writer& w) const { (void)w; }
+  virtual void restore_state(snap::Reader& r) { (void)r; }
+
   virtual std::string name() const = 0;
 };
+
+/// Rebuilds a scheduler instance from Scheduler::name() during snapshot
+/// restore; the caller then applies restore_state() to it. Returns nullptr
+/// for an unknown name (the restore fails loudly on that).
+std::unique_ptr<Scheduler> make_scheduler_by_name(std::string_view name,
+                                                  std::size_t num_apps);
 
 /// First-come-first-served across all applications; the paper's
 /// No_partitioning baseline ("the memory controller serves all the memory
@@ -81,6 +95,8 @@ class FrFcfsScheduler final : public Scheduler {
   void on_issue(const MemRequest& req) override;
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  void save_state(snap::Writer& w) const override;
+  void restore_state(snap::Reader& r) override;
   std::string name() const override { return "FR-FCFS"; }
 
  private:
@@ -110,6 +126,8 @@ class BatchScheduler final : public Scheduler {
   void on_enqueue(MemRequest& req, Cycle now_cpu) override;
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  void save_state(snap::Writer& w) const override;
+  void restore_state(snap::Reader& r) override;
   std::string name() const override { return "PAR-BS"; }
 
  private:
@@ -137,6 +155,8 @@ class StartTimeFairScheduler final : public Scheduler {
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
   void set_shares(std::span<const double> beta) override;
+  void save_state(snap::Writer& w) const override;
+  void restore_state(snap::Reader& r) override;
   std::string name() const override { return "StartTimeFair"; }
   double virtual_time_lag() const override;
 
@@ -169,6 +189,8 @@ class ClassicDstfScheduler final : public Scheduler {
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
   void set_shares(std::span<const double> beta) override;
+  void save_state(snap::Writer& w) const override;
+  void restore_state(snap::Reader& r) override;
   std::string name() const override { return "ClassicDSTF"; }
   double virtual_time_lag() const override;
 
@@ -192,6 +214,8 @@ class StfmScheduler final : public Scheduler {
 
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  void save_state(snap::Writer& w) const override;
+  void restore_state(snap::Reader& r) override;
   std::string name() const override { return "STFM"; }
 
   /// Installs the current estimated slowdown of each application
@@ -221,6 +245,8 @@ class AtlasScheduler final : public Scheduler {
   void on_issue(const MemRequest& req) override;
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  void save_state(snap::Writer& w) const override;
+  void restore_state(snap::Reader& r) override;
   std::string name() const override { return "ATLAS"; }
 
   double attained(AppId app) const;
@@ -248,6 +274,8 @@ class TcmScheduler final : public Scheduler {
   void on_issue(const MemRequest& req) override;
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  void save_state(snap::Writer& w) const override;
+  void restore_state(snap::Reader& r) override;
   std::string name() const override { return "TCM"; }
 
  private:
@@ -265,6 +293,8 @@ class StrictPriorityScheduler final : public Scheduler {
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
   void set_priority_ranks(std::span<const std::uint32_t> ranks) override;
+  void save_state(snap::Writer& w) const override;
+  void restore_state(snap::Reader& r) override;
   std::string name() const override { return "StrictPriority"; }
 
  private:

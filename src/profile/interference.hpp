@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/snapshot_io.hpp"
 #include "common/types.hpp"
 #include "mem/controller.hpp"
 
@@ -21,6 +22,9 @@ class InterferenceCounters final : public mem::InterferenceObserver {
 
   Cycle interference_cycles(AppId app) const;
   void reset();
+
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
   std::uint32_t num_apps() const {
     return static_cast<std::uint32_t>(counters_.size());
   }

@@ -18,6 +18,11 @@
 //   --trace-out FILE    write Chrome-trace JSON (chrome://tracing, Perfetto)
 //   --epochs-out FILE   write the epoch series alone as JSONL (streaming)
 //   --epoch-cycles N    time-series sampling epoch (default 100000)
+//   --snapshot-out FILE save the post-profile checkpoint ("BWPS" container)
+//   --resume FILE       fork the measure phases from a saved checkpoint
+//                       instead of re-running warmup+profile; results are
+//                       bit-identical and the file is rejected loudly if it
+//                       was captured under any other config/workload/seed
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -58,7 +63,8 @@ int usage(const char* argv0) {
                "       [--copies N] [--bandwidth 3.2|6.4|12.8] [--seed N] "
                "[--oracle] [--csv]\n"
                "       [--metrics-out FILE] [--trace-out FILE] "
-               "[--epochs-out FILE] [--epoch-cycles N]\n",
+               "[--epochs-out FILE] [--epoch-cycles N]\n"
+               "       [--snapshot-out FILE] [--resume FILE]\n",
                argv0);
   return 2;
 }
@@ -79,6 +85,8 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string epochs_out;
   Cycle epoch_cycles = 100'000;
+  std::string snapshot_out;
+  std::string resume_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,6 +125,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--epoch-cycles") {
       if (const char* v = next()) epoch_cycles = std::strtoull(v, nullptr, 10);
       else return usage(argv[0]);
+    } else if (arg == "--snapshot-out") {
+      if (const char* v = next()) snapshot_out = v; else return usage(argv[0]);
+    } else if (arg == "--resume") {
+      if (const char* v = next()) resume_path = v; else return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -188,6 +200,37 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
+  // Profile checkpointing: --resume forks every measure phase from a saved
+  // post-profile snapshot (skipping warmup+profile, bit-identically);
+  // --snapshot-out captures one for later resumes. Both validate the BWPS
+  // container and the config fingerprint, and fail loudly on mismatch.
+  std::optional<harness::ProfileSnapshot> profile;
+  if (!resume_path.empty()) {
+    try {
+      profile = harness::read_profile_snapshot(resume_path);
+    } catch (const snap::SnapshotError& e) {
+      std::fprintf(stderr, "cannot resume from '%s': %s\n",
+                   resume_path.c_str(), e.what());
+      return 1;
+    }
+    if (profile->config_fp != experiment.config_fingerprint()) {
+      std::fprintf(stderr,
+                   "cannot resume from '%s': snapshot was captured under a "
+                   "different machine/workload/phase/seed configuration\n",
+                   resume_path.c_str());
+      return 1;
+    }
+  } else if (!snapshot_out.empty()) {
+    profile = experiment.capture_profile();
+    try {
+      harness::write_profile_snapshot(snapshot_out, *profile);
+    } catch (const snap::SnapshotError& e) {
+      std::fprintf(stderr, "cannot write snapshot '%s': %s\n",
+                   snapshot_out.c_str(), e.what());
+      return 1;
+    }
+  }
+
   if (csv) {
     std::printf("scheme,hsp,min_fairness,wsp,ipc_sum,total_apc,bus_util");
     for (std::size_t i = 0; i < apps.size(); ++i) {
@@ -198,7 +241,8 @@ int main(int argc, char** argv) {
   TextTable table({"scheme", "Hsp", "MinF", "Wsp", "IPCsum", "B(APC)",
                    "bus util"});
   for (core::Scheme s : schemes) {
-    const harness::RunResult r = experiment.run(s);
+    const harness::RunResult r =
+        profile ? experiment.measure_from(*profile, s) : experiment.run(s);
     if (csv) {
       std::printf("%s,%.6f,%.6f,%.6f,%.6f,%.6f,%.4f",
                   core::to_string(s).c_str(), r.hsp, r.min_fairness, r.wsp,

@@ -92,6 +92,24 @@ AddressStreamGenerator::AddressStreamGenerator(const Params& params,
   current_line_ = rng_.next_below(lines_);
 }
 
+void SyntheticTraceGenerator::save_state(snap::Writer& w) const {
+  w.tag("TRCE");
+  rng_.save_state(w);
+  w.u64(cluster_remaining_);
+  w.u64(long_gap_);
+  w.u64(seq_remaining_);
+  w.u64(current_line_);
+}
+
+void SyntheticTraceGenerator::restore_state(snap::Reader& r) {
+  r.expect_tag("TRCE");
+  rng_.restore_state(r);
+  cluster_remaining_ = r.u64();
+  long_gap_ = r.u64();
+  seq_remaining_ = r.u64();
+  current_line_ = r.u64();
+}
+
 cpu::TraceOp AddressStreamGenerator::next() {
   cpu::TraceOp op;
   // Geometric gaps give a Bernoulli memory-instruction process with rate

@@ -49,6 +49,11 @@ class SyntheticTraceGenerator final : public cpu::TraceSource {
 
   const Params& params() const { return params_; }
 
+  /// Snapshot hooks: RNG stream plus the burst/locality walk state, so a
+  /// restored generator emits the identical remaining op sequence.
+  void save_state(snap::Writer& w) const;
+  void restore_state(snap::Reader& r);
+
  private:
   Addr next_address();
 

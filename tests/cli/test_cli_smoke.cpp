@@ -1,0 +1,176 @@
+// End-to-end smoke tests for the bwpart_sim command-line driver, exercising
+// the observability outputs (--metrics-out / --trace-out / --epochs-out /
+// --epoch-cycles) and the snapshot checkpointing flags (--snapshot-out /
+// --resume) as a user would: real process invocations, outputs validated
+// with the in-tree JSON parser, resumed results compared byte-for-byte
+// against straight runs, and corrupt/mismatched snapshots rejected with a
+// nonzero exit.
+//
+// The binary under test is passed as argv[1] by ctest
+// ($<TARGET_FILE:bwpart_sim>), so the suite needs a custom main.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../obs/mini_json.hpp"
+
+namespace {
+
+using bwpart::testjson::Value;
+using bwpart::testjson::ValuePtr;
+
+std::string g_sim_path;
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "cli_smoke_" + name;
+}
+
+/// Runs `cmd` with stdout redirected to a temp file; returns the process
+/// exit code and fills `out` with the captured stdout.
+int run_cmd(const std::string& cmd, std::string* out = nullptr) {
+  const std::string capture = tmp_path("stdout.txt");
+  const int status =
+      std::system((cmd + " > " + capture + " 2> /dev/null").c_str());
+  if (out != nullptr) {
+    std::ifstream in(capture);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+  }
+  std::remove(capture.c_str());
+  if (status == -1) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+const char kBaseArgs[] = " --mix hetero-3 --cycles 60000 --csv";
+
+// All four observability flags in one invocation: the metrics document and
+// the Chrome trace must parse as JSON with the expected structure, the
+// epoch series must parse line-by-line as JSONL.
+TEST(CliSmoke, ObservabilityOutputsAreValidJson) {
+  const std::string metrics = tmp_path("metrics.json");
+  const std::string trace = tmp_path("trace.json");
+  const std::string epochs = tmp_path("epochs.jsonl");
+  const int rc = run_cmd(g_sim_path + kBaseArgs + " --scheme Equal" +
+                         " --metrics-out " + metrics + " --trace-out " +
+                         trace + " --epochs-out " + epochs +
+                         " --epoch-cycles 20000");
+  ASSERT_EQ(rc, 0);
+
+  const ValuePtr mdoc = bwpart::testjson::parse(read_file(metrics));
+  ASSERT_TRUE(mdoc->is_object());
+  ASSERT_TRUE(mdoc->has("schema"));
+  ASSERT_TRUE(mdoc->has("metrics"));
+  EXPECT_GT(mdoc->at("metrics").size(), 0u);
+
+  const ValuePtr tdoc = bwpart::testjson::parse(read_file(trace));
+  ASSERT_TRUE(tdoc->is_object());
+  ASSERT_TRUE(tdoc->has("traceEvents"));
+  EXPECT_TRUE(tdoc->at("traceEvents").is_array());
+
+  std::ifstream ein(epochs);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(ein, line)) {
+    if (line.empty()) continue;
+    const ValuePtr row = bwpart::testjson::parse(line);
+    EXPECT_TRUE(row->is_object()) << "epoch row " << rows;
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u) << "epoch series is empty despite --epoch-cycles";
+
+  std::remove(metrics.c_str());
+  std::remove(trace.c_str());
+  std::remove(epochs.c_str());
+}
+
+// --snapshot-out writes a checkpoint and produces the same CSV as a plain
+// run; --resume forks from the checkpoint and must reproduce that CSV
+// byte-for-byte (the bit-identity contract, observed end-to-end through the
+// CLI).
+TEST(CliSmoke, SnapshotResumeReproducesStraightRunExactly) {
+  const std::string snap = tmp_path("profile.bwps");
+  std::string straight, with_save, resumed;
+  ASSERT_EQ(run_cmd(g_sim_path + kBaseArgs + " --scheme all", &straight), 0);
+  ASSERT_EQ(run_cmd(g_sim_path + kBaseArgs + " --scheme all --snapshot-out " +
+                        snap,
+                    &with_save),
+            0);
+  std::ifstream sf(snap, std::ios::binary);
+  ASSERT_TRUE(sf.good()) << "snapshot file was not written";
+  sf.close();
+  ASSERT_EQ(run_cmd(g_sim_path + kBaseArgs + " --scheme all --resume " + snap,
+                    &resumed),
+            0);
+  EXPECT_FALSE(straight.empty());
+  EXPECT_EQ(straight, with_save);
+  EXPECT_EQ(straight, resumed);
+  std::remove(snap.c_str());
+}
+
+// A truncated snapshot and a snapshot from a different configuration are
+// both rejected with a nonzero exit instead of silently producing numbers.
+TEST(CliSmoke, CorruptOrMismatchedSnapshotsAreRejected) {
+  const std::string snap = tmp_path("reject.bwps");
+  ASSERT_EQ(run_cmd(g_sim_path + kBaseArgs +
+                    " --scheme Equal --snapshot-out " + snap),
+            0);
+
+  // Different mix and different seed: the config fingerprint must not match.
+  EXPECT_NE(run_cmd(g_sim_path + " --mix homo-1 --cycles 60000 --csv" +
+                    " --scheme Equal --resume " + snap),
+            0);
+  EXPECT_NE(run_cmd(g_sim_path + kBaseArgs +
+                    " --seed 7 --scheme Equal --resume " + snap),
+            0);
+
+  // Truncate the container: loud failure, nonzero exit.
+  const std::string whole = read_file(snap);
+  ASSERT_GT(whole.size(), 64u);
+  const std::string trunc = tmp_path("truncated.bwps");
+  std::ofstream ts(trunc, std::ios::binary);
+  ts.write(whole.data(), static_cast<std::streamsize>(whole.size() / 2));
+  ts.close();
+  EXPECT_NE(run_cmd(g_sim_path + kBaseArgs + " --scheme Equal --resume " +
+                    trunc),
+            0);
+
+  // Flip one byte mid-file: checksum failure, nonzero exit.
+  std::string flipped = whole;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x10);
+  const std::string flip = tmp_path("flipped.bwps");
+  std::ofstream fs(flip, std::ios::binary);
+  fs.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+  fs.close();
+  EXPECT_NE(run_cmd(g_sim_path + kBaseArgs + " --scheme Equal --resume " +
+                    flip),
+            0);
+
+  std::remove(snap.c_str());
+  std::remove(trunc.c_str());
+  std::remove(flip.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testing::InitGoogleTest(&argc, argv);
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <path-to-bwpart_sim>\n", argv[0]);
+    return 2;
+  }
+  g_sim_path = argv[1];
+  return RUN_ALL_TESTS();
+}

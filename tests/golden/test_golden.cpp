@@ -1,0 +1,206 @@
+// Golden regression corpus: end-to-end RunResult fingerprints for all 14
+// Table IV mixes x all 7 partitioning schemes at CI scale (seed 42).
+//
+//   test_golden --file tests/golden/fingerprints.json [--update]
+//
+// Every sweep is computed through Experiment::run_all — under the default
+// BWPART_SNAPSHOT=ON build that exercises the snapshot/fork path, and the
+// CI job configured with -DBWPART_SNAPSHOT=OFF replays the identical corpus
+// through straight per-scheme runs. Both builds compare against the same
+// committed file, which makes the corpus a cross-path bit-identity proof on
+// top of a regression tripwire: any change to the simulator, the scheduler
+// stack or the snapshot engine that shifts even one double by one ULP shows
+// up as a fingerprint diff.
+//
+// The fingerprints are toolchain-specific (std::pow in the 2/3-power scheme
+// is not correctly rounded across libm versions), so a mismatch after a
+// compiler/libc upgrade is expected — regenerate with --update and review
+// the diff (see tests/golden/README.md).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../obs/mini_json.hpp"
+#include "common/parallel.hpp"
+#include "harness/differential.hpp"
+#include "harness/experiment.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace bwpart;
+
+harness::PhaseConfig golden_phases() {
+  harness::PhaseConfig ph;
+  ph.warmup_cycles = 20'000;
+  ph.profile_cycles = 100'000;
+  ph.measure_cycles = 100'000;
+  ph.seed = 42;
+  return ph;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// mix name -> scheme name -> fingerprint, ordered as paper_mixes().
+using Corpus = std::vector<std::pair<std::string, std::map<std::string, std::string>>>;
+
+Corpus compute_corpus() {
+  const auto mixes = workload::paper_mixes();
+  const harness::SystemConfig machine;
+  const harness::PhaseConfig phases = golden_phases();
+  Corpus corpus(mixes.size());
+  // Mixes in parallel, the scheme sweep serial inside each (run_all forks
+  // all seven measure phases from one profile snapshot when the build
+  // defaults to snapshot reuse, and runs straight through otherwise — the
+  // committed corpus must match either way).
+  parallel_for(mixes.size(), [&](std::size_t i) {
+    const auto apps = workload::resolve_mix(mixes[i]);
+    const harness::Experiment experiment(machine, apps, phases);
+    const std::vector<harness::RunResult> results =
+        experiment.run_all(core::kAllSchemes, 1);
+    std::map<std::string, std::string> row;
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      row[core::to_string(core::kAllSchemes[s])] =
+          hex64(harness::fingerprint(results[s]));
+    }
+    corpus[i] = {std::string(mixes[i].name), std::move(row)};
+  });
+  return corpus;
+}
+
+void write_corpus(const std::string& path, const Corpus& corpus) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    std::exit(2);
+  }
+  const harness::PhaseConfig ph = golden_phases();
+  os << "{\n  \"schema\": 1,\n  \"seed\": " << ph.seed << ",\n"
+     << "  \"phases\": {\"warmup\": " << ph.warmup_cycles
+     << ", \"profile\": " << ph.profile_cycles
+     << ", \"measure\": " << ph.measure_cycles << "},\n  \"mixes\": {\n";
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    os << "    \"" << corpus[i].first << "\": {";
+    bool first = true;
+    for (const auto& [scheme, fp] : corpus[i].second) {
+      os << (first ? "" : ", ") << "\"" << scheme << "\": \"" << fp << "\"";
+      first = false;
+    }
+    os << "}" << (i + 1 < corpus.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+    } else {
+      std::fprintf(stderr, "usage: %s --file fingerprints.json [--update]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s --file fingerprints.json [--update]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const Corpus corpus = compute_corpus();
+  if (update) {
+    write_corpus(path, corpus);
+    std::printf("wrote %zu mixes x %zu schemes to %s\n", corpus.size(),
+                corpus.empty() ? 0 : corpus.front().second.size(),
+                path.c_str());
+    return 0;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr,
+                 "cannot open golden corpus '%s' — generate it with "
+                 "'%s --file %s --update'\n",
+                 path.c_str(), argv[0], path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  testjson::ValuePtr doc;
+  try {
+    doc = testjson::parse(buf.str());
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "golden corpus '%s' is not valid JSON: %s\n",
+                 path.c_str(), e.what());
+    return 2;
+  }
+
+  const harness::PhaseConfig ph = golden_phases();
+  if (static_cast<std::uint64_t>(doc->at("seed").num) != ph.seed ||
+      static_cast<Cycle>(doc->at("phases").at("warmup").num) !=
+          ph.warmup_cycles ||
+      static_cast<Cycle>(doc->at("phases").at("profile").num) !=
+          ph.profile_cycles ||
+      static_cast<Cycle>(doc->at("phases").at("measure").num) !=
+          ph.measure_cycles) {
+    std::fprintf(stderr,
+                 "golden corpus '%s' was generated for different phase "
+                 "settings — regenerate with --update\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const testjson::Value& mixes = doc->at("mixes");
+  std::size_t checked = 0, mismatches = 0;
+  for (const auto& [mix_name, expected_row] : corpus) {
+    if (!mixes.has(mix_name)) {
+      std::fprintf(stderr, "golden corpus is missing mix '%s'\n",
+                   mix_name.c_str());
+      ++mismatches;
+      continue;
+    }
+    const testjson::Value& row = mixes.at(mix_name);
+    for (const auto& [scheme, fp] : expected_row) {
+      ++checked;
+      if (!row.has(scheme)) {
+        std::fprintf(stderr, "golden corpus is missing %s / %s\n",
+                     mix_name.c_str(), scheme.c_str());
+        ++mismatches;
+      } else if (row.at(scheme).str != fp) {
+        std::fprintf(stderr, "MISMATCH %s / %s: golden %s, computed %s\n",
+                     mix_name.c_str(), scheme.c_str(),
+                     row.at(scheme).str.c_str(), fp.c_str());
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(
+        stderr,
+        "\n%zu of %zu fingerprints diverge from the golden corpus.\n"
+        "If this follows an intentional simulator/model change (or a "
+        "compiler/libm\nupgrade — the corpus is toolchain-specific), "
+        "regenerate with\n  test_golden --file %s --update\nand review the "
+        "diff; see tests/golden/README.md. Otherwise this is a real\n"
+        "regression: some run is no longer bit-identical to what it was.\n",
+        mismatches, checked, path.c_str());
+    return 1;
+  }
+  std::printf("all %zu fingerprints match the golden corpus\n", checked);
+  return 0;
+}
