@@ -1,0 +1,123 @@
+#include "advisor/audit.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/partition.hpp"
+#include "core/qos.hpp"
+#include "harness/differential.hpp"
+#include "workload/mixes.hpp"
+
+namespace bwpart::advisor {
+
+namespace {
+
+const workload::MixSpec* find_mix(std::string_view name) {
+  for (const workload::MixSpec& m : workload::paper_mixes()) {
+    if (m.name == name) return &m;
+  }
+  if (workload::qos_mix1().name == name) return &workload::qos_mix1();
+  if (workload::qos_mix2().name == name) return &workload::qos_mix2();
+  return nullptr;
+}
+
+}  // namespace
+
+struct AuditEngine::Entry {
+  std::unique_ptr<harness::Experiment> experiment;
+  harness::ProfileSnapshot snapshot;
+};
+
+AuditEngine::AuditEngine(const harness::SystemConfig& machine,
+                         const harness::PhaseConfig& phases)
+    : machine_(machine), phases_(phases) {}
+
+AuditEngine::~AuditEngine() = default;
+
+AuditEngine::Entry* AuditEngine::entry_for(std::string_view mix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(mix);
+  if (it != cache_.end()) return it->second.get();
+  const workload::MixSpec* spec = find_mix(mix);
+  if (spec == nullptr) return nullptr;
+  auto entry = std::make_unique<Entry>();
+  const std::vector<workload::BenchmarkSpec> apps =
+      workload::resolve_mix(*spec);
+  entry->experiment =
+      std::make_unique<harness::Experiment>(machine_, apps, phases_);
+  entry->snapshot = entry->experiment->capture_profile();
+  Entry* raw = entry.get();
+  cache_.emplace(std::string(mix), std::move(entry));
+  return raw;
+}
+
+std::size_t AuditEngine::snapshots_captured() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+bool AuditEngine::audit(const Request& req, const Answer& answer, Arena& arena,
+                        AuditRecord& out, std::string& error) {
+  if (req.objective != Objective::Qos && !req.unit_weights) {
+    error = "audit supports only unit-weight objectives";
+    return false;
+  }
+  Entry* entry = entry_for(req.mix);
+  if (entry == nullptr) {
+    error = "unknown audit mix '" + std::string(req.mix) + "'";
+    return false;
+  }
+  const harness::ProfileSnapshot& snap = entry->snapshot;
+  const std::size_t n = snap.params.size();
+  if (req.apps.size() != n) {
+    error = "audit mix '" + std::string(req.mix) + "' has " +
+            std::to_string(n) + " apps, request has " +
+            std::to_string(req.apps.size());
+    return false;
+  }
+
+  // The model side of the audit: the allocation the advisor's scheme
+  // implies for the *profiled* parameters and bandwidth — exactly what the
+  // measure phase will enforce.
+  std::vector<double> predicted_alloc;
+  harness::RunResult measured;
+  if (req.objective == Objective::Qos) {
+    const core::QosPlan plan = core::qos_allocate(
+        snap.params, req.qos, snap.profiled_b, req.best_effort);
+    if (!plan.feasible) {
+      error = "qos targets infeasible on mix '" + std::string(req.mix) +
+              "' profile";
+      return false;
+    }
+    predicted_alloc = plan.apc_shared;
+    measured =
+        entry->experiment->measure_qos_from(snap, req.qos, req.best_effort);
+  } else {
+    predicted_alloc = core::analytic_allocation(answer.scheme, snap.params,
+                                                snap.profiled_b);
+    measured = entry->experiment->measure_from(snap, answer.scheme);
+  }
+  BWPART_ASSERT(measured.ipc_shared.size() == n, "audit arity mismatch");
+
+  std::span<double> predicted = arena.alloc<double>(n);
+  std::span<double> meas = arena.alloc<double>(n);
+  double max_err = 0.0, sum_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    predicted[i] = predicted_alloc[i] / snap.params[i].api;  // Eq. 1
+    meas[i] = measured.ipc_shared[i];
+    BWPART_ASSERT(meas[i] > 0.0, "measured IPC must be positive");
+    const double err = std::abs(predicted[i] - meas[i]) / meas[i];
+    max_err = std::max(max_err, err);
+    sum_err += err;
+  }
+  out.scheme = answer.scheme;
+  out.predicted_ipc = predicted;
+  out.measured_ipc = meas;
+  out.max_rel_err = max_err;
+  out.mean_rel_err = sum_err / static_cast<double>(n);
+  out.fingerprint = harness::fingerprint(measured);
+  return true;
+}
+
+}  // namespace bwpart::advisor

@@ -1,0 +1,72 @@
+// Sampled audit mode: every Nth advisor request that carries a mix= tag is
+// cross-checked against the simulator. The engine keeps one profile
+// snapshot per mix (warmup + profile phases captured once, PR 4 engine) and
+// forks only the measure phase per audit — bit-identical to a straight
+// Experiment::run(scheme) / run_qos(...), so the audit measures exactly
+// what an end-to-end simulation would have measured, at a fraction of the
+// cost. The model-vs-measured IPC error is the advisor's first-class
+// accuracy signal (obs histogram `advisor.audit_rel_err_ppm`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "advisor/request.hpp"
+#include "advisor/solver.hpp"
+#include "common/arena.hpp"
+#include "harness/experiment.hpp"
+#include "harness/snapshot.hpp"
+
+namespace bwpart::advisor {
+
+struct AuditRecord {
+  core::Scheme scheme = core::Scheme::Proportional;
+  std::span<const double> predicted_ipc;  ///< model, from snapshot params
+  std::span<const double> measured_ipc;   ///< simulator measure phase
+  double max_rel_err = 0.0;   ///< max_i |pred - meas| / meas
+  double mean_rel_err = 0.0;  ///< mean_i |pred - meas| / meas
+  /// RunResult fingerprint of the forked measure phase — equal to the
+  /// fingerprint of run(scheme) / run_qos(...) on the same machine, mix and
+  /// phases (tests/integration/test_advisor_audit).
+  std::uint64_t fingerprint = 0;
+};
+
+/// Thread-safe. Snapshots are captured lazily, once per distinct mix name,
+/// under a mutex; the forked measure phases themselves run unlocked.
+class AuditEngine {
+ public:
+  AuditEngine(const harness::SystemConfig& machine,
+              const harness::PhaseConfig& phases);
+  ~AuditEngine();
+
+  /// Audits one solved request. The request's objective decides the forked
+  /// run: unit-weight wsp/fair fork measure_from(snapshot, answer.scheme);
+  /// qos forks measure_qos_from with the request's requirements. Returns
+  /// false with a reason when the mix is unknown (not a Table IV / Fig. 3
+  /// mix), the request's arity does not match the mix, the request is
+  /// weighted (the simulator enforces schemes, not arbitrary weighted
+  /// optima), or the qos plan is infeasible on the snapshot's profile.
+  bool audit(const Request& req, const Answer& answer, Arena& arena,
+             AuditRecord& out, std::string& error);
+
+  /// Number of distinct mixes profiled so far (diagnostics).
+  std::size_t snapshots_captured() const;
+
+ private:
+  struct Entry;
+  /// Looks up (capturing on first use) the snapshot entry for `mix`;
+  /// nullptr when the name is not a known paper mix.
+  Entry* entry_for(std::string_view mix);
+
+  harness::SystemConfig machine_;
+  harness::PhaseConfig phases_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>, std::less<>> cache_;
+};
+
+}  // namespace bwpart::advisor

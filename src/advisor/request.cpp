@@ -1,0 +1,256 @@
+#include "advisor/request.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+namespace bwpart::advisor {
+
+std::string_view to_string(Objective o) {
+  switch (o) {
+    case Objective::WeightedSpeedup: return "wsp";
+    case Objective::Fairness: return "fair";
+    case Objective::Qos: return "qos";
+  }
+  return "?";
+}
+
+namespace {
+
+// One line can carry at most id + objective + b= + be= + mix= + kMaxApps
+// app fields; anything longer is rejected before tokenizing further.
+constexpr std::size_t kMaxTokens = kMaxApps + 8;
+
+bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// Whole-token double parse: finite, no leading/trailing garbage. NaN and
+/// the infinities are textual from_chars matches, so the isfinite check is
+/// what actually rejects them.
+bool parse_number(std::string_view tok, double& out) {
+  if (tok.empty()) return false;
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last && std::isfinite(out);
+}
+
+bool valid_name(std::string_view s) {
+  if (s.empty() || s.size() > kMaxIdChars) return false;
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool valid_id(std::string_view s) {
+  if (s.empty() || s.size() > kMaxIdChars) return false;
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) <= 0x20 ||
+        static_cast<unsigned char>(c) >= 0x7f) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_request_line(std::string_view line, std::uint64_t line_no,
+                        Arena& arena, Request& out, std::string& error) {
+  const auto fail = [&](const std::string& what) {
+    error = "line " + std::to_string(line_no) + ": " + what;
+    return false;
+  };
+
+  if (line.size() > kMaxLineBytes) return fail("line exceeds 64 KiB");
+
+  // Tokenize (no allocation; fixed upper bound).
+  std::array<std::string_view, kMaxTokens> tokens;
+  std::size_t ntok = 0;
+  for (std::size_t i = 0; i < line.size();) {
+    while (i < line.size() && is_space(line[i])) ++i;
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() && !is_space(line[i])) ++i;
+    if (ntok >= kMaxTokens) return fail("too many fields");
+    tokens[ntok++] = line.substr(start, i - start);
+  }
+  if (ntok == 0) return fail("empty request line");
+  if (ntok < 2) return fail("missing objective");
+
+  if (!valid_id(tokens[0])) {
+    return fail("bad request id (printable, no spaces, <= 64 chars)");
+  }
+
+  Objective objective;
+  if (tokens[1] == "wsp") {
+    objective = Objective::WeightedSpeedup;
+  } else if (tokens[1] == "fair") {
+    objective = Objective::Fairness;
+  } else if (tokens[1] == "qos") {
+    objective = Objective::Qos;
+  } else {
+    return fail("unknown objective '" + std::string(tokens[1]) +
+                "' (expected wsp, fair or qos)");
+  }
+
+  // First pass over the remaining tokens: classify and count apps so the
+  // arena arrays can be sized exactly.
+  bool have_b = false, have_be = false, have_mix = false;
+  double bandwidth = 0.0;
+  core::Scheme best_effort = core::Scheme::Proportional;
+  std::string_view mix;
+  std::size_t napps = 0;
+  for (std::size_t t = 2; t < ntok; ++t) {
+    const std::string_view tok = tokens[t];
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("stray field '" + std::string(tok) +
+                  "' (expected key=value)");
+    }
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view val = tok.substr(eq + 1);
+    if (key == "b") {
+      if (have_b) return fail("duplicate b= field");
+      have_b = true;
+      if (!parse_number(val, bandwidth)) {
+        return fail("bad bandwidth '" + std::string(val) + "'");
+      }
+      if (bandwidth <= 0.0 || bandwidth > kMaxBandwidth) {
+        return fail("bandwidth out of range (0, 1e6]");
+      }
+    } else if (key == "be") {
+      if (have_be) return fail("duplicate be= field");
+      have_be = true;
+      if (objective != Objective::Qos) {
+        return fail("be= is only valid with the qos objective");
+      }
+      bool known = false;
+      for (core::Scheme s : core::kAllSchemes) {
+        if (core::to_string(s) == val) {
+          best_effort = s;
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        return fail("unknown best-effort scheme '" + std::string(val) + "'");
+      }
+    } else if (key == "mix") {
+      if (have_mix) return fail("duplicate mix= field");
+      have_mix = true;
+      if (!valid_name(val)) return fail("bad mix name");
+      mix = val;
+    } else {
+      if (!valid_name(key)) {
+        return fail("bad app name '" + std::string(key) + "'");
+      }
+      ++napps;
+    }
+  }
+  if (!have_b) return fail("missing b= field");
+  if (napps == 0) return fail("request has no apps");
+  if (napps > kMaxApps) return fail("more than 64 apps");
+
+  // Second pass: parse app tuples into arena arrays.
+  std::span<core::AppParams> apps = arena.alloc<core::AppParams>(napps);
+  std::span<double> weights = arena.alloc<double>(napps);
+  std::span<std::string_view> names = arena.alloc<std::string_view>(napps);
+  std::span<core::QosRequirement> qos =
+      arena.alloc<core::QosRequirement>(napps);
+  std::size_t a = 0, nqos = 0;
+  bool unit_weights = true;
+  for (std::size_t t = 2; t < ntok; ++t) {
+    const std::string_view tok = tokens[t];
+    const std::size_t eq = tok.find('=');
+    const std::string_view key = tok.substr(0, eq);
+    if (key == "b" || key == "be" || key == "mix") continue;
+    const std::string_view tuple = tok.substr(eq + 1);
+    for (std::size_t k = 0; k < a; ++k) {
+      if (names[k] == key) {
+        return fail("duplicate app '" + std::string(key) + "'");
+      }
+    }
+
+    std::size_t pos = 0;
+    double fields[4] = {0.0, 1.0, 0.0, 0.0};
+    std::size_t nfields = 0;
+    for (bool more = true; more;) {
+      if (nfields >= 4) {
+        return fail("app '" + std::string(key) + "' has more than 4 fields");
+      }
+      const std::size_t comma = tuple.find(',', pos);
+      more = comma != std::string_view::npos;
+      const std::string_view f =
+          more ? tuple.substr(pos, comma - pos) : tuple.substr(pos);
+      pos = more ? comma + 1 : tuple.size();
+      if (!parse_number(f, fields[nfields])) {
+        return fail("bad number '" + std::string(f) + "' in app '" +
+                    std::string(key) + "'");
+      }
+      ++nfields;
+    }
+    if (nfields < 2) {
+      return fail("app '" + std::string(key) +
+                  "' needs at least apc_alone,api");
+    }
+    const double apc = fields[0];
+    const double api = fields[1];
+    const double weight = nfields >= 3 ? fields[2] : 1.0;
+    if (apc <= 0.0 || apc > kMaxApc) {
+      return fail("app '" + std::string(key) + "' apc_alone out of (0, 100]");
+    }
+    if (api <= 0.0 || api > kMaxApi) {
+      return fail("app '" + std::string(key) + "' api out of (0, 100]");
+    }
+    if (weight <= 0.0 || weight > kMaxWeight) {
+      return fail("app '" + std::string(key) + "' weight out of (0, 1e6]");
+    }
+    if (nfields == 4) {
+      if (objective != Objective::Qos) {
+        return fail("app '" + std::string(key) +
+                    "' has an ipc target but the objective is not qos");
+      }
+      const double target = fields[3];
+      if (target <= 0.0 || target > kMaxIpcTarget) {
+        return fail("app '" + std::string(key) +
+                    "' ipc target out of (0, 1e3]");
+      }
+      qos[nqos].app_index = static_cast<std::uint32_t>(a);
+      qos[nqos].ipc_target = target;
+      ++nqos;
+    }
+    apps[a].apc_alone = apc;
+    apps[a].api = api;
+    weights[a] = weight;
+    names[a] = arena.copy(key);
+    if (weight != 1.0) unit_weights = false;
+    ++a;
+  }
+
+  if (objective == Objective::Qos) {
+    if (nqos == 0) {
+      return fail("qos objective needs at least one app with an ipc target");
+    }
+    if (!unit_weights) {
+      return fail("weights are not supported with the qos objective");
+    }
+  }
+
+  out.id = arena.copy(tokens[0]);
+  out.objective = objective;
+  out.bandwidth = bandwidth;
+  out.apps = apps;
+  out.weights = weights;
+  out.app_names = names;
+  out.qos = qos.subspan(0, nqos);
+  out.best_effort = best_effort;
+  out.mix = have_mix ? arena.copy(mix) : std::string_view{};
+  out.line = line_no;
+  out.unit_weights = unit_weights;
+  return true;
+}
+
+}  // namespace bwpart::advisor

@@ -1,0 +1,85 @@
+// The advisor's line-delimited request format.
+//
+// One request per line, whitespace-separated fields:
+//
+//   <id> <objective> b=<bandwidth> <app>=<apc>,<api>[,<weight>[,<target>]] ...
+//        [be=<scheme>] [mix=<name>]
+//
+//   id         client-chosen token echoed in the response (<= 64 chars,
+//              printable, no whitespace)
+//   objective  wsp  — weighted speedup  (knapsack, Section III-D)
+//              fair — fairness          (proportional water-fill, III-C)
+//              qos  — QoS guarantees    (Eq. 11, Section III-G)
+//   b=         total utilized bandwidth B in APC units
+//   <app>=     per-application profile vector: APC_alone, API, an optional
+//              importance weight (default 1), and — qos objective only — an
+//              optional IPC target making this a guaranteed app. App names
+//              must be unique within a request; "b", "be" and "mix" are
+//              reserved.
+//   be=        best-effort scheme for the qos objective (paper scheme
+//              names; default Proportional)
+//   mix=       audit tag naming a Table IV / Fig. 3 mix; sampled audit mode
+//              forks that mix's simulator measure phase and scores the
+//              model's IPC predictions against measurement
+//
+// Blank lines and lines starting with '#' are skipped by the service.
+// Every malformed line yields a line-numbered error response; a line is
+// never silently dropped (tests/advisor/test_parser_property).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/arena.hpp"
+#include "core/app_params.hpp"
+#include "core/partition.hpp"
+#include "core/qos.hpp"
+
+namespace bwpart::advisor {
+
+/// Validation bounds. Out-of-range values are rejected at parse time so the
+/// solvers only ever see finite, positive, sane magnitudes.
+inline constexpr std::size_t kMaxApps = 64;
+inline constexpr std::size_t kMaxIdChars = 64;
+inline constexpr std::size_t kMaxLineBytes = std::size_t{1} << 16;
+inline constexpr double kMaxBandwidth = 1e6;
+inline constexpr double kMaxApc = 100.0;
+inline constexpr double kMaxApi = 100.0;
+inline constexpr double kMaxWeight = 1e6;
+inline constexpr double kMaxIpcTarget = 1e3;
+
+enum class Objective : std::uint8_t { WeightedSpeedup, Fairness, Qos };
+
+inline constexpr Objective kAllObjectives[] = {
+    Objective::WeightedSpeedup, Objective::Fairness, Objective::Qos};
+
+std::string_view to_string(Objective o);
+
+/// One parsed request. All spans/views point into the Arena the parser was
+/// given (plus, for `mix`/`id`, arena copies of the input), so a Request
+/// stays valid until the arena is reset.
+struct Request {
+  std::string_view id;
+  Objective objective = Objective::WeightedSpeedup;
+  double bandwidth = 0.0;
+  std::span<const core::AppParams> apps;
+  std::span<const double> weights;             ///< same arity as apps
+  std::span<const std::string_view> app_names; ///< same arity as apps
+  std::span<const core::QosRequirement> qos;   ///< qos objective only
+  core::Scheme best_effort = core::Scheme::Proportional;
+  std::string_view mix;     ///< empty when the request is not audit-tagged
+  std::uint64_t line = 0;   ///< 1-based input line number
+  bool unit_weights = true; ///< every weight is exactly 1.0
+};
+
+/// Parses one line. Returns true and fills `out` (arena-backed), or returns
+/// false and sets `error` to a message prefixed "line <line_no>: ".
+/// Malformed input — truncated fields, non-numeric/NaN/Inf values,
+/// out-of-range magnitudes, duplicate app names, unknown objectives or
+/// schemes — is always a clean error, never UB or a crash.
+bool parse_request_line(std::string_view line, std::uint64_t line_no,
+                        Arena& arena, Request& out, std::string& error);
+
+}  // namespace bwpart::advisor

@@ -1,0 +1,71 @@
+// The batch advisor service: line-delimited requests in, JSONL answers out.
+//
+// The hot path is built for hundreds of thousands of requests per second:
+// input is read in batches, each batch is split into contiguous shards
+// solved in parallel (common/parallel work-stealing pool), and every shard
+// owns its scratch — a bump-pointer Arena for parsed requests and answers,
+// a Solver (core workspaces), and an output buffer — all of which are
+// rewound, not freed, between batches. After warm-up a batch performs zero
+// heap allocation per request. Responses are emitted strictly in input
+// order (shards are contiguous, shard buffers are concatenated in order).
+//
+// Audit mode (--audit-every N): every Nth input line that carries a mix=
+// tag is cross-checked against a forked simulator measure phase
+// (advisor/audit.hpp); the trigger is the line ordinal, so the sampled set
+// is deterministic and independent of sharding.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "obs/hub.hpp"
+
+namespace bwpart::advisor {
+
+class AuditEngine;
+
+struct ServiceConfig {
+  std::size_t threads = 0;      ///< solve parallelism; 0 = auto, 1 = serial
+  std::size_t batch_lines = 4096;
+  /// Audit every Nth input line that has a mix= tag; 0 disables audit mode.
+  std::uint64_t audit_every = 0;
+  /// Machine and phase settings for audit-mode simulator forks.
+  harness::SystemConfig audit_machine;
+  harness::PhaseConfig audit_phases;
+  obs::Hub* hub = nullptr;      ///< optional telemetry (advisor.* instruments)
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;      ///< non-blank, non-comment lines
+  std::uint64_t ok = 0;            ///< solved (including infeasible qos)
+  std::uint64_t parse_errors = 0;
+  std::uint64_t infeasible = 0;    ///< qos answers with feasible=false
+  std::uint64_t audits = 0;        ///< audits that ran
+  std::uint64_t audit_failures = 0;///< sampled lines the audit had to skip
+  std::uint64_t batches = 0;
+  double max_audit_rel_err = 0.0;  ///< worst per-app model error observed
+};
+
+class AdvisorService {
+ public:
+  explicit AdvisorService(const ServiceConfig& cfg);
+  ~AdvisorService();
+
+  /// Streams requests from `in` to JSONL responses on `out`. Every request
+  /// line yields exactly one response line ({"ok":true,...} or a
+  /// line-numbered {"ok":false,"error":...}); blank lines and '#' comments
+  /// yield none. Returns aggregate statistics.
+  ServiceStats run(std::istream& in, std::ostream& out);
+
+ private:
+  struct Shard;
+
+  ServiceConfig cfg_;
+  std::unique_ptr<AuditEngine> audit_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace bwpart::advisor

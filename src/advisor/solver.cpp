@@ -1,0 +1,91 @@
+#include "advisor/solver.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "core/metrics.hpp"
+#include "core/partition.hpp"
+#include "core/weighted.hpp"
+
+namespace bwpart::advisor {
+
+void Solver::solve(const Request& req, Arena& arena, Answer& out) {
+  const std::size_t n = req.apps.size();
+  BWPART_ASSERT(n > 0, "solve over empty request");
+  std::span<double> shares = arena.alloc<double>(n);
+  std::span<double> alloc = arena.alloc<double>(n);
+  std::span<double> ipc = arena.alloc<double>(n);
+  out.shares = shares;
+  out.alloc = alloc;
+  out.ipc = ipc;
+  out.feasible = true;
+
+  ipc_alone_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ipc_alone_[i] = req.apps[i].apc_alone / req.apps[i].api;  // Eq. 1
+  }
+
+  if (req.objective == Objective::Qos) {
+    out.scheme = req.best_effort;
+    core::qos_allocate_into(req.apps, req.qos, req.bandwidth, req.best_effort,
+                            plan_, ws_);
+    out.feasible = plan_.feasible;
+    if (!plan_.feasible) {
+      std::fill(shares.begin(), shares.end(), 0.0);
+      std::fill(alloc.begin(), alloc.end(), 0.0);
+      std::fill(ipc.begin(), ipc.end(), 0.0);
+      out.value = 0.0;
+      return;
+    }
+    std::copy(plan_.beta.begin(), plan_.beta.end(), shares.begin());
+    std::copy(plan_.apc_shared.begin(), plan_.apc_shared.end(), alloc.begin());
+    for (std::size_t i = 0; i < n; ++i) ipc[i] = alloc[i] / req.apps[i].api;
+    // Objective value: worst target headroom, min_i IPC_i / IPC_target_i
+    // over the guaranteed apps — >= 1 exactly when every target is met.
+    double worst = std::numeric_limits<double>::infinity();
+    for (const core::QosRequirement& r : req.qos) {
+      worst = std::min(worst, ipc[r.app_index] / r.ipc_target);
+    }
+    out.value = worst;
+    return;
+  }
+
+  if (req.unit_weights) {
+    // Paper closed forms; shares bit-match the in-process Experiment
+    // optimizer for the same objective.
+    const core::Scheme scheme = req.objective == Objective::WeightedSpeedup
+                                    ? core::Scheme::PriorityApc
+                                    : core::Scheme::Proportional;
+    out.scheme = scheme;
+    core::compute_shares_into(scheme, req.apps, req.bandwidth, shares, ws_);
+    core::analytic_allocation_into(scheme, req.apps, req.bandwidth, alloc,
+                                   ws_);
+    for (std::size_t i = 0; i < n; ++i) ipc[i] = alloc[i] / req.apps[i].api;
+    out.value = req.objective == Objective::WeightedSpeedup
+                    ? core::weighted_speedup(ipc, ipc_alone_)
+                    : core::min_fairness(ipc, ipc_alone_);
+    return;
+  }
+
+  const core::Metric metric = req.objective == Objective::WeightedSpeedup
+                                  ? core::Metric::WeightedSpeedup
+                                  : core::Metric::MinFairness;
+  out.scheme = req.objective == Objective::WeightedSpeedup
+                   ? core::Scheme::PriorityApc
+                   : core::Scheme::Proportional;
+  core::weighted_optimal_allocation_into(metric, req.apps, req.weights,
+                                         req.bandwidth, alloc, ws_);
+  // Same arithmetic as weighted_optimal_shares_into, without re-solving.
+  const double sum = std::accumulate(alloc.begin(), alloc.end(), 0.0);
+  BWPART_ASSERT(sum > 0.0, "weighted optimum allocated nothing");
+  for (std::size_t i = 0; i < n; ++i) shares[i] = alloc[i] / sum;
+  for (std::size_t i = 0; i < n; ++i) ipc[i] = alloc[i] / req.apps[i].api;
+  out.value =
+      metric == core::Metric::WeightedSpeedup
+          ? core::weighted_weighted_speedup(ipc, ipc_alone_, req.weights)
+          : core::weighted_min_fairness(ipc, ipc_alone_, req.weights);
+}
+
+}  // namespace bwpart::advisor

@@ -1,0 +1,51 @@
+// Per-request solve: map a parsed Request onto the core analytic solvers.
+//
+// Unit-weight requests take the paper's closed forms directly — wsp is the
+// fractional knapsack of Section III-D (Scheme::PriorityApc), fair is the
+// proportional water-fill of Section III-C (Scheme::Proportional) — so the
+// advisor's shares are bit-identical to what the in-process Experiment
+// optimizer enforces for the same objective (tests/integration/
+// test_advisor_audit). Weighted requests use the weighted generalization
+// (core/weighted.hpp); qos requests use Eq. 11 reservations (core/qos.hpp).
+//
+// A Solver owns all scratch (SolveWorkspace, a reusable QosPlan, an
+// IPC_alone buffer); answers are materialized into the caller's Arena so
+// the hot path performs no heap allocation once the scratch has warmed up.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "advisor/request.hpp"
+#include "common/arena.hpp"
+#include "core/qos.hpp"
+#include "core/workspace.hpp"
+
+namespace bwpart::advisor {
+
+/// The solved answer for one request. Spans point into the Arena given to
+/// Solver::solve and stay valid until that arena is reset.
+struct Answer {
+  std::span<const double> shares;  ///< normalized enforcement shares beta
+  std::span<const double> alloc;   ///< analytic APC allocation (sums to
+                                   ///< min(b, sum APC_alone); qos: Eq. 11)
+  std::span<const double> ipc;     ///< model-predicted IPC = alloc / API
+  double value = 0.0;              ///< objective value (see solver.cpp)
+  bool feasible = true;            ///< false only for infeasible qos plans
+  core::Scheme scheme = core::Scheme::Proportional;  ///< enforcing scheme
+                                   ///< (qos: the best-effort scheme)
+};
+
+class Solver {
+ public:
+  /// Solves `req`; output arrays live in `arena`. Not thread-safe — one
+  /// Solver per shard/thread.
+  void solve(const Request& req, Arena& arena, Answer& out);
+
+ private:
+  core::SolveWorkspace ws_;
+  core::QosPlan plan_;
+  std::vector<double> ipc_alone_;
+};
+
+}  // namespace bwpart::advisor

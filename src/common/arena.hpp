@@ -1,0 +1,108 @@
+// Bump-pointer arena for the advisor's batched request parsing.
+//
+// A batch of requests is parsed into arena-backed arrays (AppParams,
+// weights, QoS requirements, copied id strings), solved, serialized, and
+// then the whole arena is reset in O(1) for the next batch — the blocks are
+// kept, so a warmed-up arena performs zero heap traffic per batch. Only
+// trivially-destructible types may live here (nothing is ever destroyed,
+// reset() just rewinds the bump pointer).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace bwpart {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = std::size_t{1} << 16)
+      : block_bytes_(block_bytes) {
+    BWPART_ASSERT(block_bytes_ > 0, "arena block size must be positive");
+  }
+
+  /// Raw storage, aligned to `align` (a power of two).
+  void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    BWPART_ASSERT(align != 0 && (align & (align - 1)) == 0,
+                  "alignment must be a power of two");
+    std::size_t off = (off_ + align - 1) & ~(align - 1);
+    if (cur_ >= blocks_.size() || off + bytes > blocks_[cur_].size) {
+      next_block(bytes + align);
+      off = (off_ + align - 1) & ~(align - 1);
+    }
+    void* p = blocks_[cur_].data.get() + off;
+    off_ = off + bytes;
+    return p;
+  }
+
+  /// A default-initialized array of `n` Ts. T must be trivially
+  /// destructible — the arena never runs destructors.
+  template <typename T>
+  std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena types must be trivially destructible");
+    if (n == 0) return {};
+    T* p = static_cast<T*>(alloc_bytes(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T();
+    return {p, n};
+  }
+
+  /// Copies `s` into the arena (so requests outlive the input buffer they
+  /// were parsed from).
+  std::string_view copy(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = static_cast<char*>(alloc_bytes(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Rewinds to empty, keeping every block for reuse.
+  void reset() {
+    cur_ = 0;
+    off_ = 0;
+  }
+
+  /// Total capacity currently held (diagnostics).
+  std::size_t capacity() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  void next_block(std::size_t at_least) {
+    // Advance through retained blocks first; allocate only when exhausted
+    // or when the next retained block is too small for this request.
+    const std::size_t want = at_least > block_bytes_ ? at_least : block_bytes_;
+    std::size_t next = cur_ >= blocks_.size() ? blocks_.size() : cur_ + 1;
+    if (blocks_.empty()) next = 0;
+    if (next >= blocks_.size() || blocks_[next].size < want) {
+      Block b;
+      b.size = want;
+      b.data = std::make_unique<char[]>(b.size);
+      blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(next),
+                     std::move(b));
+    }
+    cur_ = next;
+    off_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;  ///< current block index (valid when !blocks_.empty())
+  std::size_t off_ = 0;  ///< bump offset into the current block
+};
+
+}  // namespace bwpart

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/app_params.hpp"
+#include "core/workspace.hpp"
 
 namespace bwpart::core {
 
@@ -70,5 +71,45 @@ std::vector<double> analytic_allocation(Scheme s,
 /// per-app caps, redistributing any capped surplus. Exposed for tests.
 std::vector<double> waterfill(std::span<const double> weights,
                               std::span<const double> caps, double b);
+
+// ---------------------------------------------------------------------------
+// Allocation-free entry points. Each writes into a caller-provided span and
+// borrows scratch from a SolveWorkspace (see workspace.hpp); results are
+// bit-identical to the vector-returning forms above, which now delegate
+// here (tests/core/test_solver_span_regression pins the equivalence against
+// a frozen copy of the pre-refactor implementations).
+
+/// The weight one application contributes under a share-based scheme
+/// (Equal 1, Proportional APC_alone, Square_root sqrt, 2/3-power pow).
+/// Aborts for the priority schemes, which have no weight vector.
+double scheme_weight(Scheme s, const AppParams& a);
+
+/// Ranks (0 = served first) from a sort-key vector: ascending by default,
+/// descending for knapsack value densities. `order` is scratch of the same
+/// size. Stable: equal keys keep their input order.
+void ranks_by_key_into(std::span<const double> keys,
+                       std::span<std::uint32_t> ranks,
+                       std::span<std::uint32_t> order,
+                       bool descending = false);
+
+/// knapsack_allocate into `out`; `order` is scratch of the same size.
+void knapsack_allocate_into(std::span<const double> caps,
+                            std::span<const std::uint32_t> ranks, double b,
+                            std::span<double> out,
+                            std::span<std::uint32_t> order);
+
+/// waterfill into `out`; `capped` is scratch of the same size.
+void waterfill_into(std::span<const double> weights,
+                    std::span<const double> caps, double b,
+                    std::span<double> out, std::span<unsigned char> capped);
+
+/// compute_shares into `out`.
+void compute_shares_into(Scheme s, std::span<const AppParams> apps, double b,
+                         std::span<double> out, SolveWorkspace& ws);
+
+/// analytic_allocation into `out`.
+void analytic_allocation_into(Scheme s, std::span<const AppParams> apps,
+                              double b, std::span<double> out,
+                              SolveWorkspace& ws);
 
 }  // namespace bwpart::core

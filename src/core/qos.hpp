@@ -37,4 +37,13 @@ QosPlan qos_allocate(std::span<const AppParams> apps,
                      std::span<const QosRequirement> requirements, double b,
                      Scheme best_effort_scheme);
 
+/// Allocation-free form: reuses `plan`'s vectors and borrows scratch from
+/// `ws`, and gathers the best-effort sub-workload's caps/weights in place
+/// instead of copying its AppParams. Bit-identical to qos_allocate (pinned
+/// by tests/core/test_solver_span_regression).
+void qos_allocate_into(std::span<const AppParams> apps,
+                       std::span<const QosRequirement> requirements, double b,
+                       Scheme best_effort_scheme, QosPlan& plan,
+                       SolveWorkspace& ws);
+
 }  // namespace bwpart::core

@@ -23,20 +23,6 @@ void check(std::span<const double> shared, std::span<const double> alone,
   }
 }
 
-/// Knapsack ranks from a value-density vector (higher density served
-/// first).
-std::vector<std::uint32_t> density_ranks(std::span<const double> density) {
-  std::vector<std::uint32_t> order(density.size());
-  std::iota(order.begin(), order.end(), 0u);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::uint32_t a, std::uint32_t b) {
-                     return density[a] > density[b];
-                   });
-  std::vector<std::uint32_t> rank(density.size());
-  for (std::uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
-  return rank;
-}
-
 }  // namespace
 
 double weighted_harmonic_speedup(std::span<const double> ipc_shared,
@@ -105,64 +91,99 @@ double evaluate_weighted_metric(Metric m, std::span<const double> ipc_shared,
   return 0.0;
 }
 
-std::vector<double> weighted_optimal_allocation(
-    Metric m, std::span<const AppParams> apps,
-    std::span<const double> weights, double b) {
+void weighted_optimal_allocation_into(Metric m,
+                                      std::span<const AppParams> apps,
+                                      std::span<const double> weights,
+                                      double b, std::span<double> out,
+                                      SolveWorkspace& ws) {
   BWPART_ASSERT(apps.size() == weights.size(), "arity mismatch");
+  BWPART_ASSERT(out.size() == apps.size(), "out arity mismatch");
   BWPART_ASSERT(b > 0.0, "bandwidth must be positive");
   const std::size_t n = apps.size();
-  std::vector<double> caps(n);
+  ws.caps.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     BWPART_ASSERT(weights[i] > 0.0, "weights must be positive");
-    caps[i] = apps[i].apc_alone;
+    ws.caps[i] = apps[i].apc_alone;
   }
   switch (m) {
     case Metric::HarmonicWeightedSpeedup: {
       // x_i ∝ sqrt(w_i * APC_alone_i) — Eq. 5 with weight-scaled demand.
-      std::vector<double> w(n);
+      ws.keys.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        w[i] = std::sqrt(weights[i] * apps[i].apc_alone);
+        ws.keys[i] = std::sqrt(weights[i] * apps[i].apc_alone);
       }
-      return waterfill(w, caps, std::min(b, std::accumulate(caps.begin(),
-                                                            caps.end(), 0.0)));
+      ws.flags.resize(n);
+      waterfill_into(ws.keys, ws.caps,
+                     std::min(b, std::accumulate(ws.caps.begin(),
+                                                 ws.caps.end(), 0.0)),
+                     out, ws.flags);
+      return;
     }
     case Metric::MinFairness: {
       // speedup_i ∝ w_i  =>  x_i ∝ w_i * APC_alone_i.
-      std::vector<double> w(n);
+      ws.keys.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        w[i] = weights[i] * apps[i].apc_alone;
+        ws.keys[i] = weights[i] * apps[i].apc_alone;
       }
-      return waterfill(w, caps, std::min(b, std::accumulate(caps.begin(),
-                                                            caps.end(), 0.0)));
+      ws.flags.resize(n);
+      waterfill_into(ws.keys, ws.caps,
+                     std::min(b, std::accumulate(ws.caps.begin(),
+                                                 ws.caps.end(), 0.0)),
+                     out, ws.flags);
+      return;
     }
     case Metric::WeightedSpeedup: {
-      std::vector<double> density(n);
+      ws.keys.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
-        density[i] = weights[i] / apps[i].apc_alone;
+        ws.keys[i] = weights[i] / apps[i].apc_alone;
       }
-      return knapsack_allocate(caps, density_ranks(density), b);
+      ws.ranks.resize(n);
+      ws.order.resize(n);
+      ranks_by_key_into(ws.keys, ws.ranks, ws.order, /*descending=*/true);
+      knapsack_allocate_into(ws.caps, ws.ranks, b, out, ws.order);
+      return;
     }
     case Metric::IpcSum: {
-      std::vector<double> density(n);
+      ws.keys.resize(n);
       for (std::size_t i = 0; i < n; ++i) {
         BWPART_ASSERT(apps[i].api > 0.0, "API must be positive");
-        density[i] = weights[i] / apps[i].api;
+        ws.keys[i] = weights[i] / apps[i].api;
       }
-      return knapsack_allocate(caps, density_ranks(density), b);
+      ws.ranks.resize(n);
+      ws.order.resize(n);
+      ranks_by_key_into(ws.keys, ws.ranks, ws.order, /*descending=*/true);
+      knapsack_allocate_into(ws.caps, ws.ranks, b, out, ws.order);
+      return;
     }
   }
   BWPART_ASSERT(false, "unknown metric");
-  return {};
+}
+
+std::vector<double> weighted_optimal_allocation(
+    Metric m, std::span<const AppParams> apps,
+    std::span<const double> weights, double b) {
+  std::vector<double> alloc(apps.size());
+  SolveWorkspace ws;
+  weighted_optimal_allocation_into(m, apps, weights, b, alloc, ws);
+  return alloc;
+}
+
+void weighted_optimal_shares_into(Metric m, std::span<const AppParams> apps,
+                                  std::span<const double> weights, double b,
+                                  std::span<double> out, SolveWorkspace& ws) {
+  weighted_optimal_allocation_into(m, apps, weights, b, out, ws);
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  BWPART_ASSERT(sum > 0.0, "weighted optimum allocated nothing");
+  for (double& x : out) x /= sum;
 }
 
 std::vector<double> weighted_optimal_shares(Metric m,
                                             std::span<const AppParams> apps,
                                             std::span<const double> weights,
                                             double b) {
-  std::vector<double> alloc = weighted_optimal_allocation(m, apps, weights, b);
-  const double sum = std::accumulate(alloc.begin(), alloc.end(), 0.0);
-  BWPART_ASSERT(sum > 0.0, "weighted optimum allocated nothing");
-  for (double& x : alloc) x /= sum;
+  std::vector<double> alloc(apps.size());
+  SolveWorkspace ws;
+  weighted_optimal_shares_into(m, apps, weights, b, alloc, ws);
   return alloc;
 }
 

@@ -61,4 +61,17 @@ std::vector<double> weighted_optimal_shares(Metric m,
                                             std::span<const double> weights,
                                             double b);
 
+/// Allocation-free forms: write into `out` (size == apps.size()) borrowing
+/// scratch from `ws`; the span input is used end-to-end with no internal
+/// vector copies. Bit-identical to the vector-returning forms (pinned by
+/// tests/core/test_solver_span_regression).
+void weighted_optimal_allocation_into(Metric m,
+                                      std::span<const AppParams> apps,
+                                      std::span<const double> weights,
+                                      double b, std::span<double> out,
+                                      SolveWorkspace& ws);
+void weighted_optimal_shares_into(Metric m, std::span<const AppParams> apps,
+                                  std::span<const double> weights, double b,
+                                  std::span<double> out, SolveWorkspace& ws);
+
 }  // namespace bwpart::core

@@ -1,0 +1,46 @@
+// Reusable scratch buffers for the allocation-free solver entry points.
+//
+// The advisor service solves hundreds of thousands of partitioning requests
+// per second; the original solver API returned a fresh std::vector per call
+// (and qos_allocate additionally copied the best-effort sub-workload's
+// AppParams), which put several heap allocations on every request. The
+// *_into entry points in partition.hpp / weighted.hpp / qos.hpp instead
+// write into caller-provided spans and borrow their internal scratch from a
+// SolveWorkspace: each member vector is resized (never shrunk) per call, so
+// a workspace reaches a steady state after the first large request and the
+// hot path performs zero heap traffic from then on.
+//
+// A workspace carries no results between calls — only capacity. It is not
+// thread-safe; give each solver thread its own.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bwpart::core {
+
+struct SolveWorkspace {
+  std::vector<double> caps;     ///< per-app APC_alone gather
+  std::vector<double> weights;  ///< scheme / metric weight gather
+  std::vector<double> keys;     ///< sort keys (knapsack densities, ranks)
+  std::vector<double> alloc;    ///< intermediate allocation
+  std::vector<std::uint32_t> index;  ///< subset index gather (QoS best-effort)
+  std::vector<std::uint32_t> ranks;  ///< rank-per-app
+  std::vector<std::uint32_t> order;  ///< serving-order permutation scratch
+  std::vector<unsigned char> flags;  ///< capped / is-QoS booleans
+
+  /// Pre-grows every buffer to `n` apps so the first request is already
+  /// allocation-free.
+  void reserve(std::size_t n) {
+    caps.reserve(n);
+    weights.reserve(n);
+    keys.reserve(n);
+    alloc.reserve(n);
+    index.reserve(n);
+    ranks.reserve(n);
+    order.reserve(n);
+    flags.reserve(n);
+  }
+};
+
+}  // namespace bwpart::core

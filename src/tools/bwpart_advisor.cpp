@@ -1,0 +1,155 @@
+// bwpart_advisor: the batch bandwidth-partitioning advisor service.
+//
+//   bwpart_advisor --in requests.txt --out answers.jsonl
+//   generate_requests | bwpart_advisor --threads 8
+//   bwpart_advisor --in reqs.txt --audit-every 1000 --audit-cycles 100000
+//
+// Reads line-delimited profile-vector requests (see src/advisor/request.hpp
+// for the grammar), answers each with one JSON line carrying the optimal
+// shares/allocation/predicted IPCs for the requested objective, and — in
+// audit mode — cross-checks every Nth mix-tagged request against a forked
+// simulator measure phase.
+//
+// Options:
+//   --in FILE          read requests from FILE (default stdin)
+//   --out FILE         write JSONL answers to FILE (default stdout)
+//   --threads N        solve parallelism (default auto, 1 = serial)
+//   --batch-lines N    lines per batch (default 4096)
+//   --audit-every N    audit every Nth mix-tagged request (default off)
+//   --audit-cycles N   audit profile/measure window (default 100000)
+//   --audit-seed N     audit trace seed (default 42)
+//   --metrics-out FILE write the obs metrics registry JSON (enables obs)
+//   --quiet            suppress the stderr summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "advisor/service.hpp"
+#include "obs/hub.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--in FILE] [--out FILE] [--threads N]\n"
+               "          [--batch-lines N] [--audit-every N] "
+               "[--audit-cycles N]\n"
+               "          [--audit-seed N] [--metrics-out FILE] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bwpart;
+
+  std::string in_path, out_path, metrics_path;
+  advisor::ServiceConfig cfg;
+  std::uint64_t audit_cycles = 100'000;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--in") == 0) {
+      in_path = need("--in");
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = need("--out");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      cfg.threads = static_cast<std::size_t>(std::atoll(need("--threads")));
+    } else if (std::strcmp(argv[i], "--batch-lines") == 0) {
+      cfg.batch_lines =
+          static_cast<std::size_t>(std::atoll(need("--batch-lines")));
+    } else if (std::strcmp(argv[i], "--audit-every") == 0) {
+      cfg.audit_every =
+          static_cast<std::uint64_t>(std::atoll(need("--audit-every")));
+    } else if (std::strcmp(argv[i], "--audit-cycles") == 0) {
+      audit_cycles =
+          static_cast<std::uint64_t>(std::atoll(need("--audit-cycles")));
+    } else if (std::strcmp(argv[i], "--audit-seed") == 0) {
+      cfg.audit_phases.seed =
+          static_cast<std::uint64_t>(std::atoll(need("--audit-seed")));
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_path = need("--metrics-out");
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  // Audit forks run at golden-corpus scale by default: a 1/5 warmup plus
+  // equal profile/measure windows.
+  cfg.audit_phases.warmup_cycles = audit_cycles / 5;
+  cfg.audit_phases.profile_cycles = audit_cycles;
+  cfg.audit_phases.measure_cycles = audit_cycles;
+
+  obs::Hub hub;
+  if (!metrics_path.empty()) {
+    hub.set_enabled(true);
+    cfg.hub = &hub;
+  }
+
+  std::ifstream in_file;
+  if (!in_path.empty()) {
+    in_file.open(in_path);
+    if (!in_file) {
+      std::fprintf(stderr, "cannot open '%s'\n", in_path.c_str());
+      return 2;
+    }
+  }
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   out_path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = in_path.empty() ? std::cin : in_file;
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  advisor::AdvisorService service(cfg);
+  const advisor::ServiceStats stats = service.run(in, out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "write failure on output stream\n");
+    return 2;
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream ms(metrics_path);
+    if (!ms) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    hub.write_metrics_json(ms);
+  }
+
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "advisor: %llu requests (%llu ok, %llu parse errors, "
+                 "%llu infeasible) in %llu batches; %llu audits "
+                 "(%llu skipped, max rel err %.3g)\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.ok),
+                 static_cast<unsigned long long>(stats.parse_errors),
+                 static_cast<unsigned long long>(stats.infeasible),
+                 static_cast<unsigned long long>(stats.batches),
+                 static_cast<unsigned long long>(stats.audits),
+                 static_cast<unsigned long long>(stats.audit_failures),
+                 stats.max_audit_rel_err);
+  }
+  return 0;
+}

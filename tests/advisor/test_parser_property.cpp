@@ -1,0 +1,423 @@
+// Property suite for the advisor's request parser and service framing.
+//
+// The parser fronts an untrusted wire format, so the contract under test is
+// absolute: for ANY input line — truncated, fuzzed, NaN/Inf-injected,
+// out-of-range, duplicate-app — parse_request_line either returns a fully
+// validated Request or returns false with an error prefixed
+// "line <no>: ", and never crashes, UB-s, or silently skips. Each property
+// runs >= 200 generated cases (in-tree PBT engine, reproduce with
+// BWPART_PBT_SEED); CI additionally runs this binary under ASan+UBSan,
+// which turns any latent out-of-bounds/overflow in the parsing hot path
+// into a hard failure.
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advisor/request.hpp"
+#include "advisor/service.hpp"
+#include "common/arena.hpp"
+#include "common/pbt.hpp"
+
+namespace {
+
+using namespace bwpart;
+using advisor::Objective;
+using advisor::Request;
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Generator-side model of one request; rendered to a line and re-parsed.
+struct Model {
+  std::string id;
+  Objective objective = Objective::WeightedSpeedup;
+  double b = 1.0;
+  struct App {
+    std::string name;
+    double apc = 0.1, api = 0.2;
+    double weight = 1.0;
+    bool has_weight = false;
+    double target = 0.0;
+    bool has_target = false;
+  };
+  std::vector<App> apps;
+  std::string mix;  // optional
+  std::string be;   // optional (qos only)
+
+  std::string render() const {
+    std::string line = id;
+    line += ' ';
+    line += advisor::to_string(objective);
+    line += " b=" + fmt(b);
+    for (const App& a : apps) {
+      line += ' ' + a.name + '=' + fmt(a.apc) + ',' + fmt(a.api);
+      if (a.has_weight || a.has_target) line += ',' + fmt(a.weight);
+      if (a.has_target) line += ',' + fmt(a.target);
+    }
+    if (!be.empty()) line += " be=" + be;
+    if (!mix.empty()) line += " mix=" + mix;
+    return line;
+  }
+};
+
+Model gen_model(Rng& rng) {
+  Model m;
+  m.id = "req-" + std::to_string(pbt::gen_uint(rng, 0, 999999));
+  const std::uint64_t obj = pbt::gen_uint(rng, 0, 2);
+  m.objective = obj == 0   ? Objective::WeightedSpeedup
+                : obj == 1 ? Objective::Fairness
+                           : Objective::Qos;
+  m.b = pbt::gen_log_double(rng, 1e-3, 100.0);
+  const std::size_t napps = pbt::gen_uint(rng, 1, 8);
+  for (std::size_t i = 0; i < napps; ++i) {
+    Model::App a;
+    a.name = "app" + std::to_string(i);
+    a.apc = pbt::gen_log_double(rng, 1e-3, 10.0);
+    a.api = pbt::gen_log_double(rng, 1e-3, 10.0);
+    if (m.objective != Objective::Qos && pbt::gen_uint(rng, 0, 1) == 1) {
+      a.has_weight = true;
+      a.weight = pbt::gen_log_double(rng, 0.1, 10.0);
+    }
+    m.apps.push_back(a);
+  }
+  if (m.objective == Objective::Qos) {
+    // At least one guaranteed app; targets sometimes infeasible is fine at
+    // parse level (feasibility is the solver's concern).
+    const std::size_t nq = pbt::gen_uint(rng, 1, napps);
+    for (std::size_t i = 0; i < nq; ++i) {
+      m.apps[i].has_target = true;
+      m.apps[i].has_weight = true;  // grammar: target is the 4th field
+      m.apps[i].weight = 1.0;
+      m.apps[i].target = pbt::gen_log_double(rng, 1e-3, 100.0);
+    }
+    if (pbt::gen_uint(rng, 0, 1) == 1) m.be = "Square_root";
+  }
+  if (pbt::gen_uint(rng, 0, 1) == 1) {
+    m.mix = "hetero-" + std::to_string(pbt::gen_uint(rng, 1, 7));
+  }
+  return m;
+}
+
+std::string print_model(const Model& m) { return m.render(); }
+
+TEST(AdvisorParserProperty, ValidRequestsRoundTrip) {
+  const auto result = pbt::for_all<Model>(
+      "valid_roundtrip", gen_model,
+      [](const Model& m) -> std::string {
+        Arena arena;
+        Request req;
+        std::string error;
+        if (!advisor::parse_request_line(m.render(), 7, arena, req, error)) {
+          return "valid line rejected: " + error;
+        }
+        if (req.id != m.id) return "id mismatch";
+        if (req.objective != m.objective) return "objective mismatch";
+        if (req.apps.size() != m.apps.size()) return "app count mismatch";
+        if (fmt(req.bandwidth) != fmt(m.b)) return "bandwidth mismatch";
+        std::size_t nq = 0;
+        for (std::size_t i = 0; i < m.apps.size(); ++i) {
+          if (req.app_names[i] != m.apps[i].name) return "name mismatch";
+          if (fmt(req.apps[i].apc_alone) != fmt(m.apps[i].apc)) {
+            return "apc mismatch";
+          }
+          if (fmt(req.apps[i].api) != fmt(m.apps[i].api)) {
+            return "api mismatch";
+          }
+          const double want_w = m.apps[i].has_weight ? m.apps[i].weight : 1.0;
+          if (fmt(req.weights[i]) != fmt(want_w)) return "weight mismatch";
+          if (m.apps[i].has_target) ++nq;
+        }
+        if (req.qos.size() != nq) return "qos count mismatch";
+        if (req.mix != m.mix) return "mix mismatch";
+        if (req.line != 7) return "line number not recorded";
+        return {};
+      },
+      {}, nullptr, print_model);
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+/// Whatever prefix of a valid line arrives, the parser must finish cleanly:
+/// accept (a prefix can still be grammatical) or reject with the
+/// line-numbered error — never crash. ASan/UBSan patrol the rest.
+TEST(AdvisorParserProperty, TruncationIsAlwaysClean) {
+  const auto result = pbt::for_all<Model>(
+      "truncation_clean", gen_model,
+      [](const Model& m) -> std::string {
+        const std::string full = m.render();
+        Arena arena;
+        for (std::size_t cut = 0; cut < full.size(); ++cut) {
+          arena.reset();
+          Request req;
+          std::string error;
+          const bool ok = advisor::parse_request_line(
+              full.substr(0, cut), 3, arena, req, error);
+          if (!ok && error.rfind("line 3: ", 0) != 0) {
+            return "error lacks line prefix at cut " + std::to_string(cut) +
+                   ": " + error;
+          }
+          if (ok && (req.apps.empty() || req.bandwidth <= 0.0)) {
+            return "accepted truncation without apps/bandwidth at cut " +
+                   std::to_string(cut);
+          }
+        }
+        return {};
+      },
+      {}, nullptr, print_model);
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(AdvisorParserProperty, NanAndInfAreRejectedEverywhere) {
+  const auto result = pbt::for_all<Model>(
+      "nan_inf_rejected", gen_model,
+      [](const Model& m) -> std::string {
+        static const char* kPoisons[] = {"nan",  "NaN",      "inf",
+                                         "-inf", "infinity", "1e999"};
+        for (const char* poison : kPoisons) {
+          Model bad = m;
+          // Poison every numeric slot in turn.
+          std::vector<std::string> lines;
+          {
+            Model t = bad;
+            std::string line = t.id + ' ';
+            line += advisor::to_string(t.objective);
+            line += " b=";
+            line += poison;
+            for (const auto& a : t.apps) {
+              line += ' ' + a.name + '=' + fmt(a.apc) + ',' + fmt(a.api);
+            }
+            lines.push_back(line);
+          }
+          for (std::size_t k = 0; k < bad.apps.size(); ++k) {
+            std::string line = bad.id + ' ';
+            line += advisor::to_string(bad.objective);
+            line += " b=" + fmt(bad.b);
+            for (std::size_t i = 0; i < bad.apps.size(); ++i) {
+              const auto& a = bad.apps[i];
+              line += ' ' + a.name + '=';
+              line += i == k ? std::string(poison) : fmt(a.apc);
+              line += ',' + fmt(a.api);
+            }
+            lines.push_back(line);
+          }
+          for (const std::string& line : lines) {
+            Arena arena;
+            Request req;
+            std::string error;
+            if (advisor::parse_request_line(line, 9, arena, req, error)) {
+              return std::string("accepted poison '") + poison +
+                     "': " + line;
+            }
+            if (error.rfind("line 9: ", 0) != 0) {
+              return "error lacks line prefix: " + error;
+            }
+          }
+        }
+        return {};
+      },
+      {}, nullptr, print_model);
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(AdvisorParserProperty, OutOfRangeMagnitudesAreRejected) {
+  const auto result = pbt::for_all<Model>(
+      "out_of_range_rejected", gen_model,
+      [](const Model& m) -> std::string {
+        struct Case {
+          const char* what;
+          Model bad;
+        };
+        std::vector<Case> cases;
+        {
+          Model t = m;
+          t.b = advisor::kMaxBandwidth * 2.0;
+          cases.push_back({"bandwidth too large", t});
+        }
+        {
+          Model t = m;
+          t.b = 0.0;
+          cases.push_back({"zero bandwidth", t});
+        }
+        {
+          Model t = m;
+          t.apps[0].apc = -m.apps[0].apc;
+          cases.push_back({"negative apc", t});
+        }
+        {
+          Model t = m;
+          t.apps[0].apc = advisor::kMaxApc * 10.0;
+          cases.push_back({"apc too large", t});
+        }
+        {
+          Model t = m;
+          t.apps[0].api = 0.0;
+          cases.push_back({"zero api", t});
+        }
+        if (m.apps[0].has_weight && !m.apps[0].has_target) {
+          Model t = m;
+          t.apps[0].weight = -1.0;
+          cases.push_back({"negative weight", t});
+        }
+        if (m.apps[0].has_target) {
+          Model t = m;
+          t.apps[0].target = advisor::kMaxIpcTarget * 5.0;
+          cases.push_back({"target too large", t});
+        }
+        for (const Case& c : cases) {
+          Arena arena;
+          Request req;
+          std::string error;
+          if (advisor::parse_request_line(c.bad.render(), 2, arena, req,
+                                          error)) {
+            return std::string("accepted ") + c.what;
+          }
+          if (error.rfind("line 2: ", 0) != 0) {
+            return "error lacks line prefix: " + error;
+          }
+        }
+        return {};
+      },
+      {}, nullptr, print_model);
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+TEST(AdvisorParserProperty, DuplicateAppsAndFieldsAreRejected) {
+  const auto result = pbt::for_all<Model>(
+      "duplicates_rejected", gen_model,
+      [](const Model& m) -> std::string {
+        // Duplicate app token.
+        {
+          std::string line = m.render();
+          const Model::App& a = m.apps[0];
+          line += ' ' + a.name + '=' + fmt(a.apc) + ',' + fmt(a.api);
+          Arena arena;
+          Request req;
+          std::string error;
+          if (advisor::parse_request_line(line, 4, arena, req, error)) {
+            return "accepted duplicate app: " + line;
+          }
+          if (error.find("duplicate app") == std::string::npos) {
+            return "duplicate app error not named: " + error;
+          }
+        }
+        // Duplicate b= field.
+        {
+          std::string line = m.render() + " b=" + fmt(m.b);
+          Arena arena;
+          Request req;
+          std::string error;
+          if (advisor::parse_request_line(line, 4, arena, req, error)) {
+            return "accepted duplicate b=";
+          }
+        }
+        return {};
+      },
+      {}, nullptr, print_model);
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+/// Pure fuzz: random bytes never crash the parser, and every rejection
+/// carries the line prefix. (ASan/UBSan in CI make "never crash" strict.)
+TEST(AdvisorParserProperty, RandomBytesNeverCrash) {
+  const auto result = pbt::for_all<std::string>(
+      "fuzz_no_crash",
+      [](Rng& rng) {
+        const std::size_t len = pbt::gen_uint(rng, 0, 200);
+        std::string s;
+        s.reserve(len);
+        for (std::size_t i = 0; i < len; ++i) {
+          // Bias toward structural bytes so the fuzz reaches deep paths.
+          switch (pbt::gen_uint(rng, 0, 5)) {
+            case 0: s.push_back('='); break;
+            case 1: s.push_back(','); break;
+            case 2: s.push_back(' '); break;
+            case 3:
+              s.push_back(static_cast<char>(pbt::gen_uint(rng, '0', '9')));
+              break;
+            case 4:
+              s.push_back(static_cast<char>(pbt::gen_uint(rng, 'a', 'z')));
+              break;
+            default:
+              s.push_back(static_cast<char>(pbt::gen_uint(rng, 1, 255)));
+          }
+        }
+        return s;
+      },
+      [](const std::string& line) -> std::string {
+        Arena arena;
+        Request req;
+        std::string error;
+        if (!advisor::parse_request_line(line, 11, arena, req, error) &&
+            error.rfind("line 11: ", 0) != 0) {
+          return "error lacks line prefix: " + error;
+        }
+        return {};
+      });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+/// Service-level framing: every non-blank, non-comment input line produces
+/// exactly one response line — bad lines become error responses, never
+/// silent drops.
+TEST(AdvisorParserProperty, ServiceNeverSilentlySkips) {
+  const auto result = pbt::for_all<std::uint64_t>(
+      "service_no_silent_skip",
+      [](Rng& rng) { return rng.next_u64(); },
+      [](const std::uint64_t& seed) -> std::string {
+        Rng rng(seed);
+        std::ostringstream input;
+        std::size_t expected = 0;
+        const std::size_t nlines = pbt::gen_uint(rng, 1, 40);
+        for (std::size_t i = 0; i < nlines; ++i) {
+          switch (pbt::gen_uint(rng, 0, 3)) {
+            case 0:
+              input << gen_model(rng).render() << '\n';
+              ++expected;
+              break;
+            case 1:
+              input << "garbage " << pbt::gen_uint(rng, 0, 1u << 20) << '\n';
+              ++expected;
+              break;
+            case 2:
+              input << "# comment line\n";
+              break;
+            default:
+              input << '\n';
+              break;
+          }
+        }
+        advisor::ServiceConfig cfg;
+        cfg.threads = 1 + seed % 4;
+        cfg.batch_lines = 1 + seed % 7;
+        advisor::AdvisorService service(cfg);
+        std::istringstream in(input.str());
+        std::ostringstream out;
+        const advisor::ServiceStats stats = service.run(in, out);
+        if (stats.requests != expected) {
+          return "requests " + std::to_string(stats.requests) + " != " +
+                 std::to_string(expected);
+        }
+        std::size_t responses = 0;
+        for (char c : out.str()) {
+          if (c == '\n') ++responses;
+        }
+        if (responses != expected) {
+          return "responses " + std::to_string(responses) + " != " +
+                 std::to_string(expected);
+        }
+        if (stats.ok + stats.parse_errors != expected) {
+          return "ok+errors does not cover all requests";
+        }
+        return {};
+      });
+  EXPECT_TRUE(result.ok) << result.report();
+}
+
+}  // namespace

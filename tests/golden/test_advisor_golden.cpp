@@ -1,0 +1,258 @@
+// Golden advisor corpus: shares and objective values for all 14 Table IV
+// mixes x the advisor's 3 objectives at CI scale (seed 42).
+//
+//   test_advisor_golden --file tests/golden/advisor_answers.json [--update]
+//
+// Each mix is profiled once (Experiment::capture_profile, golden phases),
+// the profile is rendered through the advisor's own wire format (%.17g
+// round-trip) and solved end-to-end via parse_request_line + Solver — so
+// the corpus pins the whole advisor stack, not just the core solvers.
+// Doubles are stored as raw IEEE-754 bit patterns ("0x%016llx"), making the
+// comparison exactly bitwise; regeneration mirrors fingerprints.json
+// (--update, see tests/golden/README.md). The qos row guarantees apps 0-1
+// at half their profiled standalone IPC with a Proportional best-effort
+// group.
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../obs/mini_json.hpp"
+#include "advisor/request.hpp"
+#include "advisor/solver.hpp"
+#include "common/arena.hpp"
+#include "common/parallel.hpp"
+#include "harness/experiment.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace bwpart;
+
+harness::PhaseConfig golden_phases() {
+  harness::PhaseConfig ph;
+  ph.warmup_cycles = 20'000;
+  ph.profile_cycles = 100'000;
+  ph.measure_cycles = 100'000;
+  ph.seed = 42;
+  return ph;
+}
+
+std::string hexbits(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  return buf;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct GoldenAnswer {
+  std::string value;               ///< objective value, bit pattern
+  std::vector<std::string> shares; ///< per-app shares, bit patterns
+};
+
+struct MixRow {
+  std::string mix;
+  GoldenAnswer answers[3];  ///< indexed like kObjectives below
+};
+
+constexpr const char* kObjectives[] = {"wsp", "fair", "qos"};
+
+std::vector<MixRow> compute_corpus() {
+  const auto mixes = workload::paper_mixes();
+  const harness::SystemConfig machine;
+  const harness::PhaseConfig phases = golden_phases();
+  std::vector<MixRow> corpus(mixes.size());
+  parallel_for(mixes.size(), [&](std::size_t i) {
+    const harness::Experiment experiment(
+        machine, workload::resolve_mix(mixes[i]), phases);
+    const harness::ProfileSnapshot snap = experiment.capture_profile();
+    MixRow& row = corpus[i];
+    row.mix = std::string(mixes[i].name);
+    Arena arena;
+    advisor::Solver solver;
+    for (std::size_t o = 0; o < 3; ++o) {
+      std::string line = "g-";
+      line += kObjectives[o];
+      line += ' ';
+      line += kObjectives[o];
+      line += " b=" + fmt(snap.profiled_b);
+      for (std::size_t a = 0; a < snap.params.size(); ++a) {
+        line += " a" + std::to_string(a) + '=' +
+                fmt(snap.params[a].apc_alone) + ',' + fmt(snap.params[a].api);
+        if (o == 2 && a < 2) {
+          line += ",1," +
+                  fmt(0.5 * snap.params[a].apc_alone / snap.params[a].api);
+        }
+      }
+      if (o == 2) line += " be=Proportional";
+      advisor::Request req;
+      std::string error;
+      if (!advisor::parse_request_line(line, 1, arena, req, error)) {
+        std::fprintf(stderr, "internal: golden request rejected: %s\n",
+                     error.c_str());
+        std::exit(2);
+      }
+      advisor::Answer ans;
+      solver.solve(req, arena, ans);
+      row.answers[o].value = hexbits(ans.value);
+      for (double s : ans.shares) {
+        row.answers[o].shares.push_back(hexbits(s));
+      }
+      arena.reset();
+    }
+  });
+  return corpus;
+}
+
+void write_corpus(const std::string& path,
+                  const std::vector<MixRow>& corpus) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    std::exit(2);
+  }
+  const harness::PhaseConfig ph = golden_phases();
+  os << "{\n  \"schema\": 1,\n  \"seed\": " << ph.seed << ",\n"
+     << "  \"phases\": {\"warmup\": " << ph.warmup_cycles
+     << ", \"profile\": " << ph.profile_cycles
+     << ", \"measure\": " << ph.measure_cycles << "},\n  \"mixes\": {\n";
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    os << "    \"" << corpus[i].mix << "\": {\n";
+    for (std::size_t o = 0; o < 3; ++o) {
+      const GoldenAnswer& g = corpus[i].answers[o];
+      os << "      \"" << kObjectives[o] << "\": {\"value\": \"" << g.value
+         << "\", \"shares\": [";
+      for (std::size_t s = 0; s < g.shares.size(); ++s) {
+        os << (s != 0 ? ", " : "") << "\"" << g.shares[s] << "\"";
+      }
+      os << "]}" << (o + 1 < 3 ? "," : "") << "\n";
+    }
+    os << "    }" << (i + 1 < corpus.size() ? "," : "") << "\n";
+  }
+  os << "  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --file advisor_answers.json [--update]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s --file advisor_answers.json [--update]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::vector<MixRow> corpus = compute_corpus();
+  if (update) {
+    write_corpus(path, corpus);
+    std::printf("wrote %zu mixes x 3 objectives to %s\n", corpus.size(),
+                path.c_str());
+    return 0;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr,
+                 "cannot open golden corpus '%s' — generate it with "
+                 "'%s --file %s --update'\n",
+                 path.c_str(), argv[0], path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  testjson::ValuePtr doc;
+  try {
+    doc = testjson::parse(buf.str());
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "golden corpus '%s' is not valid JSON: %s\n",
+                 path.c_str(), e.what());
+    return 2;
+  }
+
+  const harness::PhaseConfig ph = golden_phases();
+  if (static_cast<std::uint64_t>(doc->at("seed").num) != ph.seed ||
+      static_cast<Cycle>(doc->at("phases").at("warmup").num) !=
+          ph.warmup_cycles ||
+      static_cast<Cycle>(doc->at("phases").at("profile").num) !=
+          ph.profile_cycles ||
+      static_cast<Cycle>(doc->at("phases").at("measure").num) !=
+          ph.measure_cycles) {
+    std::fprintf(stderr,
+                 "golden corpus '%s' was generated for different phase "
+                 "settings — regenerate with --update\n",
+                 path.c_str());
+    return 1;
+  }
+
+  const testjson::Value& mixes = doc->at("mixes");
+  std::size_t checked = 0, mismatches = 0;
+  for (const MixRow& row : corpus) {
+    if (!mixes.has(row.mix)) {
+      std::fprintf(stderr, "golden corpus is missing mix '%s'\n",
+                   row.mix.c_str());
+      ++mismatches;
+      continue;
+    }
+    const testjson::Value& mix = mixes.at(row.mix);
+    for (std::size_t o = 0; o < 3; ++o) {
+      ++checked;
+      if (!mix.has(kObjectives[o])) {
+        std::fprintf(stderr, "golden corpus is missing %s / %s\n",
+                     row.mix.c_str(), kObjectives[o]);
+        ++mismatches;
+        continue;
+      }
+      const testjson::Value& g = mix.at(kObjectives[o]);
+      const GoldenAnswer& want = row.answers[o];
+      bool bad = g.at("value").str != want.value ||
+                 g.at("shares").size() != want.shares.size();
+      if (!bad) {
+        for (std::size_t s = 0; s < want.shares.size(); ++s) {
+          if (g.at("shares")[s].str != want.shares[s]) bad = true;
+        }
+      }
+      if (bad) {
+        std::fprintf(stderr, "MISMATCH %s / %s (value golden %s computed %s)\n",
+                     row.mix.c_str(), kObjectives[o],
+                     g.at("value").str.c_str(), want.value.c_str());
+        ++mismatches;
+      }
+    }
+  }
+  if (mismatches != 0) {
+    std::fprintf(
+        stderr,
+        "\n%zu of %zu advisor answers diverge from the golden corpus.\n"
+        "If this follows an intentional model/solver change (or a "
+        "compiler/libm\nupgrade), regenerate with\n"
+        "  test_advisor_golden --file %s --update\nand review the diff. "
+        "Otherwise some advisor answer is no longer\nbit-identical to what "
+        "it was.\n",
+        mismatches, checked, path.c_str());
+    return 1;
+  }
+  std::printf("all %zu advisor answers match the golden corpus\n", checked);
+  return 0;
+}

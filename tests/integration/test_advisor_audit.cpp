@@ -1,0 +1,234 @@
+// Advisor <-> simulator consistency (the tentpole's correctness anchor).
+//
+// Two claims are pinned, on sampled Table IV / Fig. 3 profiles at golden
+// scale (seed 42):
+//   1. For the same objective, the advisor returns bit-identical shares to
+//      the in-process optimizer the Experiment harness enforces
+//      (compute_shares / qos_allocate over the profiled AppParams) — the
+//      request's %.17g round-trip through the wire format loses nothing.
+//   2. In audit mode, the forked measure phase behind every audit record is
+//      fingerprint-identical to a straight Experiment::run(scheme) /
+//      run_qos(...), and the measured IPCs in the JSON match per value.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../obs/mini_json.hpp"
+#include "advisor/request.hpp"
+#include "advisor/service.hpp"
+#include "advisor/solver.hpp"
+#include "common/arena.hpp"
+#include "core/partition.hpp"
+#include "core/qos.hpp"
+#include "harness/differential.hpp"
+#include "harness/experiment.hpp"
+#include "workload/mixes.hpp"
+
+namespace {
+
+using namespace bwpart;
+
+harness::PhaseConfig golden_phases() {
+  harness::PhaseConfig ph;
+  ph.warmup_cycles = 20'000;
+  ph.profile_cycles = 100'000;
+  ph.measure_cycles = 100'000;
+  ph.seed = 42;
+  return ph;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Renders an advisor request for a profiled workload. `targets` adds
+/// ",1,<target>" tuples (qos grammar) for the first targets.size() apps.
+std::string request_line(std::string_view id, std::string_view objective,
+                         std::span<const core::AppParams> params, double b,
+                         std::span<const double> targets = {},
+                         std::string_view mix = {}) {
+  std::string line(id);
+  line += ' ';
+  line += objective;
+  line += " b=" + fmt(b);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    line += " a" + std::to_string(i) + '=' + fmt(params[i].apc_alone) + ',' +
+            fmt(params[i].api);
+    if (i < targets.size()) line += ",1," + fmt(targets[i]);
+  }
+  if (!targets.empty()) line += " be=Proportional";
+  if (!mix.empty()) {
+    line += " mix=";
+    line += mix;
+  }
+  return line;
+}
+
+std::string diff_bits(std::span<const double> got,
+                      std::span<const double> want) {
+  if (got.size() != want.size()) return "arity mismatch";
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(got[i]) !=
+        std::bit_cast<std::uint64_t>(want[i])) {
+      return "index " + std::to_string(i) + ": " + fmt(got[i]) +
+             " != " + fmt(want[i]);
+    }
+  }
+  return {};
+}
+
+advisor::Answer solve_line(const std::string& line, Arena& arena,
+                           advisor::Solver& solver) {
+  advisor::Request req;
+  std::string error;
+  EXPECT_TRUE(advisor::parse_request_line(line, 1, arena, req, error))
+      << error;
+  advisor::Answer ans;
+  solver.solve(req, arena, ans);
+  return ans;
+}
+
+TEST(AdvisorAudit, SharesBitMatchInProcessOptimizer) {
+  const harness::SystemConfig machine;
+  const harness::PhaseConfig phases = golden_phases();
+  Arena arena;
+  advisor::Solver solver;
+  // Every Table IV mix — the acceptance bar is all 14, not a sample.
+  for (const auto& spec : workload::paper_mixes()) {
+    const std::string name(spec.name);
+    const harness::Experiment experiment(
+        machine, workload::resolve_mix(spec), phases);
+    const harness::ProfileSnapshot snap = experiment.capture_profile();
+
+    // wsp -> the Section III-D knapsack the harness enforces as
+    // Priority_APC; fair -> the Section III-C proportional shares.
+    const advisor::Answer wsp = solve_line(
+        request_line("w", "wsp", snap.params, snap.profiled_b), arena,
+        solver);
+    EXPECT_EQ(wsp.scheme, core::Scheme::PriorityApc);
+    EXPECT_EQ(diff_bits(wsp.shares,
+                        core::compute_shares(core::Scheme::PriorityApc,
+                                             snap.params, snap.profiled_b)),
+              "")
+        << name << " wsp shares";
+    EXPECT_EQ(
+        diff_bits(wsp.alloc,
+                  core::analytic_allocation(core::Scheme::PriorityApc,
+                                            snap.params, snap.profiled_b)),
+        "")
+        << name << " wsp alloc";
+
+    const advisor::Answer fair = solve_line(
+        request_line("f", "fair", snap.params, snap.profiled_b), arena,
+        solver);
+    EXPECT_EQ(fair.scheme, core::Scheme::Proportional);
+    EXPECT_EQ(diff_bits(fair.shares,
+                        core::compute_shares(core::Scheme::Proportional,
+                                             snap.params, snap.profiled_b)),
+              "")
+        << name << " fair shares";
+
+    // qos -> Eq. 11 reservations + best-effort remainder.
+    const std::vector<double> targets = {
+        0.5 * snap.params[0].apc_alone / snap.params[0].api};
+    const advisor::Answer qos = solve_line(
+        request_line("q", "qos", snap.params, snap.profiled_b, targets),
+        arena, solver);
+    const std::vector<core::QosRequirement> reqs = {{0, targets[0]}};
+    const core::QosPlan plan = core::qos_allocate(
+        snap.params, reqs, snap.profiled_b, core::Scheme::Proportional);
+    ASSERT_TRUE(plan.feasible) << name;
+    ASSERT_TRUE(qos.feasible) << name;
+    EXPECT_EQ(diff_bits(qos.shares, plan.beta), "") << name << " qos shares";
+    EXPECT_EQ(diff_bits(qos.alloc, plan.apc_shared), "")
+        << name << " qos alloc";
+    arena.reset();
+  }
+}
+
+/// One audited service request per objective; the audit fingerprint and
+/// measured IPCs must equal a straight harness run of the same scheme.
+TEST(AdvisorAudit, AuditedMeasurePhaseMatchesStraightRun) {
+  const harness::SystemConfig machine;
+  const harness::PhaseConfig phases = golden_phases();
+  const char* mix_name = "hetero-5";
+  const workload::MixSpec* spec = nullptr;
+  for (const auto& m : workload::paper_mixes()) {
+    if (m.name == mix_name) spec = &m;
+  }
+  ASSERT_NE(spec, nullptr);
+  const harness::Experiment experiment(machine, workload::resolve_mix(*spec),
+                                       phases);
+  const harness::ProfileSnapshot snap = experiment.capture_profile();
+  const std::vector<double> targets = {
+      0.5 * snap.params[0].apc_alone / snap.params[0].api};
+
+  std::string input;
+  input += request_line("w", "wsp", snap.params, snap.profiled_b, {},
+                        mix_name) += '\n';
+  input += request_line("f", "fair", snap.params, snap.profiled_b, {},
+                        mix_name) += '\n';
+  input += request_line("q", "qos", snap.params, snap.profiled_b, targets,
+                        mix_name) += '\n';
+
+  advisor::ServiceConfig cfg;
+  cfg.threads = 1;
+  cfg.audit_every = 1;
+  cfg.audit_machine = machine;
+  cfg.audit_phases = phases;
+  advisor::AdvisorService service(cfg);
+  std::istringstream in(input);
+  std::ostringstream out;
+  const advisor::ServiceStats stats = service.run(in, out);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.ok, 3u);
+  ASSERT_EQ(stats.audits, 3u) << out.str();
+  EXPECT_EQ(stats.audit_failures, 0u);
+
+  // Expected straight-run results for each audited objective.
+  const harness::RunResult wsp_run =
+      experiment.run(core::Scheme::PriorityApc);
+  const harness::RunResult fair_run =
+      experiment.run(core::Scheme::Proportional);
+  const std::vector<core::QosRequirement> reqs = {{0, targets[0]}};
+  const harness::RunResult qos_run =
+      experiment.run_qos(reqs, core::Scheme::Proportional);
+  const harness::RunResult* expected[] = {&wsp_run, &fair_run, &qos_run};
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t idx = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_LT(idx, 3u);
+    const testjson::ValuePtr doc = testjson::parse(line);
+    ASSERT_TRUE(doc->at("ok").b) << line;
+    ASSERT_TRUE(doc->has("audit")) << line;
+    const testjson::Value& audit = doc->at("audit");
+    EXPECT_EQ(audit.at("fingerprint").str,
+              hex64(harness::fingerprint(*expected[idx])))
+        << "objective #" << idx << " fingerprint";
+    const testjson::Value& measured = audit.at("measured_ipc");
+    ASSERT_EQ(measured.size(), expected[idx]->ipc_shared.size());
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+      EXPECT_EQ(fmt(measured[i].num), fmt(expected[idx]->ipc_shared[i]))
+          << "objective #" << idx << " ipc[" << i << "]";
+    }
+    ++idx;
+  }
+  EXPECT_EQ(idx, 3u);
+}
+
+}  // namespace
