@@ -51,6 +51,99 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration);
 
+void BM_DramTickActive(benchmark::State& state) {
+  // DramSystem::tick with refresh housekeeping live and commands in
+  // flight — the per-tick cost the SoA rewrite's O(1) fast-out targets
+  // (BM_DramTickIdle measures the no-work floor).
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  dram::DramSystem d(cfg);
+  dram::Tick now = 0;
+  std::uint64_t row = 1;
+  for (auto _ : state) {
+    d.tick(now);
+    const dram::Location loc{0, 0, 0, row, 0};
+    const dram::Command cmd{d.required_command(loc, AccessType::Read), loc, 0,
+                            0};
+    if (d.can_issue(cmd, now)) {
+      d.issue(cmd, now);
+      if (dram::is_read_command(cmd.type)) ++row;
+    }
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DramTickActive);
+
+void BM_DramCanIssueIssue(benchmark::State& state) {
+  // The command-legality triple in isolation: required_command ->
+  // can_issue -> issue, rotating over banks with a fresh row per read so
+  // ACT, RD and PRE all exercise their timing-table rows. Items processed
+  // counts legality checks, not issued commands.
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  dram::DramSystem d(cfg);
+  dram::Tick now = 0;
+  std::uint64_t row = 1;
+  std::uint32_t bank = 0;
+  for (auto _ : state) {
+    const dram::Location loc{0, 0, bank, row, 0};
+    const dram::Command cmd{d.required_command(loc, AccessType::Read), loc, 0,
+                            0};
+    if (d.can_issue(cmd, now)) {
+      benchmark::DoNotOptimize(d.issue(cmd, now));
+      if (dram::is_read_command(cmd.type)) {
+        bank = (bank + 1) % cfg.banks_per_rank;
+        ++row;
+      }
+    }
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DramCanIssueIssue);
+
+void BM_DramNextEventTick(benchmark::State& state) {
+  // The fast-forward probe's DRAM half: the min over cached next-refresh /
+  // power-down deadlines that bounds every skip.
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  dram::DramSystem d(cfg);
+  std::vector<std::uint32_t> rank_pending(
+      static_cast<std::size_t>(cfg.channels) * cfg.ranks, 0);
+  dram::Tick from = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.next_event_tick(from, rank_pending));
+    ++from;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DramNextEventTick);
+
+void BM_ControllerSchedulerScan(benchmark::State& state) {
+  // Isolates the pending-queue scan: every queued read maps to the same
+  // bank with a distinct row (large stride keeps the bank/rank bits
+  // fixed), so behind the head each entry needs the open row closed first
+  // and nearly every tick walks the full queue through the veto chain.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  dram::DramConfig cfg = dram::DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  mem::MemoryController mc(cfg, Frequency::from_ghz(5.0), 1,
+                           std::make_unique<mem::FcfsScheduler>(), depth,
+                           dram::MapScheme::ChanRowColBankRank, depth,
+                           mem::AdmissionMode::PerApp);
+  mc.set_completion_callback([](const mem::MemRequest&, Cycle) {});
+  std::uint64_t row = 0;
+  Cycle t = 0;
+  for (auto _ : state) {
+    while (mc.can_accept(0)) {
+      mc.enqueue(0, (row++) << 24, AccessType::Read, t);
+    }
+    mc.tick(t);
+    ++t;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ControllerSchedulerScan)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_ControllerTickUnderLoad(benchmark::State& state) {
   const auto queue_depth = static_cast<std::size_t>(state.range(0));
   dram::DramConfig cfg = dram::DramConfig::ddr2_400();

@@ -19,6 +19,7 @@
 // so CI can gate on correctness while archiving the perf numbers.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -44,6 +45,9 @@ struct SweepResult {
   double profile_seconds = 0.0;
   double measure_seconds = 0.0;
   std::uint64_t simulated_cycles = 0;
+  /// Wall time of each mix's scheme loop, in sweep order (schema 4's
+  /// per-mix speedup breakdown divides the reference entry by this).
+  std::vector<double> mix_seconds;
   std::vector<std::uint64_t> fingerprints;
 };
 
@@ -61,6 +65,7 @@ SweepResult run_sweep(bool fast_forward,
   obs::Hub hub;
   const auto start = Clock::now();
   for (const workload::MixSpec& mix : mixes) {
+    const auto mix_start = Clock::now();
     const auto apps = workload::resolve_mix(mix);
     harness::Experiment experiment(machine, apps, phases);
     experiment.set_observability(&hub);
@@ -68,6 +73,8 @@ SweepResult run_sweep(bool fast_forward,
       out.fingerprints.push_back(harness::fingerprint(experiment.run(s)));
       out.simulated_cycles += cycles_per_run;
     }
+    out.mix_seconds.push_back(
+        std::chrono::duration<double>(Clock::now() - mix_start).count());
   }
   out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   const auto ns_to_s = [&](const char* key) {
@@ -149,6 +156,12 @@ int main(int argc, char** argv) {
                                                opt.phases.measure_cycles));
   std::fprintf(stderr, "running fast-forward engine...\n");
   const SweepResult fast = run_sweep(true, mixes, opt.phases);
+  // BWPART_ONLY_FAST=1 stops after the fast-forward sweep: a quick timing
+  // loop for engine work (no reference pass, no report file written).
+  if (std::getenv("BWPART_ONLY_FAST") != nullptr) {
+    std::fprintf(stderr, "  %.3f s (fast only)\n", fast.seconds);
+    return 0;
+  }
   std::fprintf(stderr, "  %.3f s\nrunning reference engine...\n",
                fast.seconds);
   const SweepResult ref = run_sweep(false, mixes, opt.phases);
@@ -192,14 +205,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 2;
   }
-  // Schema 3: adds the snapshot/fork sweep-engine numbers inside "sweep"
-  // (run_all_seconds, per_scheme_seconds, speedup, snapshot_reuse). Schema
-  // 2 added per-phase wall-clock attribution (schema 1 folded warm-up into
-  // "seconds"). All older keys keep their old meaning so existing consumers
-  // read the file unchanged.
+  // Schema 4: adds the per-mix breakdown ("mixes" array with each mix's
+  // fast/reference wall time and speedup) so CI and EXPERIMENTS.md can see
+  // which mixes regress, not just the aggregate. Schema 3 added the
+  // snapshot/fork sweep-engine numbers inside "sweep"; schema 2 added
+  // per-phase wall-clock attribution (schema 1 folded warm-up into
+  // "seconds"). All older keys keep their old meaning so existing
+  // consumers read the file unchanged.
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 3,\n"
+               "  \"schema\": 4,\n"
                "  \"sweep\": {\"mixes\": %zu, \"schemes\": %zu, "
                "\"runs\": %zu, \"simulated_cycles\": %llu,\n"
                "    \"run_all_seconds\": %.6f, \"per_scheme_seconds\": %.6f, "
@@ -214,8 +229,7 @@ int main(int argc, char** argv) {
                "\"measure_seconds\": %.6f},\n"
                "  \"speedup\": %.3f,\n"
                "  \"measure_speedup\": %.3f,\n"
-               "  \"identical\": %s\n"
-               "}\n",
+               "  \"mixes\": [\n",
                mixes.size(), std::size(core::kAllSchemes),
                fast.fingerprints.size(),
                static_cast<unsigned long long>(fast.simulated_cycles),
@@ -224,7 +238,22 @@ int main(int argc, char** argv) {
                fast.seconds, fast_cps, fast.warmup_seconds,
                fast.profile_seconds, fast.measure_seconds, ref.seconds,
                ref_cps, ref.warmup_seconds, ref.profile_seconds,
-               ref.measure_seconds, speedup, measure_speedup,
+               ref.measure_seconds, speedup, measure_speedup);
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    const double mix_speedup = fast.mix_seconds[i] > 0.0
+                                   ? ref.mix_seconds[i] / fast.mix_seconds[i]
+                                   : 0.0;
+    std::fprintf(f,
+                 "    {\"name\": \"%.*s\", \"fast_seconds\": %.6f, "
+                 "\"ref_seconds\": %.6f, \"speedup\": %.3f}%s\n",
+                 static_cast<int>(mixes[i].name.size()), mixes[i].name.data(),
+                 fast.mix_seconds[i], ref.mix_seconds[i], mix_speedup,
+                 i + 1 < mixes.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"identical\": %s\n"
+               "}\n",
                identical ? "true" : "false");
   std::fclose(f);
 
@@ -240,6 +269,14 @@ int main(int argc, char** argv) {
   std::printf("run_all:      %8.3f s  (sweep speedup %.2fx, snapshot reuse %s)\n",
               sweep.seconds, sweep_speedup,
               harness::kSnapshotEnabled ? "on" : "off");
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    const double mix_speedup = fast.mix_seconds[i] > 0.0
+                                   ? ref.mix_seconds[i] / fast.mix_seconds[i]
+                                   : 0.0;
+    std::printf("  %-10.*s %6.3f s -> %6.3f s  (%.2fx)\n",
+                static_cast<int>(mixes[i].name.size()), mixes[i].name.data(),
+                ref.mix_seconds[i], fast.mix_seconds[i], mix_speedup);
+  }
   if (first_mismatch != npos) {
     std::fprintf(stderr,
                  "DIVERGENCE: fast-forward results differ from the "

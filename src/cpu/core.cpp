@@ -1,11 +1,82 @@
 #include "cpu/core.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "common/assert.hpp"
 
 namespace bwpart::cpu {
+
+/// Memo of the fractional fetch-budget orbit for one nonmem_ipc value.
+///
+/// Every core's fetch budget walks a single deterministic orbit: it starts
+/// at 0.0, every ROB/queue-stall reset returns it to 0.0, and each cycle
+/// applies exactly one step of x -> (x + ipc) - trunc(x + ipc) in the same
+/// add/truncate/subtract order the per-cycle mirrors use. Tabulating the
+/// orbit once per distinct ipc value — with a prefix sum of the
+/// whole-instruction budgets it grants — turns the mirror's per-cycle
+/// accumulator loops into O(log) binary searches over `cum`. The collapse
+/// is bit-exact by construction: every tabulated value was produced by the
+/// reference FP operations, so reading a table entry and replaying the
+/// cycles give identical bits.
+struct FbOrbit {
+  /// Steps tabulated. Comfortably above kDetLookahead so a lookup landing
+  /// mid-table still has a full proof window of entries ahead of it.
+  static constexpr std::uint32_t kSteps = 20480;
+  static constexpr std::uint32_t kNpos = ~std::uint32_t{0};
+
+  /// Budget value after k steps from 0.0; fbl[0] == 0.0.
+  std::vector<double> fbl;
+  /// Whole instructions granted by steps 1..k; cum[0] == 0.
+  std::vector<std::uint64_t> cum;
+  /// Bit pattern of a budget value -> smallest step index holding it.
+  std::unordered_map<std::uint64_t, std::uint32_t> pos;
+
+  explicit FbOrbit(double ipc) : fbl(kSteps + 1), cum(kSteps + 1) {
+    pos.reserve(kSteps + 1);
+    double x = 0.0;
+    std::uint64_t c = 0;
+    pos.emplace(std::bit_cast<std::uint64_t>(x), 0);
+    for (std::uint32_t k = 1; k <= kSteps; ++k) {
+      const double nfb = x + ipc;
+      const auto bud = static_cast<std::uint64_t>(nfb);
+      x = nfb - static_cast<double>(bud);
+      c += bud;
+      fbl[k] = x;
+      cum[k] = c;
+      pos.emplace(std::bit_cast<std::uint64_t>(x), k);
+    }
+  }
+
+  /// Step index whose budget value is bit-identical to `fb`, or kNpos when
+  /// `fb` is off-orbit (possible after fast_forward_idle, which accumulates
+  /// the budget without flooring).
+  std::uint32_t find(double fb) const {
+    const auto it = pos.find(std::bit_cast<std::uint64_t>(fb));
+    return it == pos.end() ? kNpos : it->second;
+  }
+};
+
+namespace {
+
+/// Process-wide orbit registry, one table per distinct ipc bit pattern.
+/// Shared across cores and threads (run_all measures schemes in parallel).
+std::shared_ptr<const FbOrbit> acquire_orbit(double ipc) {
+  static std::mutex mu;
+  static std::unordered_map<std::uint64_t, std::shared_ptr<const FbOrbit>>
+      registry;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto& slot = registry[std::bit_cast<std::uint64_t>(ipc)];
+  if (!slot) slot = std::make_shared<const FbOrbit>(ipc);
+  return slot;
+}
+
+}  // namespace
 
 OoOCore::OoOCore(AppId app, const CoreConfig& cfg, TraceSource& trace,
                  mem::MemoryController& controller)
@@ -105,6 +176,8 @@ WakeProof OoOCore::prove_sleep(Cycle now) const {
 }
 
 Cycle OoOCore::next_det_wake(Cycle now) const {
+  if (!orbit_) orbit_ = acquire_orbit(cfg_.nonmem_ipc);
+  const FbOrbit& orbit = *orbit_;
   const double width = cfg_.issue_width;
   const double ipc = cfg_.nonmem_ipc;
   const std::uint64_t rob = cfg_.rob_size;
@@ -140,6 +213,131 @@ Cycle OoOCore::next_det_wake(Cycle now) const {
       prefix = j - 1;
       wake = kNoCycle;
       frozen = true;
+      break;
+    }
+    // Retirement blocked on a load whose completion is not yet known: the
+    // retire cursor cannot move again within this proof (loads_ is
+    // immutable here), so each remaining cycle is one memory stall plus
+    // the fetch accumulator, until the ROB fills (frozen), fetch reaches
+    // the next memory op (touch), or the cap. Collapsing the stretch skips
+    // the retire mirror and the per-cycle rollback snapshots; every FP op
+    // matches the generic body below bit-for-bit.
+    if (it->seq == rs && it->done_at == kNoCycle) {
+      const std::uint64_t rob_lim = rs + rob;
+      // Orbit collapse: locate the budget on the tabulated orbit, then the
+      // whole stretch reduces to one binary search over the prefix sums —
+      // the first cycle whose cumulative fetch passes the next memory op
+      // (touch) or fills the window (freeze). End states read straight off
+      // the table, so every FP value matches the per-cycle loop below
+      // bit-for-bit. Off-orbit budgets (possible after fast_forward_idle)
+      // fall back to the loop.
+      const std::uint32_t p0 = orbit.find(fb);
+      const std::uint64_t room = cap - j + 1;
+      if (p0 != FbOrbit::kNpos && p0 + room <= FbOrbit::kSteps) {
+        const auto first = orbit.cum.begin() + p0;
+        const auto last = first + static_cast<std::ptrdiff_t>(room) + 1;
+        const std::uint64_t base = orbit.cum[p0];
+        const std::uint64_t dist_rob = rob_lim - fs;
+        std::uint64_t stalls;
+        if (mem_seq - fs < dist_rob) {
+          // Touch boundary first. The touch cycle is the first whose
+          // cumulative fetch strictly exceeds the distance to mem_seq: an
+          // exact landing consumes the whole budget, stalls once more, and
+          // touches on the next granted instruction — which is exactly
+          // upper_bound's strict compare.
+          const auto hit =
+              std::upper_bound(first, last, base + (mem_seq - fs));
+          if (hit != last) {
+            stalls = static_cast<std::uint64_t>(hit - first) - 1;
+            j += stalls;
+            prefix = j - 1;
+            wake = now + j;
+          } else {
+            stalls = room;
+            j = cap + 1;
+          }
+          fs += orbit.cum[p0 + stalls] - base;
+          fb = orbit.fbl[p0 + stalls];
+        } else {
+          // Window boundary first (the loop checks ROB space before the
+          // memory touch, so ties freeze). The stretch ends at the first
+          // cycle whose cumulative fetch reaches the window limit; budget
+          // left over at the limit flags one ROB stall and zeroes the
+          // budget, and the following cycle's scan freezes.
+          const auto hit = std::lower_bound(first, last, base + dist_rob);
+          const auto m_r = static_cast<std::uint64_t>(hit - first);
+          const bool leftover =
+              hit != last && orbit.cum[p0 + m_r] - base > dist_rob;
+          if (hit != last && m_r < room) {
+            stalls = m_r;
+            fs = rob_lim;
+            j += m_r;
+            prefix = j - 1;
+            wake = kNoCycle;
+            frozen = true;
+          } else {
+            stalls = room;
+            fs += std::min(orbit.cum[p0 + room] - base, dist_rob);
+            j = cap + 1;
+          }
+          if (leftover) {
+            ++rob_stalls;
+            fb = 0.0;
+          } else {
+            fb = orbit.fbl[p0 + stalls];
+          }
+        }
+        mem_stalls += stalls;
+        if (stalls > 0) rb = 0.0;
+        break;
+      }
+      double fbl = fb;
+      std::uint64_t stalls = 0;
+      std::uint64_t rstalls = 0;
+      bool touched = false;
+      for (; j <= cap; ++j) {
+        if (fs - rs == rob) {
+          prefix = j - 1;
+          wake = kNoCycle;
+          frozen = true;
+          break;
+        }
+        const double nfb = fbl + ipc;
+        auto bud = static_cast<std::uint64_t>(nfb);
+        double next_fb = nfb - static_cast<double>(bud);
+        const std::uint64_t fs_top = fs;
+        bool rstall = false;
+        while (bud > 0) {
+          const std::uint64_t rob_space = rob_lim - fs;
+          if (rob_space == 0) {
+            rstall = true;
+            break;
+          }
+          if (fs >= mem_seq) {
+            touched = true;
+            break;
+          }
+          const std::uint64_t adv = std::min({bud, rob_space, mem_seq - fs});
+          fs += adv;
+          bud -= adv;
+        }
+        if (touched) {
+          prefix = j - 1;
+          wake = now + j;
+          fs = fs_top;
+          break;
+        }
+        ++stalls;
+        if (rstall) {
+          ++rstalls;
+          next_fb = 0.0;
+        }
+        fbl = next_fb;
+      }
+      fb = fbl;
+      mem_stalls += stalls;
+      rob_stalls += rstalls;
+      if (stalls > 0) rb = 0.0;  // first completed cycle zeroed the budget
       break;
     }
     rb_p = rb;
@@ -210,7 +408,86 @@ Cycle OoOCore::next_det_wake(Cycle now) const {
   // see one — no frozen state, no memory stalls, and the retire mirror
   // collapses to a bulk advance.
   if (!frozen && wake == now + cap + 1) {
+    // Steady-state collapse preconditions, checked once per proof: integer
+    // issue width, per-cycle fetch bounded by the retire budget, and ROB
+    // headroom above the largest single-cycle fetch. Under these, once the
+    // un-retired tail fits in one retire budget the mirror reaches a fixed
+    // point (each cycle retires exactly the previous cycle's fetch, the ROB
+    // never fills) and the remaining cycles reduce to the fractional fetch
+    // accumulator alone. The FP ops below replicate the per-cycle mirror
+    // operation-for-operation, so the collapse is bit-exact, not a closed
+    // form.
+    const auto bud_max = static_cast<std::uint64_t>(ipc) + 1;
+    const auto width_u = static_cast<std::uint64_t>(width);
+    const bool collapsible = width >= 1.0 && width == std::floor(width) &&
+                             static_cast<double>(bud_max) <= width &&
+                             rob > bud_max;
     for (; j <= cap; ++j) {
+      // With rb exactly zero (guaranteed in practice: an integer width
+      // leaves retire_budget_ at 0.0 forever) the retire mirror is pure
+      // integer bookkeeping: each cycle drains exactly the previous fetch.
+      if (collapsible && fs - rs <= width_u && rb == 0.0) {
+        // Orbit collapse: the accumulator loop below walks the tabulated
+        // orbit one step per cycle, so the touch cycle is one binary
+        // search over the prefix sums and the end state reads straight off
+        // the table (same construction as the stuck-stretch collapse in
+        // phase 1). Off-orbit budgets fall back to the loop.
+        const std::uint32_t p0 = orbit.find(fb);
+        const std::uint64_t room = cap - j + 1;
+        if (p0 != FbOrbit::kNpos && p0 + room <= FbOrbit::kSteps) {
+          const auto first = orbit.cum.begin() + p0;
+          const auto last = first + static_cast<std::ptrdiff_t>(room) + 1;
+          const std::uint64_t base = orbit.cum[p0];
+          const auto hit =
+              std::upper_bound(first, last, base + (mem_seq - fs));
+          const std::uint64_t done =
+              hit != last ? static_cast<std::uint64_t>(hit - first) - 1
+                          : room;
+          // Un-retired tail after the stretch = the last granted budget
+          // (each cycle retires exactly the previous cycle's fetch).
+          const std::uint64_t tail =
+              done > 0 ? orbit.cum[p0 + done] - orbit.cum[p0 + done - 1]
+                       : fs - rs;
+          fs += orbit.cum[p0 + done] - base;
+          rs = fs - tail;
+          fb = orbit.fbl[p0 + done];
+          j += done;
+          if (hit != last) {
+            prefix = j - 1;
+            wake = now + j;
+          } else {
+            j = cap + 1;
+          }
+          break;
+        }
+        std::uint64_t delta = fs - rs;  // un-retired tail = last fetch
+        std::uint64_t acc = 0;          // instructions fetched in this loop
+        const std::uint64_t needed = mem_seq - fs;
+        double fbl = fb;
+        bool touched = false;
+        for (; j <= cap; ++j) {
+          const double nfb = fbl + ipc;
+          const auto bud = static_cast<std::uint64_t>(nfb);
+          if (acc + bud > needed) {
+            // This cycle's fetch would reach mem_seq with budget left: the
+            // memory touch. State stays as of the previous cycle, exactly
+            // like the snapshot rollback in the generic mirror.
+            touched = true;
+            break;
+          }
+          acc += bud;
+          fbl = nfb - static_cast<double>(bud);
+          delta = bud;
+        }
+        fs += acc;
+        rs = fs - delta;
+        fb = fbl;
+        if (touched) {
+          prefix = j - 1;
+          wake = now + j;
+        }
+        break;
+      }
       rb_p = rb;
       fb_p = fb;
       rs_p = rs;

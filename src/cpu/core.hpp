@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 
 #include "common/types.hpp"
@@ -96,6 +97,10 @@ struct WakeProof {
   Cycle wake = 0;
   SleepFlavor flavor = SleepFlavor::kStallOwn;
 };
+
+/// Memo of the fractional fetch-budget orbit for one nonmem_ipc value
+/// (defined in core.cpp; shared across cores process-wide).
+struct FbOrbit;
 
 class OoOCore {
  public:
@@ -279,6 +284,12 @@ class OoOCore {
     bool valid = false;
   };
   mutable DetProof det_proof_;
+
+  /// Shared memo of the fetch-budget orbit for this core's nonmem_ipc (see
+  /// FbOrbit in core.cpp). Acquired lazily by next_det_wake(); one table
+  /// per distinct ipc value process-wide. Mirror-side only — never part of
+  /// architectural state.
+  mutable std::shared_ptr<const FbOrbit> orbit_;
 
   CoreStats stats_;
 };

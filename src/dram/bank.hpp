@@ -1,107 +1,138 @@
-// Per-bank DRAM state machine. Tracks the open row and the earliest tick at
-// which each command class may next be issued to this bank; the channel
-// engine layers rank- and bus-level constraints on top.
+// Per-bank DRAM state in structure-of-arrays layout. Each parallel vector
+// holds one field for every bank in the system ([channel][rank][bank]
+// flattened), so the controller's scheduler scan and the event probes walk
+// contiguous memory instead of striding over an array of bank objects. The
+// update rules are the classic per-bank state machine: track the open row
+// and the earliest tick at which each command class may next be issued; the
+// channel engine layers rank- and bus-level constraints on top.
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/snapshot_io.hpp"
 #include "dram/config.hpp"
+#include "dram/timing_table.hpp"
 
 namespace bwpart::dram {
 
-class Bank {
+class BankArray {
  public:
-  bool row_open() const { return row_open_; }
-  std::uint64_t open_row() const {
-    BWPART_ASSERT(row_open_, "no open row");
-    return open_row_;
+  BankArray() = default;
+  explicit BankArray(std::size_t n)
+      : open_(n, 0), row_(n, 0), next_act_(n, 0), next_rd_(n, 0),
+        next_wr_(n, 0), next_pre_(n, 0) {}
+
+  std::size_t size() const { return open_.size(); }
+
+  bool row_open(std::size_t i) const { return open_[i] != 0; }
+  std::uint64_t open_row(std::size_t i) const {
+    BWPART_ASSERT(open_[i] != 0, "no open row");
+    return row_[i];
+  }
+  /// The open-row value without the open-bank precondition (the protocol
+  /// checker's precharge fold reads it right before closing).
+  std::uint64_t row_value(std::size_t i) const { return row_[i]; }
+
+  bool can_activate(std::size_t i, Tick now) const {
+    return open_[i] == 0 && now >= next_act_[i];
+  }
+  bool can_read(std::size_t i, Tick now) const {
+    return open_[i] != 0 && now >= next_rd_[i];
+  }
+  bool can_write(std::size_t i, Tick now) const {
+    return open_[i] != 0 && now >= next_wr_[i];
+  }
+  bool can_precharge(std::size_t i, Tick now) const {
+    return open_[i] != 0 && now >= next_pre_[i];
   }
 
-  bool can_activate(Tick now) const { return !row_open_ && now >= next_act_; }
-  bool can_read(Tick now) const { return row_open_ && now >= next_read_; }
-  bool can_write(Tick now) const { return row_open_ && now >= next_write_; }
-  bool can_precharge(Tick now) const { return row_open_ && now >= next_pre_; }
-
   /// Earliest tick an activate could be accepted (row must also be closed).
-  Tick next_activate_tick() const { return next_act_; }
+  Tick next_activate_tick(std::size_t i) const { return next_act_[i]; }
   /// Earliest tick a read could be accepted (a row must also be open).
-  Tick next_read_tick() const { return next_read_; }
+  Tick next_read_tick(std::size_t i) const { return next_rd_[i]; }
   /// Earliest tick a write could be accepted (a row must also be open).
-  Tick next_write_tick() const { return next_write_; }
+  Tick next_write_tick(std::size_t i) const { return next_wr_[i]; }
   /// Earliest tick a precharge could be accepted (a row must also be open).
-  Tick next_precharge_tick() const { return next_pre_; }
+  Tick next_precharge_tick(std::size_t i) const { return next_pre_[i]; }
 
-  void activate(Tick now, std::uint64_t row, const TimingsTicks& t) {
-    BWPART_ASSERT(can_activate(now), "activate violates bank timing");
-    row_open_ = true;
-    open_row_ = row;
-    next_read_ = now + t.rcd;
-    next_write_ = now + t.rcd;
-    next_pre_ = now + t.ras;
+  void activate(std::size_t i, Tick now, std::uint64_t row,
+                const CmdTimings& t) {
+    BWPART_ASSERT(can_activate(i, now), "activate violates bank timing");
+    open_[i] = 1;
+    row_[i] = row;
+    next_rd_[i] = now + t.act_to_col;
+    next_wr_[i] = now + t.act_to_col;
+    next_pre_[i] = now + t.act_to_pre;
   }
 
   /// Column read; with `auto_precharge` the bank closes itself as soon as
   /// tRTP and tRAS allow, and reopens after tRP.
-  void read(Tick now, bool auto_precharge, const TimingsTicks& t) {
-    BWPART_ASSERT(can_read(now), "read violates bank timing");
-    next_pre_ = std::max(next_pre_, now + t.rtp);
-    next_read_ = now + t.ccd;
-    next_write_ = std::max(next_write_, now + t.ccd);
-    if (auto_precharge) close_at(next_pre_, t);
+  void read(std::size_t i, Tick now, bool auto_precharge,
+            const CmdTimings& t) {
+    BWPART_ASSERT(can_read(i, now), "read violates bank timing");
+    next_pre_[i] = std::max(next_pre_[i], now + t.rd_to_pre);
+    next_rd_[i] = now + t.col_to_col;
+    next_wr_[i] = std::max(next_wr_[i], now + t.col_to_col);
+    if (auto_precharge) close_at(i, next_pre_[i], t);
   }
 
-  void write(Tick now, bool auto_precharge, const TimingsTicks& t) {
-    BWPART_ASSERT(can_write(now), "write violates bank timing");
+  void write(std::size_t i, Tick now, bool auto_precharge,
+             const CmdTimings& t) {
+    BWPART_ASSERT(can_write(i, now), "write violates bank timing");
     // Precharge must wait for the write data plus recovery time.
-    next_pre_ = std::max(next_pre_, now + t.cwl + t.burst + t.wr);
-    next_read_ = std::max(next_read_, now + t.ccd);
-    next_write_ = now + t.ccd;
-    if (auto_precharge) close_at(next_pre_, t);
+    next_pre_[i] = std::max(next_pre_[i], now + t.wr_to_pre);
+    next_rd_[i] = std::max(next_rd_[i], now + t.col_to_col);
+    next_wr_[i] = now + t.col_to_col;
+    if (auto_precharge) close_at(i, next_pre_[i], t);
   }
 
-  void precharge(Tick now, const TimingsTicks& t) {
-    BWPART_ASSERT(can_precharge(now), "precharge violates bank timing");
-    close_at(now, t);
+  void precharge(std::size_t i, Tick now, const CmdTimings& t) {
+    BWPART_ASSERT(can_precharge(i, now), "precharge violates bank timing");
+    close_at(i, now, t);
   }
 
   /// Refresh completion: bank is closed and unusable until now + tRFC.
-  void refresh(Tick now, const TimingsTicks& t) {
-    BWPART_ASSERT(!row_open_, "refresh with open row");
-    next_act_ = std::max(next_act_, now + t.rfc);
+  void refresh(std::size_t i, Tick now, const CmdTimings& t) {
+    BWPART_ASSERT(open_[i] == 0, "refresh with open row");
+    next_act_[i] = std::max(next_act_[i], now + t.rfc);
   }
 
-  void save_state(snap::Writer& w) const {
-    w.b(row_open_);
-    w.u64(open_row_);
-    w.u64(next_act_);
-    w.u64(next_read_);
-    w.u64(next_write_);
-    w.u64(next_pre_);
+  /// Serializes one bank's fields (same order the scalar layout used, so
+  /// the stream stays a per-bank record sequence).
+  void save_one(std::size_t i, snap::Writer& w) const {
+    w.b(open_[i] != 0);
+    w.u64(row_[i]);
+    w.u64(next_act_[i]);
+    w.u64(next_rd_[i]);
+    w.u64(next_wr_[i]);
+    w.u64(next_pre_[i]);
   }
-  void restore_state(snap::Reader& r) {
-    row_open_ = r.b();
-    open_row_ = r.u64();
-    next_act_ = r.u64();
-    next_read_ = r.u64();
-    next_write_ = r.u64();
-    next_pre_ = r.u64();
+  void restore_one(std::size_t i, snap::Reader& r) {
+    open_[i] = r.b() ? 1 : 0;
+    row_[i] = r.u64();
+    next_act_[i] = r.u64();
+    next_rd_[i] = r.u64();
+    next_wr_[i] = r.u64();
+    next_pre_[i] = r.u64();
   }
 
  private:
-  void close_at(Tick pre_start, const TimingsTicks& t) {
-    row_open_ = false;
-    next_act_ = std::max(next_act_, pre_start + t.rp);
+  void close_at(std::size_t i, Tick pre_start, const CmdTimings& t) {
+    open_[i] = 0;
+    next_act_[i] = std::max(next_act_[i], pre_start + t.pre_to_act);
   }
 
-  bool row_open_ = false;
-  std::uint64_t open_row_ = 0;
-  Tick next_act_ = 0;
-  Tick next_read_ = 0;
-  Tick next_write_ = 0;
-  Tick next_pre_ = 0;
+  // Parallel per-bank vectors, index = flattened bank.
+  std::vector<std::uint8_t> open_;
+  std::vector<std::uint64_t> row_;
+  std::vector<Tick> next_act_;
+  std::vector<Tick> next_rd_;
+  std::vector<Tick> next_wr_;
+  std::vector<Tick> next_pre_;
 };
 
 }  // namespace bwpart::dram

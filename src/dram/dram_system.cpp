@@ -11,17 +11,20 @@ namespace bwpart::dram {
 DramSystem::DramSystem(const DramConfig& cfg, MapScheme scheme)
     : cfg_(cfg),
       t_(cfg.ticks()),
+      tt_(CmdTimings::build(t_)),
       map_(cfg, scheme),
       banks_(static_cast<std::size_t>(cfg.channels) * cfg.ranks *
              cfg.banks_per_rank),
       ranks_(static_cast<std::size_t>(cfg.channels) * cfg.ranks),
-      chans_(cfg.channels) {
+      chans_(cfg.channels),
+      close_page_(cfg.page_policy == PagePolicy::Close) {
   // Stagger refresh across ranks so they do not all drain simultaneously.
   for (std::size_t i = 0; i < ranks_.size(); ++i) {
     ranks_[i].next_refresh_due =
         cfg_.enable_refresh ? t_.refi * (i + 1) / ranks_.size() + 1
                             : static_cast<Tick>(-1);
   }
+  rebuild_refresh_cache();
   // Power-down idle threshold, in bus ticks (rounded up).
   const double tick_ns = 1e9 / static_cast<double>(cfg_.bus_clock.hz);
   pd_threshold_ =
@@ -33,45 +36,23 @@ DramSystem::DramSystem(const DramConfig& cfg, MapScheme scheme)
   }
 }
 
-Bank& DramSystem::bank_at(const Location& loc) {
-  const std::size_t idx =
-      (static_cast<std::size_t>(loc.channel) * cfg_.ranks + loc.rank) *
-          cfg_.banks_per_rank +
-      loc.bank;
-  BWPART_ASSERT(idx < banks_.size(), "bank index out of range");
-  return banks_[idx];
+void DramSystem::rebuild_refresh_cache() {
+  refresh_pending_count_ = 0;
+  min_refresh_due_ = kNoTick;
+  for (const RankState& r : ranks_) {
+    if (r.refresh_pending) ++refresh_pending_count_;
+    min_refresh_due_ = std::min(min_refresh_due_, r.next_refresh_due);
+  }
 }
 
-const Bank& DramSystem::bank_at(const Location& loc) const {
-  return const_cast<DramSystem*>(this)->bank_at(loc);
-}
-
-DramSystem::RankState& DramSystem::rank_at(std::uint32_t channel,
-                                           std::uint32_t rank) {
-  const std::size_t idx =
-      static_cast<std::size_t>(channel) * cfg_.ranks + rank;
-  BWPART_ASSERT(idx < ranks_.size(), "rank index out of range");
-  return ranks_[idx];
-}
-
-const DramSystem::RankState& DramSystem::rank_at(std::uint32_t channel,
-                                                 std::uint32_t rank) const {
-  return const_cast<DramSystem*>(this)->rank_at(channel, rank);
-}
-
-void DramSystem::tick(Tick now) {
-  BWPART_ASSERT(!ticked_ || now == last_tick_ + 1,
-                "DramSystem::tick must advance one tick at a time");
-  last_tick_ = now;
-  ticked_ = true;
-  ++stats_.ticks;
-  if (!cfg_.enable_refresh && !cfg_.enable_powerdown) return;
+void DramSystem::tick_slow(Tick now) {
   for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
     for (std::uint32_t rk = 0; rk < cfg_.ranks; ++rk) {
       RankState& r = rank_at(ch, rk);
       if (cfg_.enable_refresh) {
         if (!r.refresh_pending && now >= r.next_refresh_due) {
           r.refresh_pending = true;  // blocks new activates to this rank
+          ++refresh_pending_count_;
         }
         if (r.refresh_pending) try_refresh(ch, rk, now);
       }
@@ -85,12 +66,22 @@ Tick DramSystem::next_event_tick(
   if (!cfg_.enable_refresh && !cfg_.enable_powerdown) return kNoTick;
   BWPART_ASSERT(rank_pending.size() == ranks_.size(),
                 "rank_pending span has wrong size");
+  // Fast path mirroring tick()'s fast-out: no drain in progress and no
+  // power-down machinery means the only device event is the earliest
+  // refresh deadline (min over ranks of max(due, from) == max(min_due,
+  // from) since every due is per-rank independent).
+  if (!cfg_.enable_powerdown && refresh_pending_count_ == 0) {
+    return std::max(min_refresh_due_, from);
+  }
   Tick best = kNoTick;
   for (std::uint32_t ch = 0; ch < cfg_.channels; ++ch) {
     for (std::uint32_t rk = 0; rk < cfg_.ranks; ++rk) {
       const RankState& r = rank_at(ch, rk);
       const bool pending =
           rank_pending[static_cast<std::size_t>(ch) * cfg_.ranks + rk] > 0;
+      const std::size_t bank0 =
+          (static_cast<std::size_t>(ch) * cfg_.ranks + rk) *
+          cfg_.banks_per_rank;
       if (cfg_.enable_refresh) {
         if (!r.refresh_pending) {
           best = std::min(best, std::max(r.next_refresh_due, from));
@@ -101,13 +92,13 @@ Tick DramSystem::next_event_tick(
           bool any_open = false;
           Tick recover = from;
           for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
-            const Location loc{ch, rk, b, 0, 0};
-            const Bank& bank = bank_at(loc);
-            if (bank.row_open()) {
+            const std::size_t bi = bank0 + b;
+            if (banks_.row_open(bi)) {
               any_open = true;
-              best = std::min(best, std::max(bank.next_precharge_tick(), from));
+              best = std::min(best,
+                              std::max(banks_.next_precharge_tick(bi), from));
             } else {
-              recover = std::max(recover, bank.next_activate_tick());
+              recover = std::max(recover, banks_.next_activate_tick(bi));
             }
           }
           if (!any_open) best = std::min(best, recover);
@@ -134,13 +125,12 @@ Tick DramSystem::next_event_tick(
           bool any_open = false;
           Tick entry = r.last_activity + pd_threshold_;
           for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
-            const Location loc{ch, rk, b, 0, 0};
-            const Bank& bank = bank_at(loc);
-            if (bank.row_open()) {
+            const std::size_t bi = bank0 + b;
+            if (banks_.row_open(bi)) {
               any_open = true;
               break;
             }
-            entry = std::max(entry, bank.next_activate_tick());
+            entry = std::max(entry, banks_.next_activate_tick(bi));
           }
           if (!any_open) best = std::min(best, std::max(entry, from));
         }
@@ -150,54 +140,10 @@ Tick DramSystem::next_event_tick(
   return best;
 }
 
-Tick DramSystem::bus_ready_tick(const ChannelState& ch, Tick lat,
-                                std::uint32_t rank) const {
-  const Tick gap = ch.bus_has_last && ch.bus_last_rank != rank ? t_.rtrs : 0;
-  const Tick need = ch.bus_free_at + gap;
-  return need > lat ? need - lat : 0;
-}
-
 Tick DramSystem::earliest_issue_tick(const Command& cmd, Tick from) const {
-  const Location& loc = cmd.loc;
-  const Bank& bank = bank_at(loc);
-  const RankState& rank = rank_at(loc.channel, loc.rank);
-  const ChannelState& chan = chans_[loc.channel];
-  if (rank.pd) return kNoTick;  // wake is an event, not a timing expiry
-  Tick e = from;
-  switch (cmd.type) {
-    case CommandType::Activate: {
-      if (bank.row_open()) return kNoTick;
-      if (rank.refresh_pending) return kNoTick;
-      e = std::max(e, bank.next_activate_tick());
-      if (rank.any_act) e = std::max(e, rank.last_act + t_.rrd);
-      if (rank.act_count >= 4) {
-        e = std::max(e, rank.act_window[rank.act_count % 4] + t_.faw);
-      }
-      return e;
-    }
-    case CommandType::Read:
-    case CommandType::ReadAp: {
-      if (!bank.row_open() || bank.open_row() != loc.row) return kNoTick;
-      e = std::max(e, bank.next_read_tick());
-      if (rank.any_col) e = std::max(e, rank.last_col + t_.ccd);
-      if (rank.any_write) e = std::max(e, rank.write_data_end + t_.wtr);
-      return std::max(e, bus_ready_tick(chan, t_.cl, loc.rank));
-    }
-    case CommandType::Write:
-    case CommandType::WriteAp: {
-      if (!bank.row_open() || bank.open_row() != loc.row) return kNoTick;
-      e = std::max(e, bank.next_write_tick());
-      if (rank.any_col) e = std::max(e, rank.last_col + t_.ccd);
-      return std::max(e, bus_ready_tick(chan, t_.cwl, loc.rank));
-    }
-    case CommandType::Precharge: {
-      if (!bank.row_open()) return kNoTick;
-      return std::max(e, bank.next_precharge_tick());
-    }
-    case CommandType::Refresh:
-      return kNoTick;  // internal to tick()
-  }
-  return kNoTick;
+  return earliest_issue_tick_at(cmd.type, bank_index(cmd.loc),
+                                rank_index(cmd.loc), cmd.loc.channel,
+                                cmd.loc.row, from);
 }
 
 void DramSystem::skip_ticks(Tick from, Tick to,
@@ -238,10 +184,12 @@ void DramSystem::update_powerdown(RankState& r, std::uint32_t channel,
   if (r.refresh_pending) return;
   if (now < r.last_activity + pd_threshold_) return;
   // Enter precharge power-down only with every bank closed and recovered.
+  const std::size_t bank0 =
+      (static_cast<std::size_t>(channel) * cfg_.ranks + rank) *
+      cfg_.banks_per_rank;
   for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
-    const Location loc{channel, rank, b, 0, 0};
-    const Bank& bank = bank_at(loc);
-    if (bank.row_open() || now < bank.next_activate_tick()) return;
+    const std::size_t bi = bank0 + b;
+    if (banks_.row_open(bi) || now < banks_.next_activate_tick(bi)) return;
   }
   r.pd = true;
   r.waking = false;
@@ -267,20 +215,22 @@ bool DramSystem::powered_down(std::uint32_t channel,
 void DramSystem::try_refresh(std::uint32_t channel, std::uint32_t rank,
                              Tick now) {
   RankState& r = rank_at(channel, rank);
+  const std::size_t bank0 =
+      (static_cast<std::size_t>(channel) * cfg_.ranks + rank) *
+      cfg_.banks_per_rank;
   // Close any open bank as soon as its tRAS/tRTP/tWR constraints allow.
   // (Hardware would issue PRECHARGE-ALL; we fold it into the engine.)
   bool all_closed = true;
   for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
-    Location loc{channel, rank, b, 0, 0};
-    Bank& bank = bank_at(loc);
-    if (bank.row_open()) {
-      if (bank.can_precharge(now)) {
+    const std::size_t bi = bank0 + b;
+    if (banks_.row_open(bi)) {
+      if (banks_.can_precharge(bi, now)) {
         if (checker_) {
-          const Location pre_loc{channel, rank, b, bank.open_row(), 0};
+          const Location pre_loc{channel, rank, b, banks_.row_value(bi), 0};
           checker_->observe({CommandType::Precharge, pre_loc, kNoApp, 0},
                             now);
         }
-        bank.precharge(now, t_);
+        banks_.precharge(bi, now, tt_);
         ++stats_.precharges;
       } else {
         all_closed = false;
@@ -290,58 +240,23 @@ void DramSystem::try_refresh(std::uint32_t channel, std::uint32_t rank,
   if (!all_closed) return;
   // All banks must also be past their precharge-recovery windows.
   for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
-    Location loc{channel, rank, b, 0, 0};
-    if (now < bank_at(loc).next_activate_tick()) return;
+    if (now < banks_.next_activate_tick(bank0 + b)) return;
   }
   if (checker_) checker_->observe_refresh(channel, rank, now);
   for (std::uint32_t b = 0; b < cfg_.banks_per_rank; ++b) {
-    Location loc{channel, rank, b, 0, 0};
-    bank_at(loc).refresh(now, t_);
+    banks_.refresh(bank0 + b, now, tt_);
   }
   ++stats_.refreshes;
   r.refresh_pending = false;
   r.next_refresh_due += t_.refi;
-}
-
-bool DramSystem::is_row_hit(const Location& loc) const {
-  const Bank& b = bank_at(loc);
-  return b.row_open() && b.open_row() == loc.row;
-}
-
-bool DramSystem::is_row_open(const Location& loc) const {
-  return bank_at(loc).row_open();
-}
-
-CommandType DramSystem::required_command(const Location& loc,
-                                         AccessType type) const {
-  const Bank& b = bank_at(loc);
-  if (b.row_open()) {
-    if (b.open_row() != loc.row) return CommandType::Precharge;
-    const bool auto_pre = cfg_.page_policy == PagePolicy::Close;
-    if (type == AccessType::Read) {
-      return auto_pre ? CommandType::ReadAp : CommandType::Read;
-    }
-    return auto_pre ? CommandType::WriteAp : CommandType::Write;
+  BWPART_ASSERT(refresh_pending_count_ > 0, "refresh cache underflow");
+  --refresh_pending_count_;
+  // The deadline minimum only matters while nothing is pending; keep it
+  // fresh whenever a refresh retires (O(ranks), a rare event).
+  min_refresh_due_ = kNoTick;
+  for (const RankState& rs : ranks_) {
+    min_refresh_due_ = std::min(min_refresh_due_, rs.next_refresh_due);
   }
-  return CommandType::Activate;
-}
-
-bool DramSystem::rank_allows_activate(const RankState& r, Tick now) const {
-  if (r.refresh_pending) return false;
-  if (r.any_act && now < r.last_act + t_.rrd) return false;
-  if (r.act_count >= 4) {
-    const Tick fourth_back = r.act_window[r.act_count % 4];
-    if (now < fourth_back + t_.faw) return false;
-  }
-  return true;
-}
-
-bool DramSystem::bus_allows(const ChannelState& ch, Tick data_start,
-                            std::uint32_t rank) const {
-  // Switching the data bus between ranks needs an extra tRTRS gap.
-  const Tick gap =
-      ch.bus_has_last && ch.bus_last_rank != rank ? t_.rtrs : 0;
-  return data_start >= ch.bus_free_at + gap;
 }
 
 bool DramSystem::refresh_blocked(std::uint32_t channel,
@@ -349,60 +264,18 @@ bool DramSystem::refresh_blocked(std::uint32_t channel,
   return rank_at(channel, rank).refresh_pending;
 }
 
-bool DramSystem::can_issue(const Command& cmd, Tick now) const {
-  return can_issue_impl(cmd, now, /*check_bus=*/true);
-}
-
-bool DramSystem::can_issue_ignoring_bus(const Command& cmd, Tick now) const {
-  return can_issue_impl(cmd, now, /*check_bus=*/false);
-}
-
-bool DramSystem::can_issue_impl(const Command& cmd, Tick now,
-                                bool check_bus) const {
-  const Location& loc = cmd.loc;
-  const Bank& bank = bank_at(loc);
-  const RankState& rank = rank_at(loc.channel, loc.rank);
-  const ChannelState& chan = chans_[loc.channel];
-  if (rank.pd) return false;  // powered down; wake via notify_rank_pending
-  switch (cmd.type) {
-    case CommandType::Activate:
-      return bank.can_activate(now) && rank_allows_activate(rank, now);
-    case CommandType::Read:
-    case CommandType::ReadAp: {
-      if (!bank.can_read(now) || bank.open_row() != loc.row) return false;
-      if (rank.any_col && now < rank.last_col + t_.ccd) return false;
-      if (rank.any_write && now < rank.write_data_end + t_.wtr) {
-        return false;  // tWTR
-      }
-      return !check_bus || bus_allows(chan, now + t_.cl, loc.rank);
-    }
-    case CommandType::Write:
-    case CommandType::WriteAp: {
-      if (!bank.can_write(now) || bank.open_row() != loc.row) return false;
-      if (rank.any_col && now < rank.last_col + t_.ccd) return false;
-      return !check_bus || bus_allows(chan, now + t_.cwl, loc.rank);
-    }
-    case CommandType::Precharge:
-      return bank.can_precharge(now);
-    case CommandType::Refresh:
-      // Refresh is driven internally by tick(); never issued externally.
-      return false;
-  }
-  return false;
-}
-
 IssueResult DramSystem::issue(const Command& cmd, Tick now) {
   BWPART_ASSERT(can_issue(cmd, now), "issue() without can_issue()");
   if (checker_) checker_->observe(cmd, now);
   const Location& loc = cmd.loc;
-  Bank& bank = bank_at(loc);
+  const std::size_t bi = bank_index(loc);
   RankState& rank = rank_at(loc.channel, loc.rank);
   ChannelState& chan = chans_[loc.channel];
   rank.last_activity = now;
   IssueResult result;
   switch (cmd.type) {
     case CommandType::Activate: {
-      bank.activate(now, loc.row, t_);
+      banks_.activate(bi, now, loc.row, tt_);
       rank.act_window[rank.act_count % 4] = now;
       ++rank.act_count;
       rank.last_act = now;
@@ -412,38 +285,38 @@ IssueResult DramSystem::issue(const Command& cmd, Tick now) {
     }
     case CommandType::Read:
     case CommandType::ReadAp: {
-      bank.read(now, cmd.type == CommandType::ReadAp, t_);
+      banks_.read(bi, now, cmd.type == CommandType::ReadAp, tt_);
       rank.last_col = now;
       rank.any_col = true;
-      const Tick data_start = now + t_.cl;
-      chan.bus_free_at = data_start + t_.burst;
+      const Tick data_start = now + tt_.rd_lat;
+      chan.bus_free_at = data_start + tt_.burst;
       chan.bus_last_rank = loc.rank;
       chan.bus_has_last = true;
-      stats_.data_bus_busy_ticks += t_.burst;
-      stats_.channel_busy_ticks[loc.channel] += t_.burst;
+      stats_.data_bus_busy_ticks += tt_.burst;
+      stats_.channel_busy_ticks[loc.channel] += tt_.burst;
       ++stats_.reads;
-      result.data_finish = data_start + t_.burst;
+      result.data_finish = now + tt_.rd_to_data_end;
       break;
     }
     case CommandType::Write:
     case CommandType::WriteAp: {
-      bank.write(now, cmd.type == CommandType::WriteAp, t_);
+      banks_.write(bi, now, cmd.type == CommandType::WriteAp, tt_);
       rank.last_col = now;
       rank.any_col = true;
-      const Tick data_start = now + t_.cwl;
-      chan.bus_free_at = data_start + t_.burst;
+      const Tick data_start = now + tt_.wr_lat;
+      chan.bus_free_at = data_start + tt_.burst;
       chan.bus_last_rank = loc.rank;
       chan.bus_has_last = true;
-      rank.write_data_end = data_start + t_.burst;
+      rank.write_data_end = data_start + tt_.burst;
       rank.any_write = true;
-      stats_.data_bus_busy_ticks += t_.burst;
-      stats_.channel_busy_ticks[loc.channel] += t_.burst;
+      stats_.data_bus_busy_ticks += tt_.burst;
+      stats_.channel_busy_ticks[loc.channel] += tt_.burst;
       ++stats_.writes;
-      result.data_finish = data_start + t_.burst;
+      result.data_finish = now + tt_.wr_to_data_end;
       break;
     }
     case CommandType::Precharge: {
-      bank.precharge(now, t_);
+      banks_.precharge(bi, now, tt_);
       ++stats_.precharges;
       break;
     }
@@ -456,7 +329,7 @@ IssueResult DramSystem::issue(const Command& cmd, Tick now) {
 void DramSystem::save_state(snap::Writer& w) const {
   w.tag("DRAM");
   w.u64(banks_.size());
-  for (const Bank& b : banks_) b.save_state(w);
+  for (std::size_t i = 0; i < banks_.size(); ++i) banks_.save_one(i, w);
   w.u64(ranks_.size());
   for (const RankState& rk : ranks_) {
     w.u64(rk.last_act);
@@ -508,7 +381,7 @@ void DramSystem::restore_state(snap::Reader& r) {
   r.expect_tag("DRAM");
   snap::require(r.u64() == banks_.size(),
                 "DRAM bank count differs from the snapshot's");
-  for (Bank& b : banks_) b.restore_state(r);
+  for (std::size_t i = 0; i < banks_.size(); ++i) banks_.restore_one(i, r);
   snap::require(r.u64() == ranks_.size(),
                 "DRAM rank count differs from the snapshot's");
   for (RankState& rk : ranks_) {
@@ -527,6 +400,7 @@ void DramSystem::restore_state(snap::Reader& r) {
     rk.waking = r.b();
     rk.wake_ready = r.u64();
   }
+  rebuild_refresh_cache();  // derived hot-path cache, never serialized
   snap::require(r.u64() == chans_.size(),
                 "DRAM channel count differs from the snapshot's");
   for (ChannelState& ch : chans_) {

@@ -3,6 +3,13 @@
 // data bus. The memory controller decides *which* request to serve; this
 // class decides *whether* a specific DRAM command is legal right now and
 // evolves device state when it issues.
+//
+// Hot-path layout: bank state lives in a structure-of-arrays (BankArray)
+// and every legality/earliest-tick query exists in an index-based inline
+// form (`*_at`), so the controller's per-tick scheduler scan and event
+// probes run over contiguous memory with no per-call address decoding. The
+// Location-based entry points forward to the same inline helpers — one
+// source of truth for the timing rules.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 #include "dram/command.hpp"
 #include "dram/config.hpp"
 #include "dram/protocol_checker.hpp"
+#include "dram/timing_table.hpp"
 
 namespace bwpart::dram {
 
@@ -71,6 +79,7 @@ class DramSystem {
 
   const DramConfig& config() const { return cfg_; }
   const TimingsTicks& timings() const { return t_; }
+  const CmdTimings& cmd_timings() const { return tt_; }
   const AddressMap& mapper() const { return map_; }
   const DramStats& stats() const { return stats_; }
   void reset_stats() {
@@ -79,8 +88,22 @@ class DramSystem {
     stats_.channel_busy_ticks.assign(cfg_.channels, 0);
   }
 
+  /// Flattened bank index of a location ([channel][rank][bank]) — the key
+  /// into every `*_at` hot-path query below.
+  std::size_t bank_index(const Location& loc) const {
+    return (static_cast<std::size_t>(loc.channel) * cfg_.ranks + loc.rank) *
+               cfg_.banks_per_rank +
+           loc.bank;
+  }
+  /// Flattened rank index of a location ([channel][rank]).
+  std::size_t rank_index(const Location& loc) const {
+    return static_cast<std::size_t>(loc.channel) * cfg_.ranks + loc.rank;
+  }
+
   /// Advances device-internal housekeeping (refresh scheduling) to `now`.
-  /// Must be called once per bus tick, before can_issue/issue.
+  /// Must be called once per bus tick, before can_issue/issue. O(1) when no
+  /// refresh is due or draining and power-down is off (the common case) via
+  /// a cached minimum next-refresh deadline.
   void tick(Tick now);
 
   /// Earliest tick >= `from` at which tick() could change device state on
@@ -105,6 +128,13 @@ class DramSystem {
   /// missing open row), whose timing next_event_tick() covers.
   Tick earliest_issue_tick(const Command& cmd, Tick from) const;
 
+  /// Index-based form of earliest_issue_tick for the controller's pending
+  /// scan: the caller has the flat bank/rank indices and row cached in its
+  /// own structure-of-arrays, so no Location decoding happens per query.
+  Tick earliest_issue_tick_at(CommandType type, std::size_t bank_idx,
+                              std::size_t rank_idx, std::uint32_t channel,
+                              std::uint64_t row, Tick from) const;
+
   /// Batch-advances time over [from, to), a range tick() proved dead via
   /// next_event_tick(): accounts the skipped ticks in the stats (including
   /// per-rank power-down residency) and keeps `last_activity` of ranks with
@@ -115,25 +145,53 @@ class DramSystem {
                   std::span<const std::uint32_t> rank_pending);
 
   /// True if the bank addressed by `loc` currently has `loc.row` open.
-  bool is_row_hit(const Location& loc) const;
+  bool is_row_hit(const Location& loc) const {
+    const std::size_t b = bank_index(loc);
+    return banks_.row_open(b) && banks_.row_value(b) == loc.row;
+  }
+  /// Index-based row-hit query (bank state only; row equality on `row`).
+  bool is_row_hit_at(std::size_t bank_idx, std::uint64_t row) const {
+    return banks_.row_open(bank_idx) && banks_.row_value(bank_idx) == row;
+  }
   /// True if the addressed bank has any row open.
-  bool is_row_open(const Location& loc) const;
+  bool is_row_open(const Location& loc) const {
+    return banks_.row_open(bank_index(loc));
+  }
 
   /// The next command a request at `loc` needs, honouring the page policy:
   /// row hit -> column command; open conflicting row -> Precharge;
   /// closed bank -> Activate.
-  CommandType required_command(const Location& loc, AccessType type) const;
+  CommandType required_command(const Location& loc, AccessType type) const {
+    return required_command_at(bank_index(loc), loc.row, type);
+  }
+  /// Index-based form for the controller's pending scan.
+  CommandType required_command_at(std::size_t bank_idx, std::uint64_t row,
+                                  AccessType type) const;
 
   /// Checks every timing constraint (bank, rank, bus, pending refresh) for
   /// issuing `cmd` at tick `now`.
-  bool can_issue(const Command& cmd, Tick now) const;
+  bool can_issue(const Command& cmd, Tick now) const {
+    return can_issue_at(cmd.type, bank_index(cmd.loc), rank_index(cmd.loc),
+                        cmd.loc.channel, cmd.loc.row, now,
+                        /*check_bus=*/true);
+  }
 
   /// Same as can_issue but ignoring data-bus occupancy — used by the
   /// controller to detect a column command whose *only* blocker is the bus,
   /// so it can reserve the bus for it instead of letting lower-priority
   /// commands perpetually push the bus-free time out (rank-switch
   /// starvation).
-  bool can_issue_ignoring_bus(const Command& cmd, Tick now) const;
+  bool can_issue_ignoring_bus(const Command& cmd, Tick now) const {
+    return can_issue_at(cmd.type, bank_index(cmd.loc), rank_index(cmd.loc),
+                        cmd.loc.channel, cmd.loc.row, now,
+                        /*check_bus=*/false);
+  }
+
+  /// Index-based legality check; the single source of truth for every
+  /// timing rule (the Location-based entry points forward here).
+  bool can_issue_at(CommandType type, std::size_t bank_idx,
+                    std::size_t rank_idx, std::uint32_t channel,
+                    std::uint64_t row, Tick now, bool check_bus) const;
 
   /// Issues `cmd`; all constraints must hold (checked).
   IssueResult issue(const Command& cmd, Tick now);
@@ -156,7 +214,9 @@ class DramSystem {
   const ProtocolChecker* protocol_checker() const { return checker_.get(); }
 
   /// Snapshot hooks: every bank/rank/channel state machine, the stats block
-  /// and the tick cursor. The shadow protocol checker travels as an
+  /// and the tick cursor. Derived hot-path caches (the refresh-deadline
+  /// minimum and pending-refresh count) are rebuilt from the restored rank
+  /// state, not serialized. The shadow protocol checker travels as an
   /// optional length-prefixed section: a checker-less build skips a
   /// checker-carrying snapshot's section, while restoring a checker-less
   /// snapshot into a checking build fails loudly (the shadow would be out
@@ -189,8 +249,6 @@ class DramSystem {
     bool bus_has_last = false;
   };
 
-  Bank& bank_at(const Location& loc);
-  const Bank& bank_at(const Location& loc) const;
   RankState& rank_at(std::uint32_t channel, std::uint32_t rank);
   const RankState& rank_at(std::uint32_t channel, std::uint32_t rank) const;
 
@@ -201,23 +259,207 @@ class DramSystem {
   /// data-bus constraint (tRTRS gap included).
   Tick bus_ready_tick(const ChannelState& ch, Tick lat,
                       std::uint32_t rank) const;
-  bool can_issue_impl(const Command& cmd, Tick now, bool check_bus) const;
   void update_powerdown(RankState& r, std::uint32_t channel,
                         std::uint32_t rank, Tick now);
   /// Attempts to start the pending refresh of one rank.
   void try_refresh(std::uint32_t channel, std::uint32_t rank, Tick now);
+  /// The per-rank housekeeping loop behind tick()'s O(1) fast-out.
+  void tick_slow(Tick now);
+  /// Rebuilds the cached refresh aggregates (pending count, earliest
+  /// not-yet-pending deadline) from the rank states.
+  void rebuild_refresh_cache();
 
   DramConfig cfg_;
   TimingsTicks t_;
+  CmdTimings tt_;
   AddressMap map_;
-  std::vector<Bank> banks_;          // [channel][rank][bank] flattened
+  BankArray banks_;                  // SoA, [channel][rank][bank] flattened
   std::vector<RankState> ranks_;     // [channel][rank] flattened
   std::vector<ChannelState> chans_;  // [channel]
   std::unique_ptr<ProtocolChecker> checker_;  // shadow model (BWPART_CHECK)
   DramStats stats_;
+  bool close_page_ = true;
   Tick pd_threshold_ = 0;
   Tick last_tick_ = 0;
   bool ticked_ = false;
+  /// Hot-path refresh cache: how many ranks currently have a refresh
+  /// pending, and — valid whenever that count is zero — the earliest
+  /// next_refresh_due over all ranks. tick() is O(1) while now is before
+  /// the deadline and nothing is draining.
+  std::uint32_t refresh_pending_count_ = 0;
+  Tick min_refresh_due_ = kNoTick;
 };
+
+// ---------------------------------------------------------------------------
+// Inline hot-path queries. These run once per pending request per bus tick
+// inside the controller's scan/probe loops; everything they touch is a
+// contiguous-array load plus a compare against a cached next-legal tick.
+
+inline DramSystem::RankState& DramSystem::rank_at(std::uint32_t channel,
+                                                  std::uint32_t rank) {
+  const std::size_t idx =
+      static_cast<std::size_t>(channel) * cfg_.ranks + rank;
+  BWPART_ASSERT(idx < ranks_.size(), "rank index out of range");
+  return ranks_[idx];
+}
+
+inline const DramSystem::RankState& DramSystem::rank_at(
+    std::uint32_t channel, std::uint32_t rank) const {
+  return const_cast<DramSystem*>(this)->rank_at(channel, rank);
+}
+
+inline CommandType DramSystem::required_command_at(std::size_t bank_idx,
+                                                   std::uint64_t row,
+                                                   AccessType type) const {
+  if (banks_.row_open(bank_idx)) {
+    if (banks_.row_value(bank_idx) != row) return CommandType::Precharge;
+    if (type == AccessType::Read) {
+      return close_page_ ? CommandType::ReadAp : CommandType::Read;
+    }
+    return close_page_ ? CommandType::WriteAp : CommandType::Write;
+  }
+  return CommandType::Activate;
+}
+
+inline bool DramSystem::rank_allows_activate(const RankState& r,
+                                             Tick now) const {
+  if (r.refresh_pending) return false;
+  if (r.any_act && now < r.last_act + tt_.act_to_act) return false;
+  if (r.act_count >= 4) {
+    const Tick fourth_back = r.act_window[r.act_count % 4];
+    if (now < fourth_back + tt_.faw) return false;
+  }
+  return true;
+}
+
+inline bool DramSystem::bus_allows(const ChannelState& ch, Tick data_start,
+                                   std::uint32_t rank) const {
+  // Switching the data bus between ranks needs an extra tRTRS gap.
+  const Tick gap =
+      ch.bus_has_last && ch.bus_last_rank != rank ? tt_.rtrs : 0;
+  return data_start >= ch.bus_free_at + gap;
+}
+
+inline Tick DramSystem::bus_ready_tick(const ChannelState& ch, Tick lat,
+                                       std::uint32_t rank) const {
+  const Tick gap = ch.bus_has_last && ch.bus_last_rank != rank ? tt_.rtrs : 0;
+  const Tick need = ch.bus_free_at + gap;
+  return need > lat ? need - lat : 0;
+}
+
+inline bool DramSystem::can_issue_at(CommandType type, std::size_t bank_idx,
+                                     std::size_t rank_idx,
+                                     std::uint32_t channel, std::uint64_t row,
+                                     Tick now, bool check_bus) const {
+  const RankState& rank = ranks_[rank_idx];
+  if (rank.pd) return false;  // powered down; wake via notify_rank_pending
+  switch (type) {
+    case CommandType::Activate:
+      return banks_.can_activate(bank_idx, now) &&
+             rank_allows_activate(rank, now);
+    case CommandType::Read:
+    case CommandType::ReadAp: {
+      if (!banks_.can_read(bank_idx, now) ||
+          banks_.row_value(bank_idx) != row) {
+        return false;
+      }
+      if (rank.any_col && now < rank.last_col + tt_.col_to_col) return false;
+      if (rank.any_write && now < rank.write_data_end + tt_.wrdata_to_rd) {
+        return false;  // tWTR
+      }
+      return !check_bus ||
+             bus_allows(chans_[channel], now + tt_.rd_lat,
+                        static_cast<std::uint32_t>(rank_idx % cfg_.ranks));
+    }
+    case CommandType::Write:
+    case CommandType::WriteAp: {
+      if (!banks_.can_write(bank_idx, now) ||
+          banks_.row_value(bank_idx) != row) {
+        return false;
+      }
+      if (rank.any_col && now < rank.last_col + tt_.col_to_col) return false;
+      return !check_bus ||
+             bus_allows(chans_[channel], now + tt_.wr_lat,
+                        static_cast<std::uint32_t>(rank_idx % cfg_.ranks));
+    }
+    case CommandType::Precharge:
+      return banks_.can_precharge(bank_idx, now);
+    case CommandType::Refresh:
+      // Refresh is driven internally by tick(); never issued externally.
+      return false;
+  }
+  return false;
+}
+
+inline Tick DramSystem::earliest_issue_tick_at(CommandType type,
+                                               std::size_t bank_idx,
+                                               std::size_t rank_idx,
+                                               std::uint32_t channel,
+                                               std::uint64_t row,
+                                               Tick from) const {
+  const RankState& rank = ranks_[rank_idx];
+  if (rank.pd) return kNoTick;  // wake is an event, not a timing expiry
+  Tick e = from;
+  switch (type) {
+    case CommandType::Activate: {
+      if (banks_.row_open(bank_idx)) return kNoTick;
+      if (rank.refresh_pending) return kNoTick;
+      e = std::max(e, banks_.next_activate_tick(bank_idx));
+      if (rank.any_act) e = std::max(e, rank.last_act + tt_.act_to_act);
+      if (rank.act_count >= 4) {
+        e = std::max(e, rank.act_window[rank.act_count % 4] + tt_.faw);
+      }
+      return e;
+    }
+    case CommandType::Read:
+    case CommandType::ReadAp: {
+      if (!banks_.row_open(bank_idx) || banks_.row_value(bank_idx) != row) {
+        return kNoTick;
+      }
+      e = std::max(e, banks_.next_read_tick(bank_idx));
+      if (rank.any_col) e = std::max(e, rank.last_col + tt_.col_to_col);
+      if (rank.any_write) {
+        e = std::max(e, rank.write_data_end + tt_.wrdata_to_rd);
+      }
+      return std::max(
+          e, bus_ready_tick(chans_[channel], tt_.rd_lat,
+                            static_cast<std::uint32_t>(rank_idx % cfg_.ranks)));
+    }
+    case CommandType::Write:
+    case CommandType::WriteAp: {
+      if (!banks_.row_open(bank_idx) || banks_.row_value(bank_idx) != row) {
+        return kNoTick;
+      }
+      e = std::max(e, banks_.next_write_tick(bank_idx));
+      if (rank.any_col) e = std::max(e, rank.last_col + tt_.col_to_col);
+      return std::max(
+          e, bus_ready_tick(chans_[channel], tt_.wr_lat,
+                            static_cast<std::uint32_t>(rank_idx % cfg_.ranks)));
+    }
+    case CommandType::Precharge: {
+      if (!banks_.row_open(bank_idx)) return kNoTick;
+      return std::max(e, banks_.next_precharge_tick(bank_idx));
+    }
+    case CommandType::Refresh:
+      return kNoTick;  // internal to tick()
+  }
+  return kNoTick;
+}
+
+inline void DramSystem::tick(Tick now) {
+  BWPART_ASSERT(!ticked_ || now == last_tick_ + 1,
+                "DramSystem::tick must advance one tick at a time");
+  last_tick_ = now;
+  ticked_ = true;
+  ++stats_.ticks;
+  if (!cfg_.enable_refresh && !cfg_.enable_powerdown) return;
+  // Fast-out: with power-down off, nothing can happen before the earliest
+  // refresh deadline unless a drain is already in progress.
+  if (!cfg_.enable_powerdown && refresh_pending_count_ == 0 &&
+      now < min_refresh_due_) {
+    return;
+  }
+  tick_slow(now);
+}
 
 }  // namespace bwpart::dram

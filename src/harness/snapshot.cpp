@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iterator>
+#include <string>
 
 #include "harness/differential.hpp"
 #include "harness/experiment.hpp"
@@ -11,7 +12,12 @@ namespace bwpart::harness {
 namespace {
 
 constexpr char kMagic[4] = {'B', 'W', 'P', 'S'};
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: the DRAM hot-path overhaul moved controller queues into pooled SoA
+// storage and the DRAM system onto cached next-legal-tick state, changing
+// the serialized system-state layout. v1 files decode into garbage under
+// the new layout, so they are rejected by version before any payload byte
+// is interpreted.
+constexpr std::uint32_t kFormatVersion = 2;
 
 std::uint64_t hash_u64(std::uint64_t v, std::uint64_t h) {
   return hash_bytes(&v, sizeof(v), h);
@@ -173,8 +179,14 @@ ProfileSnapshot read_profile_snapshot(const std::string& path) {
                   "not a BWPS snapshot file (bad magic)");
   }
   const std::uint32_t version = r.u32();
-  snap::require(version == kFormatVersion,
-                "unsupported BWPS snapshot format version");
+  if (version != kFormatVersion) {
+    throw snap::SnapshotError(
+        "unsupported BWPS snapshot format version " +
+        std::to_string(version) + " (this build reads version " +
+        std::to_string(kFormatVersion) +
+        "; v1 predates the SoA DRAM/controller state layout — re-capture "
+        "the snapshot with this build)");
+  }
 
   ProfileSnapshot s;
   s.config_fp = r.u64();

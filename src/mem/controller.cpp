@@ -7,6 +7,97 @@
 
 namespace bwpart::mem {
 
+namespace {
+
+template <typename V, typename X>
+void insert_at(V& v, std::size_t pos, X x) {
+  v.insert(v.begin() + static_cast<std::ptrdiff_t>(pos), x);
+}
+
+template <typename V>
+void erase_at(V& v, std::size_t pos) {
+  v.erase(v.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// PendQueue: parallel-array maintenance.
+
+void MemoryController::PendQueue::reserve(std::size_t n) {
+  prim.reserve(n);
+  arrival.reserve(n);
+  id.reserve(n);
+  slot.reserve(n);
+  type.reserve(n);
+  bank.reserve(n);
+  rank.reserve(n);
+  row.reserve(n);
+  app.reserve(n);
+}
+
+void MemoryController::PendQueue::insert(std::size_t pos, double key,
+                                         const MemRequest& req,
+                                         std::uint32_t slot_idx,
+                                         std::uint32_t bank_idx,
+                                         std::uint32_t rank_idx) {
+  insert_at(prim, pos, key);
+  insert_at(arrival, pos, req.arrival_cpu);
+  insert_at(id, pos, req.id);
+  insert_at(slot, pos, slot_idx);
+  insert_at(type, pos, static_cast<std::uint8_t>(req.type));
+  insert_at(bank, pos, bank_idx);
+  insert_at(rank, pos, rank_idx);
+  insert_at(row, pos, req.loc.row);
+  insert_at(app, pos, req.app);
+}
+
+void MemoryController::PendQueue::erase(std::size_t pos) {
+  erase_at(prim, pos);
+  erase_at(arrival, pos);
+  erase_at(id, pos);
+  erase_at(slot, pos);
+  erase_at(type, pos);
+  erase_at(bank, pos);
+  erase_at(rank, pos);
+  erase_at(row, pos);
+  erase_at(app, pos);
+}
+
+std::size_t MemoryController::PendQueue::upper_bound(double key, Cycle arr,
+                                                     std::uint64_t rid) const {
+  std::size_t lo = 0;
+  std::size_t hi = size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    bool le;  // entry[mid] <= (key, arr, rid)?
+    if (prim[mid] != key) {
+      le = prim[mid] < key;
+    } else if (arrival[mid] != arr) {
+      le = arrival[mid] < arr;
+    } else {
+      le = id[mid] < rid;  // ids are unique, so never equal here
+    }
+    if (le) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t MemoryController::PendQueue::find_slot(
+    std::uint32_t slot_idx) const {
+  for (std::size_t i = 0; i < slot.size(); ++i) {
+    if (slot[i] == slot_idx) return i;
+  }
+  BWPART_ASSERT(false, "slot missing from channel queue");
+  return size();
+}
+
+// --------------------------------------------------------------------------
+
 MemoryController::MemoryController(const dram::DramConfig& cfg,
                                    Frequency cpu_clock,
                                    std::uint32_t num_apps,
@@ -25,23 +116,26 @@ MemoryController::MemoryController(const dram::DramConfig& cfg,
       channels_(cfg.channels),
       ranks_(cfg.ranks),
       banks_per_rank_(cfg.banks_per_rank),
-      pending_by_channel_(cfg.channels),
+      pool_(queue_capacity_bound()),
+      pend_(cfg.channels),
       rank_pending_(static_cast<std::size_t>(cfg.channels) * cfg.ranks, 0),
       per_app_count_(num_apps, 0),
       app_stats_(num_apps),
       bank_last_user_(cfg.total_banks(), kNoApp),
       bus_user_(cfg.channels, kNoApp),
       bus_busy_until_(cfg.channels, 0),
-      oldest_pending_(num_apps, kNoSlot) {
+      oldest_pending_(num_apps, kNoSlot),
+      probe_stamp_(cfg.total_banks(), 0),
+      probe_seen_(cfg.total_banks(), 0) {
   BWPART_ASSERT(scheduler_ != nullptr, "controller needs a scheduler");
   BWPART_ASSERT(num_apps > 0, "controller needs at least one app");
   BWPART_ASSERT(per_app_queue_capacity > 0, "zero queue capacity");
   const std::size_t bound = queue_capacity_bound();
-  slots_.reserve(bound);
-  free_slots_.reserve(bound);
   inflight_slots_.reserve(bound);
   scratch_.reserve(bound);
-  for (auto& pend : pending_by_channel_) pend.reserve(bound);
+  visited_bank_.reserve(bound);
+  visited_row_.reserve(bound);
+  for (PendQueue& q : pend_) q.reserve(bound);
   issued_scratch_.reserve(channels_);
 }
 
@@ -57,18 +151,86 @@ bool MemoryController::can_accept_n(AppId app, std::size_t n) const {
   return per_app_count_[app] + n <= per_app_capacity_;
 }
 
+void MemoryController::ensure_order() {
+  const SchedOrdering ord = scheduler_->ordering();
+  if (order_valid_ && ord.mode == ord_mode_ &&
+      ord.key_version == ord_key_version_ &&
+      ord.app_value == ord_app_value_) {
+    return;
+  }
+  ord_mode_ = ord.mode;
+  ord_app_value_ = ord.app_value;
+  ord_key_version_ = ord.key_version;
+  order_valid_ = true;
+  rebuild_queue_order();
+}
+
+double MemoryController::key_of(const MemRequest& req) const {
+  switch (ord_mode_) {
+    case SchedOrdering::Mode::kStatic:
+      return req.start_tag;
+    case SchedOrdering::Mode::kAppValue:
+      BWPART_ASSERT(ord_app_value_ != nullptr, "kAppValue without key array");
+      return ord_app_value_[req.app];
+    case SchedOrdering::Mode::kDynamic:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void MemoryController::rebuild_queue_order() {
+  // Re-key every entry; for sorted modes, resort the parallel arrays. Rare
+  // path (policy swap, re-ranking, snapshot restore), so materializing the
+  // entries for the sort is fine.
+  struct Entry {
+    double prim;
+    Cycle arrival;
+    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint8_t type;
+    std::uint32_t bank;
+    std::uint32_t rank;
+    std::uint64_t row;
+    std::uint32_t app;
+  };
+  std::vector<Entry> tmp;
+  for (PendQueue& q : pend_) {
+    const std::size_t n = q.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      q.prim[i] = key_of(pool_[q.slot[i]]);
+    }
+    if (ord_mode_ == SchedOrdering::Mode::kDynamic || n < 2) continue;
+    tmp.clear();
+    tmp.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      tmp.push_back({q.prim[i], q.arrival[i], q.id[i], q.slot[i], q.type[i],
+                     q.bank[i], q.rank[i], q.row[i], q.app[i]});
+    }
+    std::sort(tmp.begin(), tmp.end(), [](const Entry& a, const Entry& b) {
+      if (a.prim != b.prim) return a.prim < b.prim;
+      if (a.arrival != b.arrival) return a.arrival < b.arrival;
+      return a.id < b.id;  // unique: a strict total order
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      q.prim[i] = tmp[i].prim;
+      q.arrival[i] = tmp[i].arrival;
+      q.id[i] = tmp[i].id;
+      q.slot[i] = tmp[i].slot;
+      q.type[i] = tmp[i].type;
+      q.bank[i] = tmp[i].bank;
+      q.rank[i] = tmp[i].rank;
+      q.row[i] = tmp[i].row;
+      q.app[i] = tmp[i].app;
+    }
+  }
+}
+
 std::uint64_t MemoryController::enqueue(AppId app, Addr addr, AccessType type,
                                         Cycle now_cpu) {
   BWPART_ASSERT(can_accept(app), "enqueue into full queue");
-  std::uint32_t slot;
-  if (free_slots_.empty()) {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  } else {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  }
-  MemRequest& req = slots_[slot];
+  ensure_order();
+  const std::uint32_t slot = pool_.acquire();
+  MemRequest& req = pool_[slot];
   req = MemRequest{};
   req.id = next_req_id_++;
   req.app = app;
@@ -78,7 +240,14 @@ std::uint64_t MemoryController::enqueue(AppId app, Addr addr, AccessType type,
   req.arrival_cpu = now_cpu;
   req.arrival_tick = bus_ticks_done_;
   scheduler_->on_enqueue(req, now_cpu);
-  pending_by_channel_[req.loc.channel].push_back(slot);
+  PendQueue& q = pend_[req.loc.channel];
+  const double key = key_of(req);
+  const std::size_t pos = ord_mode_ == SchedOrdering::Mode::kDynamic
+                              ? q.size()
+                              : q.upper_bound(key, req.arrival_cpu, req.id);
+  q.insert(pos, key, req, slot,
+           static_cast<std::uint32_t>(bank_index(req.loc)),
+           static_cast<std::uint32_t>(rank_index(req.loc)));
   // Arrival times are monotone (and ids tie-break upward), so a new request
   // can only become the app's oldest when it had none pending.
   if (oldest_pending_[app] == kNoSlot) oldest_pending_[app] = slot;
@@ -108,16 +277,28 @@ void MemoryController::tick(Cycle now_cpu) {
                 "controller time must not go backwards");
   started_ = true;
   last_cpu_cycle_ = now_cpu;
+  ensure_order();
   const std::uint64_t target = crossing_.device_ticks_at(now_cpu);
   while (bus_ticks_done_ < target) {
+    // Probe only after a provably inactive tick: during a busy burst the
+    // horizon cannot be ahead of the next tick anyway, and the burst's end
+    // is detected by the first tick that does nothing. Settle the drain
+    // hysteresis first — the reference loop would apply it on the skipped
+    // ticks (see update_write_drain), and it is idempotent across a dead
+    // range.
     if (fast_forward_ && !last_tick_active_) {
-      const dram::Tick quiet_to =
-          std::min<dram::Tick>(cached_next_event_tick(), target);
+      update_write_drain();
+      const dram::Tick horizon = cached_next_event_tick();
+      const dram::Tick quiet_to = std::min<dram::Tick>(horizon, target);
       if (quiet_to > bus_ticks_done_) {
         skip_bus_ticks(bus_ticks_done_, quiet_to);
         bus_ticks_done_ = quiet_to;
         ++state_version_;
-        // An event (or the target) lands here; run it without re-probing.
+        // A skip changes no command-timing or queue state, so the horizon
+        // computed before it is still exact: keep the memo warm instead of
+        // rescanning the queues at the landing tick.
+        cached_event_tick_ = horizon;
+        cached_event_version_ = state_version_;
         last_tick_active_ = true;
         continue;
       }
@@ -144,6 +325,7 @@ Cycle MemoryController::next_event_cpu_cycle() const {
 void MemoryController::replace_scheduler(std::unique_ptr<Scheduler> scheduler) {
   BWPART_ASSERT(scheduler != nullptr, "controller needs a scheduler");
   scheduler_ = std::move(scheduler);
+  order_valid_ = false;
   ++state_version_;
   if constexpr (obs::kEnabled) {
     if (obs_ != nullptr && obs_->enabled()) {
@@ -161,12 +343,21 @@ void MemoryController::set_observability(obs::Hub* hub) {
   }
   obs_ = hub;
   obs_latency_.clear();
+  std::fill(std::begin(obs_cmd_), std::end(obs_cmd_), nullptr);
+  obs_skip_ = nullptr;
   if (hub != nullptr) {
     obs_latency_.reserve(num_apps_);
     for (AppId a = 0; a < num_apps_; ++a) {
       obs_latency_.push_back(&hub->metrics().histogram(
           "mem.latency_cycles.app" + std::to_string(a)));
     }
+    static constexpr const char* kCmdNames[7] = {
+        "dram.cmd.act", "dram.cmd.rd",  "dram.cmd.rda", "dram.cmd.wr",
+        "dram.cmd.wra", "dram.cmd.pre", "dram.cmd.ref"};
+    for (std::size_t i = 0; i < 7; ++i) {
+      obs_cmd_[i] = &hub->metrics().counter(kCmdNames[i]);
+    }
+    obs_skip_ = &hub->metrics().histogram("mem.skip_ticks");
   }
 }
 
@@ -198,18 +389,17 @@ bool MemoryController::writes_would_be_eligible() const {
 
 void MemoryController::recompute_oldest(AppId app) {
   std::uint32_t o = kNoSlot;
-  for (const auto& pend : pending_by_channel_) {
-    for (const std::uint32_t slot : pend) {
-      const MemRequest& r = slots_[slot];
-      if (r.app != app) continue;
-      if (o == kNoSlot) {
-        o = slot;
-        continue;
-      }
-      const MemRequest& cur = slots_[o];
-      if (r.arrival_cpu < cur.arrival_cpu ||
-          (r.arrival_cpu == cur.arrival_cpu && r.id < cur.id)) {
-        o = slot;
+  Cycle best_arrival = 0;
+  std::uint64_t best_id = 0;
+  for (const PendQueue& q : pend_) {
+    const std::size_t n = q.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (q.app[i] != app) continue;
+      if (o == kNoSlot || q.arrival[i] < best_arrival ||
+          (q.arrival[i] == best_arrival && q.id[i] < best_id)) {
+        o = q.slot[i];
+        best_arrival = q.arrival[i];
+        best_id = q.id[i];
       }
     }
   }
@@ -221,13 +411,27 @@ dram::Tick MemoryController::next_event_tick(dram::Tick from) const {
   best = std::min(best, next_completion_);
   if (best <= from) return from;
   const bool writes_eligible = writes_would_be_eligible();
-  for (const auto& pend : pending_by_channel_) {
-    for (const std::uint32_t slot : pend) {
-      const MemRequest& r = slots_[slot];
-      if (!writes_eligible && r.type == AccessType::Write) continue;
-      const dram::CommandType need = dram_.required_command(r.loc, r.type);
-      const dram::Tick e =
-          dram_.earliest_issue_tick({need, r.loc, r.app, r.id}, from);
+  ++probe_epoch_;
+  for (std::uint32_t ch = 0; ch < channels_; ++ch) {
+    const PendQueue& q = pend_[ch];
+    const std::size_t n = q.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto ty = static_cast<AccessType>(q.type[i]);
+      if (!writes_eligible && ty == AccessType::Write) continue;
+      const std::uint32_t bank = q.bank[i];
+      const dram::CommandType need =
+          dram_.required_command_at(bank, q.row[i], ty);
+      const auto bit =
+          static_cast<std::uint8_t>(1u << static_cast<unsigned>(need));
+      if (probe_stamp_[bank] == probe_epoch_) {
+        if ((probe_seen_[bank] & bit) != 0) continue;
+        probe_seen_[bank] = static_cast<std::uint8_t>(probe_seen_[bank] | bit);
+      } else {
+        probe_stamp_[bank] = probe_epoch_;
+        probe_seen_[bank] = bit;
+      }
+      const dram::Tick e = dram_.earliest_issue_tick_at(
+          need, bank, q.rank[i], ch, q.row[i], from);
       if (e != dram::kNoTick) best = std::min(best, e);
       if (best <= from) return from;
     }
@@ -240,7 +444,7 @@ dram::Tick MemoryController::next_event_tick(dram::Tick from) const {
     for (AppId app = 0; app < num_apps_; ++app) {
       const std::uint32_t slot = oldest_pending_[app];
       if (slot == kNoSlot) continue;
-      const MemRequest& r = slots_[slot];
+      const MemRequest& r = pool_[slot];
       const dram::CommandType need = dram_.required_command(r.loc, r.type);
       if (!writes_eligible && r.type == AccessType::Write) {
         const dram::Tick e =
@@ -263,6 +467,9 @@ dram::Tick MemoryController::next_event_tick(dram::Tick from) const {
 void MemoryController::skip_bus_ticks(dram::Tick from, dram::Tick to) {
   dram_.skip_ticks(from, to, rank_pending_);
   if (observer_ != nullptr) account_interference_range(from, to);
+  if constexpr (obs::kEnabled) {
+    if (obs_skip_ != nullptr && obs_->enabled()) obs_skip_->record(to - from);
+  }
 }
 
 void MemoryController::run_bus_tick(dram::Tick now) {
@@ -302,7 +509,7 @@ void MemoryController::deliver_completions(dram::Tick now) {
   dram::Tick next = dram::kNoTick;
   for (std::size_t i = 0; i < inflight_slots_.size();) {
     const std::uint32_t slot = inflight_slots_[i];
-    MemRequest& req = slots_[slot];
+    MemRequest& req = pool_[slot];
     BWPART_ASSERT(req.in_flight, "pending request on the in-flight list");
     if (req.data_finish <= now) {
       const Cycle done_cpu = crossing_.cpu_cycle_of_tick(req.data_finish);
@@ -325,7 +532,7 @@ void MemoryController::deliver_completions(dram::Tick now) {
       const MemRequest done = req;
       inflight_slots_[i] = inflight_slots_.back();
       inflight_slots_.pop_back();
-      free_slots_.push_back(slot);
+      pool_.release(slot);
       if (on_complete_) on_complete_(done, done_cpu);
       // re-examine the element swapped into position i
     } else {
@@ -336,7 +543,44 @@ void MemoryController::deliver_completions(dram::Tick now) {
   next_completion_ = next;
 }
 
-bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
+void MemoryController::finish_issue(std::uint32_t channel, std::size_t pos,
+                                    dram::CommandType need,
+                                    const dram::IssueResult& result) {
+  PendQueue& q = pend_[channel];
+  const std::uint32_t slot = q.slot[pos];
+  MemRequest& req = pool_[slot];
+  bank_last_user_[q.bank[pos]] = req.app;
+  if constexpr (obs::kEnabled) {
+    if (obs_ != nullptr && obs_->enabled()) {
+      obs_cmd_[static_cast<std::size_t>(need)]->add();
+    }
+  }
+  if (dram::is_column_command(need)) {
+    req.in_flight = true;
+    req.data_finish = result.data_finish;
+    bus_user_[channel] = req.app;
+    bus_busy_until_[channel] = result.data_finish;
+    if (req.type == AccessType::Write) {
+      BWPART_ASSERT(pending_writes_ > 0, "write accounting underflow");
+      --pending_writes_;
+    } else {
+      BWPART_ASSERT(pending_reads_ > 0, "read accounting underflow");
+      --pending_reads_;
+    }
+    scheduler_->on_issue(req);
+    const std::uint32_t rank_idx = q.rank[pos];
+    q.erase(pos);
+    if (oldest_pending_[req.app] == slot) recompute_oldest(req.app);
+    inflight_slots_.push_back(slot);
+    next_completion_ = std::min(next_completion_, result.data_finish);
+    BWPART_ASSERT(rank_pending_[rank_idx] > 0,
+                  "rank pending counter underflow");
+    --rank_pending_[rank_idx];
+  }
+  issued_app_scratch_ = req.app;
+}
+
+void MemoryController::update_write_drain() {
   // Write-drain hysteresis: hold writes while reads wait, unless the write
   // backlog crossed the high watermark; drain down to the low watermark.
   if (write_drain_.enabled) {
@@ -346,17 +590,86 @@ bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
       draining_ = false;
     }
   }
+}
+
+bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
+  update_write_drain();
   const bool writes_eligible =
       !write_drain_.enabled || draining_ || pending_reads_ == 0;
+  if (pend_[channel].size() == 0) return false;
+  return ord_mode_ == SchedOrdering::Mode::kDynamic
+             ? scan_dynamic(channel, now, writes_eligible)
+             : scan_sorted(channel, now, writes_eligible);
+}
 
-  // Gather schedulable requests on this channel.
-  auto& pend = pending_by_channel_[channel];
+bool MemoryController::scan_sorted(std::uint32_t channel, dram::Tick now,
+                                   bool writes_eligible) {
+  // The queue is already in policy order, so walk it front to back. The
+  // vetoes mirror scan_dynamic exactly; the visited_* prefix plays the role
+  // of the extracted-minima prefix there.
+  PendQueue& q = pend_[channel];
+  visited_bank_.clear();
+  visited_row_.clear();
+  bool bus_reserved = false;
+  const std::size_t n = q.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ty = static_cast<AccessType>(q.type[i]);
+    if (!writes_eligible && ty == AccessType::Write) continue;
+    const std::uint32_t bank = q.bank[i];
+    const std::uint64_t row = q.row[i];
+    const dram::CommandType need = dram_.required_command_at(bank, row, ty);
+    // Bus reservation: once a higher-priority column command is blocked
+    // *only* by data-bus occupancy, lower-priority column commands may not
+    // grab the bus (they would push bus-free time out forever — with tRTRS
+    // a same-rank stream can otherwise starve a rank-switching request).
+    // Non-bus commands (ACT/PRE) still flow.
+    bool veto = bus_reserved && dram::is_column_command(need);
+    // Do not close a row that a *higher-priority* waiting request can
+    // still use: that request's column command is merely blocked this tick
+    // (tCCD/bus), and precharging under it would throw its activation away
+    // and churn ACT/PRE pairs. Lower-priority row hits get no such
+    // protection — the policy's order must win.
+    if (!veto && need == dram::CommandType::Precharge) {
+      for (std::size_t k = 0; k < visited_bank_.size(); ++k) {
+        if (visited_bank_[k] == bank &&
+            dram_.is_row_hit_at(bank, visited_row_[k])) {
+          veto = true;
+          break;
+        }
+      }
+    }
+    if (!veto) {
+      if (!dram_.can_issue_at(need, bank, q.rank[i], channel, row, now,
+                              /*check_bus=*/true)) {
+        if (dram::is_column_command(need) &&
+            dram_.can_issue_at(need, bank, q.rank[i], channel, row, now,
+                               /*check_bus=*/false)) {
+          bus_reserved = true;
+        }
+      } else {
+        MemRequest& req = pool_[q.slot[i]];
+        const dram::IssueResult result =
+            dram_.issue({need, req.loc, req.app, req.id}, now);
+        finish_issue(channel, i, need, result);
+        return true;
+      }
+    }
+    visited_bank_.push_back(bank);
+    visited_row_.push_back(row);
+  }
+  return false;
+}
+
+bool MemoryController::scan_dynamic(std::uint32_t channel, dram::Tick now,
+                                    bool writes_eligible) {
+  // Gather schedulable queue positions on this channel.
+  PendQueue& q = pend_[channel];
   scratch_.clear();
-  for (const std::uint32_t slot : pend) {
-    const MemRequest& r = slots_[slot];
-    if (r.arrival_tick <= now &&
-        (writes_eligible || r.type == AccessType::Read)) {
-      scratch_.push_back(slot);
+  const std::size_t n = q.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (writes_eligible ||
+        static_cast<AccessType>(q.type[i]) == AccessType::Read) {
+      scratch_.push_back(static_cast<std::uint32_t>(i));
     }
   }
   if (scratch_.empty()) return false;
@@ -369,76 +682,43 @@ bool MemoryController::try_issue_one(std::uint32_t channel, dram::Tick now) {
     // fully sorted visit order.
     std::size_t min_at = pos;
     for (std::size_t k = pos + 1; k < scratch_.size(); ++k) {
-      if (scheduler_->before(slots_[scratch_[k]], slots_[scratch_[min_at]],
-                             dram_)) {
+      if (scheduler_->before(pool_[q.slot[scratch_[k]]],
+                             pool_[q.slot[scratch_[min_at]]], dram_)) {
         min_at = k;
       }
     }
     std::swap(scratch_[pos], scratch_[min_at]);
-    MemRequest& req = slots_[scratch_[pos]];
-    const dram::CommandType need =
-        dram_.required_command(req.loc, req.type);
-    // Bus reservation: once a higher-priority column command is blocked
-    // *only* by data-bus occupancy, lower-priority column commands may not
-    // grab the bus (they would push bus-free time out forever — with tRTRS
-    // a same-rank stream can otherwise starve a rank-switching request).
-    // Non-bus commands (ACT/PRE) still flow.
+    const std::uint32_t qi = scratch_[pos];
+    const std::uint32_t bank = q.bank[qi];
+    const std::uint64_t row = q.row[qi];
+    const dram::CommandType need = dram_.required_command_at(
+        bank, row, static_cast<AccessType>(q.type[qi]));
+    // Vetoes: see scan_sorted.
     if (bus_reserved && dram::is_column_command(need)) continue;
-    // Do not close a row that a *higher-priority* waiting request can
-    // still use: that request's column command is merely blocked this tick
-    // (tCCD/bus), and precharging under it would throw its activation away
-    // and churn ACT/PRE pairs. Lower-priority row hits get no such
-    // protection — the policy's order must win.
     if (need == dram::CommandType::Precharge) {
       bool protected_row = false;
       for (std::size_t k = 0; k < pos; ++k) {
-        const MemRequest& earlier = slots_[scratch_[k]];
-        if (earlier.loc.rank == req.loc.rank &&
-            earlier.loc.bank == req.loc.bank &&
-            dram_.is_row_hit(earlier.loc)) {
+        const std::uint32_t ei = scratch_[k];
+        if (q.bank[ei] == bank && dram_.is_row_hit_at(bank, q.row[ei])) {
           protected_row = true;
           break;
         }
       }
       if (protected_row) continue;
     }
-    dram::Command cmd{need, req.loc, req.app, req.id};
-    if (!dram_.can_issue(cmd, now)) {
+    if (!dram_.can_issue_at(need, bank, q.rank[qi], channel, row, now,
+                            /*check_bus=*/true)) {
       if (dram::is_column_command(need) &&
-          dram_.can_issue_ignoring_bus(cmd, now)) {
+          dram_.can_issue_at(need, bank, q.rank[qi], channel, row, now,
+                             /*check_bus=*/false)) {
         bus_reserved = true;
       }
       continue;
     }
-    const dram::IssueResult result = dram_.issue(cmd, now);
-    bank_last_user_[bank_index(req.loc)] = req.app;
-    if (dram::is_column_command(need)) {
-      req.in_flight = true;
-      req.data_finish = result.data_finish;
-      bus_user_[channel] = req.app;
-      bus_busy_until_[channel] = result.data_finish;
-      if (req.type == AccessType::Write) {
-        BWPART_ASSERT(pending_writes_ > 0, "write accounting underflow");
-        --pending_writes_;
-      } else {
-        BWPART_ASSERT(pending_reads_ > 0, "read accounting underflow");
-        --pending_reads_;
-      }
-      scheduler_->on_issue(req);
-      // Move the slot from the pending list to the in-flight list.
-      const std::uint32_t slot = scratch_[pos];
-      const auto it = std::find(pend.begin(), pend.end(), slot);
-      BWPART_ASSERT(it != pend.end(), "issued slot missing from channel list");
-      *it = pend.back();
-      pend.pop_back();
-      if (oldest_pending_[req.app] == slot) recompute_oldest(req.app);
-      inflight_slots_.push_back(slot);
-      next_completion_ = std::min(next_completion_, result.data_finish);
-      BWPART_ASSERT(rank_pending_[rank_index(req.loc)] > 0,
-                    "rank pending counter underflow");
-      --rank_pending_[rank_index(req.loc)];
-    }
-    issued_app_scratch_ = req.app;
+    MemRequest& req = pool_[q.slot[qi]];
+    const dram::IssueResult result =
+        dram_.issue({need, req.loc, req.app, req.id}, now);
+    finish_issue(channel, qi, need, result);
     return true;
   }
   return false;
@@ -454,7 +734,7 @@ void MemoryController::account_interference(dram::Tick now,
   for (AppId app = 0; app < num_apps_; ++app) {
     const std::uint32_t slot = oldest_pending_[app];
     if (slot == kNoSlot) continue;
-    const MemRequest& oldest = slots_[slot];
+    const MemRequest& oldest = pool_[slot];
     const std::uint32_t ch = oldest.loc.channel;
     const dram::CommandType need =
         dram_.required_command(oldest.loc, oldest.type);
@@ -494,7 +774,7 @@ void MemoryController::account_interference_range(dram::Tick from,
   for (AppId app = 0; app < num_apps_; ++app) {
     const std::uint32_t slot = oldest_pending_[app];
     if (slot == kNoSlot) continue;
-    const MemRequest& oldest = slots_[slot];
+    const MemRequest& oldest = pool_[slot];
     const std::uint32_t ch = oldest.loc.channel;
     const dram::CommandType need =
         dram_.required_command(oldest.loc, oldest.type);
@@ -565,7 +845,7 @@ void save_u32_vec(snap::Writer& w, const std::vector<std::uint32_t>& v) {
   for (const std::uint32_t x : v) w.u32(x);
 }
 
-/// Restores a variable-length index list (free list, pending list, ...).
+/// Restores a variable-length index list (in-flight list, pending list...).
 void restore_u32_list(snap::Reader& r, std::vector<std::uint32_t>& v) {
   const std::uint64_t n = r.u64();
   v.clear();
@@ -591,16 +871,17 @@ void MemoryController::save_state(snap::Writer& w) const {
   w.b(draining_);
   w.sz(pending_writes_);
   w.sz(pending_reads_);
-  // The whole slot pool travels verbatim, free slots included: their stale
-  // contents are a deterministic function of the simulation history, so the
-  // byte stream itself is reproducible run-to-run.
-  w.u64(slots_.size());
-  for (const MemRequest& req : slots_) save_request(w, req);
-  save_u32_vec(w, free_slots_);
-  w.u64(pending_by_channel_.size());
-  for (const std::vector<std::uint32_t>& list : pending_by_channel_) {
-    save_u32_vec(w, list);
-  }
+  // The pool's used prefix travels verbatim, free slots included: their
+  // stale contents are a deterministic function of the simulation history,
+  // so the byte stream itself is reproducible run-to-run.
+  pool_.save(w, [](snap::Writer& ww, const MemRequest& req) {
+    save_request(ww, req);
+  });
+  // Pending queues as slot lists in queue order (sorted order for static-
+  // key policies, append order otherwise); the SoA mirrors and policy keys
+  // are derived state, rebuilt on restore.
+  w.u64(pend_.size());
+  for (const PendQueue& q : pend_) save_u32_vec(w, q.slot);
   save_u32_vec(w, inflight_slots_);
   w.sz(active_);
   w.u64(next_completion_);
@@ -642,14 +923,25 @@ void MemoryController::restore_state(snap::Reader& r) {
   draining_ = r.b();
   pending_writes_ = r.sz();
   pending_reads_ = r.sz();
-  const std::uint64_t n_slots = r.u64();
-  slots_.resize(static_cast<std::size_t>(n_slots));
-  for (MemRequest& req : slots_) restore_request(r, req);
-  restore_u32_list(r, free_slots_);
-  snap::require(r.u64() == pending_by_channel_.size(),
+  pool_.restore(r, [](snap::Reader& rr, MemRequest& req) {
+    restore_request(rr, req);
+  });
+  snap::require(r.u64() == pend_.size(),
                 "channel count differs from the snapshot's");
-  for (std::vector<std::uint32_t>& list : pending_by_channel_) {
-    restore_u32_list(r, list);
+  for (PendQueue& q : pend_) {
+    // Rebuild the SoA mirror from the restored pool in the stored order.
+    // Keys are left stale here: order_valid_ is dropped below, so the next
+    // order-dependent use re-keys (and, for sorted modes, resorts — a
+    // no-op permutation, since the stored order already was the sorted
+    // order under identical keys).
+    restore_u32_list(r, scratch_);
+    while (q.size() > 0) q.erase(q.size() - 1);
+    for (const std::uint32_t slot : scratch_) {
+      const MemRequest& req = pool_[slot];
+      q.insert(q.size(), 0.0, req, slot,
+               static_cast<std::uint32_t>(bank_index(req.loc)),
+               static_cast<std::uint32_t>(rank_index(req.loc)));
+    }
   }
   restore_u32_list(r, inflight_slots_);
   active_ = r.sz();
@@ -691,6 +983,7 @@ void MemoryController::restore_state(snap::Reader& r) {
   }
   scheduler_->restore_state(r);
   dram_.restore_state(r);
+  order_valid_ = false;  // queue keys/order rebuild against the new policy
   ++state_version_;  // the event-horizon memo is stale for the new state
 }
 

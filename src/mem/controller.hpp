@@ -3,6 +3,15 @@
 // the cores, per-application bandwidth accounting, and the interference
 // attribution hooks the online APC_alone profiler needs (paper Section
 // IV-C: bus and bank conflicts between applications).
+//
+// Hot-path layout: requests live in a preallocated FixedPool (no queue
+// churn after construction) and each channel's pending set is mirrored
+// into a structure-of-arrays PendQueue carrying exactly the fields the
+// per-tick scheduler scan and event probes touch (policy key, flat
+// bank/rank indices, row, access type). For policies that advertise a
+// static sort key (SchedOrdering) the queue is kept sorted, so the scan
+// visits candidates in policy order with no virtual comparator calls;
+// dynamic policies keep the exact top-1-selection fallback over before().
 #pragma once
 
 #include <algorithm>
@@ -14,6 +23,7 @@
 #include <vector>
 
 #include "common/clock_crossing.hpp"
+#include "common/fixed_pool.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 #include "dram/dram_system.hpp"
@@ -133,9 +143,11 @@ class MemoryController {
 
   /// Attaches the observability hub (nullptr detaches). The controller
   /// records per-app request-latency histograms (arrival to data delivery,
-  /// CPU cycles) and marks scheduler swaps in the trace. Pure telemetry:
-  /// never consulted by any scheduling or timing decision, so attaching it
-  /// cannot change simulation results. Compiled out under BWPART_OBS=OFF.
+  /// CPU cycles), per-command-type issue counters (dram.cmd.*), a skipped-
+  /// tick-range histogram for the event engine (mem.skip_ticks), and marks
+  /// scheduler swaps in the trace. Pure telemetry: never consulted by any
+  /// scheduling or timing decision, so attaching it cannot change
+  /// simulation results. Compiled out under BWPART_OBS=OFF.
   void set_observability(obs::Hub* hub);
 
   Scheduler& scheduler() { return *scheduler_; }
@@ -157,7 +169,8 @@ class MemoryController {
   /// Upper bound on requests that can ever be queued or in flight at once,
   /// across both admission modes — the slack term for cross-layer
   /// conservation checks (commands the DRAM counted whose data the
-  /// controller has not yet delivered, or vice versa across a stats reset).
+  /// controller has not yet delivered, or vice versa across a stats reset)
+  /// and the request pool's capacity.
   std::size_t queue_capacity_bound() const {
     return std::max(shared_capacity_,
                     static_cast<std::size_t>(num_apps_) * per_app_capacity_);
@@ -168,8 +181,9 @@ class MemoryController {
   /// restore into a controller running a different policy rebuilds the
   /// saved one via make_scheduler_by_name). Deliberately excluded as
   /// engine/wiring, not state: the fast_forward_ switch (snapshots restore
-  /// bit-identically into either engine), the event-horizon memo (restore
-  /// bumps state_version_), completion/observer/obs hooks (the host rewires
+  /// bit-identically into either engine), the event-horizon memo and the
+  /// pending queues' derived policy keys (restore invalidates both; they
+  /// rebuild on first use), completion/observer/obs hooks (the host rewires
   /// them) and the per-tick scratch vectors.
   void save_state(snap::Writer& w) const;
   void restore_state(snap::Reader& r);
@@ -177,6 +191,36 @@ class MemoryController {
  private:
   static constexpr std::uint32_t kNoSlot =
       std::numeric_limits<std::uint32_t>::max();
+
+  /// One channel's pending requests in structure-of-arrays layout: the
+  /// parallel arrays carry every field the scheduler scan and the event
+  /// probe read, so neither ever touches the request pool. For static-key
+  /// policies the arrays are kept sorted ascending by (prim, arrival, id) —
+  /// exactly the policy's service order; for dynamic policies entries stay
+  /// in append order (order never affects decisions there: the comparator's
+  /// unique id tie-break makes the selected minimum order-independent).
+  struct PendQueue {
+    std::vector<double> prim;           ///< policy primary key
+    std::vector<Cycle> arrival;         ///< arrival_cpu tie-break
+    std::vector<std::uint64_t> id;      ///< request id, final tie-break
+    std::vector<std::uint32_t> slot;    ///< pool slot handle
+    std::vector<std::uint8_t> type;     ///< AccessType
+    std::vector<std::uint32_t> bank;    ///< flat global bank index
+    std::vector<std::uint32_t> rank;    ///< flat global rank index
+    std::vector<std::uint64_t> row;
+    std::vector<std::uint32_t> app;
+
+    std::size_t size() const { return slot.size(); }
+    void reserve(std::size_t n);
+    void insert(std::size_t pos, double key, const MemRequest& req,
+                std::uint32_t slot_idx, std::uint32_t bank_idx,
+                std::uint32_t rank_idx);
+    void erase(std::size_t pos);
+    /// First position whose (prim, arrival, id) sorts after the given key
+    /// triple (insertion point that keeps the sort stable-by-id).
+    std::size_t upper_bound(double key, Cycle arr, std::uint64_t rid) const;
+    std::size_t find_slot(std::uint32_t slot_idx) const;
+  };
 
   void run_bus_tick(dram::Tick now);
   /// Batch-advances over [from, to), a range next_event_tick() proved dead:
@@ -195,7 +239,27 @@ class MemoryController {
   /// poll next_event_cpu_cycle() every blocked CPU cycle at O(1).
   dram::Tick cached_next_event_tick() const;
   void deliver_completions(dram::Tick now);
+  /// One step of the write-drain hysteresis against the current pending
+  /// counts. The reference loop applies this every bus tick (first thing in
+  /// try_issue_one); a flip is only possible at the first tick after the
+  /// counts move, so the fast engine applies it once before probing for a
+  /// skip — otherwise a skipped flip tick would leave draining_ stale when
+  /// later enqueues move the counts back across a watermark.
+  void update_write_drain();
   bool try_issue_one(std::uint32_t channel, dram::Tick now);
+  /// Devirtualized scan for static-key policies: the queue is already in
+  /// policy order, so this walks it front to back applying the same vetoes
+  /// (bus reservation, protected rows) the selection loop applies.
+  bool scan_sorted(std::uint32_t channel, dram::Tick now,
+                   bool writes_eligible);
+  /// Exact fallback: top-1 selection over before(), as before the SoA
+  /// rework.
+  bool scan_dynamic(std::uint32_t channel, dram::Tick now,
+                    bool writes_eligible);
+  /// Post-issue bookkeeping shared by both scans; `pos` is the request's
+  /// current position in its channel queue.
+  void finish_issue(std::uint32_t channel, std::size_t pos,
+                    dram::CommandType need, const dram::IssueResult& result);
   /// Write eligibility the next try_issue_one() will compute, without
   /// mutating the drain-hysteresis state (the update is idempotent while no
   /// request is enqueued or issued, so this is exact across a dead range).
@@ -206,11 +270,20 @@ class MemoryController {
   /// victim's classification is constant over [from, to), and the per-tick
   /// CPU-cycle weights telescope to an exact total.
   void account_interference_range(dram::Tick from, dram::Tick to);
-  /// Rebuilds oldest_pending_[app] by scanning the pending lists (arrival_cpu
+  /// Rebuilds oldest_pending_[app] by scanning the pending queues (arrival
   /// then id order; kNoSlot when the app has none). Only needed when the
   /// app's current oldest leaves the pending set — new arrivals are never
   /// older than the incumbent, so enqueue maintains the index in O(1).
   void recompute_oldest(AppId app);
+
+  /// Syncs the cached ordering descriptor with the scheduler, re-keying
+  /// (and, for sorted modes, resorting) every channel queue when the mode
+  /// or key version moved. Called before any order-dependent use of the
+  /// queues (enqueue insertion, the per-tick scan); scheduler mutations
+  /// only ever happen between tick() calls, so polling there suffices.
+  void ensure_order();
+  double key_of(const MemRequest& req) const;
+  void rebuild_queue_order();
 
   std::size_t bank_index(const dram::Location& loc) const {
     return (static_cast<std::size_t>(loc.channel) * ranks_ + loc.rank) *
@@ -233,13 +306,13 @@ class MemoryController {
   std::uint32_t ranks_;
   std::uint32_t banks_per_rank_;
 
-  // Request storage: a slot pool with stable indices plus per-channel
-  // pending lists and an in-flight list, all maintained incrementally at
+  // Request storage: a preallocated slot pool with stable indices (sized by
+  // queue_capacity_bound(); never reallocates) plus the per-channel SoA
+  // pending queues and an in-flight list, all maintained incrementally at
   // enqueue/issue/complete so the per-tick work is proportional to the
   // relevant channel's queue, not the whole transaction queue.
-  std::vector<MemRequest> slots_;
-  std::vector<std::uint32_t> free_slots_;  ///< LIFO free list into slots_
-  std::vector<std::vector<std::uint32_t>> pending_by_channel_;
+  FixedPool<MemRequest> pool_;
+  std::vector<PendQueue> pend_;
   std::vector<std::uint32_t> inflight_slots_;
   std::size_t active_ = 0;  ///< pending + in-flight requests
   /// Min over in-flight requests' data_finish; deliver_completions()
@@ -268,16 +341,27 @@ class MemoryController {
   /// Per-app latency histograms resolved once at attach (hot-path hook does
   /// one pointer load + relaxed atomics).
   std::vector<obs::Histogram*> obs_latency_;
+  /// Per-command-type issue counters (index = dram::CommandType) and the
+  /// event engine's skipped-range histogram, resolved once at attach.
+  obs::Counter* obs_cmd_[7] = {};
+  obs::Histogram* obs_skip_ = nullptr;
+
+  // Cached SchedOrdering of the current policy (synced by ensure_order()).
+  SchedOrdering::Mode ord_mode_ = SchedOrdering::Mode::kDynamic;
+  const double* ord_app_value_ = nullptr;
+  std::uint64_t ord_key_version_ = 0;
+  bool order_valid_ = false;
 
   std::uint64_t next_req_id_ = 0;
   std::uint64_t bus_ticks_done_ = 0;
   Cycle last_cpu_cycle_ = 0;
   bool started_ = false;
   bool fast_forward_ = true;
-  /// Probe heuristic: after a tick that issued or delivered nothing, the
-  /// next tick() iteration checks next_event_tick() for a skippable range;
-  /// after an active tick it runs the next tick directly (a saturated
-  /// controller never pays the event-query cost).
+  /// Whether the last executed bus tick issued or delivered anything. No
+  /// longer gates event probing (the probe early-exits cheaply on active
+  /// ticks, so the engine now probes every iteration and converts all
+  /// provably dead ticks into skips); kept maintained and serialized as
+  /// part of the engine-visible state.
   bool last_tick_active_ = true;
   /// Bumped on every state mutation that can move the event horizon;
   /// invalidates the cached_next_event_tick() memo.
@@ -295,6 +379,15 @@ class MemoryController {
   // Per-tick scratch storage (kept as members to avoid reallocation in the
   // bus-tick hot path).
   std::vector<std::uint32_t> scratch_;
+  std::vector<std::uint32_t> visited_bank_;  ///< sorted scan: visited banks
+  std::vector<std::uint64_t> visited_row_;   ///< parallel rows for veto
+  /// Event-probe dedup: requests sharing (bank, required command) have the
+  /// same earliest-issue tick — a column command implies the bank's one
+  /// open row, and ACT/PRE timing is row-independent — so the probe prices
+  /// each pair once. Epoch-stamped so no per-call clearing is needed.
+  mutable std::vector<std::uint64_t> probe_stamp_;  ///< per flat bank
+  mutable std::vector<std::uint8_t> probe_seen_;    ///< CommandType bitmask
+  mutable std::uint64_t probe_epoch_ = 0;
   std::vector<AppId> issued_scratch_;
   AppId issued_app_scratch_ = kNoApp;
 };

@@ -281,7 +281,7 @@ bool TcmScheduler::before(const MemRequest& a, const MemRequest& b,
 }
 
 StrictPriorityScheduler::StrictPriorityScheduler(std::size_t num_apps)
-    : rank_(num_apps, 0) {
+    : rank_(num_apps, 0), rank_key_(num_apps, 0.0) {
   BWPART_ASSERT(num_apps > 0, "scheduler needs at least one app");
 }
 
@@ -298,6 +298,10 @@ void StrictPriorityScheduler::set_priority_ranks(
     std::span<const std::uint32_t> ranks) {
   BWPART_ASSERT(ranks.size() == rank_.size(), "rank vector arity");
   rank_.assign(ranks.begin(), ranks.end());
+  for (std::size_t i = 0; i < rank_.size(); ++i) {
+    rank_key_[i] = static_cast<double>(rank_[i]);
+  }
+  ++key_version_;
 }
 
 namespace {
@@ -416,6 +420,10 @@ void StrictPriorityScheduler::restore_state(snap::Reader& r) {
   snap::require(r.u64() == rank_.size(),
                 "scheduler per-app vector arity differs from the snapshot's");
   for (std::uint32_t& rk : rank_) rk = r.u32();
+  for (std::size_t i = 0; i < rank_.size(); ++i) {
+    rank_key_[i] = static_cast<double>(rank_[i]);
+  }
+  ++key_version_;
 }
 
 std::unique_ptr<Scheduler> make_scheduler_by_name(std::string_view name,

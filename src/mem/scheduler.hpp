@@ -24,6 +24,28 @@
 
 namespace bwpart::mem {
 
+/// How the controller may order a policy's pending queue without calling
+/// the virtual before() comparator per pair. Policies whose order is a
+/// lexicographic (primary key, arrival_cpu, id) ascending sort advertise
+/// where the primary key comes from; the controller then keeps its queues
+/// sorted and scans them devirtualized. kDynamic keeps the exact-compare
+/// fallback (row-hit tiers, mode switches — anything before() reads from
+/// mutable DRAM or scheduler state per comparison).
+struct SchedOrdering {
+  enum class Mode : std::uint8_t {
+    kDynamic,   ///< order only defined by before(); call it per compare
+    kStatic,    ///< primary key = start_tag, frozen at enqueue
+    kAppValue,  ///< primary key = app_value[req.app]
+  };
+  Mode mode = Mode::kDynamic;
+  /// kAppValue only: per-application primary keys (one per app, owned by
+  /// the scheduler; stable address for the scheduler's lifetime).
+  const double* app_value = nullptr;
+  /// Bumped whenever the values behind `app_value` change, so the
+  /// controller knows to re-key and resort its queues.
+  std::uint64_t key_version = 0;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -41,6 +63,12 @@ class Scheduler {
   /// `dram` exposes row-buffer state for row-hit-aware policies.
   virtual bool before(const MemRequest& a, const MemRequest& b,
                       const dram::DramSystem& dram) const = 0;
+
+  /// The sort-key contract of this policy's before() ordering (see
+  /// SchedOrdering). Must be consistent with before(): whenever a non-
+  /// dynamic mode is advertised, sorting by (key, arrival_cpu, id) yields
+  /// exactly the before() order. Default: dynamic.
+  virtual SchedOrdering ordering() const { return {}; }
 
   /// Installs per-application bandwidth shares (share-based policies).
   virtual void set_shares(std::span<const double> beta) { (void)beta; }
@@ -80,6 +108,10 @@ class FcfsScheduler final : public Scheduler {
  public:
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  /// Pure (arrival, id) order; tags stay at their zero default.
+  SchedOrdering ordering() const override {
+    return {SchedOrdering::Mode::kStatic, nullptr, 0};
+  }
   std::string name() const override { return "FCFS"; }
 };
 
@@ -154,6 +186,13 @@ class StartTimeFairScheduler final : public Scheduler {
   void on_enqueue(MemRequest& req, Cycle now_cpu) override;
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  /// Tag order is frozen at enqueue; only the row-hit bypass window makes
+  /// the comparison depend on live DRAM state.
+  SchedOrdering ordering() const override {
+    return {row_hit_window_ > 0.0 ? SchedOrdering::Mode::kDynamic
+                                  : SchedOrdering::Mode::kStatic,
+            nullptr, 0};
+  }
   void set_shares(std::span<const double> beta) override;
   void save_state(snap::Writer& w) const override;
   void restore_state(snap::Reader& r) override;
@@ -188,6 +227,11 @@ class ClassicDstfScheduler final : public Scheduler {
   void on_issue(const MemRequest& req) override;
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  /// on_issue() moves the virtual clock, but that only shapes *future*
+  /// tags; queued requests compare by their frozen tags alone.
+  SchedOrdering ordering() const override {
+    return {SchedOrdering::Mode::kStatic, nullptr, 0};
+  }
   void set_shares(std::span<const double> beta) override;
   void save_state(snap::Writer& w) const override;
   void restore_state(snap::Reader& r) override;
@@ -292,6 +336,11 @@ class StrictPriorityScheduler final : public Scheduler {
 
   bool before(const MemRequest& a, const MemRequest& b,
               const dram::DramSystem& dram) const override;
+  /// Per-app rank as the primary key; re-ranking bumps the key version so
+  /// controllers re-key their queues.
+  SchedOrdering ordering() const override {
+    return {SchedOrdering::Mode::kAppValue, rank_key_.data(), key_version_};
+  }
   void set_priority_ranks(std::span<const std::uint32_t> ranks) override;
   void save_state(snap::Writer& w) const override;
   void restore_state(snap::Reader& r) override;
@@ -299,6 +348,10 @@ class StrictPriorityScheduler final : public Scheduler {
 
  private:
   std::vector<std::uint32_t> rank_;
+  /// rank_ mirrored as doubles (u32 ranks are exactly representable), the
+  /// ordering() key array.
+  std::vector<double> rank_key_;
+  std::uint64_t key_version_ = 0;
 };
 
 }  // namespace bwpart::mem

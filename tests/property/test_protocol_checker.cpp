@@ -123,6 +123,72 @@ TEST(ProtocolCheckerNegative, ActDuringRefreshIsCaught) {
   EXPECT_TRUE(rec.caught("tRFC"));
 }
 
+// The checker keeps its own AoS shadow state and re-derives every JEDEC
+// rule straight from DramConfig — it shares none of the SoA fast-path
+// tables (CmdTimings, cached next-legal ticks) it audits. This test
+// records a command stream from the real SoA engine, confirms the legal
+// stream passes the shadow clean, then pulls one column command inside its
+// tRCD window — producing a stream the fast path's legality tables would
+// never emit — and requires the shadow to catch and name it.
+TEST(ProtocolCheckerNegative, IllegalStreamAgainstSoaFastPathIsCaught) {
+  DramConfig cfg = DramConfig::ddr2_400();
+  cfg.enable_refresh = false;
+  cfg.page_policy = PagePolicy::Open;  // plain RD + explicit PRE commands
+  DramSystem engine(cfg);
+  std::vector<Command> cmds;
+  std::vector<Tick> ticks;
+  Tick now = 0;
+  std::uint64_t row = 1;
+  while (cmds.size() < 24 && now < 10'000) {
+    engine.tick(now);
+    const Location loc{0, 0, 0, row, 0};
+    const Command cmd{engine.required_command(loc, AccessType::Read), loc, 0,
+                      0};
+    if (engine.can_issue(cmd, now)) {
+      engine.issue(cmd, now);
+      cmds.push_back(cmd);
+      ticks.push_back(now);
+      // A fresh row per read forces PRE -> ACT -> RD cycles, so all three
+      // command types appear in the recorded stream.
+      if (is_read_command(cmd.type)) ++row;
+    }
+    ++now;
+  }
+  ASSERT_GE(cmds.size(), 24u);
+
+  check::Recorder rec;
+  {
+    ProtocolChecker shadow(cfg);
+    for (std::size_t i = 0; i < cmds.size(); ++i) {
+      EXPECT_EQ(shadow.observe(cmds[i], ticks[i]), 0)
+          << "legal engine stream flagged at command " << i;
+    }
+    EXPECT_EQ(shadow.violations(), 0u);
+  }
+  EXPECT_EQ(rec.count(), 0u);
+
+  // Find an ACT immediately followed by its column command and move the
+  // column one tick inside tRCD.
+  std::size_t rd_at = 0;
+  for (std::size_t i = 0; i + 1 < cmds.size(); ++i) {
+    if (cmds[i].type == CommandType::Activate &&
+        is_read_command(cmds[i + 1].type)) {
+      rd_at = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(rd_at, 0u);
+  std::vector<Tick> tampered = ticks;
+  tampered[rd_at] = ticks[rd_at - 1] + engine.timings().rcd - 1;
+  ProtocolChecker shadow(cfg);
+  int flagged = 0;
+  for (std::size_t i = 0; i < cmds.size(); ++i) {
+    flagged += shadow.observe(cmds[i], tampered[i]);
+  }
+  EXPECT_GT(flagged, 0);
+  EXPECT_TRUE(rec.caught("tRCD")) << "violations recorded: " << rec.count();
+}
+
 // ---------------------------------------------------------------------------
 // Differential property: whatever the engine issues, the shadow agrees.
 

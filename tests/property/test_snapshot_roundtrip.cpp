@@ -313,6 +313,61 @@ TEST(SnapshotRoundtrip, CorruptAndTruncatedFilesFailLoudly) {
   std::remove((testing::TempDir() + "snap_corrupt_variant.bwps").c_str());
 }
 
+// A snapshot written by a pre-SoA build (format version 1) must be
+// rejected by version — loudly, naming both versions — before any payload
+// byte is interpreted under the new layout. The test forges a v1 file from
+// a valid v2 one (the version field lives at a fixed offset right after
+// the magic; the trailing checksum covers it, so it is recomputed the same
+// way write_profile_snapshot seals the file). A from-the-future version is
+// rejected the same way.
+TEST(SnapshotRoundtrip, OldFormatVersionRejectedLoudly) {
+  const std::vector<workload::BenchmarkSpec> mix =
+      workload::resolve_mix(workload::paper_mixes()[0]);
+  SystemConfig cfg;
+  PhaseConfig phases;
+  phases.warmup_cycles = 1'000;
+  phases.profile_cycles = 5'000;
+  phases.measure_cycles = 5'000;
+  const Experiment ex(cfg, mix, phases);
+  const std::string path = testing::TempDir() + "snap_version.bwps";
+  write_profile_snapshot(path, ex.capture_profile());
+
+  std::ifstream in(path, std::ios::binary);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 24u);
+
+  const auto with_version = [&](std::uint32_t v) {
+    std::vector<std::uint8_t> forged = bytes;
+    for (std::size_t i = 0; i < 4; ++i) {
+      forged[4 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    const std::uint64_t sum =
+        hash_bytes(forged.data(), forged.size() - 8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      forged[forged.size() - 8 + i] =
+          static_cast<std::uint8_t>(sum >> (8 * i));
+    }
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(reinterpret_cast<const char*>(forged.data()),
+             static_cast<std::streamsize>(forged.size()));
+  };
+
+  with_version(1);
+  try {
+    (void)read_profile_snapshot(path);
+    FAIL() << "v1 snapshot was accepted";
+  } catch (const snap::SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 2"), std::string::npos) << what;
+  }
+  with_version(99);
+  EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
+  std::remove(path.c_str());
+}
+
 // Restoring into a mismatched system (different app count) or a mismatched
 // experiment (different config fingerprint) fails loudly, not silently.
 TEST(SnapshotRoundtrip, MismatchedTargetsAreRejected) {
