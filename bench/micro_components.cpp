@@ -3,9 +3,14 @@
 // access throughput, trace generation, and whole-system simulation speed.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
 #include <memory>
 
 #include "cpu/cache.hpp"
+#include "harness/experiment.hpp"
 #include "harness/system.hpp"
 #include "mem/controller.hpp"
 #include "workload/mixes.hpp"
@@ -180,6 +185,65 @@ void BM_FullSystemCycle(benchmark::State& state) {
   state.counters["cores"] = static_cast<double>(apps.size());
 }
 BENCHMARK(BM_FullSystemCycle)->Arg(1)->Arg(2)->Arg(4);
+
+/// One post-profile snapshot at sharded-sweep scale (the quick-portfolio
+/// phases), captured once and reused by both snapshot benchmarks so the
+/// profile simulation cost stays out of the measured loop.
+const harness::ProfileSnapshot& sweep_snapshot() {
+  static const harness::ProfileSnapshot snap = [] {
+    harness::SystemConfig cfg;
+    harness::PhaseConfig phases;
+    phases.warmup_cycles = 20'000;
+    phases.profile_cycles = 100'000;
+    phases.measure_cycles = 100'000;
+    const auto apps = workload::resolve_mix(workload::fig1_mix());
+    return harness::Experiment(cfg, apps, phases).capture_profile();
+  }();
+  return snap;
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  // Cost of spooling one BWPS snapshot to disk (encode + checksum + write)
+  // — the per-config spool-phase overhead of a sharded sweep.
+  const harness::ProfileSnapshot& snap = sweep_snapshot();
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bwpart_bm_snapshot_" + std::to_string(::getpid()) + ".bwps"))
+          .string();
+  for (auto _ : state) {
+    harness::write_profile_snapshot(path, snap);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(snap.state.size()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotSave);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  // Read + checksum + decode of a spooled snapshot, then restoring the
+  // system-state blob into a fresh CmpSystem — what every shard worker
+  // pays per unit before its measure phase starts.
+  const harness::ProfileSnapshot& snap = sweep_snapshot();
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("bwpart_bm_snapshot_" + std::to_string(::getpid()) + ".bwps"))
+          .string();
+  harness::write_profile_snapshot(path, snap);
+  const harness::SystemConfig cfg;
+  const auto apps = workload::resolve_mix(workload::fig1_mix());
+  for (auto _ : state) {
+    const harness::ProfileSnapshot loaded =
+        harness::read_profile_snapshot(path);
+    harness::CmpSystem sys(cfg, apps, 42);
+    snap::Reader r(loaded.state);
+    sys.restore_state(r);
+    benchmark::DoNotOptimize(sys.now());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(snap.state.size()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotRestore);
 
 void BM_SchedulerOrderingCost(benchmark::State& state) {
   // Cost of the policy comparator itself on a synthetic queue.

@@ -17,15 +17,19 @@
 // divergence flag. The exit code is nonzero ONLY if an optimized path's
 // results diverge from the reference — a slow machine never fails the run,
 // so CI can gate on correctness while archiving the perf numbers.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "harness/differential.hpp"
+#include "harness/shard.hpp"
 #include "obs/hub.hpp"
 #include "workload/mixes.hpp"
 
@@ -110,6 +114,72 @@ SweepResult run_sweep_run_all(std::span<const workload::MixSpec> mixes,
   return out;
 }
 
+struct ShardSweepResult {
+  double seconds = 0.0;
+  double spool_seconds = 0.0;    ///< snapshot capture + write, unit publish
+  double measure_seconds = 0.0;  ///< worker loop (claim, restore, measure)
+  double merge_seconds = 0.0;    ///< result-shard merge + fingerprint chain
+  std::vector<std::uint64_t> fingerprints;
+};
+
+/// The same sweep through the sharded pipeline, in-process but on disk: one
+/// spool per invocation, every unit claimed/measured/shipped through the
+/// work-stealing queue by a single worker loop, then merged. Enumerates
+/// configs x schemes in the same order as the other sweeps, so the
+/// fingerprint sequences are directly comparable. This is where the
+/// per-phase wall time of a sharded sweep (spool write, worker measure,
+/// merge) comes from.
+ShardSweepResult run_sweep_sharded(std::span<const workload::MixSpec> mixes,
+                                   const harness::PhaseConfig& phases) {
+  namespace shard = harness::shard;
+  shard::Portfolio portfolio;
+  portfolio.name = "bench";
+  portfolio.schemes.assign(std::begin(core::kAllSchemes),
+                           std::end(core::kAllSchemes));
+  for (const workload::MixSpec& mix : mixes) {
+    shard::ShardConfig cfg;
+    cfg.mix = mix.name;
+    cfg.warmup_cycles = phases.warmup_cycles;
+    cfg.profile_cycles = phases.profile_cycles;
+    cfg.measure_cycles = phases.measure_cycles;
+    cfg.seed = phases.seed;
+    portfolio.configs.push_back(std::move(cfg));
+  }
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("bwpart_perf_spool_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  const shard::Spool spool(dir);
+  spool.init();
+
+  ShardSweepResult out;
+  const auto t0 = Clock::now();
+  const std::vector<shard::ShardUnit> units =
+      shard::enumerate_units(portfolio);
+  for (const shard::ShardConfig& cfg : portfolio.configs) {
+    const harness::Experiment experiment = shard::make_experiment(cfg);
+    spool.put_snapshot(experiment.config_fingerprint(),
+                       experiment.capture_profile());
+  }
+  for (const shard::ShardUnit& u : units) spool.publish(u);
+  const auto t1 = Clock::now();
+  shard::run_worker(dir);
+  const auto t2 = Clock::now();
+  const shard::MergedPortfolio merged = shard::merge(spool, portfolio);
+  const auto t3 = Clock::now();
+
+  out.spool_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.measure_seconds = std::chrono::duration<double>(t2 - t1).count();
+  out.merge_seconds = std::chrono::duration<double>(t3 - t2).count();
+  out.seconds = std::chrono::duration<double>(t3 - t0).count();
+  for (const shard::MergeRow& row : merged.rows) {
+    out.fingerprints.push_back(row.present ? row.result.fingerprint : 0);
+  }
+  std::filesystem::remove_all(dir);
+  return out;
+}
+
 /// First index where the two fingerprint sequences differ, or npos.
 std::size_t first_divergence(const std::vector<std::uint64_t>& a,
                              const std::vector<std::uint64_t>& b) {
@@ -168,14 +238,20 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "  %.3f s\nrunning snapshot/fork sweep (run_all)...\n",
                ref.seconds);
   const SweepResult sweep = run_sweep_run_all(mixes, opt.phases);
-  std::fprintf(stderr, "  %.3f s\n", sweep.seconds);
+  std::fprintf(stderr, "  %.3f s\nrunning sharded sweep (spool pipeline)...\n",
+               sweep.seconds);
+  const ShardSweepResult sharded = run_sweep_sharded(mixes, opt.phases);
+  std::fprintf(stderr, "  %.3f s\n", sharded.seconds);
 
   const std::size_t npos = static_cast<std::size_t>(-1);
   const std::size_t first_mismatch =
       first_divergence(fast.fingerprints, ref.fingerprints);
   const std::size_t sweep_mismatch =
       first_divergence(sweep.fingerprints, fast.fingerprints);
-  const bool identical = first_mismatch == npos && sweep_mismatch == npos;
+  const std::size_t sharded_mismatch =
+      first_divergence(sharded.fingerprints, fast.fingerprints);
+  const bool identical = first_mismatch == npos && sweep_mismatch == npos &&
+                         sharded_mismatch == npos;
 
   const double speedup =
       fast.seconds > 0.0 ? ref.seconds / fast.seconds : 0.0;
@@ -205,20 +281,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 2;
   }
-  // Schema 4: adds the per-mix breakdown ("mixes" array with each mix's
-  // fast/reference wall time and speedup) so CI and EXPERIMENTS.md can see
-  // which mixes regress, not just the aggregate. Schema 3 added the
-  // snapshot/fork sweep-engine numbers inside "sweep"; schema 2 added
-  // per-phase wall-clock attribution (schema 1 folded warm-up into
-  // "seconds"). All older keys keep their old meaning so existing
-  // consumers read the file unchanged.
+  // Schema 5: the sweep section gains "sharded" — per-phase wall time of
+  // the same sweep through the on-disk shard pipeline (snapshot spool
+  // write, worker measure loop, result-shard merge), proven bit-identical
+  // alongside the other engines. Schema 4 added the per-mix breakdown
+  // ("mixes" array with each mix's fast/reference wall time and speedup);
+  // schema 3 added the snapshot/fork sweep-engine numbers inside "sweep";
+  // schema 2 added per-phase wall-clock attribution (schema 1 folded
+  // warm-up into "seconds"). All older keys keep their old meaning so
+  // existing consumers read the file unchanged.
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 4,\n"
+               "  \"schema\": 5,\n"
                "  \"sweep\": {\"mixes\": %zu, \"schemes\": %zu, "
                "\"runs\": %zu, \"simulated_cycles\": %llu,\n"
                "    \"run_all_seconds\": %.6f, \"per_scheme_seconds\": %.6f, "
-               "\"speedup\": %.3f, \"snapshot_reuse\": %s},\n"
+               "\"speedup\": %.3f, \"snapshot_reuse\": %s,\n"
+               "    \"sharded\": {\"seconds\": %.6f, "
+               "\"spool_seconds\": %.6f, \"measure_seconds\": %.6f, "
+               "\"merge_seconds\": %.6f}},\n"
                "  \"fast_forward\": {\"seconds\": %.6f, "
                "\"cycles_per_second\": %.0f,\n"
                "    \"warmup_seconds\": %.6f, \"profile_seconds\": %.6f, "
@@ -235,6 +316,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(fast.simulated_cycles),
                sweep.seconds, fast.seconds, sweep_speedup,
                harness::kSnapshotEnabled ? "true" : "false",
+               sharded.seconds, sharded.spool_seconds,
+               sharded.measure_seconds, sharded.merge_seconds,
                fast.seconds, fast_cps, fast.warmup_seconds,
                fast.profile_seconds, fast.measure_seconds, ref.seconds,
                ref_cps, ref.warmup_seconds, ref.profile_seconds,
@@ -269,6 +352,10 @@ int main(int argc, char** argv) {
   std::printf("run_all:      %8.3f s  (sweep speedup %.2fx, snapshot reuse %s)\n",
               sweep.seconds, sweep_speedup,
               harness::kSnapshotEnabled ? "on" : "off");
+  std::printf("sharded:      %8.3f s  (spool %.3f s, measure %.3f s, "
+              "merge %.3f s)\n",
+              sharded.seconds, sharded.spool_seconds,
+              sharded.measure_seconds, sharded.merge_seconds);
   for (std::size_t i = 0; i < mixes.size(); ++i) {
     const double mix_speedup = fast.mix_seconds[i] > 0.0
                                    ? ref.mix_seconds[i] / fast.mix_seconds[i]
@@ -289,6 +376,13 @@ int main(int argc, char** argv) {
                  "DIVERGENCE: run_all sweep results differ from the "
                  "per-scheme runs (first mismatch at run %zu)\n",
                  sweep_mismatch);
+    return 1;
+  }
+  if (sharded_mismatch != npos) {
+    std::fprintf(stderr,
+                 "DIVERGENCE: sharded spool-pipeline results differ from "
+                 "the per-scheme runs (first mismatch at run %zu)\n",
+                 sharded_mismatch);
     return 1;
   }
   std::printf("results bit-identical across %zu runs\n",

@@ -1,12 +1,26 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
 
 namespace bwpart {
 
+std::size_t parallelism_cap() {
+  // Read per call (not cached) so tests and long-lived hosts can adjust the
+  // guard; getenv is a few nanoseconds against a multi-second sweep.
+  const char* env = std::getenv("BWPART_SWEEP_THREADS");
+  if (env == nullptr || *env == '\0') return SIZE_MAX;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return SIZE_MAX;  // malformed
+  return static_cast<std::size_t>(v);
+}
+
 std::size_t default_parallelism(std::size_t jobs) {
   const unsigned hw = std::thread::hardware_concurrency();
-  const std::size_t cap = hw == 0 ? 1 : hw;
+  const std::size_t cap =
+      std::min<std::size_t>(hw == 0 ? 1 : hw, parallelism_cap());
   return std::max<std::size_t>(1, std::min(jobs, cap));
 }
 

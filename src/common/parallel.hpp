@@ -11,16 +11,27 @@
 
 namespace bwpart {
 
-/// Number of worker threads to use for a sweep of `jobs` items.
+/// Hard ceiling on parallel_for workers, read from BWPART_SWEEP_THREADS.
+/// The sharded sweep orchestrator sets it in worker processes so that
+/// (worker processes) x (threads per worker) never oversubscribes the
+/// machine; users can export it to pin any host. Unset, empty, zero or
+/// malformed values mean "no cap" (SIZE_MAX).
+std::size_t parallelism_cap();
+
+/// Number of worker threads to use for a sweep of `jobs` items (hardware
+/// concurrency clamped by parallelism_cap()).
 std::size_t default_parallelism(std::size_t jobs);
 
 /// Runs fn(i) for every i in [0, n) across up to `threads` workers using
 /// atomic work-stealing of indices. fn must not throw; items must be
 /// independent. Blocks until all items finish. With threads <= 1 the loop
-/// runs inline (deterministic debugging path).
+/// runs inline (deterministic debugging path). Explicit `threads` requests
+/// are clamped by parallelism_cap() too — the oversubscription guard wins
+/// over call sites.
 template <typename Fn>
 void parallel_for(std::size_t n, Fn&& fn, std::size_t threads = 0) {
   if (threads == 0) threads = default_parallelism(n);
+  threads = threads < parallelism_cap() ? threads : parallelism_cap();
   if (n == 0) return;
   if (threads <= 1 || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);

@@ -102,22 +102,29 @@ RunResult Experiment::measure_phase(
     CmpSystem& sys, core::Scheme scheme, std::vector<core::AppParams> params,
     std::span<const double> shares_override) const {
   const std::size_t n = apps_.size();
-  std::unique_ptr<mem::Scheduler> sched;
-  if (!shares_override.empty()) {
-    auto stf = std::make_unique<mem::StartTimeFairScheduler>(
-        n, cfg_.dstf_row_hit_window);
-    stf->set_shares(shares_override);
-    sched = std::move(stf);
-  } else {
-    sched = make_scheduler(scheme, n, params, cfg_.dstf_row_hit_window);
+  // Every controller gets its own enforcement scheduler instance carrying
+  // the globally computed shares/ranks: DSTF virtual time only advances for
+  // the applications actually issuing to that controller, so each
+  // controller independently partitions its bandwidth among its local
+  // subset (per-controller DSTF enforcement).
+  for (std::size_t c = 0; c < sys.num_controllers(); ++c) {
+    std::unique_ptr<mem::Scheduler> sched;
+    if (!shares_override.empty()) {
+      auto stf = std::make_unique<mem::StartTimeFairScheduler>(
+          n, cfg_.dstf_row_hit_window);
+      stf->set_shares(shares_override);
+      sched = std::move(stf);
+    } else {
+      sched = make_scheduler(scheme, n, params, cfg_.dstf_row_hit_window);
+    }
+    sys.controller(c).replace_scheduler(std::move(sched));
+    // Partitioned schemes use per-application queue slices (QoS-style
+    // controllers); No_partitioning keeps the classic shared FCFS queue.
+    sys.controller(c).set_admission_mode(
+        scheme == core::Scheme::NoPartitioning && shares_override.empty()
+            ? mem::AdmissionMode::Shared
+            : mem::AdmissionMode::PerApp);
   }
-  sys.controller().replace_scheduler(std::move(sched));
-  // Partitioned schemes use per-application queue slices (QoS-style
-  // controllers); No_partitioning keeps the classic shared FCFS queue.
-  sys.controller().set_admission_mode(
-      scheme == core::Scheme::NoPartitioning && shares_override.empty()
-          ? mem::AdmissionMode::Shared
-          : mem::AdmissionMode::PerApp);
   sys.reset_measurement();
   {
     obs::ScopedSpan span =
@@ -135,7 +142,9 @@ RunResult Experiment::measure_phase(
         sys.run(chunk);
         done += chunk;
         if (auto fresh = rolling.update(done, sys.profiler_counters())) {
-          apply_scheme(sys.controller().scheduler(), scheme, *fresh);
+          for (std::size_t c = 0; c < sys.num_controllers(); ++c) {
+            apply_scheme(sys.controller(c).scheduler(), scheme, *fresh);
+          }
           params = std::move(*fresh);
         }
       }
@@ -152,7 +161,7 @@ RunResult Experiment::measure_phase(
   r.ipc_shared = sys.measured_ipc();
   r.apc_shared = sys.measured_apc();
   r.total_apc = sys.measured_total_apc();
-  r.bus_utilization = sys.controller().dram().stats().bus_utilization();
+  r.bus_utilization = sys.bus_utilization();
 
   std::vector<double> ipc_alone;
   ipc_alone.reserve(n);

@@ -1,0 +1,638 @@
+#include "harness/shard.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "harness/differential.hpp"
+
+namespace bwpart::harness::shard {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kUnitHeader[] = "bwpart-shard-unit v1";
+constexpr std::uint32_t kResultVersion = 1;
+constexpr char kUnitExt[] = ".unit";
+constexpr char kResultExt[] = ".bwrr";
+
+core::Scheme parse_scheme(const std::string& name) {
+  for (core::Scheme s : core::kAllSchemes) {
+    if (core::to_string(s) == name) return s;
+  }
+  throw snap::SnapshotError("unit spec names unknown scheme '" + name + "'");
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* field) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw snap::SnapshotError(std::string("unit spec field '") + field +
+                              "' is not an unsigned integer: '" + text + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_hex64(const std::string& text, const char* field) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text.c_str(), &end, 16);
+  if (end == text.c_str() || *end != '\0') {
+    throw snap::SnapshotError(std::string("unit spec field '") + field +
+                              "' is not a hex integer: '" + text + "'");
+  }
+  return v;
+}
+
+/// Lists the keys (stems) of every regular file in `dir` carrying `ext`.
+/// Entries may vanish mid-scan (another process renamed them); those are
+/// simply skipped.
+std::vector<std::string> list_keys(const fs::path& dir, const char* ext) {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return keys;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(dir, ec)) {
+    const fs::path& p = entry.path();
+    if (p.extension() == ext) keys.push_back(p.stem().string());
+  }
+  return keys;
+}
+
+void write_file_atomically(const fs::path& final_path,
+                           const void* data, std::size_t size) {
+  const fs::path tmp =
+      final_path.parent_path() /
+      (".tmp." + std::to_string(::getpid()) + "." +
+       final_path.filename().string());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    snap::require(out.good(), "cannot open spool temp file for writing");
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    out.flush();
+    snap::require(out.good(), "write to spool temp file failed");
+  }
+  fs::rename(tmp, final_path);
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  snap::require(in.good(), "cannot open spool file for reading");
+  std::vector<std::uint8_t> raw((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  snap::require(!in.bad(), "read from spool file failed");
+  return raw;
+}
+
+/// Refreshes a file's mtime; ignores failure (the file may have been
+/// renamed away by a concurrent steal — benign, see the claim protocol).
+void touch(const fs::path& path) {
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+}
+
+std::uint64_t hash_u64(std::uint64_t v, std::uint64_t h) {
+  return hash_bytes(&v, sizeof(v), h);
+}
+
+}  // namespace
+
+SystemConfig shard_machine(const ShardConfig& cfg) {
+  SystemConfig machine;
+  if (cfg.dram == "ddr2_400") {
+    machine.dram = dram::DramConfig::ddr2_400();
+  } else if (cfg.dram == "ddr2_800") {
+    machine.dram = dram::DramConfig::ddr2_800();
+  } else if (cfg.dram == "ddr2_1600") {
+    machine.dram = dram::DramConfig::ddr2_1600();
+  } else {
+    throw std::invalid_argument("unknown DRAM grade '" + cfg.dram +
+                                "' (expect ddr2_400|ddr2_800|ddr2_1600)");
+  }
+  machine.num_controllers = cfg.controllers;
+  return machine;
+}
+
+std::vector<workload::BenchmarkSpec> shard_apps(const ShardConfig& cfg) {
+  for (const workload::MixSpec& m : workload::paper_mixes()) {
+    if (m.name == cfg.mix) return workload::resolve_mix(m, cfg.copies);
+  }
+  throw std::invalid_argument("unknown mix '" + cfg.mix + "'");
+}
+
+PhaseConfig shard_phases(const ShardConfig& cfg) {
+  PhaseConfig ph;
+  ph.warmup_cycles = cfg.warmup_cycles;
+  ph.profile_cycles = cfg.profile_cycles;
+  ph.measure_cycles = cfg.measure_cycles;
+  ph.seed = cfg.seed;
+  return ph;
+}
+
+Experiment make_experiment(const ShardConfig& cfg) {
+  return Experiment(shard_machine(cfg), shard_apps(cfg), shard_phases(cfg));
+}
+
+std::string fp_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fp);
+  return buf;
+}
+
+std::string unit_key(std::uint64_t config_fp, core::Scheme scheme) {
+  // Keys double as file names, so the paper's "2/3_power" scheme name must
+  // lose its slash.
+  std::string slug = core::to_string(scheme);
+  for (char& c : slug) {
+    if (c == '/') c = '_';
+  }
+  return fp_hex(config_fp) + "-" + slug;
+}
+
+Portfolio make_portfolio(const std::string& name) {
+  Portfolio p;
+  p.name = name;
+  p.schemes.assign(std::begin(core::kAllSchemes),
+                   std::end(core::kAllSchemes));
+  auto mix_cfg = [](std::string_view mix) {
+    ShardConfig c;
+    c.mix = mix;
+    return c;
+  };
+  if (name == "quick") {
+    // CI smoke scale: two contrasting mixes, short windows.
+    for (const char* mix : {"hetero-5", "homo-1"}) {
+      ShardConfig c = mix_cfg(mix);
+      c.warmup_cycles = 20'000;
+      c.profile_cycles = 100'000;
+      c.measure_cycles = 100'000;
+      p.configs.push_back(std::move(c));
+    }
+  } else if (name == "table4") {
+    // All 14 Table IV mixes at exactly the golden-corpus phase settings
+    // (tests/golden/fingerprints.json), so the 98 merged fingerprints are
+    // directly comparable against the committed corpus.
+    for (const workload::MixSpec& m : workload::paper_mixes()) {
+      ShardConfig c = mix_cfg(m.name);
+      c.warmup_cycles = 20'000;
+      c.profile_cycles = 100'000;
+      c.measure_cycles = 100'000;
+      p.configs.push_back(std::move(c));
+    }
+  } else if (name == "portfolio64") {
+    // Scale-out headline: 64 applications (16 copies of the Fig. 1 mix) on
+    // 4 independent memory controllers of DDR2-1600.
+    ShardConfig c = mix_cfg("hetero-5");
+    c.copies = 16;
+    c.controllers = 4;
+    c.dram = "ddr2_1600";
+    c.warmup_cycles = 20'000;
+    c.profile_cycles = 100'000;
+    c.measure_cycles = 100'000;
+    p.configs.push_back(std::move(c));
+  } else {
+    throw std::invalid_argument("unknown portfolio '" + name +
+                                "' (expect quick|table4|portfolio64)");
+  }
+  return p;
+}
+
+std::vector<ShardUnit> enumerate_units(const Portfolio& portfolio) {
+  std::vector<ShardUnit> units;
+  units.reserve(portfolio.configs.size() * portfolio.schemes.size());
+  for (const ShardConfig& cfg : portfolio.configs) {
+    const std::uint64_t fp = config_fingerprint(
+        shard_machine(cfg), shard_apps(cfg), shard_phases(cfg));
+    for (core::Scheme scheme : portfolio.schemes) {
+      ShardUnit u;
+      u.cfg = cfg;
+      u.scheme = scheme;
+      u.config_fp = fp;
+      u.key = unit_key(fp, scheme);
+      units.push_back(std::move(u));
+    }
+  }
+  return units;
+}
+
+std::string encode_unit_spec(const ShardUnit& unit) {
+  std::ostringstream os;
+  os << kUnitHeader << '\n'
+     << "mix " << unit.cfg.mix << '\n'
+     << "copies " << unit.cfg.copies << '\n'
+     << "dram " << unit.cfg.dram << '\n'
+     << "controllers " << unit.cfg.controllers << '\n'
+     << "warmup " << unit.cfg.warmup_cycles << '\n'
+     << "profile " << unit.cfg.profile_cycles << '\n'
+     << "measure " << unit.cfg.measure_cycles << '\n'
+     << "seed " << unit.cfg.seed << '\n'
+     << "scheme " << core::to_string(unit.scheme) << '\n'
+     << "config_fp " << fp_hex(unit.config_fp) << '\n';
+  return os.str();
+}
+
+ShardUnit parse_unit_spec(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  snap::require(static_cast<bool>(std::getline(is, line)) &&
+                    line == kUnitHeader,
+                "unit spec missing its header line");
+  std::map<std::string, std::string> fields;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    snap::require(space != std::string::npos && space + 1 < line.size(),
+                  "unit spec line is not 'key value'");
+    fields[line.substr(0, space)] = line.substr(space + 1);
+  }
+  auto want = [&](const char* key) -> const std::string& {
+    const auto it = fields.find(key);
+    if (it == fields.end()) {
+      throw snap::SnapshotError(std::string("unit spec missing field '") +
+                                key + "'");
+    }
+    return it->second;
+  };
+
+  ShardUnit u;
+  u.cfg.mix = want("mix");
+  u.cfg.copies = static_cast<std::uint32_t>(parse_u64(want("copies"),
+                                                      "copies"));
+  u.cfg.dram = want("dram");
+  u.cfg.controllers =
+      static_cast<std::size_t>(parse_u64(want("controllers"), "controllers"));
+  u.cfg.warmup_cycles = parse_u64(want("warmup"), "warmup");
+  u.cfg.profile_cycles = parse_u64(want("profile"), "profile");
+  u.cfg.measure_cycles = parse_u64(want("measure"), "measure");
+  u.cfg.seed = parse_u64(want("seed"), "seed");
+  u.scheme = parse_scheme(want("scheme"));
+  u.config_fp = parse_hex64(want("config_fp"), "config_fp");
+  u.key = unit_key(u.config_fp, u.scheme);
+  return u;
+}
+
+std::vector<std::uint8_t> encode_result_shard(const UnitResult& result) {
+  snap::Writer w;
+  w.tag("BWRR");
+  w.u32(kResultVersion);
+  w.str(result.key);
+  w.u64(result.config_fp);
+  const RunResult& r = result.result;
+  w.str(core::to_string(r.scheme));
+  w.sz(r.params.size());
+  for (const core::AppParams& p : r.params) {
+    w.f64(p.apc_alone);
+    w.f64(p.api);
+  }
+  w.sz(r.ipc_shared.size());
+  for (double v : r.ipc_shared) w.f64(v);
+  w.sz(r.apc_shared.size());
+  for (double v : r.apc_shared) w.f64(v);
+  w.f64(r.total_apc);
+  w.f64(r.bus_utilization);
+  w.f64(r.hsp);
+  w.f64(r.wsp);
+  w.f64(r.ipcsum);
+  w.f64(r.min_fairness);
+  w.u64(result.fingerprint);
+  const std::span<const std::uint8_t> body = w.bytes();
+  w.u64(hash_bytes(body.data(), body.size()));
+  return w.take();
+}
+
+UnitResult decode_result_shard(std::span<const std::uint8_t> bytes) {
+  snap::require(bytes.size() > 8, "result shard too short for a checksum");
+  const std::uint64_t want =
+      hash_bytes(bytes.data(), bytes.size() - 8);
+
+  snap::Reader r(bytes);
+  r.expect_tag("BWRR");
+  snap::require(r.u32() == kResultVersion,
+                "unsupported result shard version");
+  UnitResult out;
+  out.key = r.str();
+  out.config_fp = r.u64();
+  RunResult& res = out.result;
+  res.scheme = parse_scheme(r.str());
+  res.params.resize(r.sz());
+  for (core::AppParams& p : res.params) {
+    p.apc_alone = r.f64();
+    p.api = r.f64();
+  }
+  res.ipc_shared.resize(r.sz());
+  for (double& v : res.ipc_shared) v = r.f64();
+  res.apc_shared.resize(r.sz());
+  for (double& v : res.apc_shared) v = r.f64();
+  res.total_apc = r.f64();
+  res.bus_utilization = r.f64();
+  res.hsp = r.f64();
+  res.wsp = r.f64();
+  res.ipcsum = r.f64();
+  res.min_fairness = r.f64();
+  out.fingerprint = r.u64();
+  snap::require(r.u64() == want,
+                "result shard checksum mismatch (file corrupted)");
+  snap::require(r.at_end(), "trailing bytes after result shard checksum");
+  snap::require(out.fingerprint == fingerprint(res),
+                "result shard fingerprint disagrees with its decoded fields "
+                "(encoding drift or corruption)");
+  return out;
+}
+
+// --- Spool ---
+
+Spool::Spool(fs::path root) : root_(std::move(root)) {}
+
+void Spool::init() const {
+  for (const char* sub : {"snapshots", "units", "claims", "results",
+                          "marks"}) {
+    fs::create_directories(root_ / sub);
+  }
+}
+
+void Spool::write_manifest(const Portfolio& portfolio) const {
+  std::ostringstream os;
+  os << "bwpart-shard-spool v1\nportfolio " << portfolio.name << '\n';
+  for (const ShardConfig& cfg : portfolio.configs) {
+    os << "config " << cfg.mix << " x" << cfg.copies << " " << cfg.dram
+       << " controllers=" << cfg.controllers << " warmup=" << cfg.warmup_cycles
+       << " profile=" << cfg.profile_cycles
+       << " measure=" << cfg.measure_cycles << " seed=" << cfg.seed << '\n';
+  }
+  const std::string text = os.str();
+  write_file_atomically(root_ / "manifest.txt", text.data(), text.size());
+}
+
+fs::path Spool::snapshot_path(std::uint64_t config_fp) const {
+  return root_ / "snapshots" / (fp_hex(config_fp) + ".bwps");
+}
+
+bool Spool::has_snapshot(std::uint64_t config_fp) const {
+  std::error_code ec;
+  return fs::exists(snapshot_path(config_fp), ec);
+}
+
+void Spool::put_snapshot(std::uint64_t config_fp,
+                         const ProfileSnapshot& snapshot) const {
+  const fs::path final_path = snapshot_path(config_fp);
+  const fs::path tmp = final_path.parent_path() /
+                       (".tmp." + std::to_string(::getpid()) + "." +
+                        final_path.filename().string());
+  write_profile_snapshot(tmp.string(), snapshot);
+  fs::rename(tmp, final_path);
+}
+
+ProfileSnapshot Spool::get_snapshot(std::uint64_t config_fp) const {
+  return read_profile_snapshot(snapshot_path(config_fp).string());
+}
+
+fs::path Spool::todo_path(const std::string& key) const {
+  return root_ / "units" / (key + kUnitExt);
+}
+
+fs::path Spool::claim_path(const std::string& key) const {
+  return root_ / "claims" / (key + kUnitExt);
+}
+
+fs::path Spool::result_path(const std::string& key) const {
+  return root_ / "results" / (key + kResultExt);
+}
+
+bool Spool::publish(const ShardUnit& unit) const {
+  std::error_code ec;
+  if (fs::exists(result_path(unit.key), ec) ||
+      fs::exists(claim_path(unit.key), ec) ||
+      fs::exists(todo_path(unit.key), ec)) {
+    return false;
+  }
+  const std::string spec = encode_unit_spec(unit);
+  write_file_atomically(todo_path(unit.key), spec.data(), spec.size());
+  return true;
+}
+
+std::optional<ClaimedUnit> Spool::claim() const {
+  for (const std::string& key : list_keys(root_ / "units", kUnitExt)) {
+    std::error_code ec;
+    if (has_result(key)) {
+      // A stolen-then-finished unit can leave a stray todo behind; retire
+      // it instead of re-running work that already has a result.
+      fs::remove(todo_path(key), ec);
+      continue;
+    }
+    fs::rename(todo_path(key), claim_path(key), ec);
+    if (ec) continue;  // lost the race to another worker
+    // rename(2) preserves mtime, so a freshly claimed unit stolen from a
+    // stale lease would instantly look stale again without this touch.
+    touch(claim_path(key));
+    const std::vector<std::uint8_t> spec = read_file(claim_path(key));
+    ClaimedUnit c;
+    c.unit = parse_unit_spec(
+        std::string(reinterpret_cast<const char*>(spec.data()), spec.size()));
+    c.lease = claim_path(key);
+    return c;
+  }
+  return std::nullopt;
+}
+
+void Spool::heartbeat(const ClaimedUnit& claim) const { touch(claim.lease); }
+
+void Spool::complete(const ClaimedUnit& claim,
+                     const UnitResult& result) const {
+  const std::vector<std::uint8_t> shard = encode_result_shard(result);
+  write_file_atomically(result_path(result.key), shard.data(), shard.size());
+  std::error_code ec;
+  fs::remove(claim.lease, ec);  // may already be stolen — benign
+}
+
+void Spool::abandon(const ClaimedUnit& claim) const {
+  std::error_code ec;
+  fs::rename(claim.lease, todo_path(claim.unit.key), ec);
+}
+
+std::size_t Spool::steal_stale(std::chrono::milliseconds lease) const {
+  static std::atomic<unsigned> steal_seq{0};
+  std::size_t stolen = 0;
+  const auto now = fs::file_time_type::clock::now();
+  for (const std::string& key : list_keys(root_ / "claims", kUnitExt)) {
+    std::error_code ec;
+    const auto mtime = fs::last_write_time(claim_path(key), ec);
+    if (ec) continue;  // completed or stolen meanwhile
+    if (now - mtime <= lease) continue;
+    fs::rename(claim_path(key), todo_path(key), ec);
+    if (ec) continue;  // lost the race to another stealer
+    ++stolen;
+    const fs::path mark =
+        root_ / "marks" /
+        ("steal." + key + "." + std::to_string(::getpid()) + "." +
+         std::to_string(steal_seq.fetch_add(1)));
+    std::ofstream(mark).put('\n');
+  }
+  return stolen;
+}
+
+bool Spool::has_result(const std::string& key) const {
+  std::error_code ec;
+  return fs::exists(result_path(key), ec);
+}
+
+UnitResult Spool::read_result(const std::string& key) const {
+  return decode_result_shard(read_file(result_path(key)));
+}
+
+std::vector<std::string> Spool::todo_keys() const {
+  return list_keys(root_ / "units", kUnitExt);
+}
+
+std::vector<std::string> Spool::claimed_keys() const {
+  return list_keys(root_ / "claims", kUnitExt);
+}
+
+std::vector<std::string> Spool::result_keys() const {
+  return list_keys(root_ / "results", kResultExt);
+}
+
+std::size_t Spool::steal_count() const {
+  std::error_code ec;
+  std::size_t n = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(root_ / "marks", ec)) {
+    (void)entry;
+    ++n;
+  }
+  return n;
+}
+
+// --- worker loop ---
+
+namespace {
+
+/// Touches the lease every quarter-interval until told to stop, so a
+/// healthy worker's lease never looks stale however long one measure phase
+/// takes.
+class LeaseHeartbeat {
+ public:
+  LeaseHeartbeat(const Spool& spool, const ClaimedUnit& claim,
+                 std::chrono::milliseconds lease)
+      : thread_([this, &spool, &claim, lease] {
+          std::unique_lock<std::mutex> lock(mu_);
+          while (!cv_.wait_for(lock, lease / 4, [this] { return done_; })) {
+            spool.heartbeat(claim);
+          }
+        }) {}
+  ~LeaseHeartbeat() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread thread_;
+};
+
+/// Runs one claimed unit: load (or self-heal) the config's snapshot, fork
+/// the scheme's measure phase from it, ship the result shard.
+void run_unit(const Spool& spool, const ClaimedUnit& claim,
+              WorkerReport& report, std::chrono::milliseconds lease) {
+  const ShardUnit& unit = claim.unit;
+  const Experiment experiment = make_experiment(unit.cfg);
+  snap::require(experiment.config_fingerprint() == unit.config_fp,
+                "unit spec fingerprint disagrees with its rebuilt "
+                "configuration (spec drift between builds)");
+
+  LeaseHeartbeat heartbeat(spool, claim, lease);
+
+  std::optional<ProfileSnapshot> snapshot;
+  if (spool.has_snapshot(unit.config_fp)) {
+    try {
+      snapshot = spool.get_snapshot(unit.config_fp);
+      if (snapshot->config_fp != unit.config_fp) snapshot.reset();
+    } catch (const snap::SnapshotError&) {
+      snapshot.reset();  // truncated/corrupt — self-heal below
+    }
+  }
+  if (!snapshot) {
+    // The orchestrator died before spooling this config's snapshot (or the
+    // file is damaged): re-capture it here. Deterministic, so the healed
+    // snapshot is byte-equivalent to the one the orchestrator would have
+    // written.
+    snapshot = experiment.capture_profile();
+    try {
+      spool.put_snapshot(unit.config_fp, *snapshot);
+    } catch (...) {
+      // Publication is an optimization for sibling workers; measuring from
+      // the in-memory snapshot needs no file.
+    }
+    ++report.healed;
+  }
+
+  UnitResult result;
+  result.key = unit.key;
+  result.config_fp = unit.config_fp;
+  result.result = experiment.measure_from(*snapshot, unit.scheme);
+  result.fingerprint = fingerprint(result.result);
+  spool.complete(claim, result);
+  ++report.completed;
+}
+
+}  // namespace
+
+WorkerReport run_worker(const fs::path& spool_root,
+                        const WorkerOptions& options) {
+  const Spool spool(spool_root);
+  WorkerReport report;
+  for (;;) {
+    if (std::optional<ClaimedUnit> claim = spool.claim()) {
+      run_unit(spool, *claim, report, options.lease);
+      continue;
+    }
+    // Nothing claimable. Re-arm dead siblings' units, then decide whether
+    // the spool has drained or we should wait for outstanding claims.
+    report.stolen += spool.steal_stale(options.lease);
+    if (!spool.todo_keys().empty()) continue;
+    if (spool.claimed_keys().empty()) break;
+    std::this_thread::sleep_for(options.poll);
+  }
+  return report;
+}
+
+MergedPortfolio merge(const Spool& spool, const Portfolio& portfolio) {
+  MergedPortfolio merged;
+  merged.portfolio_fp = 0xcbf29ce484222325ULL;
+  for (ShardUnit& unit : enumerate_units(portfolio)) {
+    MergeRow row;
+    row.unit = std::move(unit);
+    if (spool.has_result(row.unit.key)) {
+      row.result = spool.read_result(row.unit.key);
+      snap::require(row.result.key == row.unit.key &&
+                        row.result.config_fp == row.unit.config_fp,
+                    "result shard identity disagrees with its unit");
+      row.present = true;
+      merged.portfolio_fp = hash_u64(row.result.fingerprint,
+                                     merged.portfolio_fp);
+    } else {
+      ++merged.missing;
+    }
+    merged.rows.push_back(std::move(row));
+  }
+  return merged;
+}
+
+}  // namespace bwpart::harness::shard

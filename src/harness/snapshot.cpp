@@ -17,7 +17,11 @@ constexpr char kMagic[4] = {'B', 'W', 'P', 'S'};
 // the serialized system-state layout. v1 files decode into garbage under
 // the new layout, so they are rejected by version before any payload byte
 // is interpreted.
-constexpr std::uint32_t kFormatVersion = 2;
+// v3: the multi-controller scale-out generalization serializes a
+// controller count plus one controller blob per controller (and
+// SystemConfig::num_controllers joined the config fingerprint), so v2
+// payloads no longer decode; same loud rejection.
+constexpr std::uint32_t kFormatVersion = 3;
 
 std::uint64_t hash_u64(std::uint64_t v, std::uint64_t h) {
   return hash_bytes(&v, sizeof(v), h);
@@ -99,6 +103,7 @@ std::uint64_t config_fingerprint(const SystemConfig& cfg,
   h = hash_u64(cfg.queue_capacity_per_app, h);
   h = hash_u64(cfg.queue_capacity_shared, h);
   h = hash_f64(cfg.dstf_row_hit_window, h);
+  h = hash_u64(cfg.num_controllers, h);
 
   h = hash_u64(apps.size(), h);
   for (const workload::BenchmarkSpec& b : apps) {
@@ -184,8 +189,9 @@ ProfileSnapshot read_profile_snapshot(const std::string& path) {
         "unsupported BWPS snapshot format version " +
         std::to_string(version) + " (this build reads version " +
         std::to_string(kFormatVersion) +
-        "; v1 predates the SoA DRAM/controller state layout — re-capture "
-        "the snapshot with this build)");
+        "; v1 predates the SoA DRAM/controller state layout and v2 the "
+        "multi-controller system layout — re-capture the snapshot with "
+        "this build)");
   }
 
   ProfileSnapshot s;

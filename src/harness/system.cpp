@@ -70,14 +70,24 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
       interference_(static_cast<std::uint32_t>(apps.size())) {
   BWPART_ASSERT(!apps_.empty(), "system needs at least one app");
   const auto n = static_cast<std::uint32_t>(apps_.size());
+  BWPART_ASSERT(cfg_.num_controllers >= 1 && cfg_.num_controllers <= n,
+                "need 1 <= num_controllers <= app count");
   // Systems start under No_partitioning (FCFS); experiments swap the
-  // scheduler at phase boundaries via controller().replace_scheduler().
-  controller_ = std::make_unique<mem::MemoryController>(
-      cfg_.dram, cfg_.cpu_clock, n, std::make_unique<mem::FcfsScheduler>(),
-      cfg_.queue_capacity_per_app, dram::MapScheme::ChanRowColBankRank,
-      cfg_.queue_capacity_shared, mem::AdmissionMode::Shared);
-  controller_->set_fast_forward(cfg_.fast_forward);
-  controller_->set_interference_observer(&interference_);
+  // scheduler at phase boundaries via controller(c).replace_scheduler().
+  // Every controller is built over the global application-id space (only
+  // its round-robin subset ever enqueues), so no id remapping exists
+  // anywhere: requests, stats and interference attribution all use the
+  // global AppId.
+  controllers_.reserve(cfg_.num_controllers);
+  for (std::size_t c = 0; c < cfg_.num_controllers; ++c) {
+    controllers_.push_back(std::make_unique<mem::MemoryController>(
+        cfg_.dram, cfg_.cpu_clock, n, std::make_unique<mem::FcfsScheduler>(),
+        cfg_.queue_capacity_per_app, dram::MapScheme::ChanRowColBankRank,
+        cfg_.queue_capacity_shared, mem::AdmissionMode::Shared));
+    controllers_.back()->set_fast_forward(cfg_.fast_forward);
+    controllers_.back()->set_interference_observer(&interference_);
+  }
+  ctrl_due_.assign(controllers_.size(), 0);
 
   traces_.reserve(n);
   cores_.reserve(n);
@@ -86,13 +96,13 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
         workload::SyntheticTraceGenerator::from_benchmark(apps_[a], a, seed)));
     cpu::CoreConfig cc = cfg_.core;
     cc.nonmem_ipc = apps_[a].nonmem_ipc;
-    cores_.push_back(std::make_unique<cpu::OoOCore>(a, cc, *traces_[a],
-                                                    *controller_));
+    cores_.push_back(std::make_unique<cpu::OoOCore>(
+        a, cc, *traces_[a], *controllers_[a % controllers_.size()]));
   }
   sleep_until_.assign(n, 0);
   slept_from_.assign(n, 0);
   sleep_kind_.assign(n, cpu::SleepFlavor::kStallOwn);
-  controller_->set_completion_callback(
+  const auto on_complete =
       [this](const mem::MemRequest& req, Cycle done_cpu) {
         // A read completion writes the load queue the deterministic-window
         // replay reads. In the reference loop the core's ticks at cycles
@@ -112,7 +122,16 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
         // write completions) read nothing the completion touched and stay
         // valid.
         wake_sleepers(req.app, read);
-      });
+      };
+  for (auto& mc : controllers_) mc->set_completion_callback(on_complete);
+}
+
+double CmpSystem::bus_utilization() const {
+  double sum = 0.0;
+  for (const auto& mc : controllers_) {
+    sum += mc->dram().stats().bus_utilization();
+  }
+  return sum / static_cast<double>(controllers_.size());
 }
 
 void CmpSystem::wake_sleepers(AppId app, bool read) {
@@ -150,7 +169,7 @@ void CmpSystem::set_observability(obs::Hub* hub) {
     return;
   }
   hub_ = hub;
-  controller_->set_observability(hub);
+  for (auto& mc : controllers_) mc->set_observability(hub);
   if (hub_ != nullptr) obs_resnapshot();
 }
 
@@ -160,12 +179,18 @@ void CmpSystem::obs_resnapshot() {
   obs_snap_.served.resize(n);
   obs_snap_.instructions.resize(n);
   for (AppId a = 0; a < n; ++a) {
-    obs_snap_.served[a] = controller_->app_stats(a).served();
+    obs_snap_.served[a] = controller_for(a).app_stats(a).served();
     obs_snap_.instructions[a] = cores_[a]->stats().instructions;
   }
-  const dram::DramStats& d = controller_->dram().stats();
-  obs_snap_.channel_busy = d.channel_busy_ticks;
-  obs_snap_.dram_ticks = d.ticks;
+  obs_snap_.channel_busy.clear();
+  obs_snap_.dram_ticks.clear();
+  for (const auto& mc : controllers_) {
+    const dram::DramStats& d = mc->dram().stats();
+    obs_snap_.channel_busy.insert(obs_snap_.channel_busy.end(),
+                                  d.channel_busy_ticks.begin(),
+                                  d.channel_busy_ticks.end());
+    obs_snap_.dram_ticks.push_back(d.ticks);
+  }
 }
 
 void CmpSystem::obs_sample() {
@@ -176,33 +201,45 @@ void CmpSystem::obs_sample() {
   row.track = obs_track_;
   row.cycle = now_;
   row.span = span;
-  row.pending_total = controller_->pending_requests_total();
-  row.dstf_lag = controller_->scheduler().virtual_time_lag();
-
-  const dram::DramStats& d = controller_->dram().stats();
-  const std::uint64_t dticks = d.ticks - obs_snap_.dram_ticks;
-  row.channel_util.resize(d.channels);
-  for (std::uint32_t c = 0; c < d.channels; ++c) {
-    const std::uint64_t busy =
-        d.channel_busy_ticks[c] - obs_snap_.channel_busy[c];
-    // Busy ticks are credited at column-issue time for a burst that occupies
-    // the bus a few ticks later, so a short epoch can see more credited
-    // burst ticks than elapsed bus ticks; clamp to keep the documented
-    // [0, 1] range (the overhang belongs to the next epoch).
-    row.channel_util[c] =
-        dticks == 0 ? 0.0
-                    : std::min(1.0, static_cast<double>(busy) /
-                                        static_cast<double>(dticks));
-    obs_snap_.channel_busy[c] = d.channel_busy_ticks[c];
+  row.pending_total = 0;
+  row.dstf_lag = 0.0;
+  for (const auto& mc : controllers_) {
+    row.pending_total += mc->pending_requests_total();
+    // The scale-out topology runs one DSTF instance per controller; report
+    // the worst lag (identical to the single instance's on 1-controller
+    // configs).
+    row.dstf_lag = std::max(row.dstf_lag, mc->scheduler().virtual_time_lag());
   }
-  obs_snap_.dram_ticks = d.ticks;
+
+  // channel_util concatenates every controller's channels in controller
+  // order (obs_snap_.channel_busy uses the same flattening).
+  row.channel_util.clear();
+  std::size_t flat = 0;
+  for (std::size_t mci = 0; mci < controllers_.size(); ++mci) {
+    const dram::DramStats& d = controllers_[mci]->dram().stats();
+    const std::uint64_t dticks = d.ticks - obs_snap_.dram_ticks[mci];
+    for (std::uint32_t c = 0; c < d.channels; ++c, ++flat) {
+      const std::uint64_t busy =
+          d.channel_busy_ticks[c] - obs_snap_.channel_busy[flat];
+      // Busy ticks are credited at column-issue time for a burst that
+      // occupies the bus a few ticks later, so a short epoch can see more
+      // credited burst ticks than elapsed bus ticks; clamp to keep the
+      // documented [0, 1] range (the overhang belongs to the next epoch).
+      row.channel_util.push_back(
+          dticks == 0 ? 0.0
+                      : std::min(1.0, static_cast<double>(busy) /
+                                          static_cast<double>(dticks)));
+      obs_snap_.channel_busy[flat] = d.channel_busy_ticks[c];
+    }
+    obs_snap_.dram_ticks[mci] = d.ticks;
+  }
 
   std::ostringstream apc_args;
   std::ostringstream queue_args;
   row.apps.resize(cores_.size());
   for (AppId a = 0; a < cores_.size(); ++a) {
     obs::AppEpochSample& s = row.apps[a];
-    const std::uint64_t served = controller_->app_stats(a).served();
+    const std::uint64_t served = controller_for(a).app_stats(a).served();
     const std::uint64_t instr = cores_[a]->stats().instructions;
     s.served = served - obs_snap_.served[a];
     s.instructions = instr - obs_snap_.instructions[a];
@@ -211,7 +248,7 @@ void CmpSystem::obs_sample() {
     s.api = s.instructions == 0 ? 0.0
                                 : static_cast<double>(s.served) /
                                       static_cast<double>(s.instructions);
-    s.queue_depth = controller_->pending_requests(a);
+    s.queue_depth = controller_for(a).pending_requests(a);
     s.window_occupancy = cores_[a]->window_occupancy();
     s.loads_inflight = cores_[a]->offchip_loads_inflight();
     obs_snap_.served[a] = served;
@@ -261,7 +298,7 @@ void CmpSystem::run_engine(Cycle cycles) {
   if (!cfg_.fast_forward) {
     while (now_ < end) {
       for (auto& c : cores_) c->tick(now_);
-      controller_->tick(now_);
+      for (auto& mc : controllers_) mc->tick(now_);
       ++now_;
     }
     return;
@@ -281,8 +318,12 @@ void CmpSystem::run_engine(Cycle cycles) {
     slept_from_[i] = now_;
   }
   // Controller tick() calls on CPU cycles with no due bus tick are no-ops
-  // (the clock-crossing target does not advance); elide them.
-  Cycle ctrl_due = 0;
+  // (the clock-crossing target does not advance); elide them, per
+  // controller. Controllers are mutually independent, so ticking each on
+  // its own due cycles (in index order) reproduces the reference
+  // interleaving exactly.
+  const std::size_t nc = controllers_.size();
+  ctrl_due_.assign(nc, 0);
   while (now_ < end) {
     Cycle min_wake = end;
     bool all_asleep = true;
@@ -298,16 +339,19 @@ void CmpSystem::run_engine(Cycle cycles) {
       // delivery, command issue, refresh/power-down transition). The
       // controller bound means no completion lands inside the skipped
       // range, so the sleep proofs hold across it. Cores tick before the
-      // controller within a cycle, so resuming at `wake` preserves the
+      // controllers within a cycle, so resuming at `wake` preserves the
       // reference interleaving exactly.
-      const Cycle ctrl = controller_->next_event_cpu_cycle();
+      Cycle ctrl = kNoCycle;
+      for (const auto& mc : controllers_) {
+        ctrl = std::min(ctrl, mc->next_event_cpu_cycle());
+      }
       const Cycle wake = std::min(min_wake, ctrl);  // min_wake caps at end
       if (wake >= end) {
         skipped_cycles_ += end - now_;
         now_ = end;
-        // Keep the controller caught up with the cycles the reference loop
-        // would have ticked it through before exiting.
-        controller_->tick(end - 1);
+        // Keep the controllers caught up with the cycles the reference
+        // loop would have ticked them through before exiting.
+        for (auto& mc : controllers_) mc->tick(end - 1);
         break;
       }
       if (wake > now_) {
@@ -317,14 +361,16 @@ void CmpSystem::run_engine(Cycle cycles) {
       // A controller event due at now_ itself: fall through — no core
       // ticks, the controller tick below processes it.
     }
-    if (ctrl_due < now_) {
-      // Catch up on bus ticks that fell due before this cycle (a jump can
-      // pass over dead ticks). The reference loop processed them before any
-      // core acted at now_, so requests enqueued this cycle must not be
-      // visible to them — attribution and issue decisions for those ticks
-      // would otherwise see queue state from the future.
-      controller_->tick(now_ - 1);
-      ctrl_due = controller_->next_bus_activity_cpu_cycle();
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (ctrl_due_[c] < now_) {
+        // Catch up on bus ticks that fell due before this cycle (a jump
+        // can pass over dead ticks). The reference loop processed them
+        // before any core acted at now_, so requests enqueued this cycle
+        // must not be visible to them — attribution and issue decisions
+        // for those ticks would otherwise see queue state from the future.
+        controllers_[c]->tick(now_ - 1);
+        ctrl_due_[c] = controllers_[c]->next_bus_activity_cpu_cycle();
+      }
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (sleep_until_[i] > now_) continue;
@@ -335,9 +381,11 @@ void CmpSystem::run_engine(Cycle cycles) {
       sleep_until_[i] = std::max(p.wake, now_ + 1);  // kNoCycle stays put
       slept_from_[i] = now_ + 1;
     }
-    if (now_ >= ctrl_due) {
-      controller_->tick(now_);
-      ctrl_due = controller_->next_bus_activity_cpu_cycle();
+    for (std::size_t c = 0; c < nc; ++c) {
+      if (now_ >= ctrl_due_[c]) {
+        controllers_[c]->tick(now_);
+        ctrl_due_[c] = controllers_[c]->next_bus_activity_cpu_cycle();
+      }
     }
     ++now_;
   }
@@ -356,7 +404,8 @@ void CmpSystem::save_state(snap::Writer& w) const {
     traces_[i]->save_state(w);
     cores_[i]->save_state(w);
   }
-  controller_->save_state(w);
+  w.u64(controllers_.size());
+  for (const auto& mc : controllers_) mc->save_state(w);
   interference_.save_state(w);
 }
 
@@ -371,7 +420,9 @@ void CmpSystem::restore_state(snap::Reader& r) {
     traces_[i]->restore_state(r);
     cores_[i]->restore_state(r);
   }
-  controller_->restore_state(r);
+  snap::require(r.u64() == controllers_.size(),
+                "controller count differs from the snapshot's");
+  for (auto& mc : controllers_) mc->restore_state(r);
   interference_.restore_state(r);
   // Sleep proofs never cross a run() boundary; clear them so nothing stale
   // outlives the restore.
@@ -389,7 +440,7 @@ void CmpSystem::restore_state(snap::Reader& r) {
 
 void CmpSystem::reset_measurement() {
   for (auto& c : cores_) c->reset_stats();
-  controller_->reset_stats();
+  for (auto& mc : controllers_) mc->reset_stats();
   interference_.reset();
   window_start_ = now_;
   if constexpr (obs::kEnabled) {
@@ -402,7 +453,7 @@ void CmpSystem::reset_measurement() {
 std::vector<profile::AppCounters> CmpSystem::profiler_counters() const {
   std::vector<profile::AppCounters> out(cores_.size());
   for (AppId a = 0; a < cores_.size(); ++a) {
-    out[a].accesses = controller_->app_stats(a).served();
+    out[a].accesses = controller_for(a).app_stats(a).served();
     out[a].instructions = cores_[a]->stats().instructions;
     out[a].interference_cycles = interference_.interference_cycles(a);
   }
@@ -429,7 +480,7 @@ std::vector<double> CmpSystem::measured_apc() const {
     out.push_back(
         window == 0
             ? 0.0
-            : static_cast<double>(controller_->app_stats(a).served()) /
+            : static_cast<double>(controller_for(a).app_stats(a).served()) /
                   static_cast<double>(window));
   }
   return out;
@@ -454,11 +505,14 @@ void CmpSystem::check_conservation(const char* where) const {
   // window edges (bounded by the queue capacity).
   std::uint64_t served = 0;
   for (AppId a = 0; a < num_apps(); ++a) {
-    served += controller_->app_stats(a).served();
+    served += controller_for(a).app_stats(a).served();
   }
-  const std::uint64_t dram_cols =
-      controller_->dram().stats().column_accesses();
-  const std::uint64_t slack = controller_->queue_capacity_bound();
+  std::uint64_t dram_cols = 0;
+  std::uint64_t slack = 0;
+  for (const auto& mc : controllers_) {
+    dram_cols += mc->dram().stats().column_accesses();
+    slack += mc->queue_capacity_bound();
+  }
   const std::uint64_t diff =
       served > dram_cols ? served - dram_cols : dram_cols - served;
   if (diff > slack) {

@@ -1,6 +1,9 @@
-// CmpSystem: N cores, each running one synthetic benchmark, sharing one
-// memory controller and DRAM — the paper's Table II machine in simulation
-// form.
+// CmpSystem: N cores, each running one synthetic benchmark, sharing one or
+// more independent memory controllers and their DRAM — the paper's Table II
+// machine in simulation form, generalized to arbitrary application counts
+// and multi-controller scale-out topologies (SystemConfig::num_controllers;
+// applications are assigned round-robin and each controller enforces its
+// scheme with its own DSTF instance over its local applications).
 #pragma once
 
 #include <memory>
@@ -35,6 +38,13 @@ struct SystemConfig {
   /// Row-hit bypass window for the share-based scheduler (0 = strict tag
   /// order); see StartTimeFairScheduler.
   double dstf_row_hit_window = 0.0;
+  /// Independent memory controllers, each with its own DRAM devices (a full
+  /// copy of `dram`), transaction queues and enforcement scheduler.
+  /// Applications are assigned statically round-robin (app % controllers),
+  /// so each controller partitions bandwidth among its local applications
+  /// with its own DSTF instance — the scale-out topology for 16/32/64-app
+  /// portfolios. Must satisfy 1 <= num_controllers <= app count.
+  std::size_t num_controllers = 1;
   /// Event-driven fast-forwarding (default): run() jumps over cycle ranges
   /// where every core is provably stalled and the controller has no event,
   /// and the controller skips dead bus-tick ranges internally. Cycle-exact:
@@ -42,10 +52,12 @@ struct SystemConfig {
   /// cycle-by-cycle loop (set false to force it, e.g. for debugging).
   bool fast_forward = true;
 
-  /// Peak off-chip bandwidth expressed in the model's APC unit.
+  /// Peak off-chip bandwidth expressed in the model's APC unit, across all
+  /// controllers (each contributes one full copy of `dram`).
   double peak_apc() const {
     const BandwidthContext ctx{cpu_clock, 64};
-    return ctx.gbps_to_apc(dram.peak_gbps());
+    return ctx.gbps_to_apc(dram.peak_gbps()) *
+           static_cast<double>(num_controllers);
   }
 };
 
@@ -97,8 +109,27 @@ class CmpSystem {
 
   cpu::OoOCore& core(AppId app) { return *cores_[app]; }
   const cpu::OoOCore& core(AppId app) const { return *cores_[app]; }
-  mem::MemoryController& controller() { return *controller_; }
-  const mem::MemoryController& controller() const { return *controller_; }
+  /// The first (and, on single-controller configs, only) controller.
+  mem::MemoryController& controller() { return *controllers_[0]; }
+  const mem::MemoryController& controller() const { return *controllers_[0]; }
+  std::size_t num_controllers() const { return controllers_.size(); }
+  mem::MemoryController& controller(std::size_t c) { return *controllers_[c]; }
+  const mem::MemoryController& controller(std::size_t c) const {
+    return *controllers_[c];
+  }
+  /// The controller application `app` is wired to (app % num_controllers).
+  std::size_t controller_of(AppId app) const {
+    return app % controllers_.size();
+  }
+  mem::MemoryController& controller_for(AppId app) {
+    return *controllers_[controller_of(app)];
+  }
+  const mem::MemoryController& controller_for(AppId app) const {
+    return *controllers_[controller_of(app)];
+  }
+  /// Mean DRAM data-bus utilization across controllers (== the single
+  /// controller's utilization on 1-controller configs).
+  double bus_utilization() const;
   profile::InterferenceCounters& interference() { return interference_; }
   const profile::InterferenceCounters& interference() const {
     return interference_;
@@ -147,7 +178,7 @@ class CmpSystem {
   SystemConfig cfg_;
   std::vector<workload::BenchmarkSpec> apps_;
   std::vector<std::unique_ptr<workload::SyntheticTraceGenerator>> traces_;
-  std::unique_ptr<mem::MemoryController> controller_;
+  std::vector<std::unique_ptr<mem::MemoryController>> controllers_;
   std::vector<std::unique_ptr<cpu::OoOCore>> cores_;
   profile::InterferenceCounters interference_;
   /// Caps completion-sensitive sleeps at the next cycle when `app`'s
@@ -183,16 +214,22 @@ class CmpSystem {
   std::vector<Cycle> slept_from_;
   std::vector<cpu::SleepFlavor> sleep_kind_;
 
+  /// Per-controller next-bus-activity memo for the fast-forward engine
+  /// (scratch reset at every run_engine() entry).
+  std::vector<Cycle> ctrl_due_;
+
   obs::Hub* hub_ = nullptr;
   std::string obs_track_;
   /// Cumulative counters at the previous epoch sample (or measurement
   /// reset); per-epoch deltas are differences against these.
+  /// channel_busy concatenates every controller's channels in controller
+  /// order; dram_ticks is per controller.
   struct ObsSnapshot {
     Cycle cycle = 0;
     std::vector<std::uint64_t> served;
     std::vector<std::uint64_t> instructions;
     std::vector<std::uint64_t> channel_busy;
-    std::uint64_t dram_ticks = 0;
+    std::vector<std::uint64_t> dram_ticks;
   } obs_snap_;
 };
 

@@ -23,6 +23,13 @@
 //                       instead of re-running warmup+profile; results are
 //                       bit-identical and the file is rejected loudly if it
 //                       was captured under any other config/workload/seed
+//   --controllers N     independent memory controllers (apps round-robin)
+//   --shard-worker DIR  run as a sweep shard worker against spool DIR
+//                       (claim units, measure, ship result shards) and exit;
+//                       all other workload/machine flags are ignored — the
+//                       unit specs in the spool carry the configuration
+//   --lease-ms N        shard lease staleness threshold (default 5000)
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +41,7 @@
 
 #include "common/table.hpp"
 #include "harness/experiment.hpp"
+#include "harness/shard.hpp"
 #include "obs/hub.hpp"
 #include "workload/mixes.hpp"
 
@@ -64,7 +72,9 @@ int usage(const char* argv0) {
                "[--oracle] [--csv]\n"
                "       [--metrics-out FILE] [--trace-out FILE] "
                "[--epochs-out FILE] [--epoch-cycles N]\n"
-               "       [--snapshot-out FILE] [--resume FILE]\n",
+               "       [--snapshot-out FILE] [--resume FILE] "
+               "[--controllers N]\n"
+               "       [--shard-worker SPOOL_DIR] [--lease-ms N]\n",
                argv0);
   return 2;
 }
@@ -87,6 +97,9 @@ int main(int argc, char** argv) {
   Cycle epoch_cycles = 100'000;
   std::string snapshot_out;
   std::string resume_path;
+  std::size_t controllers = 1;
+  std::string shard_spool;
+  long lease_ms = 5'000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -129,8 +142,34 @@ int main(int argc, char** argv) {
       if (const char* v = next()) snapshot_out = v; else return usage(argv[0]);
     } else if (arg == "--resume") {
       if (const char* v = next()) resume_path = v; else return usage(argv[0]);
+    } else if (arg == "--controllers") {
+      if (const char* v = next())
+        controllers = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+      else return usage(argv[0]);
+    } else if (arg == "--shard-worker") {
+      if (const char* v = next()) shard_spool = v; else return usage(argv[0]);
+    } else if (arg == "--lease-ms") {
+      if (const char* v = next()) lease_ms = std::strtol(v, nullptr, 10);
+      else return usage(argv[0]);
     } else {
       return usage(argv[0]);
+    }
+  }
+
+  // Shard-worker mode: drain the spool's work-stealing queue and exit.
+  if (!shard_spool.empty()) {
+    harness::shard::WorkerOptions opt;
+    opt.lease = std::chrono::milliseconds(lease_ms);
+    try {
+      const harness::shard::WorkerReport report =
+          harness::shard::run_worker(shard_spool, opt);
+      std::printf("shard worker drained: completed=%zu healed=%zu "
+                  "stolen=%zu\n",
+                  report.completed, report.healed, report.stolen);
+      return 0;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "shard worker failed: %s\n", e.what());
+      return 1;
     }
   }
 
@@ -165,6 +204,11 @@ int main(int argc, char** argv) {
   } else {
     machine.dram = dram::DramConfig::ddr2_400();
   }
+  if (controllers == 0 || controllers > apps.size()) {
+    std::fprintf(stderr, "--controllers must be in [1, %zu]\n", apps.size());
+    return usage(argv[0]);
+  }
+  machine.num_controllers = controllers;
 
   harness::PhaseConfig phases;
   phases.warmup_cycles = cycles / 5;

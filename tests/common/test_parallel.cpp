@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <numeric>
+#include <string>
 #include <vector>
 
 namespace bwpart {
@@ -58,6 +61,54 @@ TEST(Parallel, DefaultParallelismBounds) {
   EXPECT_EQ(default_parallelism(1), 1u);
   EXPECT_GE(default_parallelism(1000), 1u);
   EXPECT_LE(default_parallelism(4), 4u);
+}
+
+// Restores (or clears) BWPART_SWEEP_THREADS on scope exit so cap tests
+// cannot leak into each other.
+class ScopedSweepThreads {
+ public:
+  explicit ScopedSweepThreads(const char* value) {
+    const char* old = std::getenv("BWPART_SWEEP_THREADS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    ::setenv("BWPART_SWEEP_THREADS", value, 1);
+  }
+  ~ScopedSweepThreads() {
+    if (had_) {
+      ::setenv("BWPART_SWEEP_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("BWPART_SWEEP_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(Parallel, SweepThreadsEnvCapsDefaultParallelism) {
+  ScopedSweepThreads env("1");
+  EXPECT_EQ(parallelism_cap(), 1u);
+  EXPECT_EQ(default_parallelism(1000), 1u);
+}
+
+TEST(Parallel, SweepThreadsEnvClampsExplicitThreadRequests) {
+  ScopedSweepThreads env("1");
+  // With the cap at 1, even an explicit 8-thread request must run inline
+  // (in index order) — that is the oversubscription guard's contract for
+  // sharded sweep workers.
+  std::vector<std::size_t> order;
+  parallel_for(10, [&](std::size_t i) { order.push_back(i); }, 8);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Parallel, MalformedSweepThreadsEnvMeansNoCap) {
+  for (const char* bad : {"", "0", "banana", "4x"}) {
+    ScopedSweepThreads env(bad);
+    EXPECT_EQ(parallelism_cap(), SIZE_MAX) << "value '" << bad << "'";
+  }
 }
 
 TEST(Parallel, ActuallyUsesMultipleThreads) {

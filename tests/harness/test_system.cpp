@@ -119,6 +119,104 @@ TEST(MakeScheduler, SchemesMapToExpectedPolicies) {
       "StrictPriority");
 }
 
+// --- Multi-controller scale-out topology ---
+
+std::vector<workload::BenchmarkSpec> eight_apps() {
+  return workload::resolve_mix(workload::fig1_mix(), 2);
+}
+
+TEST(MultiController, PeakApcScalesWithControllers) {
+  SystemConfig cfg;
+  cfg.num_controllers = 4;
+  EXPECT_NEAR(cfg.peak_apc(), 4 * SystemConfig{}.peak_apc(), 1e-12);
+}
+
+TEST(MultiController, AppsAssignRoundRobin) {
+  SystemConfig cfg;
+  cfg.num_controllers = 2;
+  CmpSystem sys(cfg, eight_apps(), 1);
+  EXPECT_EQ(sys.num_controllers(), 2u);
+  for (AppId a = 0; a < sys.num_apps(); ++a) {
+    EXPECT_EQ(sys.controller_of(a), a % 2);
+  }
+}
+
+TEST(MultiController, TrafficLandsOnlyOnTheOwningController) {
+  SystemConfig cfg;
+  cfg.num_controllers = 2;
+  CmpSystem sys(cfg, eight_apps(), 1);
+  sys.run(200'000);
+  for (AppId a = 0; a < sys.num_apps(); ++a) {
+    EXPECT_GT(sys.controller_for(a).app_stats(a).served(), 0u) << "app " << a;
+    EXPECT_EQ(sys.controller(1 - sys.controller_of(a)).app_stats(a).served(),
+              0u)
+        << "app " << a;
+  }
+}
+
+TEST(MultiController, FastForwardBitIdenticalToReference) {
+  for (const std::size_t controllers : {2u, 4u}) {
+    SystemConfig fast_cfg;
+    fast_cfg.num_controllers = controllers;
+    SystemConfig ref_cfg = fast_cfg;
+    ref_cfg.fast_forward = false;
+    CmpSystem fast(fast_cfg, eight_apps(), 7);
+    CmpSystem ref(ref_cfg, eight_apps(), 7);
+    fast.run(250'000);
+    ref.run(250'000);
+    ASSERT_EQ(fast.now(), ref.now());
+    for (AppId a = 0; a < fast.num_apps(); ++a) {
+      EXPECT_EQ(fast.core(a).stats().instructions,
+                ref.core(a).stats().instructions)
+          << controllers << " controllers, app " << a;
+      EXPECT_EQ(fast.controller_for(a).app_stats(a).served(),
+                ref.controller_for(a).app_stats(a).served())
+          << controllers << " controllers, app " << a;
+    }
+    for (std::size_t c = 0; c < controllers; ++c) {
+      EXPECT_EQ(fast.controller(c).dram().stats().column_accesses(),
+                ref.controller(c).dram().stats().column_accesses());
+    }
+  }
+}
+
+TEST(MultiController, SnapshotRoundTripContinuesBitIdentically) {
+  SystemConfig cfg;
+  cfg.num_controllers = 2;
+  CmpSystem straight(cfg, eight_apps(), 11);
+  CmpSystem cut(cfg, eight_apps(), 11);
+  straight.run(120'000);
+  cut.run(60'000);
+  snap::Writer w;
+  cut.save_state(w);
+  CmpSystem resumed(cfg, eight_apps(), 11);
+  snap::Reader r(w.bytes());
+  resumed.restore_state(r);
+  EXPECT_TRUE(r.at_end());
+  resumed.run(60'000);
+  ASSERT_EQ(resumed.now(), straight.now());
+  for (AppId a = 0; a < straight.num_apps(); ++a) {
+    EXPECT_EQ(resumed.core(a).stats().instructions,
+              straight.core(a).stats().instructions);
+    EXPECT_EQ(resumed.controller_for(a).app_stats(a).served(),
+              straight.controller_for(a).app_stats(a).served());
+  }
+}
+
+TEST(MultiController, ControllerCountMismatchIsRejectedOnRestore) {
+  SystemConfig two;
+  two.num_controllers = 2;
+  CmpSystem src(two, eight_apps(), 3);
+  src.run(10'000);
+  snap::Writer w;
+  src.save_state(w);
+  SystemConfig four = two;
+  four.num_controllers = 4;
+  CmpSystem dst(four, eight_apps(), 3);
+  snap::Reader r(w.bytes());
+  EXPECT_THROW(dst.restore_state(r), snap::SnapshotError);
+}
+
 TEST(CmpSystem, InterferenceObservedUnderContention) {
   const auto apps = workload::resolve_mix(workload::fig1_mix());
   CmpSystem sys(small_cfg(), apps, 1);

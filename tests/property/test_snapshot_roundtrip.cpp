@@ -361,8 +361,10 @@ TEST(SnapshotRoundtrip, OldFormatVersionRejectedLoudly) {
   } catch (const snap::SnapshotError& e) {
     const std::string what = e.what();
     EXPECT_NE(what.find("version 1"), std::string::npos) << what;
-    EXPECT_NE(what.find("version 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 3"), std::string::npos) << what;
   }
+  with_version(2);
+  EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
   with_version(99);
   EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
   std::remove(path.c_str());
