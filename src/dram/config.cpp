@@ -1,5 +1,8 @@
 #include "dram/config.hpp"
 
+#include <stdexcept>
+#include <utility>
+
 #include "common/clock_crossing.hpp"
 
 namespace bwpart::dram {
@@ -28,47 +31,215 @@ TimingsTicks DramConfig::ticks() const {
   out.refi = conv(t.trefi);
   out.rtrs = conv(t.trtrs);
   out.xp = conv(t.txp);
+  out.al = conv(t.tal);
   out.burst = burst_beats / 2;  // DDR: two beats per bus tick
   return out;
 }
 
+namespace {
+
+/// The built-in parameter sets. The three DDR2 grades and DDR3-1066 carry
+/// exactly the literals the former hard-wired factories used (the
+/// differential suite in tests/dram pins this bit-for-bit); the DDR3-1600,
+/// DDR4-2400 and HBM-like sets are representative datasheet-style values
+/// for the generation-accuracy study, not any one vendor part.
+std::vector<DramGeneration> builtin_generations() {
+  std::vector<DramGeneration> gens;
+
+  {
+    DramGeneration g;
+    g.name = "ddr2_400";
+    g.family = "DDR2";
+    g.notes = "paper baseline: 3.2 GB/s, Table II timings";
+    g.config.bus_clock = Frequency::from_mhz(200);
+    gens.push_back(std::move(g));
+  }
+  {
+    DramGeneration g;
+    g.name = "ddr2_800";
+    g.family = "DDR2";
+    g.notes = "Fig. 4 scaling point: 6.4 GB/s, same ns latencies";
+    g.config.bus_clock = Frequency::from_mhz(400);
+    gens.push_back(std::move(g));
+  }
+  {
+    DramGeneration g;
+    g.name = "ddr2_1600";
+    g.family = "DDR2";
+    g.notes = "Fig. 4 scaling point: 12.8 GB/s, same ns latencies";
+    g.config.bus_clock = Frequency::from_mhz(800);
+    gens.push_back(std::move(g));
+  }
+  {
+    DramGeneration g;
+    g.name = "ddr3_1066";
+    g.family = "DDR3";
+    g.notes = "8.5 GB/s, 2 ranks, representative datasheet timings";
+    g.config.bus_clock = Frequency::from_mhz(533);
+    g.config.ranks = 2;
+    g.config.banks_per_rank = 8;
+    g.config.t.trp = 13.1;
+    g.config.t.trcd = 13.1;
+    g.config.t.tcl = 13.1;
+    g.config.t.tcwl = 9.4;
+    g.config.t.tras = 36.0;
+    g.config.t.twr = 15.0;
+    g.config.t.twtr = 7.5;
+    g.config.t.trtp = 7.5;
+    g.config.t.tccd = 7.5;
+    g.config.t.trrd = 7.5;
+    g.config.t.tfaw = 37.5;
+    g.config.t.trfc = 160.0;
+    g.config.t.trefi = 7800.0;
+    gens.push_back(std::move(g));
+  }
+  {
+    // DDR3-1600 (800 MHz bus, 12.8 GB/s/channel): CL11-class part.
+    DramGeneration g;
+    g.name = "ddr3_1600";
+    g.family = "DDR3";
+    g.notes = "12.8 GB/s, 2 ranks, CL11-class timings, 4 Gb tRFC";
+    g.config.bus_clock = Frequency::from_mhz(800);
+    g.config.ranks = 2;
+    g.config.banks_per_rank = 8;
+    g.config.t.trp = 13.75;
+    g.config.t.trcd = 13.75;
+    g.config.t.tcl = 13.75;
+    g.config.t.tcwl = 10.0;
+    g.config.t.tras = 35.0;
+    g.config.t.twr = 15.0;
+    g.config.t.twtr = 7.5;
+    g.config.t.trtp = 7.5;
+    g.config.t.tccd = 5.0;   // 4 ticks at 1.25 ns
+    g.config.t.trrd = 6.0;
+    g.config.t.tfaw = 30.0;
+    g.config.t.trfc = 260.0;
+    g.config.t.trefi = 7800.0;
+    g.config.t.txp = 6.0;
+    gens.push_back(std::move(g));
+  }
+  {
+    // DDR4-2400 (1200 MHz bus, 19.2 GB/s/channel): CL16-class part with
+    // 16 banks/rank (4 bank groups) and posted CAS (tAL > 0) so the
+    // additive-latency leg of the derived timing matrix is exercised by a
+    // shipped generation, not only by tests.
+    DramGeneration g;
+    g.name = "ddr4_2400";
+    g.family = "DDR4";
+    g.notes = "19.2 GB/s, 2 ranks x 16 banks, CL16-class, posted CAS";
+    g.config.bus_clock = Frequency::from_mhz(1200);
+    g.config.ranks = 2;
+    g.config.banks_per_rank = 16;
+    g.config.t.trp = 13.32;
+    g.config.t.trcd = 13.32;
+    g.config.t.tcl = 13.32;
+    g.config.t.tcwl = 12.5;
+    g.config.t.tras = 32.0;
+    g.config.t.twr = 15.0;
+    g.config.t.twtr = 7.5;
+    g.config.t.trtp = 7.5;
+    g.config.t.tccd = 5.0;   // tCCD_L: 6 ticks at 0.833 ns
+    g.config.t.trrd = 4.9;   // tRRD_L
+    g.config.t.tfaw = 25.0;
+    g.config.t.trfc = 350.0;  // 8 Gb device
+    g.config.t.trefi = 7800.0;
+    g.config.t.txp = 6.0;
+    g.config.t.tal = 8.33;   // posted CAS: AL = 10 ticks (CL - 6)
+    gens.push_back(std::move(g));
+  }
+  {
+    // HBM-like: wide interface (16B bus, 4-beat burst = one 64B line),
+    // many narrow channels, a single rank per channel, low command clock.
+    // 2 * 500 MHz * 16 B * 4 channels = 64 GB/s aggregate.
+    DramGeneration g;
+    g.name = "hbm_like";
+    g.family = "HBM";
+    g.notes = "64 GB/s: 4 channels x 16B bus, 1 rank x 16 banks, low tCK";
+    g.config.bus_clock = Frequency::from_mhz(500);
+    g.config.bus_bytes = 16;
+    g.config.burst_beats = 4;  // 64B line / 16B bus
+    g.config.channels = 4;
+    g.config.ranks = 1;
+    g.config.banks_per_rank = 16;
+    g.config.t.trp = 14.0;
+    g.config.t.trcd = 14.0;
+    g.config.t.tcl = 14.0;
+    g.config.t.tcwl = 8.0;
+    g.config.t.tras = 33.0;
+    g.config.t.twr = 15.0;
+    g.config.t.twtr = 6.0;
+    g.config.t.trtp = 5.0;
+    g.config.t.tccd = 4.0;   // 2 ticks at 2 ns
+    g.config.t.trrd = 4.0;
+    g.config.t.tfaw = 16.0;  // relaxed: per-channel power envelope
+    g.config.t.trfc = 260.0;
+    g.config.t.trefi = 3900.0;
+    g.config.t.txp = 8.0;
+    gens.push_back(std::move(g));
+  }
+
+  for (DramGeneration& g : gens) g.config.generation = g.name;
+  return gens;
+}
+
+std::vector<DramGeneration>& registry() {
+  static std::vector<DramGeneration> gens = builtin_generations();
+  return gens;
+}
+
+}  // namespace
+
+const std::vector<DramGeneration>& dram_generations() { return registry(); }
+
+const DramGeneration* find_dram_generation(std::string_view name) {
+  for (const DramGeneration& g : registry()) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+DramConfig dram_config_for_generation(std::string_view name) {
+  if (const DramGeneration* g = find_dram_generation(name)) return g->config;
+  throw std::invalid_argument("unknown DRAM generation '" +
+                              std::string(name) + "' (registered: " +
+                              dram_generation_names() + ")");
+}
+
+std::string dram_generation_names() {
+  std::string names;
+  for (const DramGeneration& g : registry()) {
+    if (!names.empty()) names += ", ";
+    names += g.name;
+  }
+  return names;
+}
+
+void register_dram_generation(DramGeneration gen) {
+  if (gen.name.empty()) {
+    throw std::invalid_argument("DRAM generation needs a non-empty name");
+  }
+  if (find_dram_generation(gen.name) != nullptr) {
+    throw std::invalid_argument("DRAM generation '" + gen.name +
+                                "' is already registered");
+  }
+  gen.config.generation = gen.name;
+  registry().push_back(std::move(gen));
+}
+
 DramConfig DramConfig::ddr2_400() {
-  DramConfig c;
-  c.bus_clock = Frequency::from_mhz(200);
-  return c;
+  return dram_config_for_generation("ddr2_400");
 }
 
 DramConfig DramConfig::ddr2_800() {
-  DramConfig c;
-  c.bus_clock = Frequency::from_mhz(400);
-  return c;
+  return dram_config_for_generation("ddr2_800");
 }
 
 DramConfig DramConfig::ddr2_1600() {
-  DramConfig c;
-  c.bus_clock = Frequency::from_mhz(800);
-  return c;
+  return dram_config_for_generation("ddr2_1600");
 }
 
 DramConfig DramConfig::ddr3_1066() {
-  DramConfig c;
-  c.bus_clock = Frequency::from_mhz(533);
-  c.ranks = 2;
-  c.banks_per_rank = 8;
-  c.t.trp = 13.1;
-  c.t.trcd = 13.1;
-  c.t.tcl = 13.1;
-  c.t.tcwl = 9.4;
-  c.t.tras = 36.0;
-  c.t.twr = 15.0;
-  c.t.twtr = 7.5;
-  c.t.trtp = 7.5;
-  c.t.tccd = 7.5;
-  c.t.trrd = 7.5;
-  c.t.tfaw = 37.5;
-  c.t.trfc = 160.0;
-  c.t.trefi = 7800.0;
-  return c;
+  return dram_config_for_generation("ddr3_1066");
 }
 
 }  // namespace bwpart::dram

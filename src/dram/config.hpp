@@ -5,9 +5,19 @@
 // given bus frequency. The paper's scalability study (Fig. 4) scales only
 // the bus frequency while holding the nanosecond latencies fixed, which
 // this split models directly.
+//
+// Device generations are not hard-wired: every named parameter set lives in
+// the DramGeneration registry (ddr2_400 .. hbm_like, plus anything a caller
+// registers at startup), and the full channel/rank/bank command-pair timing
+// matrix is derived from the chosen set by DramConfig::ticks() +
+// CmdTimings::build. The static ddr2_*/ddr3_1066 factories are now thin
+// registry lookups, bit-identical to the former hard-wired values.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/types.hpp"
 #include "common/units.hpp"
@@ -45,17 +55,29 @@ struct TimingsNs {
   /// single tick here costs ~20% of peak bandwidth.
   double trtrs = 0.0;
   double txp = 10.0;    ///< power-down exit -> first command
+  /// Posted-CAS additive latency (DDR3/DDR4): a column command may be
+  /// issued up to tAL earlier than tRCD allows; the device executes it
+  /// internally tAL later, so read/write data latencies grow by tAL.
+  /// 0 (the DDR2 baseline) reproduces the pre-registry timing matrix
+  /// exactly.
+  double tal = 0.0;
 };
 
 /// Timing parameters converted to whole bus ticks (rounded up).
 struct TimingsTicks {
   Tick rp = 0, rcd = 0, cl = 0, cwl = 0, ras = 0, wr = 0, wtr = 0, rtp = 0,
        ccd = 0, rrd = 0, faw = 0, rfc = 0, refi = 0, rtrs = 0, xp = 0;
+  Tick al = 0;  ///< posted-CAS additive latency
   /// Data-bus occupancy of one burst in bus ticks (burst_beats / 2 for DDR).
   Tick burst = 0;
 };
 
 struct DramConfig {
+  /// Registry name of the parameter set this config was derived from
+  /// ("ddr2_400" for a default-constructed config). Folded into config
+  /// fingerprints; purely descriptive for hand-tweaked configs.
+  std::string generation = "ddr2_400";
+
   Frequency bus_clock = Frequency::from_mhz(200);  // DDR2-400
   std::uint32_t bus_bytes = 8;                     // 8B-wide data bus
   std::uint32_t burst_beats = 8;                   // 64B line / 8B bus
@@ -102,5 +124,37 @@ struct DramConfig {
   /// datasheet timings, for studies beyond the paper's DDR2 baseline.
   static DramConfig ddr3_1066();
 };
+
+/// A named, registered DRAM parameter set. The registry is the single
+/// source of truth for every generation the portfolios, CLIs and sweeps can
+/// name; `config` carries the complete geometry + nanosecond timing matrix
+/// from which DramConfig::ticks() and CmdTimings::build derive the
+/// channel/rank/bank command-pair tables.
+struct DramGeneration {
+  std::string name;    ///< registry key, e.g. "ddr4_2400"
+  std::string family;  ///< device family: "DDR2" | "DDR3" | "DDR4" | "HBM"
+  std::string notes;   ///< one-line human description
+  DramConfig config;   ///< full parameter set (generation == name)
+};
+
+/// All registered generations, built-ins first, in registration order.
+/// Built-ins: ddr2_400, ddr2_800, ddr2_1600, ddr3_1066, ddr3_1600,
+/// ddr4_2400, hbm_like.
+const std::vector<DramGeneration>& dram_generations();
+
+/// Looks a generation up by name; nullptr when unknown.
+const DramGeneration* find_dram_generation(std::string_view name);
+
+/// Returns the named generation's DramConfig. Throws std::invalid_argument
+/// listing every registered name when `name` is unknown.
+DramConfig dram_config_for_generation(std::string_view name);
+
+/// Comma-separated registered names (for error messages and --help text).
+std::string dram_generation_names();
+
+/// Registers a new parameter set (gen.config.generation is overwritten with
+/// gen.name). Throws std::invalid_argument on a duplicate name. Not
+/// thread-safe; call during startup before any lookup races.
+void register_dram_generation(DramGeneration gen);
 
 }  // namespace bwpart::dram

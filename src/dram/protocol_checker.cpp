@@ -84,7 +84,11 @@ int ProtocolChecker::check_column(const Command& cmd, Tick now) {
     violate(cmd, now, "row-state ordering",
             "column access to a different row than the open one");
   }
-  if (b.any_act && now < b.act_tick + t_.rcd) {
+  // Posted CAS: the device executes the column command internally tAL
+  // after it is issued, so tRCD applies to now + tAL, not to now. Derived
+  // here from the raw parameter set independently of the engine's
+  // act_to_col = tRCD - tAL saturating subtraction.
+  if (b.any_act && now + t_.al < b.act_tick + t_.rcd) {
     violate(cmd, now, "tRCD", "column access before activate-to-column delay");
   }
   if (r.any_col && now < r.last_col + t_.ccd) {
@@ -94,8 +98,10 @@ int ProtocolChecker::check_column(const Command& cmd, Tick now) {
       now < r.wr_data_end + t_.wtr) {
     violate(cmd, now, "tWTR", "read before write-to-read turnaround elapsed");
   }
-  // Shared data bus occupancy, including the rank-switch gap.
-  const Tick data_start = now + (is_read_command(cmd.type) ? t_.cl : t_.cwl);
+  // Shared data bus occupancy, including the rank-switch gap. Data moves
+  // tAL later under posted CAS.
+  const Tick data_start =
+      now + t_.al + (is_read_command(cmd.type) ? t_.cl : t_.cwl);
   if (ch.bus_used) {
     const Tick gap = ch.bus_last_rank != cmd.loc.rank ? t_.rtrs : 0;
     if (data_start < ch.bus_free_at + gap) {
@@ -116,7 +122,8 @@ int ProtocolChecker::check_precharge(const Command& cmd, Tick now) {
   if (b.any_act && now < b.act_tick + t_.ras) {
     violate(cmd, now, "tRAS", "PRE before the row was open tRAS");
   }
-  if (b.any_rd && now < b.last_rd + t_.rtp) {
+  // tRTP runs from the internal read (issue + tAL under posted CAS).
+  if (b.any_rd && now < b.last_rd + t_.al + t_.rtp) {
     violate(cmd, now, "tRTP", "PRE before read-to-precharge delay");
   }
   if (b.any_wr && now < b.wr_data_end + t_.wr) {
@@ -146,21 +153,22 @@ void ProtocolChecker::apply(const Command& cmd, Tick now) {
       b.last_rd = now;
       r.any_col = true;
       r.last_col = now;
-      const Tick data_start = now + t_.cl;
+      const Tick data_start = now + t_.al + t_.cl;
       ch.bus_used = true;
       ch.bus_free_at = data_start + t_.burst;
       ch.bus_last_rank = cmd.loc.rank;
       if (cmd.type == CommandType::ReadAp) {
-        // The auto-precharge begins once both tRAS and tRTP are satisfied.
+        // The auto-precharge begins once both tRAS and tRTP are satisfied
+        // (tRTP counted from the internal read under posted CAS).
         b.open = false;
         b.any_pre = true;
-        b.pre_tick = std::max(b.act_tick + t_.ras, now + t_.rtp);
+        b.pre_tick = std::max(b.act_tick + t_.ras, now + t_.al + t_.rtp);
       }
       break;
     }
     case CommandType::Write:
     case CommandType::WriteAp: {
-      const Tick data_end = now + t_.cwl + t_.burst;
+      const Tick data_end = now + t_.al + t_.cwl + t_.burst;
       b.any_wr = true;
       b.wr_data_end = data_end;
       r.any_col = true;

@@ -14,10 +14,10 @@ namespace bwpart::dram {
 /// to the earliest precharge of the same bank (tCWL + burst + tWR).
 struct CmdTimings {
   // Same-bank separations.
-  Tick act_to_col = 0;   ///< ACT -> RD/WR command (tRCD)
+  Tick act_to_col = 0;   ///< ACT -> RD/WR command (tRCD - tAL, posted CAS)
   Tick act_to_pre = 0;   ///< ACT -> PRE (tRAS)
-  Tick rd_to_pre = 0;    ///< RD command -> PRE (tRTP)
-  Tick wr_to_pre = 0;    ///< WR command -> PRE (tCWL + burst + tWR)
+  Tick rd_to_pre = 0;    ///< RD command -> PRE (tAL + tRTP)
+  Tick wr_to_pre = 0;    ///< WR command -> PRE (tAL + tCWL + burst + tWR)
   Tick pre_to_act = 0;   ///< PRE -> ACT (tRP)
   // Same-rank separations.
   Tick col_to_col = 0;   ///< column command -> column command (tCCD)
@@ -25,35 +25,40 @@ struct CmdTimings {
   Tick faw = 0;          ///< window bounding four ACTs per rank (tFAW)
   Tick wrdata_to_rd = 0; ///< end of write data -> RD command (tWTR)
   // Data-bus geometry.
-  Tick rd_lat = 0;       ///< RD command -> first data beat (tCL)
-  Tick wr_lat = 0;       ///< WR command -> first data beat (tCWL)
+  Tick rd_lat = 0;       ///< RD command -> first data beat (tAL + tCL)
+  Tick wr_lat = 0;       ///< WR command -> first data beat (tAL + tCWL)
   Tick burst = 0;        ///< data-bus occupancy of one burst
   Tick rtrs = 0;         ///< rank-to-rank data-bus switch gap
   // Command -> end of data transfer (the request-completion latencies).
-  Tick rd_to_data_end = 0;  ///< tCL + burst
-  Tick wr_to_data_end = 0;  ///< tCWL + burst
+  Tick rd_to_data_end = 0;  ///< tAL + tCL + burst
+  Tick wr_to_data_end = 0;  ///< tAL + tCWL + burst
   // Refresh and power-down.
   Tick rfc = 0;          ///< refresh duration (REF -> ACT)
   Tick refi = 0;         ///< average refresh interval
   Tick xp = 0;           ///< power-down exit -> first command
 
   static CmdTimings build(const TimingsTicks& t) {
+    // Posted CAS (tAL, DDR3/DDR4): the controller may issue a column
+    // command up to tAL earlier than tRCD allows; the device holds it and
+    // executes tAL later, so every command-relative data/precharge latency
+    // grows by tAL. With t.al == 0 (the DDR2 sets) every derived value
+    // reduces to the pre-registry matrix exactly.
     CmdTimings c;
-    c.act_to_col = t.rcd;
+    c.act_to_col = t.rcd > t.al ? t.rcd - t.al : 0;
     c.act_to_pre = t.ras;
-    c.rd_to_pre = t.rtp;
-    c.wr_to_pre = t.cwl + t.burst + t.wr;
+    c.rd_to_pre = t.al + t.rtp;
+    c.wr_to_pre = t.al + t.cwl + t.burst + t.wr;
     c.pre_to_act = t.rp;
     c.col_to_col = t.ccd;
     c.act_to_act = t.rrd;
     c.faw = t.faw;
     c.wrdata_to_rd = t.wtr;
-    c.rd_lat = t.cl;
-    c.wr_lat = t.cwl;
+    c.rd_lat = t.al + t.cl;
+    c.wr_lat = t.al + t.cwl;
     c.burst = t.burst;
     c.rtrs = t.rtrs;
-    c.rd_to_data_end = t.cl + t.burst;
-    c.wr_to_data_end = t.cwl + t.burst;
+    c.rd_to_data_end = t.al + t.cl + t.burst;
+    c.wr_to_data_end = t.al + t.cwl + t.burst;
     c.rfc = t.rfc;
     c.refi = t.refi;
     c.xp = t.xp;

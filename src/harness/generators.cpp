@@ -48,8 +48,14 @@ std::vector<workload::BenchmarkSpec> mix(Rng& rng, std::size_t min_apps,
 
 SystemConfig system_config(Rng& rng) {
   SystemConfig cfg;
-  cfg.dram = rng.next_bool(0.5) ? dram::DramConfig::ddr2_400()
-                                : dram::DramConfig::ddr2_800();
+  // Sample the timing matrix from any registered DRAM generation (DDR2
+  // through the HBM-like set — this feeds generation and posted-CAS
+  // coverage into every property suite), then randomize the geometry.
+  const std::vector<dram::DramGeneration>& gens = dram::dram_generations();
+  cfg.dram =
+      gens[static_cast<std::size_t>(
+               pbt::gen_uint(rng, 0, gens.size() - 1))]
+          .config;
   // The address map needs power-of-two dimensions in every coordinate.
   cfg.dram.channels = static_cast<std::uint32_t>(pbt::gen_uint(rng, 1, 2));
   cfg.dram.ranks = 1u << pbt::gen_uint(rng, 0, 2);

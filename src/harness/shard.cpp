@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "dram/config.hpp"
 #include "harness/differential.hpp"
 
 namespace bwpart::harness::shard {
@@ -23,7 +24,9 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kUnitHeader[] = "bwpart-shard-unit v1";
-constexpr std::uint32_t kResultVersion = 1;
+// v2: the shard records the DRAM generation it was measured under, and
+// merge() refuses shards whose generation disagrees with their unit's.
+constexpr std::uint32_t kResultVersion = 2;
 constexpr char kUnitExt[] = ".unit";
 constexpr char kResultExt[] = ".bwrr";
 
@@ -111,16 +114,9 @@ std::uint64_t hash_u64(std::uint64_t v, std::uint64_t h) {
 
 SystemConfig shard_machine(const ShardConfig& cfg) {
   SystemConfig machine;
-  if (cfg.dram == "ddr2_400") {
-    machine.dram = dram::DramConfig::ddr2_400();
-  } else if (cfg.dram == "ddr2_800") {
-    machine.dram = dram::DramConfig::ddr2_800();
-  } else if (cfg.dram == "ddr2_1600") {
-    machine.dram = dram::DramConfig::ddr2_1600();
-  } else {
-    throw std::invalid_argument("unknown DRAM grade '" + cfg.dram +
-                                "' (expect ddr2_400|ddr2_800|ddr2_1600)");
-  }
+  // Resolves through the DramGeneration registry; throws
+  // std::invalid_argument listing every registered name when unknown.
+  machine.dram = dram::dram_config_for_generation(cfg.dram);
   machine.num_controllers = cfg.controllers;
   return machine;
 }
@@ -171,10 +167,20 @@ Portfolio make_portfolio(const std::string& name) {
     c.mix = mix;
     return c;
   };
-  if (name == "quick") {
-    // CI smoke scale: two contrasting mixes, short windows.
+  if (name == "quick" || name.rfind("quick@", 0) == 0) {
+    // CI smoke scale: two contrasting mixes, short windows. The
+    // "quick@<generation>" form pins both configs to a registered DRAM
+    // generation (the CI generation-matrix job sweeps these).
+    std::string gen = "ddr2_400";
+    if (name != "quick") {
+      gen = name.substr(std::string("quick@").size());
+      // Validate eagerly so an unknown generation fails here, naming the
+      // registered set, not deep inside the first snapshot capture.
+      (void)dram::dram_config_for_generation(gen);
+    }
     for (const char* mix : {"hetero-5", "homo-1"}) {
       ShardConfig c = mix_cfg(mix);
+      c.dram = gen;
       c.warmup_cycles = 20'000;
       c.profile_cycles = 100'000;
       c.measure_cycles = 100'000;
@@ -203,8 +209,9 @@ Portfolio make_portfolio(const std::string& name) {
     c.measure_cycles = 100'000;
     p.configs.push_back(std::move(c));
   } else {
-    throw std::invalid_argument("unknown portfolio '" + name +
-                                "' (expect quick|table4|portfolio64)");
+    throw std::invalid_argument(
+        "unknown portfolio '" + name +
+        "' (expect quick|quick@<generation>|table4|portfolio64)");
   }
   return p;
 }
@@ -289,6 +296,7 @@ std::vector<std::uint8_t> encode_result_shard(const UnitResult& result) {
   w.u32(kResultVersion);
   w.str(result.key);
   w.u64(result.config_fp);
+  w.str(result.dram_gen);
   const RunResult& r = result.result;
   w.str(core::to_string(r.scheme));
   w.sz(r.params.size());
@@ -316,14 +324,29 @@ UnitResult decode_result_shard(std::span<const std::uint8_t> bytes) {
   snap::require(bytes.size() > 8, "result shard too short for a checksum");
   const std::uint64_t want =
       hash_bytes(bytes.data(), bytes.size() - 8);
+  {
+    // Verify the trailing checksum before interpreting any field, so a
+    // corrupted length prefix fails as "checksum mismatch" instead of an
+    // absurd allocation.
+    snap::Reader tail(bytes.subspan(bytes.size() - 8));
+    snap::require(tail.u64() == want,
+                  "result shard checksum mismatch (file corrupted)");
+  }
 
   snap::Reader r(bytes);
   r.expect_tag("BWRR");
-  snap::require(r.u32() == kResultVersion,
-                "unsupported result shard version");
+  const std::uint32_t version = r.u32();
+  if (version != kResultVersion) {
+    throw snap::SnapshotError(
+        "unsupported result shard version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kResultVersion) +
+        "; v1 shards predate the DRAM-generation field — re-run the sweep "
+        "in a fresh spool)");
+  }
   UnitResult out;
   out.key = r.str();
   out.config_fp = r.u64();
+  out.dram_gen = r.str();
   RunResult& res = out.result;
   res.scheme = parse_scheme(r.str());
   res.params.resize(r.sz());
@@ -586,6 +609,7 @@ void run_unit(const Spool& spool, const ClaimedUnit& claim,
   UnitResult result;
   result.key = unit.key;
   result.config_fp = unit.config_fp;
+  result.dram_gen = unit.cfg.dram;
   result.result = experiment.measure_from(*snapshot, unit.scheme);
   result.fingerprint = fingerprint(result.result);
   spool.complete(claim, result);
@@ -624,6 +648,13 @@ MergedPortfolio merge(const Spool& spool, const Portfolio& portfolio) {
       snap::require(row.result.key == row.unit.key &&
                         row.result.config_fp == row.unit.config_fp,
                     "result shard identity disagrees with its unit");
+      if (row.result.dram_gen != row.unit.cfg.dram) {
+        throw snap::SnapshotError(
+            "refusing to merge result shard '" + row.unit.key +
+            "': it was measured under DRAM generation '" +
+            row.result.dram_gen + "' but the portfolio unit expects '" +
+            row.unit.cfg.dram + "' (mixed-generation spool)");
+      }
       row.present = true;
       merged.portfolio_fp = hash_u64(row.result.fingerprint,
                                      merged.portfolio_fp);

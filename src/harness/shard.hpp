@@ -48,7 +48,7 @@ namespace bwpart::harness::shard {
 struct ShardConfig {
   std::string mix = "hetero-5";      ///< Table IV mix name
   std::uint32_t copies = 1;          ///< workload replication (Fig. 4 style)
-  std::string dram = "ddr2_400";     ///< ddr2_400 | ddr2_800 | ddr2_1600
+  std::string dram = "ddr2_400";     ///< any registered DRAM generation
   std::size_t controllers = 1;       ///< independent memory controllers
   Cycle warmup_cycles = 400'000;
   Cycle profile_cycles = 2'000'000;
@@ -56,8 +56,9 @@ struct ShardConfig {
   std::uint64_t seed = 42;
 };
 
-/// Builds the machine/workload/phases this config describes. Throws
-/// std::invalid_argument on an unknown mix or DRAM grade name.
+/// Builds the machine/workload/phases this config describes. The DRAM
+/// grade resolves through the dram::DramGeneration registry. Throws
+/// std::invalid_argument on an unknown mix or DRAM generation name.
 SystemConfig shard_machine(const ShardConfig& cfg);
 std::vector<workload::BenchmarkSpec> shard_apps(const ShardConfig& cfg);
 PhaseConfig shard_phases(const ShardConfig& cfg);
@@ -78,6 +79,7 @@ std::string unit_key(std::uint64_t config_fp, core::Scheme scheme);
 struct UnitResult {
   std::string key;
   std::uint64_t config_fp = 0;
+  std::string dram_gen;  ///< DRAM generation the unit was measured under
   RunResult result;
   std::uint64_t fingerprint = 0;  ///< harness::fingerprint(result)
 };
@@ -90,9 +92,11 @@ struct Portfolio {
 
 /// Built-in portfolios:
 ///   quick       2 mixes, short windows — CI smoke (14 units)
+///   quick@GEN   quick with both configs on DRAM generation GEN (any
+///               registered name, e.g. quick@ddr4_2400)
 ///   table4      all 14 Table IV mixes at golden-corpus phases (98 units)
 ///   portfolio64 64 apps (16x hetero-5) on 4 controllers, DDR2-1600 (7 units)
-/// Throws std::invalid_argument on an unknown name.
+/// Throws std::invalid_argument on an unknown name or generation.
 Portfolio make_portfolio(const std::string& name);
 
 /// Expands the config x scheme matrix in deterministic order (configs outer,
@@ -175,10 +179,12 @@ class Spool {
 std::string encode_unit_spec(const ShardUnit& unit);
 ShardUnit parse_unit_spec(const std::string& text);
 
-/// Checksummed binary result shard ("BWRR" container). read_result_shard
+/// Checksummed binary result shard ("BWRR" container, version 2: carries
+/// the DRAM generation the unit was measured under). read_result_shard
 /// verifies the checksum and that the stored fingerprint matches a fresh
 /// harness::fingerprint of the decoded RunResult, so any field drift or
-/// corruption fails loudly.
+/// corruption fails loudly; v1 shards (no generation) are rejected by
+/// version.
 std::vector<std::uint8_t> encode_result_shard(const UnitResult& result);
 UnitResult decode_result_shard(std::span<const std::uint8_t> bytes);
 
@@ -200,7 +206,9 @@ WorkerReport run_worker(const std::filesystem::path& spool_root,
                         const WorkerOptions& options = {});
 
 /// Deterministic merge of the spool's result shards in portfolio
-/// enumeration order.
+/// enumeration order. Refuses (snap::SnapshotError) to merge a shard whose
+/// recorded DRAM generation disagrees with its unit's — a spool cross-wired
+/// between sweeps of different generations must fail loudly, not blend.
 struct MergeRow {
   ShardUnit unit;
   UnitResult result;  ///< valid only when present

@@ -21,7 +21,11 @@ constexpr char kMagic[4] = {'B', 'W', 'P', 'S'};
 // controller count plus one controller blob per controller (and
 // SystemConfig::num_controllers joined the config fingerprint), so v2
 // payloads no longer decode; same loud rejection.
-constexpr std::uint32_t kFormatVersion = 3;
+// v4: the DRAM-generation registry added the generation name and the
+// posted-CAS additive latency (tAL) to the config fingerprint, so a v3
+// fingerprint no longer identifies the configuration it was captured
+// under; same loud rejection.
+constexpr std::uint32_t kFormatVersion = 4;
 
 std::uint64_t hash_u64(std::uint64_t v, std::uint64_t h) {
   return hash_bytes(&v, sizeof(v), h);
@@ -56,6 +60,7 @@ std::uint64_t config_fingerprint(const SystemConfig& cfg,
   std::uint64_t h = hash_u64(cfg.cpu_clock.hz, 0xcbf29ce484222325ULL);
 
   const dram::DramConfig& d = cfg.dram;
+  h = hash_str(d.generation, h);
   h = hash_u64(d.bus_clock.hz, h);
   h = hash_u32(d.bus_bytes, h);
   h = hash_u32(d.burst_beats, h);
@@ -80,6 +85,7 @@ std::uint64_t config_fingerprint(const SystemConfig& cfg,
   h = hash_f64(d.t.trefi, h);
   h = hash_f64(d.t.trtrs, h);
   h = hash_f64(d.t.txp, h);
+  h = hash_f64(d.t.tal, h);
   h = hash_bool(d.enable_refresh, h);
   h = hash_bool(d.enable_powerdown, h);
   h = hash_f64(d.powerdown_idle_ns, h);
@@ -189,8 +195,9 @@ ProfileSnapshot read_profile_snapshot(const std::string& path) {
         "unsupported BWPS snapshot format version " +
         std::to_string(version) + " (this build reads version " +
         std::to_string(kFormatVersion) +
-        "; v1 predates the SoA DRAM/controller state layout and v2 the "
-        "multi-controller system layout — re-capture the snapshot with "
+        "; v1 predates the SoA DRAM/controller state layout, v2 the "
+        "multi-controller system layout, and v3 the DRAM-generation "
+        "registry's config fingerprint — re-capture the snapshot with "
         "this build)");
   }
 

@@ -452,7 +452,8 @@ dram::Tick MemoryController::next_event_tick(dram::Tick from) const {
         if (e != dram::kNoTick) best = std::min(best, e);
       }
       if (dram::is_column_command(need)) {
-        const dram::Tick lat = dram::is_read_command(need) ? t.cl : t.cwl;
+        const dram::Tick lat =
+            t.al + (dram::is_read_command(need) ? t.cl : t.cwl);
         const dram::Tick until = bus_busy_until_[r.loc.channel];
         if (until > lat && until - lat > from) {
           best = std::min(best, until - lat);
@@ -750,7 +751,7 @@ void MemoryController::account_interference(dram::Tick now,
       const dram::TimingsTicks& t = dram_.timings();
       const bool bus_block =
           dram::is_column_command(need) &&
-          now + (dram::is_read_command(need) ? t.cl : t.cwl) <
+          now + t.al + (dram::is_read_command(need) ? t.cl : t.cwl) <
               bus_busy_until_[ch];
       if (bus_block) {
         interfered = bus_user_[ch] != kNoApp && bus_user_[ch] != app;
@@ -789,7 +790,7 @@ void MemoryController::account_interference_range(dram::Tick from,
       const dram::TimingsTicks& t = dram_.timings();
       const bool bus_block =
           dram::is_column_command(need) &&
-          from + (dram::is_read_command(need) ? t.cl : t.cwl) <
+          from + t.al + (dram::is_read_command(need) ? t.cl : t.cwl) <
               bus_busy_until_[ch];
       if (bus_block) {
         interfered = bus_user_[ch] != kNoApp && bus_user_[ch] != app;

@@ -11,7 +11,9 @@
 //       --scaling 1,2,4,8 --bench-out BENCH_sweep.json  (one line)
 //
 // Options:
-//   --portfolio NAME   quick | table4 | portfolio64
+//   --portfolio NAME   quick | quick@<dram-generation> | table4 |
+//                      portfolio64 (quick@GEN pins the quick portfolio to a
+//                      registered DRAM generation, e.g. quick@ddr4_2400)
 //   --spool DIR        spool directory (created; reusable for resume)
 //   --workers N        worker processes (default 2)
 //   --scaling W,...    one full round per worker count, each in its own
@@ -64,7 +66,8 @@ double seconds_since(Clock::time_point t0) {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --portfolio quick|table4|portfolio64 --spool DIR\n"
+               "usage: %s --portfolio quick|quick@GEN|table4|portfolio64 "
+               "--spool DIR\n"
                "       [--workers N] [--scaling W1,W2,...] [--sim PATH]\n"
                "       [--lease-ms N] [--verify] [--report FILE] "
                "[--bench-out FILE]\n",

@@ -163,6 +163,43 @@ TEST(CliSmoke, CorruptOrMismatchedSnapshotsAreRejected) {
   std::remove(flip.c_str());
 }
 
+// --dram-gen swaps the whole timing matrix in from the generation registry:
+// each generation must run cleanly and move the numbers, and naming the
+// baseline explicitly must reproduce the default run byte-for-byte.
+TEST(CliSmoke, DramGenerationFlagSelectsRegistryConfigs) {
+  std::string ddr2, ddr2_named, ddr4, hbm;
+  const std::string base = g_sim_path + kBaseArgs + " --scheme Equal";
+  ASSERT_EQ(run_cmd(base, &ddr2), 0);
+  ASSERT_EQ(run_cmd(base + " --dram-gen ddr2_400", &ddr2_named), 0);
+  ASSERT_EQ(run_cmd(base + " --dram-gen ddr4_2400", &ddr4), 0);
+  ASSERT_EQ(run_cmd(base + " --dram-gen hbm_like", &hbm), 0);
+  EXPECT_FALSE(ddr2.empty());
+  EXPECT_FALSE(ddr4.empty());
+  EXPECT_EQ(ddr2, ddr2_named)
+      << "naming the default generation must not change anything";
+  EXPECT_NE(ddr2, ddr4) << "DDR4 timings left the results untouched";
+  EXPECT_NE(ddr4, hbm) << "HBM-class config left the results untouched";
+}
+
+// An unknown generation name must fail fast with a nonzero exit and a
+// stderr message naming both the bad argument and the registered sets —
+// not fall back to some default matrix.
+TEST(CliSmoke, UnknownDramGenerationIsRejectedLoudly) {
+  const std::string errfile = tmp_path("gen_err.txt");
+  const int status =
+      std::system((g_sim_path + kBaseArgs +
+                   " --scheme Equal --dram-gen ddr9_bogus > /dev/null 2> " +
+                   errfile)
+                      .c_str());
+  ASSERT_NE(status, -1);
+  EXPECT_NE(WEXITSTATUS(status), 0);
+  const std::string err = read_file(errfile);
+  EXPECT_NE(err.find("ddr9_bogus"), std::string::npos) << err;
+  EXPECT_NE(err.find("ddr4_2400"), std::string::npos)
+      << "error should list the registered generations: " << err;
+  std::remove(errfile.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -185,15 +185,84 @@ TEST(SpoolProtocol, CorruptResultShardIsRejected) {
   shard::UnitResult r;
   r.key = "k";
   r.config_fp = 7;
+  r.dram_gen = "ddr3_1600";
   r.result.scheme = core::Scheme::Equal;
   r.result.hsp = 1.5;
   r.fingerprint = harness::fingerprint(r.result);
   std::vector<std::uint8_t> bytes = shard::encode_result_shard(r);
   const shard::UnitResult back = shard::decode_result_shard(bytes);
   EXPECT_EQ(back.key, "k");
+  EXPECT_EQ(back.dram_gen, "ddr3_1600");
   EXPECT_EQ(back.result.hsp, 1.5);
   bytes[bytes.size() / 2] ^= 0x01;
   EXPECT_THROW(shard::decode_result_shard(bytes), snap::SnapshotError);
+}
+
+// quick@<generation> portfolios: the generation is carried on every unit,
+// bogus generations are rejected at portfolio-construction time, and the
+// sweep is bit-identical to an in-process run_all under that generation.
+TEST(SpoolProtocol, GenerationPortfolioSweepsUnderThatGeneration) {
+  EXPECT_THROW(shard::make_portfolio("quick@ddr9_bogus"),
+               std::invalid_argument);
+  shard::Portfolio p = shard::make_portfolio("quick@ddr4_2400");
+  for (const shard::ShardConfig& cfg : p.configs) {
+    EXPECT_EQ(cfg.dram, "ddr4_2400");
+  }
+  p.configs.resize(1);
+  p.schemes.resize(2);
+  const std::string dir = tmp_dir("gen_portfolio");
+  const shard::Spool spool = prepare_spool(dir, p);
+  const shard::WorkerReport report = shard::run_worker(dir);
+  EXPECT_EQ(report.completed, p.schemes.size());
+  expect_bit_identical(spool, p);
+  // Every shard on disk records the generation it was measured under.
+  for (const std::string& key : spool.result_keys()) {
+    const std::string raw =
+        read_file((fs::path(dir) / "results" / (key + ".bwrr")).string());
+    const shard::UnitResult r = shard::decode_result_shard(
+        {reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()});
+    EXPECT_EQ(r.dram_gen, "ddr4_2400") << key;
+  }
+  fs::remove_all(dir);
+}
+
+// A result shard measured under one generation must never be merged into a
+// portfolio expecting another — e.g. a spool directory reused across sweeps
+// of different generations. The shard itself is intact (checksum valid), so
+// only the recorded generation can tell the merge it is looking at foreign
+// data.
+TEST(SpoolProtocol, MergeRefusesShardsFromAnotherGeneration) {
+  shard::Portfolio p = shard::make_portfolio("quick@ddr3_1600");
+  p.configs.resize(1);
+  p.schemes.resize(1);
+  const std::string dir = tmp_dir("gen_mismatch");
+  const shard::Spool spool = prepare_spool(dir, p);
+  ASSERT_EQ(shard::run_worker(dir).completed, 1u);
+  EXPECT_NO_THROW(shard::merge(spool, p));
+
+  // Rewrite the completed shard as if it had been measured under DDR4:
+  // decode, swap the recorded generation, re-encode (fresh checksum).
+  const std::string key = shard::enumerate_units(p)[0].key;
+  const fs::path shard_path = fs::path(dir) / "results" / (key + ".bwrr");
+  const std::string raw = read_file(shard_path.string());
+  shard::UnitResult r = shard::decode_result_shard(
+      {reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()});
+  r.dram_gen = "ddr4_2400";
+  const std::vector<std::uint8_t> forged = shard::encode_result_shard(r);
+  std::ofstream os(shard_path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(forged.data()),
+           static_cast<std::streamsize>(forged.size()));
+  os.close();
+
+  try {
+    (void)shard::merge(spool, p);
+    FAIL() << "mixed-generation shard was merged";
+  } catch (const snap::SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ddr4_2400"), std::string::npos) << what;
+    EXPECT_NE(what.find("ddr3_1600"), std::string::npos) << what;
+  }
+  fs::remove_all(dir);
 }
 
 TEST(SpoolProtocol, ClaimIsExclusiveAndStealRequiresStaleness) {

@@ -1,0 +1,277 @@
+// Differential pin for the DramGeneration registry refactor: the DDR2
+// grades (and DDR3-1066) must come out of the registry bit-identical to the
+// hard-wired factories they replaced. `namespace ref` below is a frozen
+// copy of the pre-registry code — the factory literals, the ns->tick
+// conversion and the CmdTimings derivation exactly as they stood before
+// generations and posted-CAS (tAL) existed — so any drift in the refactored
+// path shows up as a field-level mismatch here, independent of the golden
+// fingerprint corpus (which pins the same contract end-to-end).
+#include <gtest/gtest.h>
+
+#include "dram/config.hpp"
+#include "dram/timing_table.hpp"
+
+namespace bwpart::dram {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frozen pre-refactor reference. Do not "fix" or modernize this namespace:
+// its whole value is that it does NOT follow the production code.
+namespace ref {
+
+struct Ticks {
+  Tick rp = 0, rcd = 0, cl = 0, cwl = 0, ras = 0, wr = 0, wtr = 0, rtp = 0,
+       ccd = 0, rrd = 0, faw = 0, rfc = 0, refi = 0, rtrs = 0, xp = 0;
+  Tick burst = 0;
+};
+
+struct Ns {
+  double trp = 12.5, trcd = 12.5, tcl = 12.5, tcwl = 10.0, tras = 40.0,
+         twr = 15.0, twtr = 7.5, trtp = 7.5, tccd = 10.0, trrd = 7.5,
+         tfaw = 37.5, trfc = 127.5, trefi = 7800.0, trtrs = 0.0, txp = 10.0;
+};
+
+struct Config {
+  std::uint64_t bus_hz = 0;
+  std::uint32_t bus_bytes = 8;
+  std::uint32_t burst_beats = 8;
+  std::uint32_t channels = 1;
+  std::uint32_t ranks = 4;
+  std::uint32_t banks_per_rank = 8;
+  Ns t{};
+};
+
+Ticks ticks(const Config& c) {
+  const double tick_ns = 1e9 / static_cast<double>(c.bus_hz);
+  auto conv = [tick_ns](double ns) -> Tick {
+    const double ticks = ns / tick_ns;
+    const auto whole = static_cast<Tick>(ticks);
+    return (static_cast<double>(whole) >= ticks) ? whole : whole + 1;
+  };
+  Ticks out;
+  out.rp = conv(c.t.trp);
+  out.rcd = conv(c.t.trcd);
+  out.cl = conv(c.t.tcl);
+  out.cwl = conv(c.t.tcwl);
+  out.ras = conv(c.t.tras);
+  out.wr = conv(c.t.twr);
+  out.wtr = conv(c.t.twtr);
+  out.rtp = conv(c.t.trtp);
+  out.ccd = conv(c.t.tccd);
+  out.rrd = conv(c.t.trrd);
+  out.faw = conv(c.t.tfaw);
+  out.rfc = conv(c.t.trfc);
+  out.refi = conv(c.t.trefi);
+  out.rtrs = conv(c.t.trtrs);
+  out.xp = conv(c.t.txp);
+  out.burst = c.burst_beats / 2;
+  return out;
+}
+
+struct Cmd {
+  Tick act_to_col = 0, act_to_pre = 0, rd_to_pre = 0, wr_to_pre = 0,
+       pre_to_act = 0, col_to_col = 0, act_to_act = 0, faw = 0,
+       wrdata_to_rd = 0, rd_lat = 0, wr_lat = 0, burst = 0, rtrs = 0,
+       rd_to_data_end = 0, wr_to_data_end = 0, rfc = 0, refi = 0, xp = 0;
+};
+
+Cmd build(const Ticks& t) {
+  Cmd c;
+  c.act_to_col = t.rcd;
+  c.act_to_pre = t.ras;
+  c.rd_to_pre = t.rtp;
+  c.wr_to_pre = t.cwl + t.burst + t.wr;
+  c.pre_to_act = t.rp;
+  c.col_to_col = t.ccd;
+  c.act_to_act = t.rrd;
+  c.faw = t.faw;
+  c.wrdata_to_rd = t.wtr;
+  c.rd_lat = t.cl;
+  c.wr_lat = t.cwl;
+  c.burst = t.burst;
+  c.rtrs = t.rtrs;
+  c.rd_to_data_end = t.cl + t.burst;
+  c.wr_to_data_end = t.cwl + t.burst;
+  c.rfc = t.rfc;
+  c.refi = t.refi;
+  c.xp = t.xp;
+  return c;
+}
+
+Config ddr2_400() {
+  Config c;
+  c.bus_hz = 200'000'000ull;
+  return c;
+}
+
+Config ddr2_800() {
+  Config c;
+  c.bus_hz = 400'000'000ull;
+  return c;
+}
+
+Config ddr2_1600() {
+  Config c;
+  c.bus_hz = 800'000'000ull;
+  return c;
+}
+
+Config ddr3_1066() {
+  Config c;
+  c.bus_hz = 533'000'000ull;
+  c.ranks = 2;
+  c.banks_per_rank = 8;
+  c.t.trp = 13.1;
+  c.t.trcd = 13.1;
+  c.t.tcl = 13.1;
+  c.t.tcwl = 9.4;
+  c.t.tras = 36.0;
+  c.t.twr = 15.0;
+  c.t.twtr = 7.5;
+  c.t.trtp = 7.5;
+  c.t.tccd = 7.5;
+  c.t.trrd = 7.5;
+  c.t.tfaw = 37.5;
+  c.t.trfc = 160.0;
+  c.t.trefi = 7800.0;
+  return c;
+}
+
+}  // namespace ref
+
+// Exact equality throughout: the contract is bit-identity, not closeness.
+// The ns literals are identical source-level constants, so operator== on
+// double is the right comparison.
+void expect_config_matches(const DramConfig& now, const ref::Config& old,
+                           const char* grade) {
+  SCOPED_TRACE(grade);
+  EXPECT_EQ(now.bus_clock.hz, old.bus_hz);
+  EXPECT_EQ(now.bus_bytes, old.bus_bytes);
+  EXPECT_EQ(now.burst_beats, old.burst_beats);
+  EXPECT_EQ(now.channels, old.channels);
+  EXPECT_EQ(now.ranks, old.ranks);
+  EXPECT_EQ(now.banks_per_rank, old.banks_per_rank);
+  EXPECT_EQ(now.t.trp, old.t.trp);
+  EXPECT_EQ(now.t.trcd, old.t.trcd);
+  EXPECT_EQ(now.t.tcl, old.t.tcl);
+  EXPECT_EQ(now.t.tcwl, old.t.tcwl);
+  EXPECT_EQ(now.t.tras, old.t.tras);
+  EXPECT_EQ(now.t.twr, old.t.twr);
+  EXPECT_EQ(now.t.twtr, old.t.twtr);
+  EXPECT_EQ(now.t.trtp, old.t.trtp);
+  EXPECT_EQ(now.t.tccd, old.t.tccd);
+  EXPECT_EQ(now.t.trrd, old.t.trrd);
+  EXPECT_EQ(now.t.tfaw, old.t.tfaw);
+  EXPECT_EQ(now.t.trfc, old.t.trfc);
+  EXPECT_EQ(now.t.trefi, old.t.trefi);
+  EXPECT_EQ(now.t.trtrs, old.t.trtrs);
+  EXPECT_EQ(now.t.txp, old.t.txp);
+  // The pre-refactor code had no tAL at all; bit-identity requires the
+  // legacy grades to carry exactly zero.
+  EXPECT_EQ(now.t.tal, 0.0);
+}
+
+void expect_ticks_match(const TimingsTicks& now, const ref::Ticks& old,
+                        const char* grade) {
+  SCOPED_TRACE(grade);
+  EXPECT_EQ(now.rp, old.rp);
+  EXPECT_EQ(now.rcd, old.rcd);
+  EXPECT_EQ(now.cl, old.cl);
+  EXPECT_EQ(now.cwl, old.cwl);
+  EXPECT_EQ(now.ras, old.ras);
+  EXPECT_EQ(now.wr, old.wr);
+  EXPECT_EQ(now.wtr, old.wtr);
+  EXPECT_EQ(now.rtp, old.rtp);
+  EXPECT_EQ(now.ccd, old.ccd);
+  EXPECT_EQ(now.rrd, old.rrd);
+  EXPECT_EQ(now.faw, old.faw);
+  EXPECT_EQ(now.rfc, old.rfc);
+  EXPECT_EQ(now.refi, old.refi);
+  EXPECT_EQ(now.rtrs, old.rtrs);
+  EXPECT_EQ(now.xp, old.xp);
+  EXPECT_EQ(now.burst, old.burst);
+  EXPECT_EQ(now.al, 0u);
+}
+
+void expect_cmd_match(const CmdTimings& now, const ref::Cmd& old,
+                      const char* grade) {
+  SCOPED_TRACE(grade);
+  EXPECT_EQ(now.act_to_col, old.act_to_col);
+  EXPECT_EQ(now.act_to_pre, old.act_to_pre);
+  EXPECT_EQ(now.rd_to_pre, old.rd_to_pre);
+  EXPECT_EQ(now.wr_to_pre, old.wr_to_pre);
+  EXPECT_EQ(now.pre_to_act, old.pre_to_act);
+  EXPECT_EQ(now.col_to_col, old.col_to_col);
+  EXPECT_EQ(now.act_to_act, old.act_to_act);
+  EXPECT_EQ(now.faw, old.faw);
+  EXPECT_EQ(now.wrdata_to_rd, old.wrdata_to_rd);
+  EXPECT_EQ(now.rd_lat, old.rd_lat);
+  EXPECT_EQ(now.wr_lat, old.wr_lat);
+  EXPECT_EQ(now.burst, old.burst);
+  EXPECT_EQ(now.rtrs, old.rtrs);
+  EXPECT_EQ(now.rd_to_data_end, old.rd_to_data_end);
+  EXPECT_EQ(now.wr_to_data_end, old.wr_to_data_end);
+  EXPECT_EQ(now.rfc, old.rfc);
+  EXPECT_EQ(now.refi, old.refi);
+  EXPECT_EQ(now.xp, old.xp);
+}
+
+void expect_grade_frozen(const char* grade, const ref::Config& old) {
+  const DramConfig now = dram_config_for_generation(grade);
+  expect_config_matches(now, old, grade);
+  expect_ticks_match(now.ticks(), ref::ticks(old), grade);
+  expect_cmd_match(CmdTimings::build(now.ticks()), ref::build(ref::ticks(old)),
+                   grade);
+}
+
+TEST(GenerationDifferential, Ddr2GradesAreBitIdenticalToPreRegistryCode) {
+  expect_grade_frozen("ddr2_400", ref::ddr2_400());
+  expect_grade_frozen("ddr2_800", ref::ddr2_800());
+  expect_grade_frozen("ddr2_1600", ref::ddr2_1600());
+}
+
+TEST(GenerationDifferential, Ddr3_1066IsBitIdenticalToPreRegistryCode) {
+  expect_grade_frozen("ddr3_1066", ref::ddr3_1066());
+}
+
+TEST(GenerationDifferential, StaticFactoriesAreRegistryLookups) {
+  expect_config_matches(DramConfig::ddr2_400(), ref::ddr2_400(), "ddr2_400");
+  expect_config_matches(DramConfig::ddr2_800(), ref::ddr2_800(), "ddr2_800");
+  expect_config_matches(DramConfig::ddr2_1600(), ref::ddr2_1600(),
+                        "ddr2_1600");
+  expect_config_matches(DramConfig::ddr3_1066(), ref::ddr3_1066(),
+                        "ddr3_1066");
+  EXPECT_EQ(DramConfig::ddr2_400().generation, "ddr2_400");
+  EXPECT_EQ(DramConfig::ddr3_1066().generation, "ddr3_1066");
+}
+
+// The derived matrix must reduce to the frozen one exactly when tAL == 0
+// even for the new generations (the AL terms vanish, not merely shrink):
+// feed ddr3_1600's tick values minus AL through the frozen builder and
+// compare against the production builder with al forced to zero.
+TEST(GenerationDifferential, AlZeroReducesToFrozenDerivation) {
+  const DramConfig cfg = dram_config_for_generation("ddr3_1600");
+  TimingsTicks t = cfg.ticks();
+  ASSERT_EQ(t.al, 0u);
+  ref::Ticks old;
+  old.rp = t.rp;
+  old.rcd = t.rcd;
+  old.cl = t.cl;
+  old.cwl = t.cwl;
+  old.ras = t.ras;
+  old.wr = t.wr;
+  old.wtr = t.wtr;
+  old.rtp = t.rtp;
+  old.ccd = t.ccd;
+  old.rrd = t.rrd;
+  old.faw = t.faw;
+  old.rfc = t.rfc;
+  old.refi = t.refi;
+  old.rtrs = t.rtrs;
+  old.xp = t.xp;
+  old.burst = t.burst;
+  expect_cmd_match(CmdTimings::build(t), ref::build(old), "ddr3_1600@al=0");
+}
+
+}  // namespace
+}  // namespace bwpart::dram

@@ -1,5 +1,10 @@
 // Golden regression corpus: end-to-end RunResult fingerprints for all 14
-// Table IV mixes x all 7 partitioning schemes at CI scale (seed 42).
+// Table IV mixes x all 7 partitioning schemes at CI scale (seed 42), plus a
+// per-DRAM-generation section (schema 2): two quick mixes x all schemes
+// under each post-DDR2 generation (DDR3-1600, DDR4-2400, HBM-like), so a
+// change to the generation registry, the posted-CAS timing derivation or
+// the HBM-class geometry handling trips a fingerprint diff even though the
+// 98 DDR2 entries stay pinned to their pre-registry values.
 //
 //   test_golden --file tests/golden/fingerprints.json [--update]
 //
@@ -26,6 +31,7 @@
 
 #include "../obs/mini_json.hpp"
 #include "common/parallel.hpp"
+#include "dram/config.hpp"
 #include "harness/differential.hpp"
 #include "harness/experiment.hpp"
 #include "workload/mixes.hpp"
@@ -53,6 +59,16 @@ std::string hex64(std::uint64_t v) {
 /// mix name -> scheme name -> fingerprint, ordered as paper_mixes().
 using Corpus = std::vector<std::pair<std::string, std::map<std::string, std::string>>>;
 
+/// The post-DDR2 generations pinned by the "generations" section, and the
+/// two mixes (one heterogeneous, one homogeneous) run under each.
+constexpr const char* kGoldenGenerations[] = {"ddr3_1600", "ddr4_2400",
+                                              "hbm_like"};
+constexpr const char* kGoldenGenerationMixes[] = {"hetero-5", "homo-1"};
+
+/// generation -> (mix -> scheme -> fingerprint), ordered as
+/// kGoldenGenerations.
+using GenCorpus = std::vector<std::pair<std::string, Corpus>>;
+
 Corpus compute_corpus() {
   const auto mixes = workload::paper_mixes();
   const harness::SystemConfig machine;
@@ -77,19 +93,48 @@ Corpus compute_corpus() {
   return corpus;
 }
 
-void write_corpus(const std::string& path, const Corpus& corpus) {
-  std::ofstream os(path);
-  if (!os) {
-    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
-    std::exit(2);
+GenCorpus compute_generation_corpus() {
+  const auto mixes = workload::paper_mixes();
+  const harness::PhaseConfig phases = golden_phases();
+  constexpr std::size_t n_gens = std::size(kGoldenGenerations);
+  constexpr std::size_t n_mixes = std::size(kGoldenGenerationMixes);
+  GenCorpus corpus(n_gens);
+  for (std::size_t g = 0; g < n_gens; ++g) {
+    corpus[g] = {kGoldenGenerations[g], Corpus(n_mixes)};
   }
-  const harness::PhaseConfig ph = golden_phases();
-  os << "{\n  \"schema\": 1,\n  \"seed\": " << ph.seed << ",\n"
-     << "  \"phases\": {\"warmup\": " << ph.warmup_cycles
-     << ", \"profile\": " << ph.profile_cycles
-     << ", \"measure\": " << ph.measure_cycles << "},\n  \"mixes\": {\n";
+  // Flat (generation, mix) grid in parallel, scheme sweep serial inside.
+  parallel_for(n_gens * n_mixes, [&](std::size_t idx) {
+    const std::size_t g = idx / n_mixes;
+    const std::size_t m = idx % n_mixes;
+    harness::SystemConfig machine;
+    machine.dram = dram::dram_config_for_generation(kGoldenGenerations[g]);
+    const workload::MixSpec* spec = nullptr;
+    for (const auto& mix : mixes) {
+      if (mix.name == kGoldenGenerationMixes[m]) spec = &mix;
+    }
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown golden mix '%s'\n",
+                   kGoldenGenerationMixes[m]);
+      std::exit(2);
+    }
+    const auto apps = workload::resolve_mix(*spec);
+    const harness::Experiment experiment(machine, apps, phases);
+    const std::vector<harness::RunResult> results =
+        experiment.run_all(core::kAllSchemes, 1);
+    std::map<std::string, std::string> row;
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      row[core::to_string(core::kAllSchemes[s])] =
+          hex64(harness::fingerprint(results[s]));
+    }
+    corpus[g].second[m] = {std::string(spec->name), std::move(row)};
+  });
+  return corpus;
+}
+
+void write_rows(std::ofstream& os, const Corpus& corpus,
+                const char* indent) {
   for (std::size_t i = 0; i < corpus.size(); ++i) {
-    os << "    \"" << corpus[i].first << "\": {";
+    os << indent << "\"" << corpus[i].first << "\": {";
     bool first = true;
     for (const auto& [scheme, fp] : corpus[i].second) {
       os << (first ? "" : ", ") << "\"" << scheme << "\": \"" << fp << "\"";
@@ -97,7 +142,58 @@ void write_corpus(const std::string& path, const Corpus& corpus) {
     }
     os << "}" << (i + 1 < corpus.size() ? "," : "") << "\n";
   }
+}
+
+void write_corpus(const std::string& path, const Corpus& corpus,
+                  const GenCorpus& gen_corpus) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    std::exit(2);
+  }
+  const harness::PhaseConfig ph = golden_phases();
+  os << "{\n  \"schema\": 2,\n  \"seed\": " << ph.seed << ",\n"
+     << "  \"phases\": {\"warmup\": " << ph.warmup_cycles
+     << ", \"profile\": " << ph.profile_cycles
+     << ", \"measure\": " << ph.measure_cycles << "},\n  \"mixes\": {\n";
+  write_rows(os, corpus, "    ");
+  os << "  },\n  \"generations\": {\n";
+  for (std::size_t g = 0; g < gen_corpus.size(); ++g) {
+    os << "    \"" << gen_corpus[g].first << "\": {\n";
+    write_rows(os, gen_corpus[g].second, "      ");
+    os << "    }" << (g + 1 < gen_corpus.size() ? "," : "") << "\n";
+  }
   os << "  }\n}\n";
+}
+
+/// Compares one computed mix->scheme->fp table against a JSON object,
+/// printing every divergence. `where` prefixes messages ("" for the DDR2
+/// baseline, "ddr4_2400 / " for a generation section).
+void check_rows(const testjson::Value& node, const Corpus& expected,
+                const std::string& where, std::size_t& checked,
+                std::size_t& mismatches) {
+  for (const auto& [mix_name, expected_row] : expected) {
+    if (!node.has(mix_name)) {
+      std::fprintf(stderr, "golden corpus is missing mix '%s%s'\n",
+                   where.c_str(), mix_name.c_str());
+      ++mismatches;
+      continue;
+    }
+    const testjson::Value& row = node.at(mix_name);
+    for (const auto& [scheme, fp] : expected_row) {
+      ++checked;
+      if (!row.has(scheme)) {
+        std::fprintf(stderr, "golden corpus is missing %s%s / %s\n",
+                     where.c_str(), mix_name.c_str(), scheme.c_str());
+        ++mismatches;
+      } else if (row.at(scheme).str != fp) {
+        std::fprintf(stderr, "MISMATCH %s%s / %s: golden %s, computed %s\n",
+                     where.c_str(), mix_name.c_str(), scheme.c_str(),
+                     row.at(scheme).str.c_str(), fp.c_str());
+        ++mismatches;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -123,11 +219,16 @@ int main(int argc, char** argv) {
   }
 
   const Corpus corpus = compute_corpus();
+  const GenCorpus gen_corpus = compute_generation_corpus();
   if (update) {
-    write_corpus(path, corpus);
-    std::printf("wrote %zu mixes x %zu schemes to %s\n", corpus.size(),
-                corpus.empty() ? 0 : corpus.front().second.size(),
-                path.c_str());
+    write_corpus(path, corpus, gen_corpus);
+    std::printf(
+        "wrote %zu mixes x %zu schemes plus %zu generations x %zu mixes "
+        "to %s\n",
+        corpus.size(), corpus.empty() ? 0 : corpus.front().second.size(),
+        gen_corpus.size(),
+        gen_corpus.empty() ? 0 : gen_corpus.front().second.size(),
+        path.c_str());
     return 0;
   }
 
@@ -150,6 +251,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!doc->has("schema") ||
+      static_cast<int>(doc->at("schema").num) != 2) {
+    std::fprintf(stderr,
+                 "golden corpus '%s' uses an old schema (the generation "
+                 "section arrived in schema 2) — regenerate with --update\n",
+                 path.c_str());
+    return 1;
+  }
+
   const harness::PhaseConfig ph = golden_phases();
   if (static_cast<std::uint64_t>(doc->at("seed").num) != ph.seed ||
       static_cast<Cycle>(doc->at("phases").at("warmup").num) !=
@@ -167,26 +277,25 @@ int main(int argc, char** argv) {
 
   const testjson::Value& mixes = doc->at("mixes");
   std::size_t checked = 0, mismatches = 0;
-  for (const auto& [mix_name, expected_row] : corpus) {
-    if (!mixes.has(mix_name)) {
-      std::fprintf(stderr, "golden corpus is missing mix '%s'\n",
-                   mix_name.c_str());
-      ++mismatches;
-      continue;
-    }
-    const testjson::Value& row = mixes.at(mix_name);
-    for (const auto& [scheme, fp] : expected_row) {
-      ++checked;
-      if (!row.has(scheme)) {
-        std::fprintf(stderr, "golden corpus is missing %s / %s\n",
-                     mix_name.c_str(), scheme.c_str());
+  check_rows(mixes, corpus, "", checked, mismatches);
+  if (!doc->has("generations")) {
+    std::fprintf(stderr,
+                 "golden corpus '%s' has no \"generations\" section — "
+                 "regenerate with --update\n",
+                 path.c_str());
+    ++mismatches;
+  } else {
+    const testjson::Value& gens = doc->at("generations");
+    for (const auto& [gen_name, gen_rows] : gen_corpus) {
+      if (!gens.has(gen_name)) {
+        std::fprintf(stderr,
+                     "golden corpus is missing generation '%s'\n",
+                     gen_name.c_str());
         ++mismatches;
-      } else if (row.at(scheme).str != fp) {
-        std::fprintf(stderr, "MISMATCH %s / %s: golden %s, computed %s\n",
-                     mix_name.c_str(), scheme.c_str(),
-                     row.at(scheme).str.c_str(), fp.c_str());
-        ++mismatches;
+        continue;
       }
+      check_rows(gens.at(gen_name), gen_rows, gen_name + " / ", checked,
+                 mismatches);
     }
   }
   if (mismatches != 0) {

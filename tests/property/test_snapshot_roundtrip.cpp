@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "common/pbt.hpp"
+#include "dram/config.hpp"
 #include "harness/differential.hpp"
 #include "harness/experiment.hpp"
 #include "harness/generators.hpp"
@@ -313,61 +314,84 @@ TEST(SnapshotRoundtrip, CorruptAndTruncatedFilesFailLoudly) {
   std::remove((testing::TempDir() + "snap_corrupt_variant.bwps").c_str());
 }
 
-// A snapshot written by a pre-SoA build (format version 1) must be
+// A snapshot written by an older build (format versions 1-3) must be
 // rejected by version — loudly, naming both versions — before any payload
-// byte is interpreted under the new layout. The test forges a v1 file from
-// a valid v2 one (the version field lives at a fixed offset right after
-// the magic; the trailing checksum covers it, so it is recomputed the same
-// way write_profile_snapshot seals the file). A from-the-future version is
-// rejected the same way.
-TEST(SnapshotRoundtrip, OldFormatVersionRejectedLoudly) {
+// byte is interpreted under the new layout. The test forges old-version
+// files from a valid v4 one (the version field lives at a fixed offset
+// right after the magic; the trailing checksum covers it, so it is
+// recomputed the same way write_profile_snapshot seals the file). A
+// from-the-future version is rejected the same way. The whole drill runs
+// once per shipped new DRAM generation plus the DDR2 baseline — the v4
+// container must round-trip and version-reject identically whatever
+// parameter set the snapshot was captured under.
+TEST(SnapshotRoundtrip, OldFormatVersionRejectedLoudlyAcrossGenerations) {
   const std::vector<workload::BenchmarkSpec> mix =
       workload::resolve_mix(workload::paper_mixes()[0]);
-  SystemConfig cfg;
-  PhaseConfig phases;
-  phases.warmup_cycles = 1'000;
-  phases.profile_cycles = 5'000;
-  phases.measure_cycles = 5'000;
-  const Experiment ex(cfg, mix, phases);
-  const std::string path = testing::TempDir() + "snap_version.bwps";
-  write_profile_snapshot(path, ex.capture_profile());
+  for (const char* gen :
+       {"ddr2_400", "ddr3_1600", "ddr4_2400", "hbm_like"}) {
+    SystemConfig cfg;
+    cfg.dram = dram::dram_config_for_generation(gen);
+    PhaseConfig phases;
+    phases.warmup_cycles = 1'000;
+    phases.profile_cycles = 5'000;
+    phases.measure_cycles = 5'000;
+    const Experiment ex(cfg, mix, phases);
+    const ProfileSnapshot snap = ex.capture_profile();
+    const std::string path =
+        testing::TempDir() + "snap_version_" + gen + ".bwps";
+    write_profile_snapshot(path, snap);
 
-  std::ifstream in(path, std::ios::binary);
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  in.close();
-  ASSERT_GT(bytes.size(), 24u);
+    // The untampered v4 file round-trips under this generation.
+    const ProfileSnapshot back = read_profile_snapshot(path);
+    EXPECT_EQ(back.config_fp, snap.config_fp) << gen;
+    EXPECT_EQ(back.state, snap.state) << gen;
 
-  const auto with_version = [&](std::uint32_t v) {
-    std::vector<std::uint8_t> forged = bytes;
-    for (std::size_t i = 0; i < 4; ++i) {
-      forged[4 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 24u);
+
+    const auto with_version = [&](std::uint32_t v) {
+      std::vector<std::uint8_t> forged = bytes;
+      for (std::size_t i = 0; i < 4; ++i) {
+        forged[4 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+      }
+      const std::uint64_t sum =
+          hash_bytes(forged.data(), forged.size() - 8);
+      for (std::size_t i = 0; i < 8; ++i) {
+        forged[forged.size() - 8 + i] =
+            static_cast<std::uint8_t>(sum >> (8 * i));
+      }
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os.write(reinterpret_cast<const char*>(forged.data()),
+               static_cast<std::streamsize>(forged.size()));
+    };
+
+    with_version(1);
+    try {
+      (void)read_profile_snapshot(path);
+      FAIL() << "v1 snapshot was accepted under " << gen;
+    } catch (const snap::SnapshotError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+      EXPECT_NE(what.find("version 4"), std::string::npos) << what;
     }
-    const std::uint64_t sum =
-        hash_bytes(forged.data(), forged.size() - 8);
-    for (std::size_t i = 0; i < 8; ++i) {
-      forged[forged.size() - 8 + i] =
-          static_cast<std::uint8_t>(sum >> (8 * i));
+    with_version(2);
+    EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
+    with_version(3);
+    try {
+      (void)read_profile_snapshot(path);
+      FAIL() << "v3 snapshot was accepted under " << gen;
+    } catch (const snap::SnapshotError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("version 3"), std::string::npos) << what;
+      EXPECT_NE(what.find("version 4"), std::string::npos) << what;
     }
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    os.write(reinterpret_cast<const char*>(forged.data()),
-             static_cast<std::streamsize>(forged.size()));
-  };
-
-  with_version(1);
-  try {
-    (void)read_profile_snapshot(path);
-    FAIL() << "v1 snapshot was accepted";
-  } catch (const snap::SnapshotError& e) {
-    const std::string what = e.what();
-    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
-    EXPECT_NE(what.find("version 3"), std::string::npos) << what;
+    with_version(99);
+    EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
+    std::remove(path.c_str());
   }
-  with_version(2);
-  EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
-  with_version(99);
-  EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
-  std::remove(path.c_str());
 }
 
 // Restoring into a mismatched system (different app count) or a mismatched
