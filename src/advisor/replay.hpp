@@ -1,0 +1,40 @@
+// Batch-style churn replay: the advisor's offline answer to the simulator's
+// online churn engine.
+//
+// Given one profile-vector request describing the full application superset
+// (the normal request-line grammar) and a ChurnSchedule, replay_churn walks
+// the schedule's liveness timeline and re-solves the objective over the
+// live subset at every churn instant — exactly the share sequence the
+// in-simulator re-solver would install, but computed analytically in
+// microseconds instead of simulated cycles. Output is one JSON line per
+// re-solve step: the triggering events, the liveness mask, and the share
+// vector scattered back over the superset (dormant apps pinned to zero, as
+// the liveness-aware conservation checker demands).
+//
+// Phase-change events update the app's API in the profile vector when the
+// schedule provides an api= knob; the other generator knobs have no
+// analytic counterpart and only affect simulator replays.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "advisor/request.hpp"
+#include "harness/churn.hpp"
+
+namespace bwpart::advisor {
+
+struct ReplayStats {
+  std::uint64_t steps = 0;       ///< JSONL lines written (initial + events)
+  std::uint64_t resolves = 0;    ///< solver invocations (same as steps)
+  std::uint64_t infeasible = 0;  ///< steps whose qos plan was infeasible
+};
+
+/// Replays `schedule` against the superset profile in `base`, writing one
+/// JSON line per re-solve step to `out`. Throws std::runtime_error when the
+/// schedule is structurally invalid for the request's app count.
+ReplayStats replay_churn(const Request& base,
+                         const harness::ChurnSchedule& schedule,
+                         std::ostream& out);
+
+}  // namespace bwpart::advisor

@@ -120,6 +120,38 @@ void share_vector(std::span<const double> beta, const char* where) {
   }
 }
 
+void share_vector_live(std::span<const double> beta,
+                       std::span<const std::uint8_t> live, const char* where) {
+  BWPART_ASSERT(beta.size() == live.size(), "beta/live arity mismatch");
+  double sum = 0.0;
+  std::size_t num_live = 0;
+  for (std::size_t i = 0; i < beta.size(); ++i) {
+    if (!live[i]) {
+      if (beta[i] != 0.0) {
+        report(fmt(where, "dormant app %zu holds share %g (must be 0)", i,
+                   beta[i]),
+               __FILE__, __LINE__);
+      }
+      continue;
+    }
+    ++num_live;
+    if (beta[i] < 0.0 || !std::isfinite(beta[i])) {
+      report(fmt(where, "live share beta[%zu] = %g is negative or non-finite",
+                 i, beta[i]),
+             __FILE__, __LINE__);
+    }
+    sum += beta[i];
+  }
+  const double expect = num_live == 0 ? 0.0 : 1.0;
+  if (std::fabs(sum - expect) > kShareSumTol) {
+    report(fmt(where,
+               "live share sum %.12g over %zu live apps deviates from %g "
+               "by %.3g",
+               sum, num_live, expect, std::fabs(sum - expect)),
+           __FILE__, __LINE__);
+  }
+}
+
 void allocation(std::span<const double> alloc, std::span<const double> caps,
                 double b, double tol, const char* where) {
   BWPART_ASSERT(alloc.size() == caps.size(), "alloc/caps arity mismatch");

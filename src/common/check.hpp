@@ -7,6 +7,7 @@
 // deliberately seeded violation is caught without killing the process.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -71,6 +72,14 @@ class Recorder {
 /// denominator of the start-time-fair virtual clocks; a sum off by even
 /// 1e-3 silently skews every enforcement experiment).
 void share_vector(std::span<const double> beta, const char* where);
+
+/// Liveness-aware form for churn runs: the share vector spans the app
+/// superset but only `live` entries carry bandwidth. Dormant entries must be
+/// exactly 0 (a departed app holding a share silently starves survivors),
+/// live entries obey the usual beta_i >= 0 / sum == 1 contract — unless no
+/// app is live at all, in which case the whole vector must be zero.
+void share_vector_live(std::span<const double> beta,
+                       std::span<const std::uint8_t> live, const char* where);
 
 /// An analytic APC allocation against Eq. 2: 0 <= alloc_i <= cap_i and
 /// sum_i alloc_i == min(b, sum_i cap_i) within `tol` (absolute, in APC).

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/parallel.hpp"
+#include "harness/churn.hpp"
 #include "profile/alone_profiler.hpp"
 
 namespace bwpart::harness {
@@ -199,6 +200,29 @@ RunResult Experiment::run_qos(
       core::qos_allocate(params, requirements, b, best_effort_scheme);
   BWPART_ASSERT(plan.feasible, "QoS targets infeasible at measured bandwidth");
   return measure_phase(sys, best_effort_scheme, std::move(params), plan.beta);
+}
+
+ChurnRunResult Experiment::run_churn(const ChurnSchedule& schedule,
+                                     const ChurnRunConfig& churn_cfg) const {
+  CmpSystem sys(cfg_, apps_, phases_.seed);
+  sys.set_observability(hub_);
+  sys.set_obs_track("churn:" + core::to_string(churn_cfg.scheme));
+  std::vector<core::AppParams> params = profile_phase(sys);
+  const double b = sys.measured_total_apc();
+  return harness::run_churn(sys, schedule, churn_cfg, phases_.measure_cycles,
+                            std::move(params), b, cfg_.dstf_row_hit_window);
+}
+
+ChurnRunResult Experiment::measure_churn_from(
+    const ProfileSnapshot& snapshot, const ChurnSchedule& schedule,
+    const ChurnRunConfig& churn_cfg) const {
+  CmpSystem sys(cfg_, apps_, phases_.seed);
+  sys.set_observability(hub_);
+  sys.set_obs_track("churn:" + core::to_string(churn_cfg.scheme));
+  restore_into(sys, snapshot);
+  return harness::run_churn(sys, schedule, churn_cfg, phases_.measure_cycles,
+                            snapshot.params, snapshot.profiled_b,
+                            cfg_.dstf_row_hit_window);
 }
 
 ProfileSnapshot Experiment::capture_profile() const {

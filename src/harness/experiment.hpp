@@ -17,6 +17,10 @@
 
 namespace bwpart::harness {
 
+struct ChurnSchedule;
+struct ChurnRunConfig;
+struct ChurnRunResult;
+
 struct PhaseConfig {
   Cycle warmup_cycles = 500'000;
   Cycle profile_cycles = 2'000'000;
@@ -79,6 +83,20 @@ class Experiment {
   /// `best_effort_scheme` over the remaining bandwidth.
   RunResult run_qos(std::span<const core::QosRequirement> requirements,
                     core::Scheme best_effort_scheme) const;
+
+  /// Runs a dynamic-workload measure phase: warm up + profile the full app
+  /// superset, then replay `schedule`'s arrivals/departures/phase changes
+  /// over the measure window with a ChurnEngine re-solving shares under
+  /// `churn_cfg`'s objective. An empty schedule with a matching objective is
+  /// bit-identical to run(scheme) / run_qos (fingerprint-proven).
+  ChurnRunResult run_churn(const ChurnSchedule& schedule,
+                           const ChurnRunConfig& churn_cfg) const;
+
+  /// Churn fork: like measure_from(), but replays the churn schedule from
+  /// the profile snapshot. Bit-identical to run_churn on the same inputs.
+  ChurnRunResult measure_churn_from(const ProfileSnapshot& snapshot,
+                                    const ChurnSchedule& schedule,
+                                    const ChurnRunConfig& churn_cfg) const;
 
   /// Ground-truth standalone parameters of every app (each run alone on the
   /// full machine).

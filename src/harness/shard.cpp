@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "dram/config.hpp"
+#include "harness/churn.hpp"
 #include "harness/differential.hpp"
 
 namespace bwpart::harness::shard {
@@ -147,14 +148,17 @@ std::string fp_hex(std::uint64_t fp) {
   return buf;
 }
 
-std::string unit_key(std::uint64_t config_fp, core::Scheme scheme) {
+std::string unit_key(std::uint64_t config_fp, core::Scheme scheme,
+                     std::uint64_t churn_fp) {
   // Keys double as file names, so the paper's "2/3_power" scheme name must
   // lose its slash.
   std::string slug = core::to_string(scheme);
   for (char& c : slug) {
     if (c == '/') c = '_';
   }
-  return fp_hex(config_fp) + "-" + slug;
+  std::string key = fp_hex(config_fp) + "-" + slug;
+  if (churn_fp != 0) key += "-c" + fp_hex(churn_fp);
+  return key;
 }
 
 Portfolio make_portfolio(const std::string& name) {
@@ -216,18 +220,38 @@ Portfolio make_portfolio(const std::string& name) {
   return p;
 }
 
+namespace {
+
+/// Parses and structurally validates a config's churn schedule against its
+/// app superset; returns the schedule's canonical fingerprint (0 when the
+/// config is churn-free). Throws std::runtime_error naming the offending
+/// directive on a malformed or structurally invalid schedule.
+std::uint64_t shard_churn_fp(const ShardConfig& cfg) {
+  if (cfg.churn.empty()) return 0;
+  const ChurnSchedule schedule = ChurnSchedule::parse(cfg.churn);
+  schedule.validate(shard_apps(cfg).size());
+  return schedule.fingerprint();
+}
+
+}  // namespace
+
 std::vector<ShardUnit> enumerate_units(const Portfolio& portfolio) {
   std::vector<ShardUnit> units;
   units.reserve(portfolio.configs.size() * portfolio.schemes.size());
   for (const ShardConfig& cfg : portfolio.configs) {
     const std::uint64_t fp = config_fingerprint(
         shard_machine(cfg), shard_apps(cfg), shard_phases(cfg));
+    // Parse + validate the churn schedule up front so a malformed spec
+    // fails here, naming the offending line, not inside a worker; canonical
+    // fingerprints guarantee equal schedules written differently (compact
+    // vs multi-line) land on the same unit key.
+    const std::uint64_t churn_fp = shard_churn_fp(cfg);
     for (core::Scheme scheme : portfolio.schemes) {
       ShardUnit u;
       u.cfg = cfg;
       u.scheme = scheme;
       u.config_fp = fp;
-      u.key = unit_key(fp, scheme);
+      u.key = unit_key(fp, scheme, churn_fp);
       units.push_back(std::move(u));
     }
   }
@@ -247,6 +271,13 @@ std::string encode_unit_spec(const ShardUnit& unit) {
      << "seed " << unit.cfg.seed << '\n'
      << "scheme " << core::to_string(unit.scheme) << '\n'
      << "config_fp " << fp_hex(unit.config_fp) << '\n';
+  // Canonical compact form, so two spellings of the same schedule encode
+  // identically. Churn-free units omit the field: their specs stay
+  // byte-identical to the pre-churn encoding.
+  if (!unit.cfg.churn.empty()) {
+    os << "churn " << ChurnSchedule::parse(unit.cfg.churn).to_compact()
+       << '\n';
+  }
   return os.str();
 }
 
@@ -286,7 +317,18 @@ ShardUnit parse_unit_spec(const std::string& text) {
   u.cfg.seed = parse_u64(want("seed"), "seed");
   u.scheme = parse_scheme(want("scheme"));
   u.config_fp = parse_hex64(want("config_fp"), "config_fp");
-  u.key = unit_key(u.config_fp, u.scheme);
+  if (const auto it = fields.find("churn"); it != fields.end()) {
+    u.cfg.churn = it->second;
+    try {
+      u.key = unit_key(u.config_fp, u.scheme,
+                       ChurnSchedule::parse(u.cfg.churn).fingerprint());
+    } catch (const std::runtime_error& e) {
+      throw snap::SnapshotError(std::string("unit spec churn schedule: ") +
+                                e.what());
+    }
+  } else {
+    u.key = unit_key(u.config_fp, u.scheme);
+  }
   return u;
 }
 
@@ -392,7 +434,9 @@ void Spool::write_manifest(const Portfolio& portfolio) const {
     os << "config " << cfg.mix << " x" << cfg.copies << " " << cfg.dram
        << " controllers=" << cfg.controllers << " warmup=" << cfg.warmup_cycles
        << " profile=" << cfg.profile_cycles
-       << " measure=" << cfg.measure_cycles << " seed=" << cfg.seed << '\n';
+       << " measure=" << cfg.measure_cycles << " seed=" << cfg.seed;
+    if (!cfg.churn.empty()) os << " churn=\"" << cfg.churn << "\"";
+    os << '\n';
   }
   const std::string text = os.str();
   write_file_atomically(root_ / "manifest.txt", text.data(), text.size());
@@ -610,7 +654,22 @@ void run_unit(const Spool& spool, const ClaimedUnit& claim,
   result.key = unit.key;
   result.config_fp = unit.config_fp;
   result.dram_gen = unit.cfg.dram;
-  result.result = experiment.measure_from(*snapshot, unit.scheme);
+  if (unit.cfg.churn.empty()) {
+    result.result = experiment.measure_from(*snapshot, unit.scheme);
+  } else {
+    // Churned unit: replay the schedule through the churn engine at its
+    // default re-solve cadence and ship the run's global-window RunResult.
+    // The shard format is unchanged — the churn identity lives in the unit
+    // key's schedule-fingerprint suffix.
+    ChurnRunConfig churn_cfg;
+    churn_cfg.scheme = unit.scheme;
+    result.result =
+        experiment
+            .measure_churn_from(*snapshot,
+                                ChurnSchedule::parse(unit.cfg.churn),
+                                churn_cfg)
+            .base;
+  }
   result.fingerprint = fingerprint(result.result);
   spool.complete(claim, result);
   ++report.completed;

@@ -54,6 +54,13 @@ struct ShardConfig {
   Cycle profile_cycles = 2'000'000;
   Cycle measure_cycles = 2'000'000;
   std::uint64_t seed = 42;
+  /// Optional churn schedule in the ChurnSchedule compact grammar
+  /// (';'-separated directives). Empty = a plain fixed-mix measure phase;
+  /// the on-disk unit spec omits the field entirely in that case, so
+  /// churn-free spools stay byte-identical to their pre-churn encoding.
+  /// Non-empty units replay the schedule through the churn engine (default
+  /// re-solve cadence) and ship the run's base RunResult.
+  std::string churn;
 };
 
 /// Builds the machine/workload/phases this config describes. The DRAM
@@ -73,7 +80,12 @@ struct ShardUnit {
 };
 
 std::string fp_hex(std::uint64_t fp);
-std::string unit_key(std::uint64_t config_fp, core::Scheme scheme);
+/// "<config_fp hex16>-<scheme>", gaining a "-c<churn_fp hex16>" suffix only
+/// when churn_fp != 0 (a ChurnSchedule::fingerprint; empty schedules hash
+/// to 0) — so a churned unit can never collide with its fixed-run sibling
+/// while churn-free keys keep their historical shape.
+std::string unit_key(std::uint64_t config_fp, core::Scheme scheme,
+                     std::uint64_t churn_fp = 0);
 
 /// The completed measurement a worker ships back through the spool.
 struct UnitResult {

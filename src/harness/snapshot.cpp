@@ -25,7 +25,12 @@ constexpr char kMagic[4] = {'B', 'W', 'P', 'S'};
 // posted-CAS additive latency (tAL) to the config fingerprint, so a v3
 // fingerprint no longer identifies the configuration it was captured
 // under; same loud rejection.
-constexpr std::uint32_t kFormatVersion = 4;
+// v5: the churn engine serializes per-app liveness and tenancy clocks in
+// the system blob, per-app liveness in each controller blob, and the
+// phase-changeable generator knobs in each trace blob (a churn schedule
+// mutates them mid-run), so v4 payloads no longer decode; same loud
+// rejection.
+constexpr std::uint32_t kFormatVersion = 5;
 
 std::uint64_t hash_u64(std::uint64_t v, std::uint64_t h) {
   return hash_bytes(&v, sizeof(v), h);
@@ -196,8 +201,9 @@ ProfileSnapshot read_profile_snapshot(const std::string& path) {
         std::to_string(version) + " (this build reads version " +
         std::to_string(kFormatVersion) +
         "; v1 predates the SoA DRAM/controller state layout, v2 the "
-        "multi-controller system layout, and v3 the DRAM-generation "
-        "registry's config fingerprint — re-capture the snapshot with "
+        "multi-controller system layout, v3 the DRAM-generation "
+        "registry's config fingerprint, and v4 the churn engine's "
+        "liveness/tenancy state — re-capture the snapshot with "
         "this build)");
   }
 

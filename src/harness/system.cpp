@@ -102,14 +102,21 @@ CmpSystem::CmpSystem(const SystemConfig& cfg,
   sleep_until_.assign(n, 0);
   slept_from_.assign(n, 0);
   sleep_kind_.assign(n, cpu::SleepFlavor::kStallOwn);
+  live_.assign(n, 1);
+  live_cycles_.assign(n, 0);
+  live_from_.assign(n, 0);
   const auto on_complete =
       [this](const mem::MemRequest& req, Cycle done_cpu) {
         // A read completion writes the load queue the deterministic-window
         // replay reads. In the reference loop the core's ticks at cycles
         // <= now_ ran before this delivery, so a kDet sleeper's deferred
         // range must be replayed with the pre-delivery load state first.
+        // A dormant app can still receive completions (its queued requests
+        // drain after departure) but holds no deferred cycles to replay —
+        // its sleep bookkeeping is frozen at departure and stale.
         const bool read = req.type == AccessType::Read;
-        if (read && sleep_kind_[req.app] == cpu::SleepFlavor::kDet) {
+        if (read && live_[req.app] != 0 &&
+            sleep_kind_[req.app] == cpu::SleepFlavor::kDet) {
           flush_deferred_stalls(req.app, now_ + 1);
         }
         cores_[req.app]->on_mem_complete(req, done_cpu);
@@ -134,8 +141,40 @@ double CmpSystem::bus_utilization() const {
   return sum / static_cast<double>(controllers_.size());
 }
 
+void CmpSystem::set_app_live(AppId app, bool live) {
+  BWPART_ASSERT(app < num_apps(), "app id out of range");
+  if ((live_[app] != 0) == live) return;
+  if (live) {
+    live_from_[app] = now_;
+  } else {
+    live_cycles_[app] += now_ - live_from_[app];
+  }
+  live_[app] = live ? 1 : 0;
+  controller_for(app).set_app_live(app, live);
+}
+
+std::size_t CmpSystem::num_live_apps() const {
+  std::size_t n = 0;
+  for (const std::uint8_t l : live_) n += l;
+  return n;
+}
+
+void CmpSystem::set_app_phase(
+    AppId app, const workload::SyntheticTraceGenerator::Params& p) {
+  BWPART_ASSERT(app < num_apps(), "app id out of range");
+  traces_[app]->set_phase(p);
+}
+
+Cycle CmpSystem::live_window(AppId app) const {
+  BWPART_ASSERT(app < num_apps(), "app id out of range");
+  Cycle cycles = live_cycles_[app];
+  if (live_[app] != 0) cycles += now_ - live_from_[app];
+  return cycles;
+}
+
 void CmpSystem::wake_sleepers(AppId app, bool read) {
   for (std::size_t i = 0; i < sleep_until_.size(); ++i) {
+    if (live_[i] == 0) continue;  // dormant cores never tick, never wake
     const cpu::SleepFlavor f = sleep_kind_[i];
     if (f == cpu::SleepFlavor::kStallShared ||
         (i == app && (f == cpu::SleepFlavor::kStallOwn ||
@@ -203,6 +242,10 @@ void CmpSystem::obs_sample() {
   row.span = span;
   row.pending_total = 0;
   row.dstf_lag = 0.0;
+  row.churn_events = churn_events_pending_;
+  row.churn_lag = churn_lag_pending_;
+  churn_events_pending_ = 0;
+  churn_lag_pending_ = 0;
   for (const auto& mc : controllers_) {
     row.pending_total += mc->pending_requests_total();
     // The scale-out topology runs one DSTF instance per controller; report
@@ -251,6 +294,7 @@ void CmpSystem::obs_sample() {
     s.queue_depth = controller_for(a).pending_requests(a);
     s.window_occupancy = cores_[a]->window_occupancy();
     s.loads_inflight = cores_[a]->offchip_loads_inflight();
+    s.live = live_[a] != 0;
     obs_snap_.served[a] = served;
     obs_snap_.instructions[a] = instr;
     hub_->metrics()
@@ -297,7 +341,9 @@ void CmpSystem::run_engine(Cycle cycles) {
   const Cycle end = now_ + cycles;
   if (!cfg_.fast_forward) {
     while (now_ < end) {
-      for (auto& c : cores_) c->tick(now_);
+      for (std::size_t i = 0; i < cores_.size(); ++i) {
+        if (live_[i] != 0) cores_[i]->tick(now_);
+      }
       for (auto& mc : controllers_) mc->tick(now_);
       ++now_;
     }
@@ -314,7 +360,10 @@ void CmpSystem::run_engine(Cycle cycles) {
   // awake.
   const std::size_t n = cores_.size();
   for (std::size_t i = 0; i < n; ++i) {
-    sleep_until_[i] = now_;
+    // Dormant cores sleep unconditionally past the horizon: they never tick,
+    // never flush deferred cycles, and never cap the all-asleep jump (the
+    // kNoCycle sentinel compares greater than every wake candidate).
+    sleep_until_[i] = live_[i] != 0 ? now_ : kNoCycle;
     slept_from_[i] = now_;
   }
   // Controller tick() calls on CPU cycles with no due bus tick are no-ops
@@ -390,8 +439,10 @@ void CmpSystem::run_engine(Cycle cycles) {
     ++now_;
   }
   // Replay any still-deferred stall cycles so stats reads see a state
-  // identical to the reference loop's at `end`.
-  for (std::size_t i = 0; i < n; ++i) flush_deferred_stalls(i, end);
+  // identical to the reference loop's at `end` (dormant cores own none).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (live_[i] != 0) flush_deferred_stalls(i, end);
+  }
 }
 
 void CmpSystem::save_state(snap::Writer& w) const {
@@ -403,6 +454,11 @@ void CmpSystem::save_state(snap::Writer& w) const {
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     traces_[i]->save_state(w);
     cores_[i]->save_state(w);
+    // Tenancy: liveness flag plus the per-app live-window accounting (the
+    // denominators of measured_*_live must survive a mid-churn resume).
+    w.u8(live_[i]);
+    w.u64(live_cycles_[i]);
+    w.u64(live_from_[i]);
   }
   w.u64(controllers_.size());
   for (const auto& mc : controllers_) mc->save_state(w);
@@ -419,6 +475,11 @@ void CmpSystem::restore_state(snap::Reader& r) {
   for (std::size_t i = 0; i < cores_.size(); ++i) {
     traces_[i]->restore_state(r);
     cores_[i]->restore_state(r);
+    const std::uint8_t live = r.u8();
+    snap::require(live <= 1, "liveness byte holds a value other than 0/1");
+    live_[i] = live;
+    live_cycles_[i] = r.u64();
+    live_from_[i] = r.u64();
   }
   snap::require(r.u64() == controllers_.size(),
                 "controller count differs from the snapshot's");
@@ -443,6 +504,11 @@ void CmpSystem::reset_measurement() {
   for (auto& mc : controllers_) mc->reset_stats();
   interference_.reset();
   window_start_ = now_;
+  // Restart the per-app tenancy clocks with the window.
+  for (std::size_t i = 0; i < live_.size(); ++i) {
+    live_cycles_[i] = 0;
+    live_from_[i] = now_;
+  }
   if constexpr (obs::kEnabled) {
     // Counters just went back to zero; re-base the epoch sampler so the
     // next epoch's deltas cannot underflow.
@@ -490,6 +556,57 @@ double CmpSystem::measured_total_apc() const {
   double total = 0.0;
   for (double apc : measured_apc()) total += apc;
   return total;
+}
+
+std::vector<double> CmpSystem::measured_ipc_live() const {
+  std::vector<double> out;
+  out.reserve(cores_.size());
+  for (AppId a = 0; a < cores_.size(); ++a) {
+    const Cycle window = live_window(a);
+    out.push_back(window == 0
+                      ? 0.0
+                      : static_cast<double>(cores_[a]->stats().instructions) /
+                            static_cast<double>(window));
+  }
+  return out;
+}
+
+std::vector<double> CmpSystem::measured_apc_live() const {
+  std::vector<double> out;
+  out.reserve(cores_.size());
+  for (AppId a = 0; a < cores_.size(); ++a) {
+    const Cycle window = live_window(a);
+    out.push_back(
+        window == 0
+            ? 0.0
+            : static_cast<double>(controller_for(a).app_stats(a).served()) /
+                  static_cast<double>(window));
+  }
+  return out;
+}
+
+void CmpSystem::note_churn_event(const char* kind, AppId app) {
+  if constexpr (!obs::kEnabled) {
+    (void)kind;
+    (void)app;
+    return;
+  }
+  if (hub_ == nullptr || !hub_->enabled()) return;
+  ++churn_events_pending_;
+  hub_->trace().instant(std::string("churn:") + kind + ":app" +
+                            std::to_string(app),
+                        obs::TraceEmitter::kSystemTrack, now_);
+  hub_->metrics().counter(std::string("churn.") + kind).add();
+}
+
+void CmpSystem::note_adaptation_lag(Cycle lag) {
+  if constexpr (!obs::kEnabled) {
+    (void)lag;
+    return;
+  }
+  if (hub_ == nullptr || !hub_->enabled()) return;
+  churn_lag_pending_ = std::max(churn_lag_pending_, lag);
+  hub_->metrics().histogram("churn.adaptation_lag").record(lag);
 }
 
 void CmpSystem::check_conservation(const char* where) const {

@@ -140,6 +140,36 @@ class CmpSystem {
     return apps_[app];
   }
 
+  // -------------------------------------------------------------------------
+  // Liveness (churn runs). Every CmpSystem is built over the full app
+  // superset; churn toggles per-app liveness between run() calls. A dormant
+  // core never ticks (its generator emits nothing, so it enqueues nothing);
+  // its in-flight requests drain normally, and its microarchitectural state
+  // freezes in place so a later re-arrival resumes deterministically. With
+  // every app live — the default — all liveness branches are no-ops and runs
+  // are bit-identical to the pre-churn engine (property-tested).
+
+  /// Marks `app` live or dormant. Must only be called between run() calls
+  /// (sleep proofs are re-armed at run() entry, so no proof can span the
+  /// transition). Also forwards to the app's controller.
+  void set_app_live(AppId app, bool live);
+  bool app_live(AppId app) const { return live_[app] != 0; }
+  std::span<const std::uint8_t> liveness() const { return live_; }
+  std::size_t num_live_apps() const;
+
+  /// Swaps app `app`'s generator onto new phase knobs (see
+  /// SyntheticTraceGenerator::set_phase); the address region is pinned.
+  void set_app_phase(AppId app,
+                     const workload::SyntheticTraceGenerator::Params& p);
+  const workload::SyntheticTraceGenerator::Params& app_phase(AppId app) const {
+    return traces_[app]->params();
+  }
+
+  /// Cycles app `app` has been live inside the current measurement window
+  /// [window_start_, now()] — the denominator for per-app rates under churn
+  /// (equals the full window when the app never departed).
+  Cycle live_window(AppId app) const;
+
   /// Zeroes all measurement counters (cores, controller, DRAM stats,
   /// interference) at a phase boundary; microarchitectural state persists.
   void reset_measurement();
@@ -153,6 +183,20 @@ class CmpSystem {
   std::vector<double> measured_apc() const;
   /// Total utilized bandwidth in APC units over the window (the model's B).
   double measured_total_apc() const;
+
+  /// Liveness-aware rates: each app's counters divided by the cycles it was
+  /// live inside the window (live_window). Identical to measured_ipc/apc
+  /// when every app was live throughout — the form churn runs report, so a
+  /// half-window tenant is judged on its tenancy, not the wall clock.
+  std::vector<double> measured_ipc_live() const;
+  std::vector<double> measured_apc_live() const;
+
+  /// Telemetry hooks for the churn engine: counts stamped onto the next
+  /// epoch row (and emitted as trace instants) so time-series plots can mark
+  /// churn instants and adaptation lag. No-ops when BWPART_OBS is off or no
+  /// hub is attached; never read by any simulation decision.
+  void note_churn_event(const char* kind, AppId app);
+  void note_adaptation_lag(Cycle lag);
 
   /// Snapshot hooks: captures (restores) the complete mutable state — the
   /// cycle clock, every trace generator's RNG stream, every core including
@@ -204,6 +248,16 @@ class CmpSystem {
   Cycle now_ = 0;
   Cycle window_start_ = 0;
   Cycle skipped_cycles_ = 0;
+  /// Per-app liveness (1 = live; all live unless a churn schedule says
+  /// otherwise) plus the accounting needed for per-tenancy rates:
+  /// live_cycles_[a] accumulates completed live stretches inside the current
+  /// window and live_from_[a] marks the start of the open stretch.
+  std::vector<std::uint8_t> live_;
+  std::vector<Cycle> live_cycles_;
+  std::vector<Cycle> live_from_;
+  /// Churn telemetry staged for the next epoch row (obs_sample drains them).
+  std::uint32_t churn_events_pending_ = 0;
+  Cycle churn_lag_pending_ = 0;
   /// Per-core sleep state: core i's tick() calls are deferred while
   /// now_ < sleep_until_[i]; slept_from_[i] marks the first deferred cycle,
   /// and sleep_kind_[i] records which closed-form replay applies

@@ -121,6 +121,8 @@ MemoryController::MemoryController(const dram::DramConfig& cfg,
       rank_pending_(static_cast<std::size_t>(cfg.channels) * cfg.ranks, 0),
       per_app_count_(num_apps, 0),
       app_stats_(num_apps),
+      app_live_(num_apps, 1),
+      num_live_(num_apps),
       bank_last_user_(cfg.total_banks(), kNoApp),
       bus_user_(cfg.channels, kNoApp),
       bus_busy_until_(cfg.channels, 0),
@@ -141,6 +143,13 @@ MemoryController::MemoryController(const dram::DramConfig& cfg,
 
 bool MemoryController::can_accept(AppId app) const {
   return can_accept_n(app, 1);
+}
+
+void MemoryController::set_app_live(AppId app, bool live) {
+  BWPART_ASSERT(app < num_apps_, "app id out of range");
+  if ((app_live_[app] != 0) == live) return;
+  app_live_[app] = live ? 1 : 0;
+  num_live_ += live ? 1 : static_cast<std::size_t>(-1);
 }
 
 bool MemoryController::can_accept_n(AppId app, std::size_t n) const {
@@ -228,6 +237,7 @@ void MemoryController::rebuild_queue_order() {
 std::uint64_t MemoryController::enqueue(AppId app, Addr addr, AccessType type,
                                         Cycle now_cpu) {
   BWPART_ASSERT(can_accept(app), "enqueue into full queue");
+  BWPART_ASSERT(app_live_[app] != 0, "enqueue from a dormant app");
   ensure_order();
   const std::uint32_t slot = pool_.acquire();
   MemRequest& req = pool_[slot];
@@ -908,6 +918,9 @@ void MemoryController::save_state(snap::Writer& w) const {
   w.b(started_);
   w.b(last_tick_active_);
   save_u32_vec(w, oldest_pending_);
+  // Per-app liveness (churn runs mutate it mid-run; all-live otherwise).
+  w.u64(app_live_.size());
+  for (const std::uint8_t l : app_live_) w.u8(l);
   w.str(scheduler_->name());
   scheduler_->save_state(w);
   dram_.save_state(w);
@@ -974,6 +987,14 @@ void MemoryController::restore_state(snap::Reader& r) {
   started_ = r.b();
   last_tick_active_ = r.b();
   restore_u32_fixed(r, oldest_pending_);
+  snap::require(r.u64() == app_live_.size(),
+                "app count differs from the snapshot's");
+  num_live_ = 0;
+  for (std::uint8_t& l : app_live_) {
+    l = r.u8();
+    snap::require(l <= 1, "liveness byte holds a value other than 0/1");
+    num_live_ += l;
+  }
   const std::string policy = r.str();
   if (scheduler_->name() != policy) {
     std::unique_ptr<Scheduler> rebuilt =

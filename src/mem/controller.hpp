@@ -91,6 +91,17 @@ class MemoryController {
   void set_admission_mode(AdmissionMode mode) { admission_ = mode; }
   AdmissionMode admission_mode() const { return admission_; }
 
+  /// Marks application `app` live or dormant (churn runs; all apps start
+  /// live). A dormant app must not enqueue — enforced by assertion — but its
+  /// already-queued and in-flight requests drain normally, so a departure
+  /// needs no queue surgery and the served counters stay conserved.
+  void set_app_live(AppId app, bool live);
+  bool app_live(AppId app) const {
+    BWPART_ASSERT(app < num_apps_, "app id out of range");
+    return app_live_[app] != 0;
+  }
+  std::size_t num_live_apps() const { return num_live_; }
+
   /// Enables/disables batched write draining.
   void set_write_drain(const WriteDrainConfig& cfg);
   bool write_drain_active() const { return draining_; }
@@ -324,6 +335,12 @@ class MemoryController {
 
   std::vector<std::size_t> per_app_count_;
   std::vector<AppMemStats> app_stats_;
+
+  /// Per-app liveness for churn runs (1 = live). Dormant apps are barred
+  /// from enqueueing; everything else (draining, stats, scheduling of
+  /// already-queued requests) proceeds unchanged.
+  std::vector<std::uint8_t> app_live_;
+  std::size_t num_live_ = 0;
 
   WriteDrainConfig write_drain_{};
   bool draining_ = false;

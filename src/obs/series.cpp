@@ -8,7 +8,9 @@ void EpochSeries::write_row(std::ostream& os, const EpochRow& row) const {
   os << "{\"track\":";
   json::write_string(os, row.track);
   os << ",\"cycle\":" << row.cycle << ",\"span\":" << row.span
-     << ",\"pending_total\":" << row.pending_total << ",\"dstf_lag\":";
+     << ",\"pending_total\":" << row.pending_total
+     << ",\"churn_events\":" << row.churn_events
+     << ",\"churn_lag\":" << row.churn_lag << ",\"dstf_lag\":";
   json::write_double(os, row.dstf_lag);
   os << ",\"channel_util\":[";
   for (std::size_t c = 0; c < row.channel_util.size(); ++c) {
@@ -29,7 +31,8 @@ void EpochSeries::write_row(std::ostream& os, const EpochRow& row) const {
        << ",\"instructions\":" << s.instructions
        << ",\"queue_depth\":" << s.queue_depth
        << ",\"window_occupancy\":" << s.window_occupancy
-       << ",\"loads_inflight\":" << s.loads_inflight << '}';
+       << ",\"loads_inflight\":" << s.loads_inflight
+       << ",\"live\":" << (s.live ? "true" : "false") << '}';
   }
   os << "]}";
 }

@@ -30,6 +30,7 @@ struct AppEpochSample {
   std::size_t queue_depth = 0;     ///< pending requests at the sample point
   std::uint64_t window_occupancy = 0;  ///< ROB entries at the sample point
   std::uint32_t loads_inflight = 0;    ///< off-chip MLP at the sample point
+  bool live = true;  ///< tenancy at the sample point (churn runs)
 };
 
 struct EpochRow {
@@ -43,6 +44,12 @@ struct EpochRow {
   /// clock of a share-based (DSTF) scheduler; 0 for other policies.
   double dstf_lag = 0.0;
   std::size_t pending_total = 0;  ///< controller-wide queued + in-flight
+  /// Churn stamps: events (arrivals/departures/phase changes) that landed
+  /// inside this epoch, and the largest adaptation lag resolved during it
+  /// (cycles from a churn event to the first epoch meeting the objective
+  /// after the share re-solve); both 0 on churn-free epochs.
+  std::uint32_t churn_events = 0;
+  Cycle churn_lag = 0;
 };
 
 class EpochSeries {

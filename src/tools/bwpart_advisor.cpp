@@ -19,14 +19,21 @@
 //   --audit-cycles N   audit profile/measure window (default 100000)
 //   --audit-seed N     audit trace seed (default 42)
 //   --metrics-out FILE write the obs metrics registry JSON (enables obs)
+//   --churn-replay FILE replay a churn schedule (ChurnSchedule grammar)
+//                      against ONE superset request read from --in: one
+//                      JSONL line per re-solve step (initial install plus
+//                      each churn instant), shares scattered over the
+//                      superset with dormant apps pinned to zero
 //   --quiet            suppress the stderr summary
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
+#include "advisor/replay.hpp"
 #include "advisor/service.hpp"
 #include "obs/hub.hpp"
 
@@ -37,9 +44,68 @@ int usage(const char* argv0) {
                "usage: %s [--in FILE] [--out FILE] [--threads N]\n"
                "          [--batch-lines N] [--audit-every N] "
                "[--audit-cycles N]\n"
-               "          [--audit-seed N] [--metrics-out FILE] [--quiet]\n",
+               "          [--audit-seed N] [--metrics-out FILE]\n"
+               "          [--churn-replay FILE] [--quiet]\n",
                argv0);
   return 2;
+}
+
+/// --churn-replay mode: one superset request from `in`, the schedule from
+/// `path`, one JSONL line per re-solve step to `out`.
+int run_churn_replay(const std::string& path, std::istream& in,
+                     std::ostream& out, bool quiet) {
+  using namespace bwpart;
+  std::ifstream sched_file(path);
+  if (!sched_file) {
+    std::fprintf(stderr, "cannot open churn schedule '%s'\n", path.c_str());
+    return 2;
+  }
+  std::stringstream sched_text;
+  sched_text << sched_file.rdbuf();
+
+  // The first non-blank, non-comment line is the superset request.
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start != std::string::npos && line[start] != '#') break;
+    line.clear();
+  }
+  if (line.empty()) {
+    std::fprintf(stderr, "--churn-replay needs one request line on input\n");
+    return 2;
+  }
+  bwpart::Arena arena;
+  advisor::Request request;
+  std::string error;
+  if (!advisor::parse_request_line(line, line_no, arena, request, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  try {
+    const harness::ChurnSchedule schedule =
+        harness::ChurnSchedule::parse(sched_text.str());
+    const advisor::ReplayStats stats =
+        advisor::replay_churn(request, schedule, out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "write failure on output stream\n");
+      return 2;
+    }
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "advisor: churn replay of %zu events -> %llu re-solve "
+                   "steps (%llu infeasible)\n",
+                   schedule.events.size(),
+                   static_cast<unsigned long long>(stats.steps),
+                   static_cast<unsigned long long>(stats.infeasible));
+    }
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "churn schedule '%s': %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -47,7 +113,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace bwpart;
 
-  std::string in_path, out_path, metrics_path;
+  std::string in_path, out_path, metrics_path, churn_path;
   advisor::ServiceConfig cfg;
   std::uint64_t audit_cycles = 100'000;
   bool quiet = false;
@@ -80,6 +146,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(need("--audit-seed")));
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       metrics_path = need("--metrics-out");
+    } else if (std::strcmp(argv[i], "--churn-replay") == 0) {
+      churn_path = need("--churn-replay");
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
@@ -118,6 +186,10 @@ int main(int argc, char** argv) {
   }
   std::istream& in = in_path.empty() ? std::cin : in_file;
   std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  if (!churn_path.empty()) {
+    return run_churn_replay(churn_path, in, out, quiet);
+  }
 
   advisor::AdvisorService service(cfg);
   const advisor::ServiceStats stats = service.run(in, out);

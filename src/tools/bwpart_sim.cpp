@@ -34,6 +34,17 @@
 //                       all other workload/machine flags are ignored — the
 //                       unit specs in the spool carry the configuration
 //   --lease-ms N        shard lease staleness threshold (default 5000)
+//   --churn FILE        replay a churn schedule (see src/harness/churn.hpp
+//                       for the grammar) over the measure window with online
+//                       re-profiling + share re-solves per scheme
+//   --churn-reprofile N re-profiling window after each churn event
+//                       (default 50000 cycles)
+//   --churn-epoch N     objective-evaluation epoch (default 25000 cycles)
+//   --churn-static      freeze the initial allocation (static-once
+//                       baseline; events still toggle liveness/phases)
+//   --qos I=T[,I=T...]  guarantee app index I an IPC of T (Eq. 11); the
+//                       --scheme partitions the best-effort remainder.
+//                       Applies to churn runs.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -46,6 +57,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "harness/churn.hpp"
 #include "harness/experiment.hpp"
 #include "harness/shard.hpp"
 #include "obs/hub.hpp"
@@ -80,9 +92,33 @@ int usage(const char* argv0) {
                "[--epochs-out FILE] [--epoch-cycles N]\n"
                "       [--snapshot-out FILE] [--resume FILE] "
                "[--controllers N]\n"
-               "       [--shard-worker SPOOL_DIR] [--lease-ms N]\n",
+               "       [--shard-worker SPOOL_DIR] [--lease-ms N]\n"
+               "       [--churn FILE] [--churn-reprofile N] "
+               "[--churn-epoch N] [--churn-static]\n"
+               "       [--qos IDX=TARGET[,IDX=TARGET...]]\n",
                argv0);
   return 2;
+}
+
+/// "3=0.6,1=0.2" -> Eq. 11 requirements; nullopt on malformed input.
+std::optional<std::vector<core::QosRequirement>> parse_qos(
+    const std::string& spec) {
+  std::vector<core::QosRequirement> reqs;
+  for (const std::string& item : split_csv(spec)) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    core::QosRequirement r;
+    r.app_index = static_cast<std::uint32_t>(
+        std::strtoul(item.c_str(), &end, 10));
+    if (end != item.c_str() + eq) return std::nullopt;
+    r.ipc_target = std::strtod(item.c_str() + eq + 1, &end);
+    if (*end != '\0' || r.ipc_target <= 0.0) return std::nullopt;
+    reqs.push_back(r);
+  }
+  return reqs.empty() ? std::nullopt : std::make_optional(reqs);
 }
 
 }  // namespace
@@ -107,6 +143,11 @@ int main(int argc, char** argv) {
   std::size_t controllers = 1;
   std::string shard_spool;
   long lease_ms = 5'000;
+  std::string churn_path;
+  Cycle churn_reprofile = 50'000;
+  Cycle churn_epoch = 25'000;
+  bool churn_static = false;
+  std::string qos_spec;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -160,6 +201,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--lease-ms") {
       if (const char* v = next()) lease_ms = std::strtol(v, nullptr, 10);
       else return usage(argv[0]);
+    } else if (arg == "--churn") {
+      if (const char* v = next()) churn_path = v; else return usage(argv[0]);
+    } else if (arg == "--churn-reprofile") {
+      if (const char* v = next())
+        churn_reprofile = std::strtoull(v, nullptr, 10);
+      else return usage(argv[0]);
+    } else if (arg == "--churn-epoch") {
+      if (const char* v = next()) churn_epoch = std::strtoull(v, nullptr, 10);
+      else return usage(argv[0]);
+    } else if (arg == "--churn-static") {
+      churn_static = true;
+    } else if (arg == "--qos") {
+      if (const char* v = next()) qos_spec = v; else return usage(argv[0]);
     } else {
       return usage(argv[0]);
     }
@@ -290,6 +344,126 @@ int main(int argc, char** argv) {
                    snapshot_out.c_str(), e.what());
       return 1;
     }
+  }
+
+  // Churn mode: replay the schedule per scheme and report the adaptation
+  // story (violation clocks, re-solves, mean adaptation lag) alongside the
+  // usual whole-window metrics.
+  if (!churn_path.empty()) {
+    harness::ChurnSchedule schedule;
+    try {
+      std::ifstream in(churn_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open churn schedule '%s'\n",
+                     churn_path.c_str());
+        return 1;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      schedule = harness::ChurnSchedule::parse(buf.str());
+      schedule.validate(apps.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bwpart_sim: --churn: %s\n", e.what());
+      return 1;
+    }
+    std::vector<core::QosRequirement> qos;
+    if (!qos_spec.empty()) {
+      const auto parsed = parse_qos(qos_spec);
+      if (!parsed) {
+        std::fprintf(stderr, "bwpart_sim: --qos: malformed spec '%s'\n",
+                     qos_spec.c_str());
+        return usage(argv[0]);
+      }
+      qos = *parsed;
+      for (const core::QosRequirement& r : qos) {
+        if (r.app_index >= apps.size()) {
+          std::fprintf(stderr, "bwpart_sim: --qos: app %u out of range\n",
+                       r.app_index);
+          return 1;
+        }
+      }
+    }
+    if (csv) {
+      std::printf("scheme,hsp,wsp,qos_violation_cycles,"
+                  "objective_violation_cycles,resolves,mean_adaptation_lag\n");
+    }
+    TextTable table({"scheme", "Hsp", "Wsp", "QoS viol", "obj viol",
+                     "re-solves", "mean lag"});
+    for (core::Scheme s : schemes) {
+      harness::ChurnRunConfig cc;
+      cc.scheme = s;
+      cc.qos = qos;
+      cc.resolve_on_churn = !churn_static;
+      cc.reprofile_window = churn_reprofile;
+      cc.eval_epoch = churn_epoch;
+      harness::ChurnRunResult r;
+      try {
+        r = profile ? experiment.measure_churn_from(*profile, schedule, cc)
+                    : experiment.run_churn(schedule, cc);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bwpart_sim: churn run (%s): %s\n",
+                     core::to_string(s).c_str(), e.what());
+        return 1;
+      }
+      double lag_sum = 0.0;
+      std::size_t lag_n = 0;
+      for (const harness::ChurnEventOutcome& o : r.outcomes) {
+        if (o.adaptation_lag != kNoCycle) {
+          lag_sum += static_cast<double>(o.adaptation_lag);
+          ++lag_n;
+        }
+      }
+      const double mean_lag = lag_n == 0 ? 0.0
+                                         : lag_sum / static_cast<double>(lag_n);
+      if (csv) {
+        std::printf("%s,%.6f,%.6f,%llu,%llu,%llu,%.0f\n",
+                    core::to_string(s).c_str(), r.base.hsp, r.base.wsp,
+                    static_cast<unsigned long long>(r.qos_violation_cycles),
+                    static_cast<unsigned long long>(
+                        r.objective_violation_cycles),
+                    static_cast<unsigned long long>(r.resolves), mean_lag);
+      } else {
+        table.add_row({std::string(core::to_string(s)),
+                       TextTable::num(r.base.hsp), TextTable::num(r.base.wsp),
+                       std::to_string(r.qos_violation_cycles),
+                       std::to_string(r.objective_violation_cycles),
+                       std::to_string(r.resolves),
+                       TextTable::num(mean_lag, 0)});
+      }
+    }
+    if (!csv) {
+      std::printf("churn schedule: %s (%zu events, fp %016llx)\n\n",
+                  churn_path.c_str(), schedule.events.size(),
+                  static_cast<unsigned long long>(schedule.fingerprint()));
+      table.print(std::cout);
+    }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot open '%s'\n", metrics_out.c_str());
+        return 1;
+      }
+      hub.write_metrics_json(os);
+      os << '\n';
+    }
+    if (!epochs_out.empty()) {
+      std::ofstream os(epochs_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot open '%s'\n", epochs_out.c_str());
+        return 1;
+      }
+      hub.series().write_jsonl(os);
+    }
+    if (!trace_out.empty()) {
+      std::ofstream os(trace_out);
+      if (!os) {
+        std::fprintf(stderr, "cannot open '%s'\n", trace_out.c_str());
+        return 1;
+      }
+      hub.trace().write_json(os);
+      os << '\n';
+    }
+    return 0;
   }
 
   if (csv) {

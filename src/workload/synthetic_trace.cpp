@@ -92,6 +92,22 @@ AddressStreamGenerator::AddressStreamGenerator(const Params& params,
   current_line_ = rng_.next_below(lines_);
 }
 
+void SyntheticTraceGenerator::set_phase(const Params& next) {
+  BWPART_ASSERT(next.api > 0.0 && next.api < 1.0, "phase api out of range");
+  BWPART_ASSERT(next.mean_cluster >= 1.0, "phase mean cluster below 1");
+  BWPART_ASSERT(next.write_fraction >= 0.0 && next.write_fraction <= 1.0,
+                "phase write fraction out of range");
+  BWPART_ASSERT(next.dependent_fraction >= 0.0 &&
+                    next.dependent_fraction <= 1.0,
+                "phase dependent fraction out of range");
+  BWPART_ASSERT(next.seq_run_lines >= 1, "phase sequential run below 1");
+  BWPART_ASSERT(next.region_base == params_.region_base &&
+                    next.footprint_lines == params_.footprint_lines &&
+                    next.line_bytes == params_.line_bytes,
+                "phase change must not move the address region");
+  params_ = next;
+}
+
 void SyntheticTraceGenerator::save_state(snap::Writer& w) const {
   w.tag("TRCE");
   rng_.save_state(w);
@@ -99,6 +115,14 @@ void SyntheticTraceGenerator::save_state(snap::Writer& w) const {
   w.u64(long_gap_);
   w.u64(seq_remaining_);
   w.u64(current_line_);
+  // Phase-changeable knobs: a churn schedule may have mutated them since
+  // construction, so the resume path cannot rebuild them from the config.
+  w.f64(params_.api);
+  w.f64(params_.mean_cluster);
+  w.f64(params_.write_fraction);
+  w.f64(params_.dependent_fraction);
+  w.u64(params_.seq_run_lines);
+  w.u64(params_.intra_cluster_gap);
 }
 
 void SyntheticTraceGenerator::restore_state(snap::Reader& r) {
@@ -108,6 +132,12 @@ void SyntheticTraceGenerator::restore_state(snap::Reader& r) {
   long_gap_ = r.u64();
   seq_remaining_ = r.u64();
   current_line_ = r.u64();
+  params_.api = r.f64();
+  params_.mean_cluster = r.f64();
+  params_.write_fraction = r.f64();
+  params_.dependent_fraction = r.f64();
+  params_.seq_run_lines = r.u64();
+  params_.intra_cluster_gap = r.u64();
 }
 
 cpu::TraceOp AddressStreamGenerator::next() {

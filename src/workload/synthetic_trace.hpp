@@ -49,7 +49,17 @@ class SyntheticTraceGenerator final : public cpu::TraceSource {
 
   const Params& params() const { return params_; }
 
-  /// Snapshot hooks: RNG stream plus the burst/locality walk state, so a
+  /// Piecewise phase change (churn engine): swaps the demand-shaping knobs
+  /// (api, mean_cluster, write_fraction, dependent_fraction, seq_run_lines,
+  /// intra_cluster_gap) mid-stream while the RNG stream and the locality
+  /// walk continue unbroken — the address region (region_base,
+  /// footprint_lines, line_bytes) is an identity, not a phase, and must not
+  /// change. An in-progress burst finishes under the old knobs; the next
+  /// cluster is drawn under the new ones.
+  void set_phase(const Params& next);
+
+  /// Snapshot hooks: RNG stream, the burst/locality walk state, and the
+  /// phase-changeable knobs (churn schedules mutate them mid-run), so a
   /// restored generator emits the identical remaining op sequence.
   void save_state(snap::Writer& w) const;
   void restore_state(snap::Reader& r);

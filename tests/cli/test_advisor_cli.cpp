@@ -166,6 +166,56 @@ TEST(AdvisorCli, TenThousandPlainRequests) {
   std::remove(metrics.c_str());
 }
 
+TEST(AdvisorCli, ChurnReplayEmitsOneResolvePerChurnInstant) {
+  const std::string reqs = tmp_path("churn_in.txt");
+  const std::string sched = tmp_path("churn_sched.txt");
+  const std::string resp = tmp_path("churn_out.jsonl");
+  {
+    std::ofstream os(reqs);
+    os << "r1 qos b=0.009 lbm=0.004,0.03 libq=0.003,0.02 omnet=0.001,0.01 "
+          "hmmer=0.0046,0.0046,1,0.6 be=Square_root\n";
+  }
+  {
+    std::ofstream os(sched);
+    // Two events share cycle 200000: they must coalesce into one re-solve.
+    os << "dormant 1\n@200000 arrive 1\n@200000 phase 0 api=0.05\n"
+          "@400000 depart 2\n";
+  }
+  const int rc = run_cmd(g_advisor_path + " --in " + reqs +
+                         " --churn-replay " + sched + " --out " + resp +
+                         " --quiet");
+  ASSERT_EQ(rc, 0);
+
+  std::ifstream in(resp);
+  std::string line;
+  std::size_t steps = 0;
+  while (std::getline(in, line)) {
+    const ValuePtr doc = bwpart::testjson::parse(line);
+    EXPECT_EQ(static_cast<std::size_t>(doc->at("step").num), steps) << line;
+    EXPECT_TRUE(doc->at("feasible").b) << line;
+    // Dormant apps hold exactly zero share; live shares sum to 1.
+    const Value& live = doc->at("live");
+    const Value& shares = doc->at("shares");
+    ASSERT_EQ(live.arr.size(), 4u);
+    ASSERT_EQ(shares.arr.size(), 4u);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      if (!live.arr[i]->b) {
+        EXPECT_EQ(shares.arr[i]->num, 0.0) << line;
+      }
+      sum += shares.arr[i]->num;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << line;
+    ++steps;
+  }
+  // Initial install + the coalesced @200000 instant + the @400000 depart.
+  EXPECT_EQ(steps, 3u);
+
+  std::remove(reqs.c_str());
+  std::remove(sched.c_str());
+  std::remove(resp.c_str());
+}
+
 TEST(AdvisorCli, AuditModeSamplesAndReportsErrors) {
   const std::string reqs = tmp_path("audit_in.txt");
   const std::string resp = tmp_path("audit_out.jsonl");

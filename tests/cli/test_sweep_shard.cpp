@@ -33,6 +33,7 @@
 #include "../obs/mini_json.hpp"
 #include "common/snapshot_io.hpp"
 #include "core/partition.hpp"
+#include "harness/churn.hpp"
 #include "harness/differential.hpp"
 #include "harness/shard.hpp"
 
@@ -179,6 +180,72 @@ TEST(SpoolProtocol, UnitSpecRoundTrips) {
     EXPECT_EQ(back.scheme, u.scheme);
     EXPECT_EQ(back.config_fp, u.config_fp);
   }
+}
+
+// Churned units: the compact schedule rides in the unit spec (omitted when
+// empty, so churn-free specs stay byte-identical to the pre-churn
+// encoding), the key gains a schedule-fingerprint suffix, and a worker
+// measures the unit through the churn engine bit-identically to a direct
+// measure_churn_from.
+TEST(SpoolProtocol, ChurnUnitsCarryTheScheduleAndStayDistinct) {
+  shard::ShardConfig cfg;
+  cfg.mix = "hetero-5";
+  cfg.warmup_cycles = 20'000;
+  cfg.profile_cycles = 100'000;
+  cfg.measure_cycles = 100'000;
+  shard::Portfolio p;
+  p.name = "churn";
+  p.schemes = {core::Scheme::SquareRoot};
+  p.configs.push_back(cfg);               // fixed
+  cfg.churn = "@25000 depart 1; @60000 arrive 1";
+  p.configs.push_back(cfg);               // churned twin
+  const std::vector<shard::ShardUnit> units = shard::enumerate_units(p);
+  ASSERT_EQ(units.size(), 2u);
+  // Same config fingerprint (the snapshot is shared), different unit keys.
+  EXPECT_EQ(units[0].config_fp, units[1].config_fp);
+  EXPECT_NE(units[0].key, units[1].key);
+  EXPECT_EQ(units[1].key.find(units[0].key), 0u);
+
+  // The churn-free spec has no churn line; the churned one round-trips,
+  // and a multi-line spelling of the same schedule lands on the same key.
+  EXPECT_EQ(shard::encode_unit_spec(units[0]).find("churn"),
+            std::string::npos);
+  const shard::ShardUnit back =
+      shard::parse_unit_spec(shard::encode_unit_spec(units[1]));
+  EXPECT_EQ(back.key, units[1].key);
+  EXPECT_EQ(back.cfg.churn,
+            harness::ChurnSchedule::parse(cfg.churn).to_compact());
+  shard::Portfolio multiline = p;
+  multiline.configs[1].churn = "@25000 depart 1\n@60000 arrive 1";
+  EXPECT_EQ(shard::enumerate_units(multiline)[1].key, units[1].key);
+
+  // A malformed schedule fails at enumeration, naming the directive.
+  shard::Portfolio bad = p;
+  bad.configs[1].churn = "@25000 vanish 1";
+  EXPECT_THROW((void)shard::enumerate_units(bad), std::runtime_error);
+
+  // End-to-end: publish both units, drain the spool in-process, and check
+  // the churned shard is bit-identical to a direct churn-engine run.
+  const fs::path dir = tmp_dir("churn_units");
+  fs::remove_all(dir);
+  const shard::Spool spool(dir);
+  spool.init();
+  const harness::Experiment exp = shard::make_experiment(p.configs[0]);
+  spool.put_snapshot(exp.config_fingerprint(), exp.capture_profile());
+  for (const shard::ShardUnit& u : units) spool.publish(u);
+  const shard::WorkerReport report = shard::run_worker(dir);
+  EXPECT_EQ(report.completed, 2u);
+
+  harness::ChurnRunConfig churn_cfg;
+  churn_cfg.scheme = core::Scheme::SquareRoot;
+  const harness::ChurnRunResult direct = exp.measure_churn_from(
+      exp.capture_profile(), harness::ChurnSchedule::parse(cfg.churn),
+      churn_cfg);
+  EXPECT_EQ(spool.read_result(units[1].key).fingerprint,
+            harness::fingerprint(direct.base));
+  EXPECT_EQ(spool.read_result(units[0].key).fingerprint,
+            harness::fingerprint(exp.run(core::Scheme::SquareRoot)));
+  fs::remove_all(dir);
 }
 
 TEST(SpoolProtocol, CorruptResultShardIsRejected) {

@@ -6,6 +6,17 @@
 // the HBM-class geometry handling trips a fingerprint diff even though the
 // 98 DDR2 entries stay pinned to their pre-registry values.
 //
+// Schema 3 adds a "churn" section: eleven dynamic-tenancy scenarios
+// (departures, arrivals, initial dormancy, phase changes, coincident
+// events — each written in the ChurnSchedule text grammar, so the corpus
+// also pins the parser) x representative schemes, fingerprinted through
+// harness::fingerprint(ChurnRunResult), which chains the fixed RunResult
+// fingerprint with the tenancy-normalized series, event outcomes and
+// violation clocks. The steady-state-empty scenario pins the
+// empty-schedule == fixed-measure-path bit-identity inside the corpus
+// itself. The 98 mix entries and the generation section are unchanged
+// from schema 2.
+//
 //   test_golden --file tests/golden/fingerprints.json [--update]
 //
 // Every sweep is computed through Experiment::run_all — under the default
@@ -32,6 +43,7 @@
 #include "../obs/mini_json.hpp"
 #include "common/parallel.hpp"
 #include "dram/config.hpp"
+#include "harness/churn.hpp"
 #include "harness/differential.hpp"
 #include "harness/experiment.hpp"
 #include "workload/mixes.hpp"
@@ -68,6 +80,73 @@ constexpr const char* kGoldenGenerationMixes[] = {"hetero-5", "homo-1"};
 /// generation -> (mix -> scheme -> fingerprint), ordered as
 /// kGoldenGenerations.
 using GenCorpus = std::vector<std::pair<std::string, Corpus>>;
+
+/// Churn scenarios pinned by the schema-3 "churn" section. Every schedule
+/// is written in the ChurnSchedule text grammar (all Table IV mixes have
+/// four apps, indices 0-3; the golden measure window is 100k cycles). QoS
+/// scenarios guarantee app 3 (hmmer in qos-mix-1) 0.6 IPC and sweep the
+/// share schemes only; the rest also pin a priority scheme.
+struct ChurnScenario {
+  const char* name;
+  const char* mix;
+  const char* schedule;
+  bool qos;
+};
+
+constexpr ChurnScenario kGoldenChurnScenarios[] = {
+    // Empty schedule: the corpus-internal proof that a churn run with no
+    // events reproduces the fixed measure path bit-for-bit.
+    {"steady-state-empty", "qos-mix-1", "", false},
+    {"depart-mid", "hetero-5", "@25000 depart 1", false},
+    {"depart-return", "hetero-5", "@25000 depart 1; @60000 arrive 1", false},
+    {"late-join", "homo-1", "dormant 2; @30000 arrive 2", false},
+    {"phase-burst", "hetero-5", "@20000 phase 0 api=0.01", false},
+    {"double-blink", "hetero-2",
+     "@10000 depart 0; @15000 depart 1; @50000 arrive 0; @55000 arrive 1",
+     false},
+    {"staggered-start", "homo-3",
+     "dormant 1,2; @40000 arrive 1; @70000 arrive 2", false},
+    {"coincident-events", "hetero-7",
+     "@30000 depart 2; @30000 phase 0 mean_cluster=6 write_fraction=0.4",
+     false},
+    {"full-knobs", "homo-5",
+     "@25000 phase 1 api=0.02 seq_run_lines=2 intra_cluster_gap=3; "
+     "@50000 depart 3; @80000 arrive 3",
+     false},
+    {"qos-phase-up-down", "qos-mix-1",
+     "@20000 phase 3 api=0.008; @55000 phase 3 api=0.004", true},
+    {"qos-tenancy-churn", "qos-mix-1",
+     "@25000 depart 1; @60000 arrive 1", true},
+};
+
+/// Representative schemes for the churn section: one weight-proportional
+/// share scheme, the paper's square-root scheme, and one priority scheme
+/// (skipped under QoS, where the scheme partitions the best-effort pool).
+constexpr core::Scheme kGoldenChurnSchemes[] = {
+    core::Scheme::Proportional, core::Scheme::SquareRoot,
+    core::Scheme::PriorityApc};
+
+/// The re-solve cadence every churn scenario runs with (small enough that
+/// each event's re-solve lands inside the 100k golden window).
+harness::ChurnRunConfig golden_churn_config(core::Scheme scheme, bool qos) {
+  harness::ChurnRunConfig cfg;
+  cfg.scheme = scheme;
+  if (qos) cfg.qos = {core::QosRequirement{3, 0.6}};
+  cfg.reprofile_window = 10'000;
+  cfg.eval_epoch = 10'000;
+  return cfg;
+}
+
+const workload::MixSpec& golden_mix_by_name(const char* name) {
+  if (workload::qos_mix1().name == std::string_view(name)) {
+    return workload::qos_mix1();
+  }
+  for (const workload::MixSpec& mix : workload::paper_mixes()) {
+    if (mix.name == std::string_view(name)) return mix;
+  }
+  std::fprintf(stderr, "unknown golden churn mix '%s'\n", name);
+  std::exit(2);
+}
 
 Corpus compute_corpus() {
   const auto mixes = workload::paper_mixes();
@@ -131,6 +210,31 @@ GenCorpus compute_generation_corpus() {
   return corpus;
 }
 
+Corpus compute_churn_corpus() {
+  constexpr std::size_t n = std::size(kGoldenChurnScenarios);
+  const harness::SystemConfig machine;
+  const harness::PhaseConfig phases = golden_phases();
+  Corpus corpus(n);
+  // Scenarios in parallel, schemes serial inside each. run_churn profiles
+  // and measures on a fresh system per scheme, so the section is
+  // snapshot-path-neutral: both CI builds compute it the same way.
+  parallel_for(n, [&](std::size_t i) {
+    const ChurnScenario& sc = kGoldenChurnScenarios[i];
+    const auto schedule = harness::ChurnSchedule::parse(sc.schedule);
+    const auto apps = workload::resolve_mix(golden_mix_by_name(sc.mix));
+    const harness::Experiment experiment(machine, apps, phases);
+    std::map<std::string, std::string> row;
+    for (const core::Scheme scheme : kGoldenChurnSchemes) {
+      if (sc.qos && core::is_priority_scheme(scheme)) continue;
+      const harness::ChurnRunResult r =
+          experiment.run_churn(schedule, golden_churn_config(scheme, sc.qos));
+      row[core::to_string(scheme)] = hex64(harness::fingerprint(r));
+    }
+    corpus[i] = {sc.name, std::move(row)};
+  });
+  return corpus;
+}
+
 void write_rows(std::ofstream& os, const Corpus& corpus,
                 const char* indent) {
   for (std::size_t i = 0; i < corpus.size(); ++i) {
@@ -145,14 +249,14 @@ void write_rows(std::ofstream& os, const Corpus& corpus,
 }
 
 void write_corpus(const std::string& path, const Corpus& corpus,
-                  const GenCorpus& gen_corpus) {
+                  const GenCorpus& gen_corpus, const Corpus& churn_corpus) {
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
     std::exit(2);
   }
   const harness::PhaseConfig ph = golden_phases();
-  os << "{\n  \"schema\": 2,\n  \"seed\": " << ph.seed << ",\n"
+  os << "{\n  \"schema\": 3,\n  \"seed\": " << ph.seed << ",\n"
      << "  \"phases\": {\"warmup\": " << ph.warmup_cycles
      << ", \"profile\": " << ph.profile_cycles
      << ", \"measure\": " << ph.measure_cycles << "},\n  \"mixes\": {\n";
@@ -163,6 +267,11 @@ void write_corpus(const std::string& path, const Corpus& corpus,
     write_rows(os, gen_corpus[g].second, "      ");
     os << "    }" << (g + 1 < gen_corpus.size() ? "," : "") << "\n";
   }
+  const harness::ChurnRunConfig cc =
+      golden_churn_config(core::Scheme::Proportional, false);
+  os << "  },\n  \"churn_settings\": {\"reprofile\": " << cc.reprofile_window
+     << ", \"epoch\": " << cc.eval_epoch << "},\n  \"churn\": {\n";
+  write_rows(os, churn_corpus, "    ");
   os << "  }\n}\n";
 }
 
@@ -220,15 +329,16 @@ int main(int argc, char** argv) {
 
   const Corpus corpus = compute_corpus();
   const GenCorpus gen_corpus = compute_generation_corpus();
+  const Corpus churn_corpus = compute_churn_corpus();
   if (update) {
-    write_corpus(path, corpus, gen_corpus);
+    write_corpus(path, corpus, gen_corpus, churn_corpus);
     std::printf(
         "wrote %zu mixes x %zu schemes plus %zu generations x %zu mixes "
-        "to %s\n",
+        "plus %zu churn scenarios to %s\n",
         corpus.size(), corpus.empty() ? 0 : corpus.front().second.size(),
         gen_corpus.size(),
         gen_corpus.empty() ? 0 : gen_corpus.front().second.size(),
-        path.c_str());
+        churn_corpus.size(), path.c_str());
     return 0;
   }
 
@@ -252,10 +362,10 @@ int main(int argc, char** argv) {
   }
 
   if (!doc->has("schema") ||
-      static_cast<int>(doc->at("schema").num) != 2) {
+      static_cast<int>(doc->at("schema").num) != 3) {
     std::fprintf(stderr,
-                 "golden corpus '%s' uses an old schema (the generation "
-                 "section arrived in schema 2) — regenerate with --update\n",
+                 "golden corpus '%s' uses an old schema (the churn section "
+                 "arrived in schema 3) — regenerate with --update\n",
                  path.c_str());
     return 1;
   }
@@ -297,6 +407,16 @@ int main(int argc, char** argv) {
       check_rows(gens.at(gen_name), gen_rows, gen_name + " / ", checked,
                  mismatches);
     }
+  }
+  if (!doc->has("churn")) {
+    std::fprintf(stderr,
+                 "golden corpus '%s' has no \"churn\" section — regenerate "
+                 "with --update\n",
+                 path.c_str());
+    ++mismatches;
+  } else {
+    check_rows(doc->at("churn"), churn_corpus, "churn / ", checked,
+               mismatches);
   }
   if (mismatches != 0) {
     std::fprintf(

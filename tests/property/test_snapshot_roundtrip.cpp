@@ -341,7 +341,7 @@ TEST(SnapshotRoundtrip, OldFormatVersionRejectedLoudlyAcrossGenerations) {
         testing::TempDir() + "snap_version_" + gen + ".bwps";
     write_profile_snapshot(path, snap);
 
-    // The untampered v4 file round-trips under this generation.
+    // The untampered v5 file round-trips under this generation.
     const ProfileSnapshot back = read_profile_snapshot(path);
     EXPECT_EQ(back.config_fp, snap.config_fp) << gen;
     EXPECT_EQ(back.state, snap.state) << gen;
@@ -375,7 +375,7 @@ TEST(SnapshotRoundtrip, OldFormatVersionRejectedLoudlyAcrossGenerations) {
     } catch (const snap::SnapshotError& e) {
       const std::string what = e.what();
       EXPECT_NE(what.find("version 1"), std::string::npos) << what;
-      EXPECT_NE(what.find("version 4"), std::string::npos) << what;
+      EXPECT_NE(what.find("version 5"), std::string::npos) << what;
     }
     with_version(2);
     EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
@@ -386,7 +386,7 @@ TEST(SnapshotRoundtrip, OldFormatVersionRejectedLoudlyAcrossGenerations) {
     } catch (const snap::SnapshotError& e) {
       const std::string what = e.what();
       EXPECT_NE(what.find("version 3"), std::string::npos) << what;
-      EXPECT_NE(what.find("version 4"), std::string::npos) << what;
+      EXPECT_NE(what.find("version 5"), std::string::npos) << what;
     }
     with_version(99);
     EXPECT_THROW(read_profile_snapshot(path), snap::SnapshotError);
